@@ -1,0 +1,80 @@
+// Command fame-analyze is the static-analysis tool of the paper's
+// Figure 3: it inspects a client application's Go sources, detects the
+// infrastructure features the application needs, and prints the
+// partially derived configuration.
+//
+// Usage:
+//
+//	fame-analyze [-model fame|bdb] [-complete] DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"famedb/internal/analysis"
+	"famedb/internal/core"
+)
+
+func main() {
+	modelFlag := flag.String("model", "fame", `feature model the client targets: "fame" or "bdb"`)
+	complete := flag.Bool("complete", false, "complete the configuration to a minimal valid product")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fame-analyze [-model fame|bdb] [-complete] DIR")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	var fm *core.Model
+	var queries []analysis.Query
+	switch *modelFlag {
+	case "fame":
+		fm, queries = core.FAMEModel(), analysis.FAMEQueries()
+	case "bdb":
+		fm, queries = core.BDBModel(), analysis.BDBQueries()
+	default:
+		fmt.Fprintf(os.Stderr, "fame-analyze: unknown model %q\n", *modelFlag)
+		os.Exit(2)
+	}
+
+	app, err := analysis.AnalyzeDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fame-analyze:", err)
+		os.Exit(1)
+	}
+	cfg, detected, open, err := analysis.Derive(fm, app, queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fame-analyze:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("application: %s\n", dir)
+	fmt.Printf("detected features (%d): %s\n", len(detected), strings.Join(detected, ", "))
+	var forced []string
+	for _, d := range cfg.Log() {
+		if d.Cause == core.ByPropagation && d.State == core.Selected {
+			forced = append(forced, d.Feature.Name)
+		}
+	}
+	if len(forced) > 0 {
+		fmt.Printf("forced by constraints: %s\n", strings.Join(forced, ", "))
+	}
+	if len(open) > 0 {
+		fmt.Printf("open decisions (%d): %s\n", len(open), strings.Join(open, ", "))
+	}
+	for _, q := range queries {
+		if !q.Detectable {
+			fmt.Printf("not derivable from sources: %-16s (%s)\n", q.Feature, q.Reason)
+		}
+	}
+	if *complete {
+		if err := cfg.Complete(core.PreferDeselect); err != nil {
+			fmt.Fprintln(os.Stderr, "fame-analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("derived product: %s\n", cfg)
+	}
+}

@@ -1,0 +1,82 @@
+// Command fame-bench regenerates every figure and table of the paper's
+// evaluation as text output (see DESIGN.md §3 for the experiment
+// index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	fame-bench [-run E1,E2,...] [-ops N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"famedb/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7", "comma-separated experiment ids")
+	ops := flag.Int("ops", 200000, "operations per measured engine run")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToUpper(id))] = true
+	}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "fame-bench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if want["E1"] {
+		rows, err := bench.E1()
+		if err != nil {
+			fail("E1", err)
+		}
+		fmt.Println(bench.FormatE1(rows))
+	}
+	if want["E2"] {
+		rows, err := bench.E2(*ops)
+		if err != nil {
+			fail("E2", err)
+		}
+		fmt.Println(bench.FormatE2(rows))
+	}
+	if want["E3"] {
+		r, err := bench.E3(*ops)
+		if err != nil {
+			fail("E3", err)
+		}
+		fmt.Println(bench.FormatE3(r))
+	}
+	if want["E4"] {
+		rows, variants, err := bench.E4(*ops / 4)
+		if err != nil {
+			fail("E4", err)
+		}
+		fmt.Println(bench.FormatE4(rows, variants))
+	}
+	if want["E5"] {
+		rows, examined, derivable, err := bench.E5()
+		if err != nil {
+			fail("E5", err)
+		}
+		fmt.Println(bench.FormatE5(rows, examined, derivable))
+	}
+	if want["E6"] {
+		r, err := bench.E6(*ops / 10)
+		if err != nil {
+			fail("E6", err)
+		}
+		fmt.Println(bench.FormatE6(r))
+	}
+	if want["E7"] {
+		r, err := bench.E7()
+		if err != nil {
+			fail("E7", err)
+		}
+		fmt.Println(bench.FormatE7(r))
+	}
+}

@@ -1,0 +1,189 @@
+// Command famec is the product-line configurator CLI: it validates
+// feature models, counts variants, propagates decisions, derives
+// products, and prints footprints.
+//
+// Usage:
+//
+//	famec [-model fame|bdb|FILE] <subcommand> [args]
+//
+// Subcommands:
+//
+//	show                       print the model in DSL syntax
+//	variants                   count the valid products
+//	lint                       report dead and false-optional features
+//	select  FEATURE...         propagate a selection, show consequences
+//	derive  FEATURE...         derive a complete minimal product
+//	footprint FEATURE...       ROM/RAM of the derived product
+//	optimize [-budget N] FEATURE...  ROM-minimal product (exact solver)
+//	advise  [-records N] [-ordered] [-calibrate]  index recommendation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"famedb/internal/advisor"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/solver"
+)
+
+func main() {
+	modelFlag := flag.String("model", "fame", `feature model: "fame", "bdb", or a DSL file path`)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	m, table, err := loadModel(*modelFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "show":
+		fmt.Print(m.String())
+	case "variants":
+		fmt.Printf("%s: %d features, %s valid products\n",
+			m.Name, len(m.Features()), m.CountVariants())
+	case "lint":
+		lint(m)
+	case "select":
+		doSelect(m, rest)
+	case "derive":
+		doDerive(m, rest)
+	case "footprint":
+		doFootprint(m, table, rest)
+	case "optimize":
+		doOptimize(m, table, rest)
+	case "advise":
+		doAdvise(rest)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: famec [-model fame|bdb|FILE] show|variants|lint|select|derive|footprint|optimize|advise [args...]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "famec:", err)
+	os.Exit(1)
+}
+
+func loadModel(name string) (*core.Model, *footprint.Table, error) {
+	switch name {
+	case "fame":
+		t, err := footprint.Load("FAME-DBMS")
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.FAMEModel(), t, nil
+	case "bdb":
+		t, err := footprint.Load("BerkeleyDB")
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.BDBModel(), t, nil
+	default:
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.ParseModel(string(src))
+		return m, nil, err
+	}
+}
+
+func lint(m *core.Model) {
+	dead := m.DeadFeatures()
+	fo := m.FalseOptionalFeatures()
+	if len(dead) == 0 && len(fo) == 0 {
+		fmt.Println("ok: no dead or false-optional features")
+		return
+	}
+	for _, f := range dead {
+		fmt.Printf("dead: %s (cannot appear in any product)\n", f.Path())
+	}
+	for _, f := range fo {
+		fmt.Printf("false-optional: %s (declared optional but present in every product)\n", f.Path())
+	}
+}
+
+func doSelect(m *core.Model, features []string) {
+	cfg := m.NewConfiguration()
+	if err := cfg.SelectAll(features...); err != nil {
+		fatal(err)
+	}
+	for _, d := range cfg.Log() {
+		if d.Cause == core.ByPropagation {
+			fmt.Printf("forced: %-20s %s\n", d.Feature.Name, d.State)
+		}
+	}
+	fmt.Printf("remaining products: %s\n", cfg.CountRemaining())
+	if open := cfg.Undecided(); len(open) > 0 {
+		fmt.Printf("still open: %s\n", strings.Join(open, ", "))
+	}
+}
+
+func doDerive(m *core.Model, features []string) {
+	cfg, err := m.Product(features...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(cfg)
+}
+
+func doFootprint(m *core.Model, table *footprint.Table, features []string) {
+	if table == nil {
+		fatal(fmt.Errorf("no footprint table for custom models"))
+	}
+	cfg, err := m.Product(features...)
+	if err != nil {
+		fatal(err)
+	}
+	rom, err := table.ROMFine(cfg.SelectedNames())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\nROM: %d bytes\n", cfg, rom)
+}
+
+func doOptimize(m *core.Model, table *footprint.Table, args []string) {
+	if table == nil {
+		fatal(fmt.Errorf("no footprint table for custom models"))
+	}
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	budget := fs.Int("budget", 0, "ROM budget in bytes (0 = unbounded)")
+	fs.Parse(args)
+	res, err := solver.BranchAndBound(solver.Request{
+		Model: m, Table: table, Required: fs.Args(), MaxROM: *budget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\nROM: %d bytes (explored %d nodes)\n", res.Config, res.ROM, res.Explored)
+}
+
+func doAdvise(args []string) {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	records := fs.Int("records", 1000, "expected record count")
+	ordered := fs.Bool("ordered", false, "application needs ordered scans")
+	calibrate := fs.Bool("calibrate", false, "measure the lookup crossover on this machine")
+	fs.Parse(args)
+	crossover := 0
+	if *calibrate {
+		c, err := advisor.Calibrate(0)
+		if err != nil {
+			fatal(err)
+		}
+		crossover = c
+		fmt.Printf("measured lookup crossover: %d records\n", c)
+	}
+	r := advisor.Recommend(advisor.Profile{Records: *records, OrderedScans: *ordered}, crossover)
+	fmt.Printf("recommended index feature: %s\n  %s\n", r.Index, r.Reason)
+}

@@ -1,0 +1,88 @@
+// Calendar: the paper's running example of a client application ("a
+// personal calendar application") built on a FAME-DBMS product with
+// the SQL engine, the optimizer, the B+-tree and transactions.
+//
+// This directory doubles as the input of examples/autoconfig and
+// cmd/fame-analyze: the analysis tool derives the product's features
+// from this very source file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fame "famedb"
+)
+
+func main() {
+	db, err := fame.Open(fame.Options{},
+		"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+		"BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Remove", "Update",
+		"Transaction", "ForceCommit", "Recovery",
+		"SQLEngine", "Optimizer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	mustExec(db, `CREATE TABLE events (
+		id INT PRIMARY KEY, day TEXT, at INT, title TEXT)`)
+	mustExec(db, `INSERT INTO events VALUES
+		(1, 'mon', 900,  'standup'),
+		(2, 'mon', 1400, 'design review'),
+		(3, 'tue', 900,  'standup'),
+		(4, 'wed', 1100, 'paper reading'),
+		(5, 'fri', 1600, 'retrospective')`)
+
+	// Point query on the primary key: the Optimizer feature plans an
+	// index scan.
+	r, err := db.Exec("SELECT title FROM events WHERE id = 4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("event 4: %s (plan: %s)\n", r.Rows[0][0].Str, r.Plan)
+
+	// Day agenda, ordered by time.
+	r, err = db.Exec("SELECT at, title FROM events WHERE day = 'mon' ORDER BY at")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("monday:")
+	for _, row := range r.Rows {
+		fmt.Printf("  %04d %s\n", row[0].Int, row[1].Str)
+	}
+
+	// Rescheduling is transactional: either both records move or
+	// neither does.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Put([]byte("note:retro"), []byte("moved to 1500")); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	mustExec(db, "UPDATE events SET at = 1500 WHERE id = 5")
+	r, _ = db.Exec("SELECT at FROM events WHERE id = 5")
+	fmt.Println("retro moved to:", r.Rows[0][0].Int)
+
+	mustExec(db, "DELETE FROM events WHERE day = 'wed'")
+	r, _ = db.Exec("SELECT COUNT(*) FROM events")
+	fmt.Println("events left:", r.Rows[0][0].Int)
+
+	// Weekly load report: events per day.
+	r, _ = db.Exec("SELECT day, COUNT(*) FROM events GROUP BY day")
+	fmt.Println("per day:")
+	for _, row := range r.Rows {
+		fmt.Printf("  %-3s %d\n", row[0].Str, row[1].Int)
+	}
+}
+
+func mustExec(db *fame.DB, q string) {
+	if _, err := db.Exec(q); err != nil {
+		log.Fatalf("%s: %v", q, err)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: derive a minimal FAME-DBMS product and store a few
+// records. The derived engine contains only the selected features —
+// the whole point of the product line: "only and exactly the
+// functionality required".
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fame "famedb"
+)
+
+func main() {
+	// Select features; constraint propagation completes the product
+	// (DataTypes, BTreeSearch, ... are pulled in automatically).
+	db, err := fame.Open(fame.Options{},
+		"Linux", "BPlusTree", "Put", "Get")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Println("derived product:", strings.Join(db.Features(), ", "))
+	rom, err := db.ROM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("footprint: %d bytes ROM, %d bytes RAM\n", rom, db.RAM())
+
+	// Store and read records.
+	for i, name := range []string{"ada", "grace", "edsger"} {
+		if err := db.Put([]byte(fmt.Sprintf("user:%d", i)), []byte(name)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, err := db.Get([]byte("user:1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user:1 =", string(v))
+
+	// Ordered scans come with the B+-tree.
+	fmt.Print("all users: ")
+	db.Scan(nil, nil, func(k, v []byte) bool {
+		fmt.Printf("%s=%s ", k, v)
+		return true
+	})
+	fmt.Println()
+
+	// Functionality that was not selected does not exist in this
+	// product.
+	if err := db.Remove([]byte("user:0")); err != nil {
+		fmt.Println("Remove is not part of this product:", err)
+	}
+}

@@ -1,0 +1,60 @@
+// Sensornet: the deeply embedded scenario of the paper's introduction
+// (sensor networks, "smart dust"). The product targets the simulated
+// NutOS platform: 512-byte pages, a 32 KiB RAM budget, static memory
+// allocation only, and the List index — the smallest useful data
+// manager the product line can derive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fame "famedb"
+)
+
+func main() {
+	// NutOS + BufferManager forces StaticAlloc via a cross-tree
+	// constraint; SQLEngine is excluded on this platform by another.
+	db, err := fame.Open(fame.Options{CachePages: 8},
+		"NutOS", "ListIndex", "BufferManager", "LRU",
+		"Put", "Get", "Remove")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rom, err := db.ROM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor node product: %d B ROM, %d B RAM (budget 32768 B)\n", rom, db.RAM())
+	fmt.Println("static allocation:", db.Has("StaticAlloc"))
+
+	// Log a day of temperature readings (one per ~15 min).
+	for i := 0; i < 96; i++ {
+		key := []byte(fmt.Sprintf("t%04d", i*15))
+		val := []byte(fmt.Sprintf("%2.1f", 18.0+float64(i%24)/4))
+		if err := db.Put(key, val); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Base station polls the latest readings, then clears transmitted
+	// ones to reclaim the tiny flash.
+	n, _ := db.Len()
+	fmt.Printf("stored readings: %d\n", n)
+	v, err := db.Get([]byte("t0090"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reading at minute 90:", string(v))
+
+	transmitted := 0
+	for i := 0; i < 48; i++ {
+		if err := db.Remove([]byte(fmt.Sprintf("t%04d", i*15))); err == nil {
+			transmitted++
+		}
+	}
+	n, _ = db.Len()
+	fmt.Printf("transmitted and cleared %d readings, %d remain\n", transmitted, n)
+}

@@ -1,0 +1,48 @@
+package fame
+
+// The paper's future-work directions (Sec. 5), implemented as
+// extensions and exposed here:
+//
+//   - data-driven index selection ("the data that is to be stored
+//     could be considered to statically select the optimal index");
+//   - multi-SPL composition ("extend SPL composition and optimization
+//     to cover multiple SPLs (e.g., including the operating system)").
+
+import (
+	"famedb/internal/advisor"
+	"famedb/internal/core"
+)
+
+// Profile describes stored data and its access pattern for index
+// advice.
+type Profile = advisor.Profile
+
+// Recommendation is the advisor's index choice with its reasoning.
+type Recommendation = advisor.Recommendation
+
+// AdviseIndex recommends the Index feature (BPlusTree vs ListIndex)
+// for a data profile. Pass crossover 0 to use the built-in default, or
+// a value from CalibrateIndexAdvisor for a machine-measured one.
+func AdviseIndex(p Profile, crossover int) Recommendation {
+	return advisor.Recommend(p, crossover)
+}
+
+// CalibrateIndexAdvisor measures, on this machine, the record count at
+// which the B+-tree's lookups overtake the List index's.
+func CalibrateIndexAdvisor(maxRecords int) (int, error) {
+	return advisor.Calibrate(maxRecords)
+}
+
+// EmbeddedSystemModel returns the multi-SPL composition of the
+// FAME-DBMS product line with an embedded operating-system product
+// line, linked by whole-system constraints (the DBMS platform target
+// dictates the kernel; transactions need the OS's syncing filesystem
+// driver).
+func EmbeddedSystemModel() *Model { return core.EmbeddedSystemModel() }
+
+// ComposeFeatureModels combines several feature models into one
+// product line with cross-model link constraints (DSL expression
+// syntax). Feature names must be unique across parts.
+func ComposeFeatureModels(name string, parts []*Model, links []string) (*Model, error) {
+	return core.ComposeModels(name, parts, links)
+}

@@ -1,0 +1,66 @@
+package fame
+
+import "testing"
+
+func TestAdviseIndexFacade(t *testing.T) {
+	r := AdviseIndex(Profile{Records: 50000}, 0)
+	if r.Index != "BPlusTree" {
+		t.Fatalf("large data set advised %s", r.Index)
+	}
+	r = AdviseIndex(Profile{Records: 20}, 0)
+	if r.Index != "ListIndex" {
+		t.Fatalf("tiny data set advised %s", r.Index)
+	}
+	// Advice plugs directly into Open.
+	db, err := Open(Options{}, "Linux", r.Index, "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if !db.Has("ListIndex") {
+		t.Fatal("advised feature not composed")
+	}
+}
+
+func TestCalibrateIndexAdvisorFacade(t *testing.T) {
+	crossover, err := CalibrateIndexAdvisor(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossover < 16 || crossover > 1024 {
+		t.Fatalf("crossover = %d", crossover)
+	}
+}
+
+func TestEmbeddedSystemModelFacade(t *testing.T) {
+	m := EmbeddedSystemModel()
+	c := m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("TinyKernel") {
+		t.Fatal("whole-system propagation broken through facade")
+	}
+}
+
+func TestComposeFeatureModelsFacade(t *testing.T) {
+	a, err := ParseModel("model App { optional NeedsCrypto }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Composing the client-application "model" with the DBMS model —
+	// the paper's third SPL (client applications).
+	combined, err := ComposeFeatureModels("System",
+		[]*Model{a, FeatureModel()},
+		[]string{"NeedsCrypto => Transaction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := combined.NewConfiguration()
+	if err := c.Select("NeedsCrypto"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Transaction") || !c.Has("BufferManager") {
+		t.Fatalf("cross-SPL propagation chain broken: %s", c)
+	}
+}

@@ -1,0 +1,283 @@
+// Package fame is the public API of FAME-DBMS: a feature-oriented
+// software product line of embedded data-management systems, after
+// "FAME-DBMS: Tailor-made Data Management Solutions for Embedded
+// Systems" (EDBT 2008 Workshops).
+//
+// A concrete database engine is not constructed but *derived*: the
+// caller selects features of the FAME-DBMS feature model (Fig. 2 of
+// the paper) and Open composes exactly those modules into a running
+// instance. Unselected functionality is absent — calling it returns an
+// error rather than silently working:
+//
+//	db, err := fame.Open(fame.Options{},
+//	    "Linux", "BPlusTree", "Put", "Get")
+//	...
+//	db.Put([]byte("k"), []byte("v"))
+//	v, _ := db.Get([]byte("k"))
+//
+// The package also exposes the product-line machinery itself: the
+// feature model (Model), configurations with decision propagation,
+// static application analysis that derives a configuration from client
+// sources (Analyze), and NFP-constrained derivation under a ROM budget
+// (Optimize, OptimizeGreedy).
+package fame
+
+import (
+	"fmt"
+
+	"famedb/internal/access"
+	"famedb/internal/analysis"
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/osal"
+	"famedb/internal/solver"
+	"famedb/internal/txn"
+	"famedb/internal/types"
+)
+
+// Aliases re-export the product-line types so callers outside this
+// module can name them.
+type (
+	// Model is a feature model (feature diagram + cross-tree
+	// constraints).
+	Model = core.Model
+	// Configuration is a (partial) feature selection over a Model.
+	Configuration = core.Configuration
+	// Value is a typed SQL value.
+	Value = types.Value
+)
+
+// Errors surfaced by the facade.
+var (
+	// ErrNotComposed is returned when an operation's feature is not
+	// part of the derived product.
+	ErrNotComposed = access.ErrNotComposed
+	// ErrNotFound is returned for missing keys.
+	ErrNotFound = access.ErrNotFound
+)
+
+// FeatureModel returns the FAME-DBMS prototype feature model (paper
+// Fig. 2).
+func FeatureModel() *Model { return core.FAMEModel() }
+
+// BerkeleyDBModel returns the refactored Berkeley DB case-study model
+// (paper Sec. 2.2; 24 optional features).
+func BerkeleyDBModel() *Model { return core.BDBModel() }
+
+// ParseModel parses a feature model from the textual DSL.
+func ParseModel(text string) (*Model, error) { return core.ParseModel(text) }
+
+// Options tune instance composition beyond the feature selection.
+type Options struct {
+	// Dir persists the instance in a directory; empty keeps it in
+	// memory.
+	Dir string
+	// CachePages overrides the BufferManager capacity.
+	CachePages int
+	// GroupCommitBatch tunes the GroupCommit protocol.
+	GroupCommitBatch int
+}
+
+// DB is a derived FAME-DBMS instance.
+type DB struct {
+	inst *composer.Instance
+}
+
+// Open derives a product from the feature names and composes it. The
+// selection is completed and validated against the feature model:
+// required companions are pulled in by constraint propagation, and
+// contradictory selections fail.
+func Open(opts Options, features ...string) (*DB, error) {
+	cfg, err := core.FAMEModel().Product(features...)
+	if err != nil {
+		return nil, err
+	}
+	return OpenConfig(cfg, opts)
+}
+
+// OpenConfig composes a prepared configuration (e.g. one produced by
+// Analyze or Optimize, then completed).
+func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
+	copts := composer.Options{
+		CachePages:       opts.CachePages,
+		GroupCommitBatch: opts.GroupCommitBatch,
+	}
+	if opts.Dir != "" {
+		fs, err := osal.NewDirFS(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		copts.FS = fs
+	}
+	inst, err := composer.Compose(cfg, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inst: inst}, nil
+}
+
+// Features returns the product's selected feature names.
+func (db *DB) Features() []string { return db.inst.Configuration.SelectedNames() }
+
+// Has reports whether the product includes a feature.
+func (db *DB) Has(feature string) bool { return db.inst.Configuration.Has(feature) }
+
+// Put stores value under key (feature Put).
+func (db *DB) Put(key, value []byte) error { return db.inst.Store.Put(key, value) }
+
+// Get returns the value under key (feature Get).
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inst.Store.Get(key) }
+
+// Remove deletes key (feature Remove).
+func (db *DB) Remove(key []byte) error { return db.inst.Store.Remove(key) }
+
+// Update replaces the value of an existing key (feature Update).
+func (db *DB) Update(key, value []byte) error { return db.inst.Store.Update(key, value) }
+
+// Scan visits entries with from <= key < to (feature Get). Ordered for
+// B+-tree products.
+func (db *DB) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	return db.inst.Store.Scan(from, to, fn)
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() (uint64, error) { return db.inst.Store.Len() }
+
+// Tx is a transaction (feature Transaction).
+type Tx struct {
+	t *txn.Txn
+}
+
+// Begin starts a transaction; it fails when the Transaction feature is
+// not composed.
+func (db *DB) Begin() (*Tx, error) {
+	if db.inst.Txn == nil {
+		return nil, fmt.Errorf("Transaction: %w", ErrNotComposed)
+	}
+	return &Tx{t: db.inst.Txn.Begin()}, nil
+}
+
+// Put buffers a write.
+func (tx *Tx) Put(key, value []byte) error { return tx.t.Put(key, value) }
+
+// Get reads through the transaction (own writes win).
+func (tx *Tx) Get(key []byte) ([]byte, error) { return tx.t.Get(key) }
+
+// Remove buffers a deletion of an existing key.
+func (tx *Tx) Remove(key []byte) error { return tx.t.Remove(key) }
+
+// Update buffers a replacement of an existing key.
+func (tx *Tx) Update(key, value []byte) error { return tx.t.Update(key, value) }
+
+// Commit makes the transaction durable per the product's commit
+// protocol.
+func (tx *Tx) Commit() error { return tx.t.Commit() }
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() { tx.t.Abort() }
+
+// Checkpoint flushes the store and truncates the journal (features
+// Transaction + Recovery).
+func (db *DB) Checkpoint() error {
+	if db.inst.Txn == nil {
+		return fmt.Errorf("Transaction: %w", ErrNotComposed)
+	}
+	return db.inst.Txn.Checkpoint()
+}
+
+// Result is the outcome of a SQL statement.
+type Result struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+	// Plan is "index-scan" or "full-scan" for SELECTs.
+	Plan string
+}
+
+// Exec parses and executes one SQL statement (feature SQLEngine).
+func (db *DB) Exec(query string) (*Result, error) {
+	if db.inst.SQL == nil {
+		return nil, fmt.Errorf("SQLEngine: %w", ErrNotComposed)
+	}
+	r, err := db.inst.SQL.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected, Plan: r.Plan}, nil
+}
+
+// ROM returns the product's code footprint in bytes (the paper's
+// binary-size NFP).
+func (db *DB) ROM() (int, error) { return db.inst.ROM() }
+
+// RAM returns the product's static memory footprint in bytes.
+func (db *DB) RAM() int { return db.inst.RAM() }
+
+// Sync makes all state durable.
+func (db *DB) Sync() error { return db.inst.Sync() }
+
+// Close flushes and closes the instance.
+func (db *DB) Close() error { return db.inst.Close() }
+
+// --- Automated product derivation (paper Sec. 3) ---
+
+// Analysis is the outcome of static application analysis (Fig. 3).
+type Analysis struct {
+	// Config is the partially derived configuration: detected features
+	// selected, constraints propagated.
+	Config *Configuration
+	// Detected lists the features derived directly from the sources.
+	Detected []string
+	// Open lists the features the engineer must still decide.
+	Open []string
+}
+
+// Analyze inspects the Go sources of a client application directory
+// and derives its required FAME-DBMS features (paper Sec. 3.1).
+func Analyze(dir string) (*Analysis, error) {
+	m, err := analysis.AnalyzeDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg, detected, open, err := analysis.Derive(core.FAMEModel(), m, analysis.FAMEQueries())
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Config: cfg, Detected: detected, Open: open}, nil
+}
+
+// Optimize derives the ROM-minimal valid product containing the
+// required features, subject to an optional ROM budget in bytes
+// (0 = unbounded). It uses the exact branch-and-bound deriver (paper
+// Sec. 3.2 discusses the greedy variant; see OptimizeGreedy).
+func Optimize(required []string, maxROM int) (*Configuration, int, error) {
+	return runSolver(solver.BranchAndBound, required, maxROM)
+}
+
+// OptimizeGreedy is the paper's greedy deriver: fast, not always
+// optimal.
+func OptimizeGreedy(required []string, maxROM int) (*Configuration, int, error) {
+	return runSolver(solver.Greedy, required, maxROM)
+}
+
+func runSolver(run func(solver.Request) (*solver.Result, error), required []string, maxROM int) (*Configuration, int, error) {
+	tab, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := run(solver.Request{
+		Model:    core.FAMEModel(),
+		Table:    tab,
+		Required: required,
+		MaxROM:   maxROM,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Config, res.ROM, nil
+}
+
+// ErrInfeasible is returned by Optimize when no product fits the
+// budget.
+var ErrInfeasible = solver.ErrInfeasible

@@ -1,0 +1,3 @@
+module famedb
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package access is the Access feature of FAME-DBMS (Fig. 2): the
+// low-level record API with the four operations put, get, remove and
+// update, each an individually selectable feature. A derived product
+// contains only the operations its configuration selected; calling an
+// absent operation returns ErrNotComposed — the Go analog of code that
+// was never composed into the FeatureC++ binary.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"famedb/internal/index"
+)
+
+// ErrNotComposed is returned by operations whose feature is not part of
+// the derived product.
+var ErrNotComposed = errors.New("access: operation not composed into this product")
+
+// ErrNotFound is returned by Get for missing keys and by Update/Remove
+// when the key does not exist.
+var ErrNotFound = errors.New("access: key not found")
+
+// Ops selects the access operations composed into the product.
+type Ops struct {
+	Put, Get, Remove, Update bool
+}
+
+// AllOps selects every access operation.
+func AllOps() Ops { return Ops{Put: true, Get: true, Remove: true, Update: true} }
+
+// Counters tallies executed operations; the Statistics feature of the
+// case study reads them. All fields are updated atomically.
+type Counters struct {
+	Puts, Gets, Removes, Updates, Scans int64
+}
+
+// Store is the record store of a derived product: an index plus the
+// composed operation set.
+type Store struct {
+	idx      index.Index
+	ops      Ops
+	counters Counters
+}
+
+// New composes a store from an index and an operation selection.
+func New(idx index.Index, ops Ops) *Store {
+	return &Store{idx: idx, ops: ops}
+}
+
+// Index returns the underlying index (used by the SQL engine and the
+// maintenance features).
+func (s *Store) Index() index.Index { return s.idx }
+
+// Ops returns the composed operation set.
+func (s *Store) Ops() Ops { return s.ops }
+
+// Counters returns a snapshot of the operation counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Puts:    atomic.LoadInt64(&s.counters.Puts),
+		Gets:    atomic.LoadInt64(&s.counters.Gets),
+		Removes: atomic.LoadInt64(&s.counters.Removes),
+		Updates: atomic.LoadInt64(&s.counters.Updates),
+		Scans:   atomic.LoadInt64(&s.counters.Scans),
+	}
+}
+
+// Put stores value under key, replacing any existing value (feature
+// Put).
+func (s *Store) Put(key, value []byte) error {
+	if !s.ops.Put {
+		return fmt.Errorf("Put: %w", ErrNotComposed)
+	}
+	atomic.AddInt64(&s.counters.Puts, 1)
+	return s.idx.Insert(key, value)
+}
+
+// Get returns the value under key (feature Get). Missing keys return
+// ErrNotFound.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	if !s.ops.Get {
+		return nil, fmt.Errorf("Get: %w", ErrNotComposed)
+	}
+	atomic.AddInt64(&s.counters.Gets, 1)
+	v, found, err := s.idx.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("access: %q: %w", key, ErrNotFound)
+	}
+	return v, nil
+}
+
+// Remove deletes key (feature Remove). Missing keys return ErrNotFound.
+func (s *Store) Remove(key []byte) error {
+	if !s.ops.Remove {
+		return fmt.Errorf("Remove: %w", ErrNotComposed)
+	}
+	atomic.AddInt64(&s.counters.Removes, 1)
+	deleted, err := s.idx.Delete(key)
+	if err != nil {
+		return err
+	}
+	if !deleted {
+		return fmt.Errorf("access: %q: %w", key, ErrNotFound)
+	}
+	return nil
+}
+
+// Update replaces the value of an existing key (feature Update).
+// Missing keys return ErrNotFound.
+func (s *Store) Update(key, value []byte) error {
+	if !s.ops.Update {
+		return fmt.Errorf("Update: %w", ErrNotComposed)
+	}
+	atomic.AddInt64(&s.counters.Updates, 1)
+	ok, err := s.idx.Update(key, value)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("access: %q: %w", key, ErrNotFound)
+	}
+	return nil
+}
+
+// Scan visits entries in [from, to) (requires feature Get: scanning is
+// reading).
+func (s *Store) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	if !s.ops.Get {
+		return fmt.Errorf("Scan: %w", ErrNotComposed)
+	}
+	atomic.AddInt64(&s.counters.Scans, 1)
+	return s.idx.Scan(from, to, fn)
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() (uint64, error) { return s.idx.Len() }

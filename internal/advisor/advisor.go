@@ -1,0 +1,147 @@
+// Package advisor implements the paper's future-work idea (Sec. 5):
+// "knowledge about the application domain has to be included in the
+// product derivation process ... the data that is to be stored could be
+// considered to statically select the optimal index."
+//
+// Given a profile of the data and access pattern, Recommend selects
+// between the Index alternatives of the feature model (BPlusTree vs
+// ListIndex). The decisive constant — the record count where the
+// B+-tree's logarithmic lookups overtake the List's linear scans
+// despite the tree's larger footprint — is not guessed but measured:
+// Calibrate races both index structures on this machine.
+package advisor
+
+import (
+	"fmt"
+	"time"
+
+	"famedb/internal/index"
+	"famedb/internal/osal"
+	"famedb/internal/storage"
+	"famedb/internal/workload"
+)
+
+// Profile describes the data a product will store and how it is
+// accessed.
+type Profile struct {
+	// Records is the expected live record count.
+	Records int
+	// OrderedScans reports whether the application needs ordered
+	// iteration (range queries, ORDER BY without sorting in RAM).
+	OrderedScans bool
+	// ReadShare is the fraction of operations that are lookups (the
+	// rest are writes); lookups are where the structures differ most.
+	ReadShare float64
+}
+
+// Recommendation is the advisor's output: the Index feature to select
+// and why.
+type Recommendation struct {
+	// Index is the feature name: "BPlusTree" or "ListIndex".
+	Index string
+	// Reason explains the choice.
+	Reason string
+	// Crossover is the point-lookup record count where the B+-tree
+	// starts winning (from calibration or the built-in default).
+	Crossover int
+}
+
+// DefaultCrossover is used when the caller does not calibrate. It is
+// intentionally conservative: below a few hundred records the List's
+// smaller footprint wins on an embedded target.
+const DefaultCrossover = 256
+
+// Recommend selects the index for a profile using the given crossover
+// (pass 0 for DefaultCrossover).
+func Recommend(p Profile, crossover int) Recommendation {
+	if crossover <= 0 {
+		crossover = DefaultCrossover
+	}
+	switch {
+	case p.OrderedScans:
+		return Recommendation{
+			Index:     "BPlusTree",
+			Reason:    "ordered scans require an ordered index",
+			Crossover: crossover,
+		}
+	case p.Records > crossover:
+		return Recommendation{
+			Index: "BPlusTree",
+			Reason: fmt.Sprintf("%d records exceed the lookup crossover (%d)",
+				p.Records, crossover),
+			Crossover: crossover,
+		}
+	default:
+		return Recommendation{
+			Index: "ListIndex",
+			Reason: fmt.Sprintf("%d records fit under the crossover (%d); the List saves footprint",
+				p.Records, crossover),
+			Crossover: crossover,
+		}
+	}
+}
+
+// Calibrate measures the point-lookup crossover on this machine: the
+// smallest record count (among powers of two up to maxRecords) where
+// the B+-tree's mean lookup beats the List's. It returns maxRecords if
+// the List wins throughout (unlikely beyond tiny sizes).
+func Calibrate(maxRecords int) (int, error) {
+	if maxRecords <= 0 {
+		maxRecords = 4096
+	}
+	for n := 16; n <= maxRecords; n *= 2 {
+		bt, err := lookupCost(true, n)
+		if err != nil {
+			return 0, err
+		}
+		li, err := lookupCost(false, n)
+		if err != nil {
+			return 0, err
+		}
+		if bt < li {
+			return n, nil
+		}
+	}
+	return maxRecords, nil
+}
+
+// lookupCost measures the mean point-lookup latency over a fresh index
+// of n records (best of three passes).
+func lookupCost(btree bool, n int) (time.Duration, error) {
+	f, err := osal.NewMemFS().Create("cal.db")
+	if err != nil {
+		return 0, err
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		return 0, err
+	}
+	var idx index.Index
+	if btree {
+		idx, _, err = index.CreateBTree(pf, index.AllBTreeOps())
+	} else {
+		idx, _, err = index.CreateList(pf)
+	}
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := idx.Insert(workload.Key(i), []byte("v")); err != nil {
+			return 0, err
+		}
+	}
+	const lookups = 400
+	best := time.Duration(1<<62 - 1)
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for i := 0; i < lookups; i++ {
+			if _, _, err := idx.Get(workload.Key(i * 7 % n)); err != nil {
+				return 0, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best / lookups, nil
+}

@@ -1,0 +1,64 @@
+package advisor
+
+import (
+	"testing"
+)
+
+func TestRecommendRules(t *testing.T) {
+	cases := []struct {
+		name      string
+		p         Profile
+		crossover int
+		want      string
+	}{
+		{"ordered scans force the tree", Profile{Records: 10, OrderedScans: true}, 0, "BPlusTree"},
+		{"tiny point-read set", Profile{Records: 50, ReadShare: 0.9}, 0, "ListIndex"},
+		{"large point-read set", Profile{Records: 100000, ReadShare: 0.9}, 0, "BPlusTree"},
+		{"at the default crossover", Profile{Records: DefaultCrossover}, 0, "ListIndex"},
+		{"just above the crossover", Profile{Records: DefaultCrossover + 1}, 0, "BPlusTree"},
+		{"custom crossover honored", Profile{Records: 500}, 1000, "ListIndex"},
+	}
+	for _, c := range cases {
+		got := Recommend(c.p, c.crossover)
+		if got.Index != c.want {
+			t.Errorf("%s: recommended %s, want %s (%s)", c.name, got.Index, c.want, got.Reason)
+		}
+		if got.Reason == "" || got.Crossover <= 0 {
+			t.Errorf("%s: incomplete recommendation %+v", c.name, got)
+		}
+	}
+}
+
+func TestCalibrateFindsACrossover(t *testing.T) {
+	crossover, err := Calibrate(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The B+-tree must overtake the List somewhere in a sane range:
+	// above trivially small sets and at or below the probe ceiling.
+	if crossover < 16 || crossover > 4096 {
+		t.Fatalf("crossover = %d out of range", crossover)
+	}
+	t.Logf("measured lookup crossover: %d records", crossover)
+	// A recommendation built on the calibration is self-consistent.
+	r := Recommend(Profile{Records: crossover * 4}, crossover)
+	if r.Index != "BPlusTree" {
+		t.Fatalf("post-calibration recommendation = %s", r.Index)
+	}
+}
+
+func TestLookupCostOrdering(t *testing.T) {
+	// At 4096 records the tree must be faster; measurement noise at
+	// tiny sizes is tolerated by only asserting the large end.
+	bt, err := lookupCost(true, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := lookupCost(false, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt >= li {
+		t.Fatalf("B+-tree lookup (%v) not faster than List (%v) at 4096 records", bt, li)
+	}
+}

@@ -1,0 +1,282 @@
+package bdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"famedb/internal/osal"
+	"famedb/internal/storage"
+)
+
+func newRawPager(t *testing.T) storage.Pager {
+	t.Helper()
+	f, err := osal.NewMemFS().Create("p.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+// TestHashModelEquivalence drives the hash index against a map model
+// with random operations — the central correctness property of the
+// Hash access method.
+func TestHashModelEquivalence(t *testing.T) {
+	h, _, err := CreateHash(newRawPager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	model := map[string]string{}
+	for op := 0; op < 3000; op++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(400))
+		switch rng.Intn(5) {
+		case 0, 1, 2: // insert (weighted: chains must grow)
+			v := fmt.Sprintf("%0*d", 1+rng.Intn(40), rng.Intn(1000))
+			if err := h.Insert([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			model[k] = v
+		case 3: // delete
+			_, inModel := model[k]
+			ok, err := h.Delete([]byte(k))
+			if err != nil || ok != inModel {
+				t.Fatalf("op %d delete(%s) = %v,%v; model %v", op, k, ok, err, inModel)
+			}
+			delete(model, k)
+		case 4: // get
+			v, found, err := h.Get([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, inModel := model[k]
+			if found != inModel || (found && string(v) != want) {
+				t.Fatalf("op %d get(%s) = %q,%v; model %q,%v", op, k, v, found, want, inModel)
+			}
+		}
+	}
+	if n, _ := h.Len(); int(n) != len(model) {
+		t.Fatalf("Len = %d, model %d", n, len(model))
+	}
+	if err := h.VerifyChains(); err != nil {
+		t.Fatalf("VerifyChains: %v", err)
+	}
+	// Scan sees exactly the model.
+	seen := map[string]string{}
+	h.Scan(nil, nil, func(k, v []byte) bool {
+		seen[string(k)] = string(v)
+		return true
+	})
+	if len(seen) != len(model) {
+		t.Fatalf("scan %d entries, model %d", len(seen), len(model))
+	}
+	for k, v := range model {
+		if seen[k] != v {
+			t.Fatalf("scan[%s] = %q, want %q", k, seen[k], v)
+		}
+	}
+}
+
+// TestHashReopenEquivalence verifies persistence of the hash directory
+// and chains.
+func TestHashReopenEquivalence(t *testing.T) {
+	p := newRawPager(t)
+	h, meta, _ := CreateHash(p)
+	want := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i*3)
+		h.Insert([]byte(k), []byte(v))
+		want[k] = v
+	}
+	h2, err := OpenHash(p, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		got, found, _ := h2.Get([]byte(k))
+		if !found || string(got) != v {
+			t.Fatalf("reopened Get(%s) = %q,%v", k, got, found)
+		}
+	}
+	if _, err := OpenHash(p, 2); err == nil {
+		t.Fatal("OpenHash on a non-meta page should fail")
+	}
+}
+
+// TestQueueModelEquivalence drives the queue against a slice model: the
+// FIFO property under random interleavings of enqueue/dequeue.
+func TestQueueModelEquivalence(t *testing.T) {
+	q, _, err := CreateQueue(newRawPager(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var model [][]byte
+	seq := uint64(0)
+	for op := 0; op < 4000; op++ {
+		if rng.Intn(2) == 0 {
+			rec := make([]byte, 1+rng.Intn(60))
+			rng.Read(rec)
+			got, err := q.Enqueue(rec)
+			if err != nil {
+				t.Fatalf("op %d enqueue: %v", op, err)
+			}
+			seq++
+			if got != seq {
+				t.Fatalf("op %d: seq %d, want %d", op, got, seq)
+			}
+			model = append(model, append([]byte(nil), rec...))
+		} else {
+			rec, ok, err := q.Dequeue()
+			if err != nil {
+				t.Fatalf("op %d dequeue: %v", op, err)
+			}
+			if ok != (len(model) > 0) {
+				t.Fatalf("op %d: dequeue ok=%v, model %d", op, ok, len(model))
+			}
+			if ok {
+				if !bytes.Equal(rec, model[0]) {
+					t.Fatalf("op %d: FIFO violated: %x vs %x", op, rec, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		if q.Len() != uint64(len(model)) {
+			t.Fatalf("op %d: Len %d, model %d", op, q.Len(), len(model))
+		}
+	}
+	if err := q.verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Peek matches the model head.
+	if len(model) > 0 {
+		rec, ok, _ := q.Peek()
+		if !ok || !bytes.Equal(rec, model[0]) {
+			t.Fatal("peek mismatch")
+		}
+	}
+}
+
+// TestQueueReopen verifies the chain and counters survive reopen.
+func TestQueueReopen(t *testing.T) {
+	p := newRawPager(t)
+	q, meta, _ := CreateQueue(p)
+	for i := 0; i < 50; i++ {
+		q.Enqueue([]byte(fmt.Sprintf("m%02d", i)))
+	}
+	for i := 0; i < 20; i++ {
+		q.Dequeue()
+	}
+	q2, err := OpenQueue(p, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 30 {
+		t.Fatalf("reopened Len = %d", q2.Len())
+	}
+	rec, ok, _ := q2.Dequeue()
+	if !ok || string(rec) != "m20" {
+		t.Fatalf("reopened Dequeue = %q, %v", rec, ok)
+	}
+	// Sequence numbers continue.
+	seq, _ := q2.Enqueue([]byte("new"))
+	if seq != 51 {
+		t.Fatalf("seq after reopen = %d", seq)
+	}
+}
+
+// TestCryptoPagerRoundTripQuick: decrypt(encrypt(page)) == page for
+// random pages and page IDs, and ciphertext differs from plaintext.
+func TestCryptoPagerRoundTripQuick(t *testing.T) {
+	f := func(seed int64, passphrase string) bool {
+		if passphrase == "" {
+			passphrase = "p"
+		}
+		rng := rand.New(rand.NewSource(seed))
+		base := newRawPagerQuick()
+		cp, err := NewCryptoPager(base, []byte(passphrase))
+		if err != nil {
+			return false
+		}
+		id, err := cp.Alloc()
+		if err != nil {
+			return false
+		}
+		page := make([]byte, cp.PageSize())
+		rng.Read(page)
+		if err := cp.WritePage(id, page); err != nil {
+			return false
+		}
+		// Raw bytes differ (encrypted)...
+		raw := make([]byte, cp.PageSize())
+		if err := base.ReadPage(id, raw); err != nil {
+			return false
+		}
+		if bytes.Equal(raw, page) {
+			return false
+		}
+		// ...and decrypt back exactly.
+		got := make([]byte, cp.PageSize())
+		if err := cp.ReadPage(id, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newRawPagerQuick() storage.Pager {
+	f, _ := osal.NewMemFS().Create("q.db")
+	pf, _ := storage.CreatePageFile(f, 512)
+	return pf
+}
+
+// TestCryptoPagerKeysDiffer: the same plaintext under different
+// passphrases yields different ciphertext.
+func TestCryptoPagerKeysDiffer(t *testing.T) {
+	page := bytes.Repeat([]byte("secret page content "), 26)[:512]
+	read := func(pass string) []byte {
+		base := newRawPagerQuick()
+		cp, _ := NewCryptoPager(base, []byte(pass))
+		id, _ := cp.Alloc()
+		cp.WritePage(id, page)
+		raw := make([]byte, 512)
+		base.ReadPage(id, raw)
+		return raw
+	}
+	if bytes.Equal(read("alpha"), read("beta")) {
+		t.Fatal("different passphrases produced identical ciphertext")
+	}
+	if _, err := NewCryptoPager(newRawPagerQuick(), nil); err == nil {
+		t.Fatal("empty passphrase should fail")
+	}
+}
+
+// TestCryptoPagerPerPageStreams: identical plaintext on different pages
+// encrypts differently (per-page nonce).
+func TestCryptoPagerPerPageStreams(t *testing.T) {
+	base := newRawPagerQuick()
+	cp, _ := NewCryptoPager(base, []byte("k"))
+	p1, _ := cp.Alloc()
+	p2, _ := cp.Alloc()
+	page := bytes.Repeat([]byte("x"), 512)
+	cp.WritePage(p1, page)
+	cp.WritePage(p2, page)
+	r1, r2 := make([]byte, 512), make([]byte, 512)
+	base.ReadPage(p1, r1)
+	base.ReadPage(p2, r2)
+	if bytes.Equal(r1, r2) {
+		t.Fatal("same key stream reused across pages")
+	}
+}

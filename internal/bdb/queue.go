@@ -1,0 +1,195 @@
+package bdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"famedb/internal/storage"
+)
+
+// Queue is the Queue access method: a persistent FIFO of records.
+// Records are appended at the tail page and consumed from the head page
+// via a per-page read cursor; fully consumed pages are recycled.
+type Queue struct {
+	pager storage.Pager
+	meta  storage.PageID
+	head  storage.PageID
+	tail  storage.PageID
+	count uint64
+	// nextSeq numbers enqueued records for the caller.
+	nextSeq uint64
+}
+
+const (
+	queueMagic    = "FAMEQU01"
+	queuePageType = 0x41
+)
+
+// CreateQueue creates an empty queue; the returned meta page reopens it.
+func CreateQueue(p storage.Pager) (*Queue, storage.PageID, error) {
+	meta, err := p.Alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	first, err := p.Alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, p.PageSize())
+	storage.InitSlotted(buf, queuePageType)
+	if err := p.WritePage(first, buf); err != nil {
+		return nil, 0, err
+	}
+	q := &Queue{pager: p, meta: meta, head: first, tail: first, nextSeq: 1}
+	if err := q.writeMeta(); err != nil {
+		return nil, 0, err
+	}
+	return q, meta, nil
+}
+
+// OpenQueue opens a queue from its meta page.
+func OpenQueue(p storage.Pager, meta storage.PageID) (*Queue, error) {
+	buf := make([]byte, p.PageSize())
+	if err := p.ReadPage(meta, buf); err != nil {
+		return nil, err
+	}
+	if string(buf[:8]) != queueMagic {
+		return nil, fmt.Errorf("bdb: page %d is not a queue meta page", meta)
+	}
+	return &Queue{
+		pager:   p,
+		meta:    meta,
+		head:    storage.PageID(binary.LittleEndian.Uint32(buf[8:12])),
+		tail:    storage.PageID(binary.LittleEndian.Uint32(buf[12:16])),
+		count:   binary.LittleEndian.Uint64(buf[16:24]),
+		nextSeq: binary.LittleEndian.Uint64(buf[24:32]),
+	}, nil
+}
+
+func (q *Queue) writeMeta() error {
+	buf := make([]byte, q.pager.PageSize())
+	copy(buf, queueMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(q.head))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(q.tail))
+	binary.LittleEndian.PutUint64(buf[16:24], q.count)
+	binary.LittleEndian.PutUint64(buf[24:32], q.nextSeq)
+	return q.pager.WritePage(q.meta, buf)
+}
+
+// Enqueue appends a record and returns its sequence number.
+func (q *Queue) Enqueue(rec []byte) (uint64, error) {
+	buf := make([]byte, q.pager.PageSize())
+	if q.count == 0 {
+		// The queue is empty: recycle all consumed pages and restart on
+		// a fresh tail page.
+		for q.head != q.tail {
+			if err := q.pager.ReadPage(q.head, buf); err != nil {
+				return 0, err
+			}
+			next := storage.AsSlotted(buf).Next()
+			if err := q.pager.Free(q.head); err != nil {
+				return 0, err
+			}
+			q.head = next
+		}
+		storage.InitSlotted(buf, queuePageType)
+		if err := q.pager.WritePage(q.tail, buf); err != nil {
+			return 0, err
+		}
+	}
+	if err := q.pager.ReadPage(q.tail, buf); err != nil {
+		return 0, err
+	}
+	sp := storage.AsSlotted(buf)
+	if _, err := sp.Insert(rec); err != nil {
+		// Tail full: extend the chain.
+		newID, aerr := q.pager.Alloc()
+		if aerr != nil {
+			return 0, aerr
+		}
+		sp.SetNext(newID)
+		if err := q.pager.WritePage(q.tail, buf); err != nil {
+			return 0, err
+		}
+		np := storage.InitSlotted(buf, queuePageType)
+		if _, err := np.Insert(rec); err != nil {
+			return 0, err
+		}
+		q.tail = newID
+		sp = np
+	}
+	if err := q.pager.WritePage(q.tail, buf); err != nil {
+		return 0, err
+	}
+	seq := q.nextSeq
+	q.nextSeq++
+	q.count++
+	return seq, q.writeMeta()
+}
+
+// Dequeue removes and returns the oldest record; ok is false when the
+// queue is empty.
+func (q *Queue) Dequeue() (rec []byte, ok bool, err error) {
+	if q.count == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, q.pager.PageSize())
+	for {
+		if err := q.pager.ReadPage(q.head, buf); err != nil {
+			return nil, false, err
+		}
+		sp := storage.AsSlotted(buf)
+		cursor := int(sp.Extra())
+		if cursor < sp.NumSlots() {
+			r, rerr := sp.Read(cursor)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			out := append([]byte(nil), r...)
+			sp.SetExtra(uint32(cursor + 1))
+			if err := q.pager.WritePage(q.head, buf); err != nil {
+				return nil, false, err
+			}
+			q.count--
+			return out, true, q.writeMeta()
+		}
+		// Head page fully consumed. Records remain (count > 0), so the
+		// chain must continue; a broken chain is corruption.
+		if q.head == q.tail {
+			return nil, false, fmt.Errorf("bdb: queue count %d but no records in chain", q.count)
+		}
+		next := sp.Next()
+		if err := q.pager.Free(q.head); err != nil {
+			return nil, false, err
+		}
+		q.head = next
+	}
+}
+
+// Peek returns the oldest record without removing it.
+func (q *Queue) Peek() (rec []byte, ok bool, err error) {
+	if q.count == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, q.pager.PageSize())
+	id := q.head
+	for id != storage.InvalidPage {
+		if err := q.pager.ReadPage(id, buf); err != nil {
+			return nil, false, err
+		}
+		sp := storage.AsSlotted(buf)
+		cursor := int(sp.Extra())
+		if cursor < sp.NumSlots() {
+			r, rerr := sp.Read(cursor)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			return append([]byte(nil), r...), true, nil
+		}
+		id = sp.Next()
+	}
+	return nil, false, nil
+}
+
+// Len returns the number of queued records.
+func (q *Queue) Len() uint64 { return q.count }

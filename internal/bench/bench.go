@@ -1,0 +1,105 @@
+// Package bench is the experiment harness of the reproduction: one
+// runner per paper artifact (Fig. 1a, Fig. 1b, the Sec. 2.2 claims,
+// Fig. 2's products, Sec. 3.1's detection experiment, Sec. 3.2's
+// solver comparison). cmd/fame-bench prints the tables; bench_test.go
+// wraps the same runners in testing.B benchmarks; EXPERIMENTS.md
+// records the measured outcomes.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"famedb/internal/bdb"
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/osal"
+	"famedb/internal/workload"
+)
+
+// RunBDB measures a Berkeley DB case-study configuration: an engine is
+// opened in the given mode with the given features, preloaded, and the
+// Fig. 1 benchmark mix is executed n times. It returns achieved
+// operations per second.
+func RunBDB(mode core.BDBMode, features []string, method bdb.Method, n int, seed int64) (float64, error) {
+	env, err := bdb.Open(bdb.Config{
+		FS:         osal.NewMemFS(),
+		Mode:       mode,
+		Features:   features,
+		PageSize:   4096,
+		Passphrase: []byte("bench"),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer env.Close()
+	db, err := env.CreateDB("bench", method)
+	if err != nil {
+		return 0, err
+	}
+	gen := workload.New(workload.Fig1Config(seed))
+	for _, op := range gen.Preload() {
+		if err := db.Put(op.Key, op.Value); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			if _, _, err := db.Get(op.Key); err != nil {
+				return 0, err
+			}
+		case workload.OpPut:
+			if err := db.Put(op.Key, op.Value); err != nil {
+				return 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// RunFAME measures a FAME-DBMS product: compose, preload, run a
+// put/get mix, return operations per second.
+func RunFAME(features []string, n int, seed int64) (float64, error) {
+	inst, err := composer.ComposeProduct(composer.Options{}, features...)
+	if err != nil {
+		return 0, err
+	}
+	defer inst.Close()
+	cfg := workload.Config{
+		Seed:      seed,
+		Keys:      2000,
+		ValueSize: 32,
+		Mix:       map[workload.OpKind]int{workload.OpGet: 9, workload.OpPut: 1},
+	}
+	gen := workload.New(cfg)
+	for _, op := range gen.Preload() {
+		if err := inst.Store.Put(op.Key, op.Value); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			if _, err := inst.Store.Get(op.Key); err != nil {
+				return 0, err
+			}
+		case workload.OpPut:
+			if err := inst.Store.Put(op.Key, op.Value); err != nil {
+				return 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// mops formats operations/second as the paper's "Mio. queries / s".
+func mops(opsPerSec float64) string {
+	return fmt.Sprintf("%.3f", opsPerSec/1e6)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"famedb/internal/bdb"
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/osal"
+	"famedb/internal/workload"
+)
+
+// Step executes one pre-generated workload operation.
+type Step func() error
+
+// SetupBDB opens a preloaded case-study engine and returns a step
+// function executing the Fig. 1 mix, for use inside testing.B loops
+// (setup cost excluded by the caller via b.ResetTimer).
+func SetupBDB(mode core.BDBMode, features []string, method bdb.Method, seed int64) (Step, func() error, error) {
+	env, err := bdb.Open(bdb.Config{
+		FS:         osal.NewMemFS(),
+		Mode:       mode,
+		Features:   features,
+		PageSize:   4096,
+		Passphrase: []byte("bench"),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := env.CreateDB("bench", method)
+	if err != nil {
+		env.Close()
+		return nil, nil, err
+	}
+	gen := workload.New(workload.Fig1Config(seed))
+	for _, op := range gen.Preload() {
+		if err := db.Put(op.Key, op.Value); err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+	}
+	step := func() error {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			_, _, err := db.Get(op.Key)
+			return err
+		case workload.OpPut:
+			return db.Put(op.Key, op.Value)
+		}
+		return nil
+	}
+	return step, env.Close, nil
+}
+
+// SetupFAME composes a preloaded FAME-DBMS product and returns a step
+// function executing the given workload config.
+func SetupFAME(features []string, cfg workload.Config, opts composer.Options) (Step, func() error, error) {
+	inst, err := composer.ComposeProduct(opts, features...)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := workload.New(cfg)
+	for _, op := range gen.Preload() {
+		if err := inst.Store.Put(op.Key, op.Value); err != nil {
+			inst.Close()
+			return nil, nil, err
+		}
+	}
+	step := func() error {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			_, err := inst.Store.Get(op.Key)
+			return err
+		case workload.OpPut:
+			return inst.Store.Put(op.Key, op.Value)
+		case workload.OpUpdate:
+			return inst.Store.Update(op.Key, op.Value)
+		case workload.OpScan:
+			n := 0
+			return inst.Store.Scan(op.Key, nil, func(k, v []byte) bool {
+				n++
+				return n < 20
+			})
+		}
+		return nil
+	}
+	return step, inst.Close, nil
+}

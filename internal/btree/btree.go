@@ -1,0 +1,576 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"famedb/internal/storage"
+)
+
+// Tree is a persistent B+-tree. All keys are unique; Insert overwrites
+// (upsert), Update only touches existing keys.
+//
+// Deletion removes entries but never merges pages (the strategy of
+// several production trees): a page whose entries are all deleted stays
+// in the tree and is refilled by later inserts into its key range.
+// Compact rebuilds the tree densely and reclaims such pages — in the
+// product line that is part of the Compact feature.
+//
+// A Tree is not safe for concurrent use; in concurrent configurations
+// the transaction manager (Locking feature) serializes access.
+type Tree struct {
+	pager    storage.Pager
+	metaPage storage.PageID
+	root     storage.PageID
+	count    uint64
+	maxEntry int
+}
+
+const treeMetaMagic = "FAMEBT01"
+
+// maxEntrySize returns the largest key+value byte total permitted for a
+// page size: a quarter page minus bookkeeping, so that a split always
+// produces two valid nodes.
+func maxEntrySize(pageSize int) int {
+	return (pageSize-nodeHeaderSize)/4 - 3*offsetSize
+}
+
+// Create initializes an empty tree on the pager and returns it together
+// with the meta page ID needed to reopen it.
+func Create(p storage.Pager) (*Tree, storage.PageID, error) {
+	metaID, err := p.Alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	rootID, err := p.Alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	rootBuf := make([]byte, p.PageSize())
+	initNode(rootBuf, leafType)
+	if err := p.WritePage(rootID, rootBuf); err != nil {
+		return nil, 0, err
+	}
+	t := &Tree{
+		pager:    p,
+		metaPage: metaID,
+		root:     rootID,
+		maxEntry: maxEntrySize(p.PageSize()),
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, 0, err
+	}
+	return t, metaID, nil
+}
+
+// Open loads a tree from its meta page.
+func Open(p storage.Pager, metaID storage.PageID) (*Tree, error) {
+	buf := make([]byte, p.PageSize())
+	if err := p.ReadPage(metaID, buf); err != nil {
+		return nil, err
+	}
+	if string(buf[:8]) != treeMetaMagic {
+		return nil, fmt.Errorf("btree: page %d is not a tree meta page", metaID)
+	}
+	return &Tree{
+		pager:    p,
+		metaPage: metaID,
+		root:     storage.PageID(binary.LittleEndian.Uint32(buf[8:12])),
+		count:    binary.LittleEndian.Uint64(buf[12:20]),
+		maxEntry: maxEntrySize(p.PageSize()),
+	}, nil
+}
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, t.pager.PageSize())
+	copy(buf, treeMetaMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(t.root))
+	binary.LittleEndian.PutUint64(buf[12:20], t.count)
+	return t.pager.WritePage(t.metaPage, buf)
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() uint64 { return t.count }
+
+// MetaPage returns the meta page ID (persist it to reopen the tree).
+func (t *Tree) MetaPage() storage.PageID { return t.metaPage }
+
+func (t *Tree) readNode(id storage.PageID) (node, error) {
+	buf := make([]byte, t.pager.PageSize())
+	if err := t.pager.ReadPage(id, buf); err != nil {
+		return node{}, err
+	}
+	n := node{buf: buf, id: id}
+	if n.buf[0] != leafType && n.buf[0] != innerType {
+		return node{}, fmt.Errorf("btree: page %d: %w", id, ErrCorrupt)
+	}
+	return n, nil
+}
+
+func (t *Tree) writeNode(n node) error { return t.pager.WritePage(n.id, n.buf) }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	n, err := t.descendToLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	idx, found := n.search(key)
+	if !found {
+		return nil, false, nil
+	}
+	return append([]byte(nil), n.leafValue(idx)...), true, nil
+}
+
+// descendToLeaf walks from the root to the leaf covering key.
+func (t *Tree) descendToLeaf(key []byte) (node, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return node{}, err
+		}
+		if n.isLeaf() {
+			return n, nil
+		}
+		id = n.childFor(key)
+		if id == storage.InvalidPage {
+			return node{}, fmt.Errorf("btree: nil child in page %d: %w", n.id, ErrCorrupt)
+		}
+	}
+}
+
+// entry is the in-memory form of a cell used for splits and rebuilds.
+type entry struct {
+	key, val []byte
+	child    storage.PageID
+}
+
+func (t *Tree) leafEntries(n node) []entry {
+	es := make([]entry, n.numKeys())
+	for i := range es {
+		es[i] = entry{
+			key: append([]byte(nil), n.key(i)...),
+			val: append([]byte(nil), n.leafValue(i)...),
+		}
+	}
+	return es
+}
+
+func (t *Tree) innerEntries(n node) []entry {
+	es := make([]entry, n.numKeys())
+	for i := range es {
+		es[i] = entry{
+			key:   append([]byte(nil), n.key(i)...),
+			child: n.childAt(i),
+		}
+	}
+	return es
+}
+
+// rewriteLeaf replaces n's cells with es, preserving header chaining.
+func rewriteLeaf(n node, es []entry) {
+	next := n.nextLeaf()
+	initNode(n.buf, leafType)
+	n.setNextLeaf(next)
+	for i, e := range es {
+		n.insertLeafCell(i, e.key, e.val)
+	}
+}
+
+// rewriteInner replaces n's cells with es and sets the leftmost child.
+func rewriteInner(n node, left storage.PageID, es []entry) {
+	initNode(n.buf, innerType)
+	n.setLeftChild(left)
+	for i, e := range es {
+		n.insertInnerCell(i, e.key, e.child)
+	}
+}
+
+// splitResult reports a node split to the parent: sep separates the
+// original (left) node from the new right node.
+type splitResult struct {
+	sep   []byte
+	right storage.PageID
+}
+
+// ErrEmptyKey rejects empty keys, which the inner-node separator logic
+// cannot represent.
+var ErrEmptyKey = errors.New("btree: empty key")
+
+// Insert stores value under key, overwriting any existing value.
+func (t *Tree) Insert(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if leafCellSize(key, value) > t.maxEntry {
+		return fmt.Errorf("%w: %d > %d bytes", ErrKeyTooLarge, leafCellSize(key, value), t.maxEntry)
+	}
+	split, added, err := t.insertAt(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Grow a new root.
+		newRootID, err := t.pager.Alloc()
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, t.pager.PageSize())
+		nr := node{buf: buf, id: newRootID}
+		rewriteInner(nr, t.root, []entry{{key: split.sep, child: split.right}})
+		if err := t.writeNode(nr); err != nil {
+			return err
+		}
+		t.root = newRootID
+	}
+	if added {
+		t.count++
+	}
+	return t.writeMeta()
+}
+
+func (t *Tree) insertAt(id storage.PageID, key, value []byte) (*splitResult, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.isLeaf() {
+		return t.insertLeaf(n, key, value)
+	}
+	childID := n.childFor(key)
+	split, added, err := t.insertAt(childID, key, value)
+	if err != nil || split == nil {
+		return nil, added, err
+	}
+	// Insert the separator for the new right child.
+	idx, found := n.search(split.sep)
+	if found {
+		return nil, false, fmt.Errorf("btree: separator %q already in inner node %d: %w",
+			split.sep, n.id, ErrCorrupt)
+	}
+	if n.makeRoom(innerCellSize(split.sep)) {
+		n.insertInnerCell(idx, split.sep, split.right)
+		return nil, added, t.writeNode(n)
+	}
+	// Inner split: rebuild both halves from the combined entry list.
+	es := t.innerEntries(n)
+	es = append(es[:idx:idx], append([]entry{{key: split.sep, child: split.right}}, es[idx:]...)...)
+	mid := splitPoint(es, innerCellSize2)
+	promoted := es[mid]
+	rightID, err := t.pager.Alloc()
+	if err != nil {
+		return nil, false, err
+	}
+	right := node{buf: make([]byte, t.pager.PageSize()), id: rightID}
+	rewriteInner(right, promoted.child, es[mid+1:])
+	rewriteInner(n, n.leftChild(), es[:mid])
+	if err := t.writeNode(n); err != nil {
+		return nil, false, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, false, err
+	}
+	return &splitResult{sep: promoted.key, right: rightID}, added, nil
+}
+
+func (t *Tree) insertLeaf(n node, key, value []byte) (*splitResult, bool, error) {
+	idx, found := n.search(key)
+	added := !found
+	if found {
+		n.removeCell(idx)
+	}
+	if n.makeRoom(leafCellSize(key, value)) {
+		n.insertLeafCell(idx, key, value)
+		return nil, added, t.writeNode(n)
+	}
+	// Leaf split.
+	es := t.leafEntries(n)
+	es = append(es[:idx:idx], append([]entry{{key: key, val: value}}, es[idx:]...)...)
+	mid := splitPoint(es, leafCellSize2)
+	rightID, err := t.pager.Alloc()
+	if err != nil {
+		return nil, false, err
+	}
+	right := node{buf: make([]byte, t.pager.PageSize()), id: rightID}
+	initNode(right.buf, leafType)
+	right.setNextLeaf(n.nextLeaf())
+	rewriteLeaf(right, es[mid:])
+	rewriteLeaf(n, es[:mid])
+	n.setNextLeaf(rightID)
+	if err := t.writeNode(n); err != nil {
+		return nil, false, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, false, err
+	}
+	sep := append([]byte(nil), es[mid].key...)
+	return &splitResult{sep: sep, right: rightID}, added, nil
+}
+
+func leafCellSize2(e entry) int  { return leafCellSize(e.key, e.val) }
+func innerCellSize2(e entry) int { return innerCellSize(e.key) }
+
+// splitPoint returns the index m (1 <= m < len(es)) so that the byte
+// sizes of es[:m] and es[m:] are as balanced as possible.
+func splitPoint(es []entry, size func(entry) int) int {
+	total := 0
+	for _, e := range es {
+		total += size(e)
+	}
+	acc := 0
+	for i, e := range es {
+		acc += size(e)
+		if acc >= total/2 && i+1 < len(es) {
+			return i + 1
+		}
+	}
+	return len(es) - 1
+}
+
+// Update replaces the value of an existing key; it reports whether the
+// key was present.
+func (t *Tree) Update(key, value []byte) (bool, error) {
+	_, found, err := t.Get(key)
+	if err != nil || !found {
+		return false, err
+	}
+	return true, t.Insert(key, value)
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, nil
+	}
+	n, err := t.descendToLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	idx, found := n.search(key)
+	if !found {
+		return false, nil
+	}
+	n.removeCell(idx)
+	if err := t.writeNode(n); err != nil {
+		return false, err
+	}
+	t.count--
+	return true, t.writeMeta()
+}
+
+// Scan calls fn for each entry with from <= key < to, in key order.
+// A nil from starts at the first key; a nil to runs to the end.
+// Returning false from fn stops the scan. Key and value slices are only
+// valid during the call.
+func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	var n node
+	var err error
+	if from == nil {
+		n, err = t.leftmostLeaf()
+	} else {
+		n, err = t.descendToLeaf(from)
+	}
+	if err != nil {
+		return err
+	}
+	for {
+		for i := 0; i < n.numKeys(); i++ {
+			k := n.key(i)
+			if from != nil && bytes.Compare(k, from) < 0 {
+				continue
+			}
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				return nil
+			}
+			if !fn(k, n.leafValue(i)) {
+				return nil
+			}
+		}
+		next := n.nextLeaf()
+		if next == storage.InvalidPage {
+			return nil
+		}
+		n, err = t.readNode(next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (t *Tree) leftmostLeaf() (node, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return node{}, err
+		}
+		if n.isLeaf() {
+			return n, nil
+		}
+		id = n.leftChild()
+	}
+}
+
+// Compact rebuilds the tree densely into fresh pages and frees every
+// old page. It is the online part of the product line's Compact
+// feature.
+func (t *Tree) Compact() error {
+	type kv struct{ k, v []byte }
+	var all []kv
+	if err := t.Scan(nil, nil, func(k, v []byte) bool {
+		all = append(all, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	}); err != nil {
+		return err
+	}
+	// Collect old pages before rebuilding.
+	old, err := t.allPages()
+	if err != nil {
+		return err
+	}
+	rootID, err := t.pager.Alloc()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, t.pager.PageSize())
+	initNode(buf, leafType)
+	if err := t.pager.WritePage(rootID, buf); err != nil {
+		return err
+	}
+	t.root = rootID
+	t.count = 0
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	for _, e := range all {
+		if err := t.Insert(e.k, e.v); err != nil {
+			return err
+		}
+	}
+	for _, id := range old {
+		if err := t.pager.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allPages returns every page of the tree except the meta page.
+func (t *Tree) allPages() ([]storage.PageID, error) {
+	var out []storage.PageID
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		out = append(out, id)
+		if n.isLeaf() {
+			return nil
+		}
+		if err := walk(n.leftChild()); err != nil {
+			return err
+		}
+		for i := 0; i < n.numKeys(); i++ {
+			if err := walk(n.childAt(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Verify checks the tree's structural invariants: node-local ordering,
+// separator bounds, leaf-chain ordering, and that the entry count
+// matches the meta page. It is the core of the case study's Verify
+// feature.
+func (t *Tree) Verify() error {
+	var leaves []storage.PageID
+	var counted uint64
+	var check func(id storage.PageID, lo, hi []byte) error
+	check = func(id storage.PageID, lo, hi []byte) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if err := n.validate(t.pager.PageSize()); err != nil {
+			return fmt.Errorf("page %d: %w", id, err)
+		}
+		for i := 0; i < n.numKeys(); i++ {
+			k := n.key(i)
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("page %d key %d below subtree bound: %w", id, i, ErrCorrupt)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("page %d key %d above subtree bound: %w", id, i, ErrCorrupt)
+			}
+		}
+		if n.isLeaf() {
+			leaves = append(leaves, id)
+			counted += uint64(n.numKeys())
+			return nil
+		}
+		// Children: leftmost covers [lo, key0); cell i covers
+		// [key_i, key_{i+1}).
+		first := hi
+		if n.numKeys() > 0 {
+			first = n.key(0)
+		}
+		if err := check(n.leftChild(), lo, first); err != nil {
+			return err
+		}
+		for i := 0; i < n.numKeys(); i++ {
+			childHi := hi
+			if i+1 < n.numKeys() {
+				childHi = n.key(i + 1)
+			}
+			if err := check(n.childAt(i), n.key(i), childHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(t.root, nil, nil); err != nil {
+		return err
+	}
+	if counted != t.count {
+		return fmt.Errorf("count mismatch: meta %d, found %d: %w", t.count, counted, ErrCorrupt)
+	}
+	// The leaf chain must visit exactly the tree's leaves in order.
+	n, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	var chain []storage.PageID
+	var prevKey []byte
+	for {
+		chain = append(chain, n.id)
+		for i := 0; i < n.numKeys(); i++ {
+			k := n.key(i)
+			if prevKey != nil && bytes.Compare(prevKey, k) >= 0 {
+				return fmt.Errorf("leaf chain out of order at page %d: %w", n.id, ErrCorrupt)
+			}
+			prevKey = append(prevKey[:0], k...)
+		}
+		next := n.nextLeaf()
+		if next == storage.InvalidPage {
+			break
+		}
+		n, err = t.readNode(next)
+		if err != nil {
+			return err
+		}
+	}
+	if len(chain) != len(leaves) {
+		return fmt.Errorf("leaf chain has %d pages, tree has %d leaves: %w",
+			len(chain), len(leaves), ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,456 @@
+// Package composer performs product derivation for the FAME-DBMS
+// product line: given a valid configuration of core.FAMEModel, it wires
+// exactly the selected feature modules into a runnable engine instance.
+// Unselected functionality is not reachable from the instance — the Go
+// analog of FeatureC++ static composition.
+package composer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"famedb/internal/access"
+	"famedb/internal/buffer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/index"
+	"famedb/internal/osal"
+	"famedb/internal/sql"
+	"famedb/internal/storage"
+	"famedb/internal/txn"
+)
+
+// Options tune composition beyond the feature selection.
+type Options struct {
+	// FS is the backing filesystem; nil composes over a fresh MemFS.
+	FS osal.FS
+	// CachePages overrides the buffer capacity derived from the
+	// platform's RAM budget.
+	CachePages int
+	// GroupCommitBatch tunes the GroupCommit protocol (default 8).
+	GroupCommitBatch int
+}
+
+// Instance is a derived FAME-DBMS product.
+type Instance struct {
+	// Configuration is the validated product this instance was derived
+	// from.
+	Configuration *core.Configuration
+	// Platform is the selected OS-abstraction target.
+	Platform osal.Platform
+	// Store is the record store with the composed Access operations.
+	Store *access.Store
+	// Txn is the transaction manager; nil unless the Transaction
+	// feature is selected.
+	Txn *txn.Manager
+	// SQL is the query engine; nil unless the SQLEngine feature is
+	// selected.
+	SQL *sql.Engine
+
+	fs         osal.FS
+	pf         *storage.PageFile
+	pager      storage.Pager
+	cache      *buffer.Manager
+	cachePages int
+}
+
+// layout records where the persistent structures live, so an instance
+// can be recomposed over an existing filesystem.
+type layout struct {
+	StoreMeta uint32 `json:"store_meta"`
+	SQLMeta   uint32 `json:"sql_meta"`
+	Index     string `json:"index"`
+}
+
+const (
+	dataFile   = "fame.db"
+	layoutFile = "fame.layout"
+	walFile    = "fame.wal"
+	ckptFile   = "fame.ckpt"
+)
+
+// Recovery semantics: with the Recovery feature, the durable state of
+// an instance is "last checkpoint image + committed journal since".
+// Composing restores the data file from the checkpoint shadow copy and
+// the transaction manager replays the journal; checkpoints atomically
+// refresh the shadow copy (write to temp, rename) and truncate the
+// journal. This is no-steal crash consistency without page-image
+// logging — appropriate for embedded-scale data sets, and the write-back
+// cache means the live data file is never trusted across a crash.
+
+// Compose derives an instance from a complete, valid configuration.
+// Composing over a filesystem that already holds an instance reopens
+// it; the stored layout must have been produced by a configuration with
+// the same index structure.
+func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
+	if cfg.Model().Name != "FAME-DBMS" {
+		return nil, fmt.Errorf("composer: configuration is for model %q", cfg.Model().Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("composer: %w", err)
+	}
+	inst := &Instance{Configuration: cfg}
+
+	// OS abstraction: platform target and filesystem.
+	for _, name := range []string{"Linux", "Win32", "NutOS"} {
+		if cfg.Has(name) {
+			inst.Platform, _ = osal.PlatformByName(name)
+		}
+	}
+	inst.fs = opts.FS
+	if inst.fs == nil {
+		inst.fs = osal.NewMemFS()
+	}
+
+	// With Recovery, restore the data file from the last checkpoint
+	// image before opening; the journal replay below reconstructs
+	// everything committed since.
+	if cfg.Has("Recovery") {
+		if err := restoreCheckpoint(inst.fs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Page file on the platform's page size.
+	existing := true
+	f, err := inst.fs.Open(dataFile)
+	if errors.Is(err, osal.ErrNotExist) {
+		existing = false
+		f, err = inst.fs.Create(dataFile)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if existing {
+		inst.pf, err = storage.OpenPageFile(f)
+	} else {
+		inst.pf, err = storage.CreatePageFile(f, inst.Platform.PageSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst.pager = inst.pf
+
+	// Buffer manager feature.
+	if cfg.Has("BufferManager") {
+		capacity := opts.CachePages
+		if capacity <= 0 {
+			// Half the platform RAM budget for the page cache, at
+			// least 2 frames.
+			capacity = inst.Platform.RAMBudget / inst.Platform.PageSize / 2
+			if capacity < 2 {
+				capacity = 2
+			}
+			if capacity > 256 {
+				capacity = 256
+			}
+		}
+		inst.cachePages = capacity
+		var policy buffer.Policy
+		switch {
+		case cfg.Has("LFU"):
+			policy = buffer.NewLFU()
+		default:
+			policy = buffer.NewLRU()
+		}
+		var alloc buffer.Allocator
+		if cfg.Has("StaticAlloc") {
+			alloc, err = buffer.NewStaticAllocator(inst.Platform.PageSize, capacity, inst.Platform.RAMBudget)
+			if err != nil {
+				return nil, fmt.Errorf("composer: static arena exceeds the %s RAM budget: %w",
+					inst.Platform.Name, err)
+			}
+		} else {
+			alloc = buffer.NewDynamicAllocator(inst.Platform.PageSize)
+		}
+		inst.cache, err = buffer.NewManager(inst.pager, capacity, policy, alloc)
+		if err != nil {
+			return nil, err
+		}
+		inst.pager = inst.cache
+	}
+
+	// Index feature (and its fine-grained operations).
+	btOps := index.BTreeOps{
+		Search: cfg.Has("BTreeSearch"),
+		Update: cfg.Has("BTreeUpdate"),
+		Remove: cfg.Has("BTreeRemove"),
+	}
+	indexName := "ListIndex"
+	if cfg.Has("BPlusTree") {
+		indexName = "BPlusTree"
+	}
+
+	var lay layout
+	var idx index.Index
+	if existing {
+		if lay, err = readLayout(inst.fs); err != nil {
+			return nil, err
+		}
+		if lay.Index != indexName {
+			return nil, fmt.Errorf("composer: filesystem holds a %s instance, configuration selects %s",
+				lay.Index, indexName)
+		}
+		if indexName == "BPlusTree" {
+			idx, err = index.OpenBTree(inst.pager, storage.PageID(lay.StoreMeta), btOps)
+		} else {
+			idx, err = index.OpenList(inst.pager, storage.PageID(lay.StoreMeta))
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var meta storage.PageID
+		if indexName == "BPlusTree" {
+			idx, meta, err = index.CreateBTree(inst.pager, btOps)
+		} else {
+			idx, meta, err = index.CreateList(inst.pager)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lay = layout{StoreMeta: uint32(meta), Index: indexName}
+	}
+
+	// Access feature: exactly the selected operations.
+	ops := access.Ops{
+		Put:    cfg.Has("Put"),
+		Get:    cfg.Has("Get"),
+		Remove: cfg.Has("Remove"),
+		Update: cfg.Has("Update"),
+	}
+	inst.Store = access.New(idx, ops)
+
+	// Transaction feature.
+	if cfg.Has("Transaction") {
+		var proto txn.Protocol = txn.Force{}
+		if cfg.Has("GroupCommit") {
+			batch := opts.GroupCommitBatch
+			if batch <= 0 {
+				batch = 8
+			}
+			proto = &txn.Group{BatchSize: batch}
+		}
+		inst.Txn, err = txn.Open(inst.fs, walFile, inst.Store, txn.Options{
+			Protocol: proto,
+			Locking:  true,
+			Recovery: cfg.Has("Recovery"),
+			// Checkpointing = flush the cache, then atomically refresh
+			// the shadow copy the next recovery will restore from.
+			SyncStore: func() error {
+				if err := inst.pager.Sync(); err != nil {
+					return err
+				}
+				if cfg.Has("Recovery") {
+					return writeCheckpoint(inst.fs)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// SQL engine and optimizer features.
+	if cfg.Has("SQLEngine") {
+		factory := sql.ListFactory()
+		if cfg.Has("BPlusTree") {
+			factory = sql.BTreeFactory(btOps)
+		}
+		sqlCfg := sql.Config{
+			Pager:     inst.pager,
+			Factory:   factory,
+			Ops:       ops,
+			Optimizer: cfg.Has("Optimizer"),
+		}
+		if existing {
+			inst.SQL, err = sql.Open(sqlCfg, storage.PageID(lay.SQLMeta))
+		} else {
+			var meta storage.PageID
+			inst.SQL, meta, err = sql.Create(sqlCfg)
+			lay.SQLMeta = uint32(meta)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if !existing {
+		if err := writeLayout(inst.fs, lay); err != nil {
+			return nil, err
+		}
+		if cfg.Has("Recovery") {
+			// Seed the checkpoint image with the freshly created
+			// (empty) structures.
+			if err := inst.pager.Sync(); err != nil {
+				return nil, err
+			}
+			if err := writeCheckpoint(inst.fs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// writeCheckpoint copies the synced data file to a temporary file and
+// atomically renames it over the checkpoint image.
+func writeCheckpoint(fs osal.FS) error {
+	if err := copyFSFile(fs, dataFile, ckptFile+".tmp"); err != nil {
+		return err
+	}
+	return fs.Rename(ckptFile+".tmp", ckptFile)
+}
+
+// restoreCheckpoint replaces the data file with the checkpoint image,
+// if one exists.
+func restoreCheckpoint(fs osal.FS) error {
+	if _, err := fs.Open(ckptFile); errors.Is(err, osal.ErrNotExist) {
+		return nil
+	}
+	// Copy (not rename) so the image survives for the next crash.
+	return copyFSFile(fs, ckptFile, dataFile)
+}
+
+// copyFSFile copies src over dst within one filesystem.
+func copyFSFile(fs osal.FS, src, dst string) error {
+	in, err := fs.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := fs.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := out.Truncate(0); err != nil {
+		return err
+	}
+	size, err := in.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < size {
+		n := len(buf)
+		if rem := size - off; rem < int64(n) {
+			n = int(rem)
+		}
+		if _, err := in.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		if _, err := out.WriteAt(buf[:n], off); err != nil {
+			return err
+		}
+		off += int64(n)
+	}
+	return out.Sync()
+}
+
+// ComposeProduct is the convenience path: derive a product from feature
+// names and compose it.
+func ComposeProduct(opts Options, features ...string) (*Instance, error) {
+	cfg, err := core.FAMEModel().Product(features...)
+	if err != nil {
+		return nil, err
+	}
+	return Compose(cfg, opts)
+}
+
+func readLayout(fs osal.FS) (layout, error) {
+	var lay layout
+	f, err := fs.Open(layoutFile)
+	if err != nil {
+		return lay, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return lay, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return lay, err
+	}
+	return lay, json.Unmarshal(buf, &lay)
+}
+
+func writeLayout(fs osal.FS, lay layout) error {
+	f, err := fs.Create(layoutFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf, err := json.Marshal(lay)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ROM returns the instance's code footprint under the fine-grained
+// model.
+func (i *Instance) ROM() (int, error) {
+	tab, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return 0, err
+	}
+	var names []string
+	for _, f := range i.Configuration.SelectedFeatures() {
+		names = append(names, f.Name)
+	}
+	return tab.ROMFine(names)
+}
+
+// RAM returns the instance's static memory footprint.
+func (i *Instance) RAM() int {
+	logBuf := 0
+	if i.Txn != nil {
+		logBuf = 4096
+	}
+	return footprint.RAM(footprint.RAMParams{
+		PageSize:    i.Platform.PageSize,
+		CachePages:  i.cachePages,
+		StaticArena: i.Configuration.Has("StaticAlloc"),
+		LogBuffer:   logBuf,
+	})
+}
+
+// CacheStats returns buffer-manager statistics, or false when no
+// buffer manager is composed.
+func (i *Instance) CacheStats() (buffer.Stats, bool) {
+	if i.cache == nil {
+		return buffer.Stats{}, false
+	}
+	return i.cache.Stats(), true
+}
+
+// FS returns the instance's filesystem.
+func (i *Instance) FS() osal.FS { return i.fs }
+
+// Sync makes all state durable.
+func (i *Instance) Sync() error {
+	if i.Txn != nil {
+		if err := i.Txn.Flush(); err != nil {
+			return err
+		}
+	}
+	return i.pager.Sync()
+}
+
+// Close flushes and closes the instance.
+func (i *Instance) Close() error {
+	if i.Txn != nil {
+		if err := i.Txn.Close(); err != nil {
+			return err
+		}
+	}
+	return i.pager.Close()
+}

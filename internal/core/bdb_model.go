@@ -1,0 +1,173 @@
+package core
+
+// BDBModel builds the feature model of the refactored Berkeley DB case
+// study (paper Sec. 2.2): an embedded database engine decomposed into
+// exactly 24 optional features. Selecting none of the optional
+// features leaves the storage core — the "stripped-down version that
+// contains only the core functionality" the extractive approach yields.
+//
+// The access methods form an or-group (at least one index structure),
+// matching Berkeley DB's btree/hash/queue/recno access methods; all
+// other optional features hang off aggregating (abstract) features that
+// only structure the diagram.
+func BDBModel() *Model {
+	m := NewModel("BerkeleyDB")
+	root := m.Root()
+
+	am := root.AddAbstract("AccessMethods", Mandatory)
+	am.Description = "index structures; every product has at least one"
+	for _, name := range []string{"Btree", "Hash", "Queue", "Recno"} {
+		am.AddChild(name, OrGroup)
+	}
+
+	cc := root.AddAbstract("Concurrency", Mandatory)
+	cc.Description = "transactional subsystem"
+	cc.AddChild("Locking", Optional)
+	cc.AddChild("Logging", Optional)
+	cc.AddChild("Transactions", Optional)
+	cc.AddChild("Recovery", Optional)
+	cc.AddChild("Checkpoint", Optional)
+
+	sv := root.AddAbstract("Services", Mandatory)
+	sv.Description = "environment-level services"
+	sv.AddChild("Crypto", Optional)
+	sv.AddChild("Replication", Optional)
+	sv.AddChild("Backup", Optional)
+	sv.AddChild("Sequence", Optional)
+	sv.AddChild("Events", Optional)
+	sv.AddChild("CacheTuning", Optional)
+
+	iface := root.AddAbstract("Interface", Mandatory)
+	iface.Description = "client-visible API extensions"
+	iface.AddChild("Cursors", Optional)
+	iface.AddChild("Join", Optional)
+	iface.AddChild("BulkOps", Optional)
+
+	tools := root.AddAbstract("Tools", Mandatory)
+	tools.Description = "maintenance and observability"
+	tools.AddChild("Statistics", Optional)
+	tools.AddChild("Verify", Optional)
+	tools.AddChild("Compact", Optional)
+	tools.AddChild("Truncate", Optional)
+	tools.AddChild("Diagnostic", Optional)
+	tools.AddChild("ErrorMessages", Optional)
+
+	// Domain constraints mirroring Berkeley DB's subsystem coupling.
+	m.AddConstraint(Implies(Ref("Transactions"), And(Ref("Logging"), Ref("Locking"))))
+	m.Require("Recovery", "Logging")
+	m.Require("Checkpoint", "Logging")
+	m.Require("Replication", "Logging")
+	m.Require("Backup", "Logging")
+	m.Require("Queue", "Locking")
+	m.Require("Join", "Cursors")
+	m.Require("BulkOps", "Cursors")
+	m.Require("Diagnostic", "ErrorMessages")
+
+	if err := m.Finalize(); err != nil {
+		panic("core: Berkeley DB model is inconsistent: " + err.Error())
+	}
+	return m
+}
+
+// BDBOptionalFeatures returns the 24 optional feature names of the case
+// study in preorder, the number the paper reports for the refactoring.
+func BDBOptionalFeatures() []string {
+	m := BDBModel()
+	var out []string
+	for _, f := range m.Features() {
+		if f.IsRoot() || f.Abstract || f.Relation == Mandatory {
+			continue
+		}
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// bdbComplete is the full feature selection of Figure 1's
+// configuration 1 ("complete configuration").
+func bdbComplete() []string { return BDBOptionalFeatures() }
+
+// without returns features minus the given names.
+func without(features []string, drop ...string) []string {
+	dropped := map[string]bool{}
+	for _, d := range drop {
+		dropped[d] = true
+	}
+	var out []string
+	for _, f := range features {
+		if !dropped[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// BDBMode distinguishes the two implementation technologies compared in
+// Figure 1.
+type BDBMode int
+
+const (
+	// ModeC is the original preprocessor-configured C code base:
+	// features can only be removed at the granularity of the existing
+	// compile flags; everything else stays linked in as entangled code,
+	// and features compiled in but unused still cost runtime flag
+	// checks.
+	ModeC BDBMode = iota
+	// ModeComposed is the FeatureC++ refactoring: one module per
+	// feature, composed statically, nothing else linked.
+	ModeComposed
+)
+
+// String returns the Figure 1 series label for the mode.
+func (m BDBMode) String() string {
+	if m == ModeC {
+		return "C"
+	}
+	return "FeatureC++"
+}
+
+// BDBConfiguration is one bar group of Figure 1.
+type BDBConfiguration struct {
+	// Num is the configuration number 1..8 used on the figure's x-axis.
+	Num int
+	// Label is the figure legend text.
+	Label string
+	// Features is the selected optional feature set.
+	Features []string
+	// Modes lists the implementation technologies the configuration
+	// exists in on the figure (1–6: both; 7–8: FeatureC++ only).
+	Modes []BDBMode
+	// InPerfFigure reports whether the configuration appears in
+	// Figure 1b (configuration 8 is omitted there: "it uses a different
+	// index structure and cannot be compared").
+	InPerfFigure bool
+}
+
+// BDBConfigurations returns the eight configurations of Figure 1.
+//
+// Configurations 1–6 are expressible with the original C preprocessor
+// flags; 7 and 8 exist only after the FeatureC++ refactoring extracted
+// "additional features that were not already customizable with
+// preprocessor statements".
+func BDBConfigurations() []BDBConfiguration {
+	complete := bdbComplete()
+	both := []BDBMode{ModeC, ModeComposed}
+	composedOnly := []BDBMode{ModeComposed}
+	// The minimal C configuration: every compile-flag-removable feature
+	// dropped, but the features entangled with the core in the C code
+	// base remain (see footprint.CoarseUnits).
+	minimalC := []string{
+		"Btree", "Cursors", "Statistics", "Truncate", "Verify",
+		"Events", "ErrorMessages",
+	}
+	return []BDBConfiguration{
+		{1, "complete configuration", complete, both, true},
+		{2, "without feature Queue", without(complete, "Queue"), both, true},
+		{3, "without feature Crypto", without(complete, "Crypto"), both, true},
+		{4, "without feature Hash", without(complete, "Hash"), both, true},
+		{5, "without feature Replication", without(complete, "Replication"), both, true},
+		{6, "minimal C version using B-tree", minimalC, both, true},
+		{7, "minimal FeatureC++ version using B-tree", []string{"Btree"}, composedOnly, true},
+		{8, "minimal FeatureC++ version using Hash index", []string{"Hash"}, composedOnly, false},
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// ComposeModels implements the paper's future-work plan (Sec. 5): "we
+// will ... extend SPL composition and optimization to cover multiple
+// SPLs (e.g., including the operating system and client applications)
+// to optimize the software of an embedded system as a whole."
+//
+// The part models become mandatory subtrees of a fresh root; their
+// constraints carry over; the link constraints may reference features
+// of any part, tying the product lines together (e.g. the DBMS's NutOS
+// target requiring the OS line's tiny kernel). Feature names must be
+// unique across all parts. The parts themselves are not modified.
+func ComposeModels(name string, parts []*Model, links []string) (*Model, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("core: composing %d models; need at least 2", len(parts))
+	}
+	m := NewModel(name)
+	for _, p := range parts {
+		sub := m.root.AddChild(p.root.Name, Mandatory)
+		sub.Abstract = p.root.Abstract
+		sub.Description = p.root.Description
+		copyChildren(sub, p.root)
+		m.constraints = append(m.constraints, p.constraints...)
+	}
+	for _, l := range links {
+		if err := m.ConstrainText(l); err != nil {
+			return nil, fmt.Errorf("core: link constraint: %w", err)
+		}
+	}
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// copyChildren deep-copies src's subtree under dst.
+func copyChildren(dst, src *Feature) {
+	for _, c := range src.children {
+		nc := dst.AddChild(c.Name, c.Relation)
+		nc.Abstract = c.Abstract
+		nc.Description = c.Description
+		copyChildren(nc, c)
+	}
+}
+
+// EmbeddedOSModel is a small operating-system product line used to
+// demonstrate multi-SPL composition: kernels, storage drivers, timers
+// and networking of a deeply embedded platform.
+func EmbeddedOSModel() *Model {
+	m := NewModel("EmbeddedOS")
+	root := m.Root()
+	k := root.AddAbstract("Kernel", Mandatory)
+	tk := k.AddChild("TinyKernel", Alternative)
+	tk.Description = "cooperative kernel for sensor nodes"
+	rk := k.AddChild("RTKernel", Alternative)
+	rk.Description = "preemptive real-time kernel"
+	ts := k.AddChild("TimeSharedKernel", Alternative)
+	ts.Description = "full time-sharing kernel (desktop-class targets)"
+
+	fs := root.AddChild("FSDriver", Optional)
+	fs.Description = "block filesystem driver"
+	ws := fs.AddChild("FSWriteSync", Optional)
+	ws.Description = "synchronous write barrier support"
+
+	net := root.AddChild("NetStack", Optional)
+	net.Description = "network stack"
+	tm := root.AddChild("Timers", Optional)
+	tm.Description = "programmable timer service"
+
+	// A tiny kernel cannot host the full network stack.
+	m.AddConstraint(Implies(Ref("TinyKernel"), Not(Ref("NetStack"))))
+	if err := m.Finalize(); err != nil {
+		panic("core: embedded OS model is inconsistent: " + err.Error())
+	}
+	return m
+}
+
+// EmbeddedSystemModel composes the FAME-DBMS product line with the
+// embedded OS product line, linked by the constraints that make the
+// whole system consistent: the DBMS platform target dictates the
+// kernel, transactions need a syncing filesystem driver, and group
+// commit needs timers.
+func EmbeddedSystemModel() *Model {
+	m, err := ComposeModels("EmbeddedSystem",
+		[]*Model{unfinalizedFAME(), unfinalizedOS()},
+		[]string{
+			"NutOS => TinyKernel",
+			// Linux targets run time-shared or, for control units, a
+			// real-time kernel (PREEMPT_RT-style).
+			"Linux => TimeSharedKernel | RTKernel",
+			"Win32 => TimeSharedKernel",
+			"Transaction => FSDriver & FSWriteSync",
+			"GroupCommit => Timers",
+		})
+	if err != nil {
+		panic("core: embedded system model is inconsistent: " + err.Error())
+	}
+	return m
+}
+
+// unfinalizedFAME/unfinalizedOS rebuild the part models; ComposeModels
+// only copies trees, so finalization state of the source is irrelevant,
+// but constructing fresh instances keeps the parts reusable.
+func unfinalizedFAME() *Model { return FAMEModel() }
+func unfinalizedOS() *Model   { return EmbeddedOSModel() }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestComposeModelsBasics(t *testing.T) {
+	a := NewModel("A")
+	a.Root().AddChild("X", Optional)
+	a.Root().AddChild("Y", Optional)
+	a.Require("X", "Y")
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewModel("B")
+	b.Root().AddChild("P", Optional)
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ComposeModels("AB", []*Model{a, b}, []string{"X => P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Part roots are mandatory subtrees.
+	if m.Feature("A") == nil || m.Feature("B") == nil {
+		t.Fatal("part roots missing")
+	}
+	// Part constraints carried over, link constraints apply.
+	c := m.NewConfiguration()
+	if err := c.Select("X"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Y") {
+		t.Fatal("part-internal constraint lost")
+	}
+	if !c.Has("P") {
+		t.Fatal("cross-model link not applied")
+	}
+	// Variant count: A alone has 3 products (00,01,11), B has 2; the
+	// link X=>P removes (X,¬P): 3*2-1 = 5.
+	if got := m.CountVariants(); got.Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("variants = %v, want 5", got)
+	}
+	// Source models unchanged and still usable.
+	if a.CountVariants().Cmp(big.NewInt(3)) != 0 {
+		t.Fatal("source model damaged by composition")
+	}
+}
+
+func TestComposeModelsNameCollision(t *testing.T) {
+	a := NewModel("A")
+	a.Root().AddChild("Shared", Optional)
+	a.Finalize()
+	b := NewModel("B")
+	b.Root().AddChild("Shared", Optional)
+	b.Finalize()
+	if _, err := ComposeModels("AB", []*Model{a, b}, nil); err == nil {
+		t.Fatal("duplicate feature names across parts should fail")
+	}
+}
+
+func TestComposeModelsNeedsTwoParts(t *testing.T) {
+	a := NewModel("A")
+	a.Root().AddChild("X", Optional)
+	a.Finalize()
+	if _, err := ComposeModels("solo", []*Model{a}, nil); err == nil {
+		t.Fatal("single-part composition should fail")
+	}
+}
+
+func TestComposeModelsBadLink(t *testing.T) {
+	a := NewModel("A")
+	a.Root().AddChild("X", Optional)
+	a.Finalize()
+	b := NewModel("B")
+	b.Root().AddChild("P", Optional)
+	b.Finalize()
+	if _, err := ComposeModels("AB", []*Model{a, b}, []string{"X => Missing"}); err == nil {
+		t.Fatal("link to unknown feature should fail")
+	}
+	if _, err := ComposeModels("AB", []*Model{a, b}, []string{"X =>"}); err == nil {
+		t.Fatal("malformed link should fail")
+	}
+}
+
+func TestEmbeddedOSModel(t *testing.T) {
+	m := EmbeddedOSModel()
+	if dead := m.DeadFeatures(); len(dead) != 0 {
+		t.Fatalf("dead features: %v", dead)
+	}
+	c := m.NewConfiguration()
+	if err := c.Select("TinyKernel"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("NetStack") != Deselected {
+		t.Fatal("TinyKernel should exclude NetStack")
+	}
+}
+
+func TestEmbeddedSystemModel(t *testing.T) {
+	m := EmbeddedSystemModel()
+	if dead := m.DeadFeatures(); len(dead) != 0 {
+		t.Fatalf("dead features: %v", dead)
+	}
+	n := m.CountVariants()
+	if n.Sign() <= 0 {
+		t.Fatal("no variants")
+	}
+	t.Logf("embedded system (DBMS ⊗ OS): %d features, %v variants", len(m.Features()), n)
+
+	// Whole-system propagation: a NutOS sensor node fixes the kernel.
+	c := m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("TinyKernel") {
+		t.Fatal("NutOS did not force TinyKernel")
+	}
+	if c.State("NetStack") != Deselected {
+		t.Fatal("TinyKernel's exclusion did not propagate")
+	}
+
+	// A transactional DBMS needs the OS's syncing filesystem.
+	c = m.NewConfiguration()
+	if err := c.Select("Transaction"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("FSDriver") || !c.Has("FSWriteSync") {
+		t.Fatalf("Transaction did not pull OS support: %s", c)
+	}
+
+	// GroupCommit needs timers.
+	c = m.NewConfiguration()
+	if err := c.Select("GroupCommit"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Timers") {
+		t.Fatal("GroupCommit did not pull Timers")
+	}
+
+	// Every representative FAME product extends to a valid full-system
+	// product.
+	for _, p := range FAMEProducts() {
+		cfg := m.NewConfiguration()
+		if err := cfg.SelectAll(p.Features...); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := cfg.Complete(PreferDeselect); err != nil {
+			t.Fatalf("%s: complete: %v", p.Name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", p.Name, err)
+		}
+	}
+}
+
+func TestComposedVariantsBoundedByProduct(t *testing.T) {
+	fame := FAMEModel()
+	osm := EmbeddedOSModel()
+	sys := EmbeddedSystemModel()
+	product := new(big.Int).Mul(fame.CountVariants(), osm.CountVariants())
+	if sys.CountVariants().Cmp(product) > 0 {
+		t.Fatalf("composed variants %v exceed the unconstrained product %v",
+			sys.CountVariants(), product)
+	}
+	if sys.CountVariants().Cmp(fame.CountVariants()) <= 0 {
+		t.Fatal("composition should multiply the space, not shrink it below one part")
+	}
+}

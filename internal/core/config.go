@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"famedb/internal/sat"
+)
+
+// State is the tri-state decision on a feature during configuration.
+type State int
+
+const (
+	// Undecided means no decision has been made for the feature yet.
+	Undecided State = iota
+	// Selected means the feature is part of the product.
+	Selected
+	// Deselected means the feature is excluded from the product.
+	Deselected
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Undecided:
+		return "undecided"
+	case Selected:
+		return "selected"
+	case Deselected:
+		return "deselected"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// DecisionCause explains why the configurator decided a feature.
+type DecisionCause int
+
+const (
+	// ByUser marks an explicit user decision.
+	ByUser DecisionCause = iota
+	// ByPropagation marks a decision forced by the model given the
+	// decisions made so far.
+	ByPropagation
+	// ByCompletion marks a decision made by auto-completion.
+	ByCompletion
+)
+
+// String returns a human-readable cause name.
+func (c DecisionCause) String() string {
+	switch c {
+	case ByUser:
+		return "user"
+	case ByPropagation:
+		return "propagation"
+	case ByCompletion:
+		return "completion"
+	default:
+		return fmt.Sprintf("DecisionCause(%d)", int(c))
+	}
+}
+
+// Decision records one configuration step, for explanation output
+// ("feature X was selected because Y requires it").
+type Decision struct {
+	Feature *Feature
+	State   State
+	Cause   DecisionCause
+}
+
+// ErrConflict is returned when a requested decision contradicts the
+// model together with the decisions already made.
+var ErrConflict = errors.New("core: decision conflicts with feature model")
+
+// ErrIncomplete is returned by Validate when undecided features remain.
+var ErrIncomplete = errors.New("core: configuration is incomplete")
+
+// Configuration is a (possibly partial) assignment of decisions to the
+// features of a model. The zero value is not usable; obtain one from
+// Model.NewConfiguration. A Configuration is not safe for concurrent
+// use.
+type Configuration struct {
+	model  *Model
+	states []State // indexed by feature index
+	log    []Decision
+}
+
+// NewConfiguration returns an empty configuration of the model with the
+// root pre-selected (the root is part of every product).
+func (m *Model) NewConfiguration() *Configuration {
+	m.mustBeFinal()
+	c := &Configuration{model: m, states: make([]State, len(m.order))}
+	c.states[m.root.index] = Selected
+	return c
+}
+
+// Model returns the configured model.
+func (c *Configuration) Model() *Model { return c.model }
+
+// State returns the decision state of the named feature. Unknown names
+// report Undecided.
+func (c *Configuration) State(name string) State {
+	f := c.model.byName[name]
+	if f == nil {
+		return Undecided
+	}
+	return c.states[f.index]
+}
+
+// Log returns the decision log in order.
+func (c *Configuration) Log() []Decision { return c.log }
+
+// Clone returns an independent copy of the configuration.
+func (c *Configuration) Clone() *Configuration {
+	cc := &Configuration{model: c.model, states: make([]State, len(c.states))}
+	copy(cc.states, c.states)
+	cc.log = append(cc.log, c.log...)
+	return cc
+}
+
+// assumptions returns the SAT literals of all current decisions.
+func (c *Configuration) assumptions() []sat.Lit {
+	var lits []sat.Lit
+	for i, st := range c.states {
+		switch st {
+		case Selected:
+			lits = append(lits, sat.Pos(c.model.order[i].Var()))
+		case Deselected:
+			lits = append(lits, sat.Neg(c.model.order[i].Var()))
+		}
+	}
+	return lits
+}
+
+// Select marks the named feature as selected, then propagates forced
+// decisions. It returns ErrConflict (wrapped with detail) if the
+// decision contradicts the model and leaves the configuration unchanged
+// in that case.
+func (c *Configuration) Select(name string) error {
+	return c.decide(name, Selected)
+}
+
+// Deselect marks the named feature as deselected, then propagates
+// forced decisions. It returns ErrConflict if the decision contradicts
+// the model and leaves the configuration unchanged in that case.
+func (c *Configuration) Deselect(name string) error {
+	return c.decide(name, Deselected)
+}
+
+func (c *Configuration) decide(name string, st State) error {
+	f := c.model.byName[name]
+	if f == nil {
+		return fmt.Errorf("core: unknown feature %q", name)
+	}
+	if cur := c.states[f.index]; cur == st {
+		return nil // idempotent
+	} else if cur != Undecided {
+		return fmt.Errorf("core: feature %q already %v: %w", name, cur, ErrConflict)
+	}
+	lit := sat.Pos(f.Var())
+	if st == Deselected {
+		lit = sat.Neg(f.Var())
+	}
+	if !c.model.solver.Solve(append(c.assumptions(), lit)...) {
+		return fmt.Errorf("core: cannot set %q to %v: %w", name, st, ErrConflict)
+	}
+	c.states[f.index] = st
+	c.log = append(c.log, Decision{Feature: f, State: st, Cause: ByUser})
+	c.Propagate()
+	return nil
+}
+
+// SelectAll selects each named feature in order, stopping at the first
+// error.
+func (c *Configuration) SelectAll(names ...string) error {
+	for _, n := range names {
+		if err := c.Select(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Propagate computes all decisions forced by the model given the
+// current partial configuration and applies them, returning the newly
+// forced decisions. The paper calls this "analyzing constraints between
+// features ... so large parts of a feature diagram can be configured
+// automatically" (Sec. 3.1).
+func (c *Configuration) Propagate() []Decision {
+	var forced []Decision
+	base := c.assumptions()
+	for i, st := range c.states {
+		if st != Undecided {
+			continue
+		}
+		f := c.model.order[i]
+		if c.model.solver.Implied(sat.Pos(f.Var()), base...) {
+			c.states[i] = Selected
+			d := Decision{Feature: f, State: Selected, Cause: ByPropagation}
+			c.log = append(c.log, d)
+			forced = append(forced, d)
+			base = append(base, sat.Pos(f.Var()))
+		} else if c.model.solver.Implied(sat.Neg(f.Var()), base...) {
+			c.states[i] = Deselected
+			d := Decision{Feature: f, State: Deselected, Cause: ByPropagation}
+			c.log = append(c.log, d)
+			forced = append(forced, d)
+			base = append(base, sat.Neg(f.Var()))
+		}
+	}
+	return forced
+}
+
+// IsComplete reports whether every feature has been decided.
+func (c *Configuration) IsComplete() bool {
+	for _, st := range c.states {
+		if st == Undecided {
+			return false
+		}
+	}
+	return true
+}
+
+// Undecided returns the names of all undecided features in preorder.
+func (c *Configuration) Undecided() []string {
+	var out []string
+	for i, st := range c.states {
+		if st == Undecided {
+			out = append(out, c.model.order[i].Name)
+		}
+	}
+	return out
+}
+
+// CompletionBias controls how Complete decides features that the model
+// leaves open.
+type CompletionBias int
+
+const (
+	// PreferDeselect completes toward the smallest product: undecided
+	// optional functionality is excluded when the model allows it. This
+	// is the right default for embedded targets.
+	PreferDeselect CompletionBias = iota
+	// PreferSelect completes toward the richest product.
+	PreferSelect
+)
+
+// Complete decides every remaining undecided feature, preferring the
+// given bias where the model allows a choice. The result is always a
+// valid product. Completion never overrides existing decisions.
+func (c *Configuration) Complete(bias CompletionBias) error {
+	base := c.assumptions()
+	if !c.model.solver.Solve(base...) {
+		return fmt.Errorf("core: configuration is contradictory: %w", ErrConflict)
+	}
+	for i, st := range c.states {
+		if st != Undecided {
+			continue
+		}
+		f := c.model.order[i]
+		preferred, fallback := sat.Neg(f.Var()), sat.Pos(f.Var())
+		prefState, fbState := Deselected, Selected
+		if bias == PreferSelect {
+			preferred, fallback = fallback, preferred
+			prefState, fbState = fbState, prefState
+		}
+		if c.model.solver.Solve(append(base, preferred)...) {
+			c.states[i] = prefState
+			base = append(base, preferred)
+		} else {
+			c.states[i] = fbState
+			base = append(base, fallback)
+		}
+		c.log = append(c.log, Decision{Feature: f, State: c.states[i], Cause: ByCompletion})
+	}
+	return nil
+}
+
+// Validate checks the configuration: a complete configuration must be a
+// valid product; an incomplete configuration yields ErrIncomplete
+// (wrapped with the undecided features) if it is merely partial, or a
+// conflict error if it cannot be extended to any valid product.
+func (c *Configuration) Validate() error {
+	if !c.model.solver.Solve(c.assumptions()...) {
+		return fmt.Errorf("core: configuration violates model %q: %w", c.model.Name, ErrConflict)
+	}
+	if !c.IsComplete() {
+		return fmt.Errorf("core: undecided features %v: %w", c.Undecided(), ErrIncomplete)
+	}
+	return nil
+}
+
+// SelectedFeatures returns the selected features in preorder.
+func (c *Configuration) SelectedFeatures() []*Feature {
+	var out []*Feature
+	for i, st := range c.states {
+		if st == Selected {
+			out = append(out, c.model.order[i])
+		}
+	}
+	return out
+}
+
+// SelectedNames returns the names of selected features in preorder.
+func (c *Configuration) SelectedNames() []string {
+	sel := c.SelectedFeatures()
+	names := make([]string, len(sel))
+	for i, f := range sel {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Has reports whether the named feature is selected.
+func (c *Configuration) Has(name string) bool {
+	return c.State(name) == Selected
+}
+
+// CountRemaining returns the number of valid products compatible with
+// the current partial configuration — the size of the remaining
+// configuration space the user still has to navigate.
+func (c *Configuration) CountRemaining() *big.Int {
+	return c.model.solver.CountModels(c.assumptions()...)
+}
+
+// String renders the configuration as "model: feature, feature, ..."
+// listing selected concrete features.
+func (c *Configuration) String() string {
+	var names []string
+	for _, f := range c.SelectedFeatures() {
+		if !f.Abstract && !f.IsRoot() {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	return c.model.Name + ": {" + strings.Join(names, ", ") + "}"
+}
+
+// Product derives a valid complete product from a list of selected
+// concrete feature names: everything listed is selected, everything
+// else is completed with PreferDeselect. It is the convenience path
+// used by the composer and the benchmarks.
+func (m *Model) Product(names ...string) (*Configuration, error) {
+	c := m.NewConfiguration()
+	if err := c.SelectAll(names...); err != nil {
+		return nil, err
+	}
+	if err := c.Complete(PreferDeselect); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

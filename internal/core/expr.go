@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"famedb/internal/sat"
+)
+
+// Expr is a propositional formula over feature names, used for
+// cross-tree constraints. Build expressions with Ref, Not, And, Or,
+// Implies and Iff, or parse them from text with ParseExpr.
+type Expr interface {
+	// String renders the expression in the DSL syntax.
+	String() string
+	// Eval evaluates the expression under the given selection.
+	Eval(selected func(name string) bool) bool
+
+	// refs appends the referenced feature names.
+	refs(dst []string) []string
+	// nnf converts to negation normal form; neg requests the negation.
+	nnf(neg bool) Expr
+	// cnf converts an NNF-converted expression to clauses. Only called
+	// on NNF output via exprCNF.
+	distribute() [][]lit
+}
+
+// lit is an internal named literal used during CNF conversion.
+type lit struct {
+	name string
+	neg  bool
+}
+
+type refExpr struct{ name string }
+type notExpr struct{ x Expr }
+type binExpr struct {
+	op   string // "&", "|", "=>", "<=>"
+	l, r Expr
+}
+type constExpr struct{ v bool }
+
+// Ref returns an expression referencing the feature with the given name.
+func Ref(name string) Expr { return refExpr{name} }
+
+// Not returns the negation of x.
+func Not(x Expr) Expr { return notExpr{x} }
+
+// And returns the conjunction of xs (true when empty).
+func And(xs ...Expr) Expr { return fold("&", xs, true) }
+
+// Or returns the disjunction of xs (false when empty).
+func Or(xs ...Expr) Expr { return fold("|", xs, false) }
+
+// Implies returns l => r.
+func Implies(l, r Expr) Expr { return binExpr{"=>", l, r} }
+
+// Iff returns l <=> r.
+func Iff(l, r Expr) Expr { return binExpr{"<=>", l, r} }
+
+// Const returns the constant expression v.
+func Const(v bool) Expr { return constExpr{v} }
+
+func fold(op string, xs []Expr, empty bool) Expr {
+	if len(xs) == 0 {
+		return constExpr{empty}
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = binExpr{op, e, x}
+	}
+	return e
+}
+
+func (e refExpr) String() string { return e.name }
+func (e notExpr) String() string { return "!" + parenthesize(e.x) }
+func (e binExpr) String() string {
+	return parenthesize(e.l) + " " + e.op + " " + parenthesize(e.r)
+}
+func (e constExpr) String() string {
+	if e.v {
+		return "true"
+	}
+	return "false"
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case refExpr, constExpr, notExpr:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func (e refExpr) Eval(sel func(string) bool) bool   { return sel(e.name) }
+func (e notExpr) Eval(sel func(string) bool) bool   { return !e.x.Eval(sel) }
+func (e constExpr) Eval(sel func(string) bool) bool { return e.v }
+func (e binExpr) Eval(sel func(string) bool) bool {
+	l, r := e.l.Eval(sel), e.r.Eval(sel)
+	switch e.op {
+	case "&":
+		return l && r
+	case "|":
+		return l || r
+	case "=>":
+		return !l || r
+	case "<=>":
+		return l == r
+	default:
+		panic("core: unknown operator " + e.op)
+	}
+}
+
+func (e refExpr) refs(dst []string) []string   { return append(dst, e.name) }
+func (e notExpr) refs(dst []string) []string   { return e.x.refs(dst) }
+func (e constExpr) refs(dst []string) []string { return dst }
+func (e binExpr) refs(dst []string) []string   { return e.r.refs(e.l.refs(dst)) }
+
+// Refs returns the distinct feature names referenced by e, sorted.
+func Refs(e Expr) []string {
+	all := e.refs(nil)
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range all {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nnf conversions.
+
+func (e refExpr) nnf(neg bool) Expr {
+	if neg {
+		return notExpr{e}
+	}
+	return e
+}
+
+func (e constExpr) nnf(neg bool) Expr { return constExpr{e.v != neg} }
+
+func (e notExpr) nnf(neg bool) Expr { return e.x.nnf(!neg) }
+
+func (e binExpr) nnf(neg bool) Expr {
+	switch e.op {
+	case "&":
+		if neg {
+			return binExpr{"|", e.l.nnf(true), e.r.nnf(true)}
+		}
+		return binExpr{"&", e.l.nnf(false), e.r.nnf(false)}
+	case "|":
+		if neg {
+			return binExpr{"&", e.l.nnf(true), e.r.nnf(true)}
+		}
+		return binExpr{"|", e.l.nnf(false), e.r.nnf(false)}
+	case "=>":
+		return binExpr{"|", e.l.nnf(true), e.r.nnf(false)}.nnf(neg)
+	case "<=>":
+		both := binExpr{"&", binExpr{"=>", e.l, e.r}, binExpr{"=>", e.r, e.l}}
+		return both.nnf(neg)
+	default:
+		panic("core: unknown operator " + e.op)
+	}
+}
+
+// distribute converts an NNF expression to clause lists. The expansion
+// is equivalence-preserving (no auxiliary variables), which keeps model
+// counting exact; cross-tree constraints are small, so the worst-case
+// blowup is irrelevant in practice.
+
+func (e refExpr) distribute() [][]lit { return [][]lit{{{name: e.name}}} }
+
+func (e notExpr) distribute() [][]lit {
+	r, ok := e.x.(refExpr)
+	if !ok {
+		panic("core: distribute called on non-NNF expression")
+	}
+	return [][]lit{{{name: r.name, neg: true}}}
+}
+
+func (e constExpr) distribute() [][]lit {
+	if e.v {
+		return nil // no clauses
+	}
+	return [][]lit{{}} // one empty (unsatisfiable) clause
+}
+
+func (e binExpr) distribute() [][]lit {
+	l, r := e.l.distribute(), e.r.distribute()
+	switch e.op {
+	case "&":
+		return append(l, r...)
+	case "|":
+		var out [][]lit
+		for _, cl := range l {
+			for _, cr := range r {
+				merged := make([]lit, 0, len(cl)+len(cr))
+				merged = append(merged, cl...)
+				merged = append(merged, cr...)
+				out = append(out, merged)
+			}
+		}
+		// An empty disjunct set on either side means that side is
+		// "true": true | x simplifies to true (no clauses).
+		if len(l) == 0 || len(r) == 0 {
+			return nil
+		}
+		return out
+	default:
+		panic("core: distribute called on non-NNF expression")
+	}
+}
+
+// cnf converts the expression into solver clauses over the model's
+// feature variables.
+func (e refExpr) cnf(m *Model) []sat.Clause   { return exprCNF(e, m) }
+func (e notExpr) cnf(m *Model) []sat.Clause   { return exprCNF(e, m) }
+func (e binExpr) cnf(m *Model) []sat.Clause   { return exprCNF(e, m) }
+func (e constExpr) cnf(m *Model) []sat.Clause { return exprCNF(e, m) }
+
+func exprCNF(e Expr, m *Model) []sat.Clause {
+	var out []sat.Clause
+	for _, cl := range e.nnf(false).distribute() {
+		clause := make(sat.Clause, 0, len(cl))
+		for _, l := range cl {
+			f := m.byName[l.name]
+			if f == nil {
+				panic(fmt.Sprintf("core: constraint references unknown feature %q", l.name))
+			}
+			clause = append(clause, sat.NewLit(f.Var(), l.neg))
+		}
+		out = append(out, clause)
+	}
+	return out
+}
+
+// exprClauses is the hook Model.encode uses; kept as a method-style
+// helper on the Expr values above.
+type exprWithCNF interface {
+	cnf(m *Model) []sat.Clause
+}
+
+// cnfOf returns the clause encoding of any Expr.
+func cnfOf(e Expr, m *Model) []sat.Clause {
+	if ec, ok := e.(exprWithCNF); ok {
+		return ec.cnf(m)
+	}
+	return exprCNF(e, m)
+}
+
+// ParseExpr parses the DSL constraint syntax:
+//
+//	expr   := iff
+//	iff    := imp ("<=>" imp)*
+//	imp    := or ("=>" or)*            (right associative)
+//	or     := and (("|" | "or") and)*
+//	and    := unary (("&" | "and") unary)*
+//	unary  := "!" unary | "(" expr ")" | ident | "true" | "false"
+//
+// Identifiers are feature names: letters, digits, '_', '-' and '+'
+// after a leading letter or '_'.
+func ParseExpr(text string) (Expr, error) {
+	p := &exprParser{toks: tokenizeExpr(text)}
+	e, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("unexpected trailing token %q", p.peek())
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *exprParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *exprParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *exprParser) parseIff() (Expr, error) {
+	l, err := p.parseImp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "<=>" {
+		p.next()
+		r, err := p.parseImp()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseImp() (Expr, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "=>" {
+		p.next()
+		r, err := p.parseImp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" || p.peek() == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" || p.peek() == "and" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	switch t := p.peek(); {
+	case t == "!":
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	case t == "(":
+		p.next()
+		x, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		return x, nil
+	case t == "true":
+		p.next()
+		return Const(true), nil
+	case t == "false":
+		p.next()
+		return Const(false), nil
+	case t == "":
+		return nil, fmt.Errorf("unexpected end of expression")
+	case isIdentStart(rune(t[0])):
+		p.next()
+		return Ref(t), nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q", t)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIdentRune(r rune) bool {
+	return isIdentStart(r) || (r >= '0' && r <= '9') || r == '-' || r == '+'
+}
+
+// tokenizeExpr splits a constraint expression into tokens.
+func tokenizeExpr(text string) []string {
+	var toks []string
+	rs := []rune(text)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			i++
+		case r == '!' || r == '(' || r == ')' || r == '&' || r == '|':
+			toks = append(toks, string(r))
+			i++
+		case r == '=' && i+1 < len(rs) && rs[i+1] == '>':
+			toks = append(toks, "=>")
+			i += 2
+		case r == '<' && i+2 < len(rs) && rs[i+1] == '=' && rs[i+2] == '>':
+			toks = append(toks, "<=>")
+			i += 3
+		case isIdentStart(r):
+			j := i
+			for j < len(rs) && isIdentRune(rs[j]) {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		default:
+			// Emit the offending rune as its own token; the parser will
+			// report it with position context.
+			toks = append(toks, string(r))
+			i++
+		}
+	}
+	return toks
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sel(names ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(n string) bool { return set[n] }
+}
+
+func TestExprEval(t *testing.T) {
+	tests := []struct {
+		expr Expr
+		on   []string
+		want bool
+	}{
+		{Ref("A"), []string{"A"}, true},
+		{Ref("A"), nil, false},
+		{Not(Ref("A")), nil, true},
+		{And(Ref("A"), Ref("B")), []string{"A"}, false},
+		{And(Ref("A"), Ref("B")), []string{"A", "B"}, true},
+		{Or(Ref("A"), Ref("B")), []string{"B"}, true},
+		{Or(), nil, false},
+		{And(), nil, true},
+		{Implies(Ref("A"), Ref("B")), nil, true},
+		{Implies(Ref("A"), Ref("B")), []string{"A"}, false},
+		{Implies(Ref("A"), Ref("B")), []string{"A", "B"}, true},
+		{Iff(Ref("A"), Ref("B")), nil, true},
+		{Iff(Ref("A"), Ref("B")), []string{"A"}, false},
+		{Const(true), nil, true},
+		{Const(false), nil, false},
+	}
+	for _, tt := range tests {
+		if got := tt.expr.Eval(sel(tt.on...)); got != tt.want {
+			t.Errorf("%s with %v = %v, want %v", tt.expr, tt.on, got, tt.want)
+		}
+	}
+}
+
+func TestParseExprRoundTrip(t *testing.T) {
+	exprs := []string{
+		"A",
+		"!A",
+		"A & B",
+		"A | B",
+		"A => B",
+		"A <=> B",
+		"!(A & B)",
+		"A & B | C",
+		"(A | B) & !C",
+		"A => B => C",
+		"Crypto-128 & B+Tree_2",
+		"true | false",
+	}
+	for _, src := range exprs {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		// Re-parse the printed form: must evaluate identically on all
+		// assignments of the referenced features.
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Errorf("re-parse of %q (printed %q): %v", src, e.String(), err)
+			continue
+		}
+		refs := Refs(e)
+		for mask := 0; mask < 1<<len(refs); mask++ {
+			on := map[string]bool{}
+			for i, name := range refs {
+				on[name] = mask>>i&1 == 1
+			}
+			s := func(n string) bool { return on[n] }
+			if e.Eval(s) != e2.Eval(s) {
+				t.Errorf("%q and its printed form %q disagree on %v", src, e.String(), on)
+			}
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A &",
+		"& A",
+		"(A",
+		"A)",
+		"A B",
+		"=> B",
+		"A ? B",
+		"!()",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseKeywordOperators(t *testing.T) {
+	e, err := ParseExpr("A and B or C")
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	if !e.Eval(sel("C")) {
+		t.Error("A and B or C should hold with only C")
+	}
+	if e.Eval(sel("A")) {
+		t.Error("A and B or C should not hold with only A")
+	}
+}
+
+func TestImpliesRightAssociative(t *testing.T) {
+	// A => B => C parses as A => (B => C): with A on, B off, it holds.
+	e, err := ParseExpr("A => B => C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Eval(sel("A")) {
+		t.Error("A => (B => C) should hold with A only")
+	}
+	if e.Eval(sel("A", "B")) {
+		t.Error("A => (B => C) should fail with A,B and no C")
+	}
+}
+
+func TestRefs(t *testing.T) {
+	e, err := ParseExpr("(A & B) => (A | C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Refs(e)
+	want := []string{"A", "B", "C"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Refs = %v, want %v", got, want)
+	}
+}
+
+// randomExpr builds a random expression over variables A..D.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	names := []string{"A", "B", "C", "D"}
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Ref(names[rng.Intn(len(names))])
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Not(randomExpr(rng, depth-1))
+	case 1:
+		return And(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 2:
+		return Or(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 3:
+		return Implies(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	default:
+		return Iff(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	}
+}
+
+// TestCNFEquivalence checks the property underlying constraint encoding:
+// the CNF produced for an expression is satisfied by exactly the
+// assignments that satisfy the expression. This guards exactness of
+// variant counting.
+func TestCNFEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3)
+
+		// Build a model with 4 independent optional features and the
+		// expression as its only constraint.
+		m := NewModel("R")
+		for _, n := range []string{"A", "B", "C", "D"} {
+			m.Root().AddChild(n, Optional)
+		}
+		m.AddConstraint(e)
+		if err := m.Finalize(); err != nil {
+			// A contradictory random expression makes the model void;
+			// verify the expression is indeed unsatisfiable.
+			for mask := 0; mask < 16; mask++ {
+				on := map[string]bool{
+					"A": mask&1 != 0, "B": mask&2 != 0,
+					"C": mask&4 != 0, "D": mask&8 != 0,
+				}
+				if e.Eval(func(n string) bool { return on[n] }) {
+					return false
+				}
+			}
+			return true
+		}
+		// Count satisfying assignments two ways.
+		brute := 0
+		for mask := 0; mask < 16; mask++ {
+			on := map[string]bool{
+				"A": mask&1 != 0, "B": mask&2 != 0,
+				"C": mask&4 != 0, "D": mask&8 != 0,
+			}
+			if e.Eval(func(n string) bool { return on[n] }) {
+				brute++
+			}
+		}
+		return m.CountVariants().Int64() == int64(brute)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainTextAfterFinalize(t *testing.T) {
+	m := tinyModel(t)
+	if err := m.ConstrainText("A => B"); err == nil {
+		t.Fatal("ConstrainText after Finalize should fail")
+	}
+}

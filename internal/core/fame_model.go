@@ -1,0 +1,145 @@
+package core
+
+// FAMEModel builds the FAME-DBMS prototype feature model of Figure 2 of
+// the paper. The decomposition follows the paper's mixed-granularity
+// rule (Sec. 2.3): fine-grained where deeply embedded systems need
+// variability (index operations, access operations, buffer replacement,
+// memory allocation, OS abstraction) and coarse-grained for features
+// used only on larger systems (Transaction, Optimizer, SQL engine).
+//
+// Feature names are the identifiers the rest of the repository keys on:
+// the composer maps them to engine modules, the footprint model to ROM
+// costs, and the analysis tool to model queries.
+func FAMEModel() *Model {
+	m := NewModel("FAME-DBMS")
+	root := m.Root()
+
+	// OS abstraction: exactly one platform target.
+	osa := root.AddAbstract("OSAbstraction", Mandatory)
+	osa.Description = "platform abstraction for storage and timing"
+	for _, name := range []string{"Linux", "Win32", "NutOS"} {
+		osa.AddChild(name, Alternative)
+	}
+
+	// Storage: index structures and data types.
+	st := root.AddAbstract("Storage", Mandatory)
+	st.Description = "persistent storage management"
+	idx := st.AddAbstract("Index", Mandatory)
+	bt := idx.AddChild("BPlusTree", Alternative)
+	bt.Description = "paged B+-tree index"
+	// Fine-grained decomposition of the B+-tree per Fig. 2: search is
+	// the base operation; update and remove are separately selectable
+	// increments (Leich et al., step-wise refined storage manager).
+	bt.AddChild("BTreeSearch", Mandatory)
+	bt.AddChild("BTreeUpdate", Optional)
+	bt.AddChild("BTreeRemove", Optional)
+	li := idx.AddChild("ListIndex", Alternative)
+	li.Description = "unordered list (heap) index for tiny data sets"
+	dt := st.AddChild("DataTypes", Mandatory)
+	dt.Description = "ordered key encodings and value serialization"
+
+	// Buffer manager: optional as a whole; when present it has exactly
+	// one replacement policy and exactly one allocation strategy.
+	bm := root.AddAbstract("BufferManager", Optional)
+	bm.Description = "page cache between index and storage device"
+	rep := bm.AddAbstract("Replacement", Mandatory)
+	rep.AddChild("LRU", Alternative)
+	rep.AddChild("LFU", Alternative)
+	al := bm.AddAbstract("MemoryAlloc", Mandatory)
+	al.AddChild("DynamicAlloc", Alternative)
+	al.AddChild("StaticAlloc", Alternative)
+
+	// Access: the low-level record API; at least one operation.
+	ac := root.AddAbstract("Access", Mandatory)
+	ac.Description = "record access operations"
+	for _, name := range []string{"Put", "Get", "Remove", "Update"} {
+		ac.AddChild(name, OrGroup)
+	}
+
+	// Transaction: coarse-grained, with alternative commit protocols
+	// (Sec. 2.3: "decomposed into a small number of features (e.g.,
+	// alternative commit protocols)").
+	tx := root.AddChild("Transaction", Optional)
+	tx.Description = "atomic multi-operation units with write-ahead logging"
+	cp := tx.AddAbstract("CommitProtocol", Mandatory)
+	cp.AddChild("ForceCommit", Alternative)
+	cp.AddChild("GroupCommit", Alternative)
+	rc := tx.AddChild("Recovery", Optional)
+	rc.Description = "redo recovery from the write-ahead log after a crash"
+
+	// Optimizer and query API.
+	opt := root.AddChild("Optimizer", Optional)
+	opt.Description = "access-path selection for the SQL engine"
+	api := root.AddAbstract("API", Mandatory)
+	sql := api.AddChild("SQLEngine", Optional)
+	sql.Description = "declarative query interface"
+
+	// Cross-tree constraints. These encode domain knowledge and drive
+	// decision propagation (Sec. 3.1).
+	m.Require("Optimizer", "SQLEngine")
+	m.AddConstraint(Implies(Ref("SQLEngine"), And(Ref("Put"), Ref("Get"))))
+	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Update")), Ref("BTreeUpdate")))
+	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Remove")), Ref("BTreeRemove")))
+	m.AddConstraint(Implies(Ref("Transaction"), And(Ref("BufferManager"), Ref("Put"))))
+	// Deeply embedded NutOS nodes: no dynamic allocation, no SQL.
+	m.AddConstraint(Implies(And(Ref("NutOS"), Ref("BufferManager")), Ref("StaticAlloc")))
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("SQLEngine"))))
+
+	if err := m.Finalize(); err != nil {
+		panic("core: FAME model is inconsistent: " + err.Error())
+	}
+	return m
+}
+
+// NamedProduct is a named feature selection of a model, used for the
+// representative products in the experiments.
+type NamedProduct struct {
+	Name     string
+	Features []string
+	// Note documents what the product corresponds to in the paper.
+	Note string
+}
+
+// FAMEProducts returns representative products of the FAME-DBMS model
+// used by experiment E4: a deeply embedded sensor node, a mid-size
+// device, and a full-featured instance.
+func FAMEProducts() []NamedProduct {
+	return []NamedProduct{
+		{
+			Name:     "sensor-node",
+			Features: []string{"NutOS", "ListIndex", "Put", "Get"},
+			Note:     "smart-dust style data logger: tiniest useful product",
+		},
+		{
+			Name: "embedded-device",
+			Features: []string{
+				"NutOS", "BPlusTree", "BTreeRemove",
+				"BufferManager", "LRU", "StaticAlloc",
+				"Put", "Get", "Remove",
+			},
+			Note: "mid-size control unit with an indexed store",
+		},
+		{
+			Name: "calendar-app",
+			Features: []string{
+				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+				"BufferManager", "LRU", "DynamicAlloc",
+				"Put", "Get", "Remove", "Update",
+				"Transaction", "ForceCommit", "Recovery",
+				"SQLEngine",
+			},
+			Note: "the paper's personal calendar application scenario",
+		},
+		{
+			Name: "full",
+			Features: []string{
+				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+				"BufferManager", "LFU", "DynamicAlloc",
+				"Put", "Get", "Remove", "Update",
+				"Transaction", "GroupCommit", "Recovery",
+				"Optimizer", "SQLEngine",
+			},
+			Note: "everything selected: the largest product",
+		},
+	}
+}

@@ -1,0 +1,421 @@
+// Package core implements the software-product-line engine at the heart
+// of FAME-DBMS: feature models (feature diagrams with mandatory,
+// optional, alternative and or relations plus cross-tree constraints),
+// configurations with decision propagation, product validation, and
+// variant counting.
+//
+// This is the paper's primary conceptual contribution: a DBMS is not a
+// program but a product line, and a concrete DBMS instance is *derived*
+// by selecting features. The packages internal/composer, internal/nfp,
+// internal/solver and internal/analysis all operate on the types defined
+// here.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"famedb/internal/sat"
+)
+
+// RelationKind describes how a feature relates to its parent in the
+// feature diagram.
+type RelationKind int
+
+const (
+	// Mandatory features are selected whenever their parent is.
+	Mandatory RelationKind = iota
+	// Optional features may be freely selected when their parent is.
+	Optional
+	// Alternative features form an exactly-one (XOR) group with their
+	// Alternative-related siblings: if the parent is selected, exactly
+	// one member of the group must be selected.
+	Alternative
+	// Or features form an at-least-one group with their Or-related
+	// siblings: if the parent is selected, one or more members must be
+	// selected.
+	OrGroup
+)
+
+// String returns the DSL keyword for the relation.
+func (r RelationKind) String() string {
+	switch r {
+	case Mandatory:
+		return "mandatory"
+	case Optional:
+		return "optional"
+	case Alternative:
+		return "alternative"
+	case OrGroup:
+		return "or"
+	default:
+		return fmt.Sprintf("RelationKind(%d)", int(r))
+	}
+}
+
+// Feature is a node in the feature diagram.
+type Feature struct {
+	// Name uniquely identifies the feature within its model.
+	Name string
+	// Description is free-form documentation shown by tooling.
+	Description string
+	// Abstract marks aggregating features that structure the diagram
+	// but contribute no implementation of their own (paper Sec. 2.3:
+	// "feature STORAGE aggregates different features but does not
+	// provide own functionality"). Abstract features have zero
+	// footprint and are never mapped to components.
+	Abstract bool
+	// Relation is the feature's relation to its parent. The root's
+	// relation is Mandatory by convention.
+	Relation RelationKind
+
+	parent   *Feature
+	children []*Feature
+	model    *Model
+	index    int // position in the model's preorder; Var = index+1
+}
+
+// Parent returns the parent feature, or nil for the root.
+func (f *Feature) Parent() *Feature { return f.parent }
+
+// Children returns the feature's children in declaration order. The
+// returned slice must not be modified.
+func (f *Feature) Children() []*Feature { return f.children }
+
+// IsRoot reports whether the feature is the model root.
+func (f *Feature) IsRoot() bool { return f.parent == nil }
+
+// Path returns the slash-separated path from the root to the feature.
+func (f *Feature) Path() string {
+	if f.parent == nil {
+		return f.Name
+	}
+	return f.parent.Path() + "/" + f.Name
+}
+
+// Var returns the SAT variable assigned to the feature. Valid only
+// after the model is finalized.
+func (f *Feature) Var() sat.Var { return sat.Var(f.index + 1) }
+
+// AddChild adds a child feature with the given relation and returns it.
+// It panics if the model has already been finalized or the name is
+// empty; duplicate names are reported by Finalize.
+func (f *Feature) AddChild(name string, rel RelationKind) *Feature {
+	if f.model.finalized {
+		panic("core: cannot add features after Finalize")
+	}
+	if name == "" {
+		panic("core: feature name must not be empty")
+	}
+	c := &Feature{Name: name, Relation: rel, parent: f, model: f.model}
+	f.children = append(f.children, c)
+	return c
+}
+
+// AddAbstract adds an abstract (aggregating) child feature.
+func (f *Feature) AddAbstract(name string, rel RelationKind) *Feature {
+	c := f.AddChild(name, rel)
+	c.Abstract = true
+	return c
+}
+
+// Constraint is a cross-tree constraint over features of the model.
+type Constraint struct {
+	// Expr is the propositional formula that must hold in every valid
+	// product.
+	Expr Expr
+	// Text is the original source text, kept for diagnostics and
+	// round-tripping through the DSL.
+	Text string
+}
+
+// Model is a feature model: a feature diagram plus cross-tree
+// constraints. Create one with NewModel, build the tree with AddChild /
+// AddAbstract, add constraints, then call Finalize before using
+// configurations, counting, or derivation.
+type Model struct {
+	// Name of the product line, e.g. "FAME-DBMS".
+	Name string
+
+	root        *Feature
+	constraints []Constraint
+
+	finalized bool
+	order     []*Feature          // preorder
+	byName    map[string]*Feature // name -> feature
+	solver    *sat.Solver
+}
+
+// NewModel creates a model whose root feature carries the model name.
+func NewModel(name string) *Model {
+	m := &Model{Name: name, byName: map[string]*Feature{}}
+	m.root = &Feature{Name: name, Relation: Mandatory, model: m}
+	return m
+}
+
+// Root returns the root feature.
+func (m *Model) Root() *Feature { return m.root }
+
+// Constraints returns the cross-tree constraints in declaration order.
+func (m *Model) Constraints() []Constraint { return m.constraints }
+
+// AddConstraint adds a cross-tree constraint given as an expression.
+// The expression's source text is recorded for diagnostics.
+func (m *Model) AddConstraint(e Expr) {
+	if m.finalized {
+		panic("core: cannot add constraints after Finalize")
+	}
+	m.constraints = append(m.constraints, Constraint{Expr: e, Text: e.String()})
+}
+
+// ConstrainText parses a constraint from the DSL expression syntax
+// (identifiers, !, &, |, =>, <=>, parentheses) and adds it.
+func (m *Model) ConstrainText(text string) error {
+	if m.finalized {
+		return fmt.Errorf("core: cannot add constraints after Finalize")
+	}
+	e, err := ParseExpr(text)
+	if err != nil {
+		return fmt.Errorf("core: constraint %q: %w", text, err)
+	}
+	m.constraints = append(m.constraints, Constraint{Expr: e, Text: text})
+	return nil
+}
+
+// Require adds the constraint "a => b" (selecting a requires b).
+func (m *Model) Require(a, b string) {
+	m.AddConstraint(Implies(Ref(a), Ref(b)))
+}
+
+// Exclude adds the constraint "!(a & b)" (a and b are mutually
+// exclusive).
+func (m *Model) Exclude(a, b string) {
+	m.AddConstraint(Not(And(Ref(a), Ref(b))))
+}
+
+// Feature looks up a feature by name. It returns nil if the name is
+// unknown.
+func (m *Model) Feature(name string) *Feature {
+	if m.finalized {
+		return m.byName[name]
+	}
+	var found *Feature
+	m.walk(func(f *Feature) {
+		if f.Name == name {
+			found = f
+		}
+	})
+	return found
+}
+
+// Features returns all features in preorder. Valid only after Finalize.
+func (m *Model) Features() []*Feature { return m.order }
+
+// FeatureNames returns all feature names in preorder.
+func (m *Model) FeatureNames() []string {
+	names := make([]string, len(m.order))
+	for i, f := range m.order {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// ConcreteFeatures returns all non-abstract features in preorder.
+func (m *Model) ConcreteFeatures() []*Feature {
+	var out []*Feature
+	for _, f := range m.order {
+		if !f.Abstract {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// walk visits every feature in preorder.
+func (m *Model) walk(fn func(*Feature)) {
+	var rec func(f *Feature)
+	rec = func(f *Feature) {
+		fn(f)
+		for _, c := range f.children {
+			rec(c)
+		}
+	}
+	rec(m.root)
+}
+
+// Finalize validates the model structure, assigns SAT variables, and
+// compiles the propositional encoding. It must be called exactly once
+// before the model is used for configuration or counting.
+func (m *Model) Finalize() error {
+	if m.finalized {
+		return fmt.Errorf("core: model %q already finalized", m.Name)
+	}
+	// Collect features, check unique non-empty names.
+	m.order = nil
+	m.walk(func(f *Feature) {
+		f.index = len(m.order)
+		m.order = append(m.order, f)
+	})
+	for _, f := range m.order {
+		if f.Name == "" {
+			return fmt.Errorf("core: model %q contains a feature with an empty name", m.Name)
+		}
+		if prev, dup := m.byName[f.Name]; dup {
+			return fmt.Errorf("core: duplicate feature name %q (at %s and %s)",
+				f.Name, prev.Path(), f.Path())
+		}
+		m.byName[f.Name] = f
+	}
+	// Singleton group sanity: an Alternative group of one member is a
+	// mandatory child in disguise and an Or group of one likewise; they
+	// are legal but usually a modelling slip, so reject them to keep
+	// models honest.
+	for _, f := range m.order {
+		for _, kind := range []RelationKind{Alternative, OrGroup} {
+			n := 0
+			for _, c := range f.children {
+				if c.Relation == kind {
+					n++
+				}
+			}
+			if n == 1 {
+				return fmt.Errorf("core: feature %q has a single %s child; use mandatory or optional instead",
+					f.Name, kind)
+			}
+		}
+	}
+	// Check constraints refer to known features.
+	for _, c := range m.constraints {
+		for _, name := range c.Expr.refs(nil) {
+			if m.byName[name] == nil {
+				return fmt.Errorf("core: constraint %q references unknown feature %q", c.Text, name)
+			}
+		}
+	}
+	m.finalized = true
+	m.solver = sat.New(len(m.order))
+	m.encode(m.solver)
+	if !m.solver.Solve() {
+		m.finalized = false
+		m.solver = nil
+		m.byName = map[string]*Feature{}
+		return fmt.Errorf("core: model %q is void: no valid product exists", m.Name)
+	}
+	return nil
+}
+
+// encode emits the standard propositional encoding of the feature
+// diagram and constraints into the solver.
+func (m *Model) encode(s *sat.Solver) {
+	// Root is always selected.
+	s.AddClause(sat.Pos(m.root.Var()))
+	for _, f := range m.order {
+		var altGroup, orGroup []*Feature
+		for _, c := range f.children {
+			// Child implies parent.
+			s.AddClause(sat.Neg(c.Var()), sat.Pos(f.Var()))
+			switch c.Relation {
+			case Mandatory:
+				// Parent implies mandatory child.
+				s.AddClause(sat.Neg(f.Var()), sat.Pos(c.Var()))
+			case Alternative:
+				altGroup = append(altGroup, c)
+			case OrGroup:
+				orGroup = append(orGroup, c)
+			}
+		}
+		if len(altGroup) > 0 {
+			lits := []sat.Lit{sat.Neg(f.Var())}
+			for _, c := range altGroup {
+				lits = append(lits, sat.Pos(c.Var()))
+			}
+			s.AddClause(lits...) // parent -> at least one
+			for i := 0; i < len(altGroup); i++ {
+				for j := i + 1; j < len(altGroup); j++ {
+					s.AddClause(sat.Neg(altGroup[i].Var()), sat.Neg(altGroup[j].Var()))
+				}
+			}
+		}
+		if len(orGroup) > 0 {
+			lits := []sat.Lit{sat.Neg(f.Var())}
+			for _, c := range orGroup {
+				lits = append(lits, sat.Pos(c.Var()))
+			}
+			s.AddClause(lits...)
+		}
+	}
+	for _, c := range m.constraints {
+		for _, clause := range cnfOf(c.Expr, m) {
+			s.AddClause(clause...)
+		}
+	}
+}
+
+// CountVariants returns the exact number of valid products of the model.
+func (m *Model) CountVariants() *big.Int {
+	m.mustBeFinal()
+	return m.solver.CountModels()
+}
+
+// CoreFeatures returns the features present in every valid product
+// (the "core" of the product line), in preorder.
+func (m *Model) CoreFeatures() []*Feature {
+	m.mustBeFinal()
+	var out []*Feature
+	for _, f := range m.order {
+		if m.solver.Implied(sat.Pos(f.Var())) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DeadFeatures returns features that cannot appear in any valid product.
+// A well-formed model has none; the check is used by model linting.
+func (m *Model) DeadFeatures() []*Feature {
+	m.mustBeFinal()
+	var out []*Feature
+	for _, f := range m.order {
+		if m.solver.Implied(sat.Neg(f.Var())) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FalseOptionalFeatures returns features declared Optional (or as group
+// members) that are in fact present in every product — usually a
+// modelling smell surfaced by linting.
+func (m *Model) FalseOptionalFeatures() []*Feature {
+	m.mustBeFinal()
+	var out []*Feature
+	for _, f := range m.CoreFeatures() {
+		if f.Relation != Mandatory && !f.IsRoot() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (m *Model) mustBeFinal() {
+	if !m.finalized {
+		panic(fmt.Sprintf("core: model %q used before Finalize", m.Name))
+	}
+}
+
+// String renders the model in the DSL syntax (see dsl.go).
+func (m *Model) String() string {
+	var b strings.Builder
+	writeDSL(&b, m)
+	return b.String()
+}
+
+// SortedFeatureNames returns all feature names sorted alphabetically,
+// which tooling uses for stable output.
+func (m *Model) SortedFeatureNames() []string {
+	names := m.FeatureNames()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// tinyModel builds a small model exercising every relation kind:
+//
+//	Root
+//	  mandatory A
+//	  optional  B
+//	  abstract mandatory G1 { alternative X | Y }
+//	  abstract mandatory G2 { or P, Q }
+//	constraint B => X
+func tinyModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel("Tiny")
+	m.Root().AddChild("A", Mandatory)
+	m.Root().AddChild("B", Optional)
+	g1 := m.Root().AddAbstract("G1", Mandatory)
+	g1.AddChild("X", Alternative)
+	g1.AddChild("Y", Alternative)
+	g2 := m.Root().AddAbstract("G2", Mandatory)
+	g2.AddChild("P", OrGroup)
+	g2.AddChild("Q", OrGroup)
+	m.Require("B", "X")
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return m
+}
+
+func TestTinyModelVariantCount(t *testing.T) {
+	m := tinyModel(t)
+	// Variants: B free (2) × alt {X,Y} (2) × or {P,Q} (3) minus the
+	// combinations where B ∧ Y (B requires X): B=1,Y=1 removes 1×1×3.
+	// Total = 2*2*3 - 3 = 9.
+	if got := m.CountVariants(); got.Cmp(big.NewInt(9)) != 0 {
+		t.Fatalf("CountVariants = %v, want 9", got)
+	}
+}
+
+func TestCoreDeadFalseOptional(t *testing.T) {
+	m := tinyModel(t)
+	core := m.CoreFeatures()
+	names := map[string]bool{}
+	for _, f := range core {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"Tiny", "A", "G1", "G2"} {
+		if !names[want] {
+			t.Errorf("core features missing %q: %v", want, names)
+		}
+	}
+	if names["B"] || names["X"] || names["P"] {
+		t.Errorf("unexpectedly core: %v", names)
+	}
+	if dead := m.DeadFeatures(); len(dead) != 0 {
+		t.Errorf("dead features: %v", dead)
+	}
+	if fo := m.FalseOptionalFeatures(); len(fo) != 0 {
+		t.Errorf("false-optional features: %v", fo)
+	}
+}
+
+func TestDeadFeatureDetection(t *testing.T) {
+	m := NewModel("M")
+	m.Root().AddChild("A", Optional)
+	m.Root().AddChild("B", Optional)
+	m.Exclude("A", "A") // !(A & A) ⇒ A is dead
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	dead := m.DeadFeatures()
+	if len(dead) != 1 || dead[0].Name != "A" {
+		t.Fatalf("DeadFeatures = %v, want [A]", dead)
+	}
+}
+
+func TestFalseOptionalDetection(t *testing.T) {
+	m := NewModel("M")
+	m.Root().AddChild("A", Mandatory)
+	m.Root().AddChild("B", Optional)
+	m.Require("A", "B") // B is optional but always required by core A
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	fo := m.FalseOptionalFeatures()
+	if len(fo) != 1 || fo[0].Name != "B" {
+		t.Fatalf("FalseOptionalFeatures = %v, want [B]", fo)
+	}
+}
+
+func TestVoidModelRejected(t *testing.T) {
+	m := NewModel("Void")
+	m.Root().AddChild("A", Mandatory)
+	m.Root().AddChild("B", Mandatory)
+	m.Exclude("A", "B")
+	if err := m.Finalize(); err == nil {
+		t.Fatal("void model should fail Finalize")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	m := NewModel("M")
+	m.Root().AddChild("A", Optional)
+	m.Root().AddChild("A", Optional)
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Finalize = %v, want duplicate-name error", err)
+	}
+}
+
+func TestSingletonGroupRejected(t *testing.T) {
+	m := NewModel("M")
+	m.Root().AddChild("A", Alternative)
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "single") {
+		t.Fatalf("Finalize = %v, want singleton-group error", err)
+	}
+}
+
+func TestUnknownConstraintFeatureRejected(t *testing.T) {
+	m := NewModel("M")
+	m.Root().AddChild("A", Optional)
+	m.Require("A", "Nonexistent")
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "unknown feature") {
+		t.Fatalf("Finalize = %v, want unknown-feature error", err)
+	}
+}
+
+func TestFeaturePathAndLookup(t *testing.T) {
+	m := tinyModel(t)
+	x := m.Feature("X")
+	if x == nil {
+		t.Fatal("Feature(X) = nil")
+	}
+	if got := x.Path(); got != "Tiny/G1/X" {
+		t.Fatalf("Path = %q", got)
+	}
+	if m.Feature("nope") != nil {
+		t.Fatal("lookup of unknown name should return nil")
+	}
+	if x.Parent().Name != "G1" || x.IsRoot() {
+		t.Fatal("parent/IsRoot wrong")
+	}
+}
+
+func TestConfigurationSelectPropagates(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Select("B"); err != nil {
+		t.Fatalf("Select(B): %v", err)
+	}
+	// B => X, and X deselects Y via the alternative group.
+	if c.State("X") != Selected {
+		t.Errorf("X = %v, want selected (propagated from B => X)", c.State("X"))
+	}
+	if c.State("Y") != Deselected {
+		t.Errorf("Y = %v, want deselected (alternative to X)", c.State("Y"))
+	}
+	// Mandatory A and the root are always selected.
+	if c.State("A") != Selected || c.State("Tiny") != Selected {
+		t.Error("mandatory features not propagated")
+	}
+	// Decision log records causes.
+	var causes []DecisionCause
+	for _, d := range c.Log() {
+		if d.Feature.Name == "X" || d.Feature.Name == "Y" {
+			causes = append(causes, d.Cause)
+		}
+	}
+	for _, cause := range causes {
+		if cause != ByPropagation {
+			t.Errorf("X/Y decided by %v, want propagation", cause)
+		}
+	}
+}
+
+func TestConfigurationConflict(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Select("Y"); err != nil {
+		t.Fatalf("Select(Y): %v", err)
+	}
+	err := c.Select("B") // B needs X, excluded by Y
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("Select(B) after Y = %v, want ErrConflict", err)
+	}
+	// Configuration unchanged by the failed decision.
+	if c.State("B") != Deselected {
+		// B was force-deselected by propagation after selecting Y.
+		t.Fatalf("B = %v, want deselected by propagation", c.State("B"))
+	}
+}
+
+func TestConfigurationRedecideConflicts(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Select("X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("X"); err != nil {
+		t.Fatalf("idempotent re-select should succeed: %v", err)
+	}
+	if err := c.Deselect("X"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("flipping a decision = %v, want ErrConflict", err)
+	}
+}
+
+func TestConfigurationCompleteMinimal(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Complete(PreferDeselect); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate after Complete: %v", err)
+	}
+	// Minimal product: B off; exactly one of X/Y; exactly one of P/Q.
+	if c.Has("B") {
+		t.Error("minimal completion selected optional B")
+	}
+	if c.Has("X") == c.Has("Y") {
+		t.Error("alternative group not exactly-one")
+	}
+	if !c.Has("P") && !c.Has("Q") {
+		t.Error("or group empty")
+	}
+}
+
+func TestConfigurationCompleteMaximal(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Complete(PreferSelect); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if !c.Has("B") || !c.Has("P") || !c.Has("Q") {
+		t.Errorf("maximal completion missed selectable features: %s", c)
+	}
+	if c.Has("X") && c.Has("Y") {
+		t.Error("alternative group violated by maximal completion")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateIncomplete(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	err := c.Validate()
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("Validate on partial config = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestCountRemaining(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if got := c.CountRemaining(); got.Cmp(big.NewInt(9)) != 0 {
+		t.Fatalf("CountRemaining (empty) = %v, want 9", got)
+	}
+	if err := c.Select("B"); err != nil {
+		t.Fatal(err)
+	}
+	// With B on: X forced, Y off; or group still free: 3 variants.
+	if got := c.CountRemaining(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("CountRemaining (B) = %v, want 3", got)
+	}
+}
+
+func TestProductHelper(t *testing.T) {
+	m := tinyModel(t)
+	c, err := m.Product("B", "P")
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	for _, want := range []string{"B", "X", "P", "A"} {
+		if !c.Has(want) {
+			t.Errorf("product missing %q: %s", want, c)
+		}
+	}
+	if c.Has("Q") || c.Has("Y") {
+		t.Errorf("product has unwanted features: %s", c)
+	}
+	if _, err := m.Product("Nope"); err == nil {
+		t.Fatal("Product with unknown feature should fail")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	cc := c.Clone()
+	if err := cc.Select("Y"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("Y") != Undecided {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestSelectUnknownFeature(t *testing.T) {
+	m := tinyModel(t)
+	c := m.NewConfiguration()
+	if err := c.Select("Missing"); err == nil {
+		t.Fatal("Select of unknown feature should fail")
+	}
+}
+
+func TestConcreteFeatures(t *testing.T) {
+	m := tinyModel(t)
+	for _, f := range m.ConcreteFeatures() {
+		if f.Abstract {
+			t.Fatalf("ConcreteFeatures returned abstract %q", f.Name)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Undecided.String() != "undecided" || Selected.String() != "selected" ||
+		Deselected.String() != "deselected" {
+		t.Fatal("State strings wrong")
+	}
+	if ByUser.String() != "user" || ByPropagation.String() != "propagation" ||
+		ByCompletion.String() != "completion" {
+		t.Fatal("DecisionCause strings wrong")
+	}
+	if Mandatory.String() != "mandatory" || OrGroup.String() != "or" {
+		t.Fatal("RelationKind strings wrong")
+	}
+}

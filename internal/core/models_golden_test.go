@@ -1,0 +1,73 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The models/ directory ships the built-in feature models in DSL form
+// for the CLI (`famec -model models/fame.fm ...`) and external tools.
+// These golden tests keep the files in sync with the Go definitions.
+
+func modelsDir(t *testing.T) string {
+	t.Helper()
+	// Walk up from the package directory to the repository root.
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		candidate := filepath.Join(dir, "models")
+		if st, err := os.Stat(candidate); err == nil && st.IsDir() {
+			return candidate
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Skip("models/ directory not found (running outside the source tree)")
+		}
+		dir = parent
+	}
+}
+
+func TestGoldenModelFiles(t *testing.T) {
+	dir := modelsDir(t)
+	cases := []struct {
+		file  string
+		build func() *Model
+	}{
+		{"fame.fm", FAMEModel},
+		{"bdb.fm", BDBModel},
+		{"embedded-os.fm", EmbeddedOSModel},
+		{"embedded-system.fm", EmbeddedSystemModel},
+	}
+	for _, c := range cases {
+		src, err := os.ReadFile(filepath.Join(dir, c.file))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with core.Model.String())", c.file, err)
+		}
+		parsed, err := ParseModel(string(src))
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", c.file, err)
+		}
+		built := c.build()
+		// Semantic equality: same features, same number of products.
+		pf, bf := parsed.SortedFeatureNames(), built.SortedFeatureNames()
+		if len(pf) != len(bf) {
+			t.Fatalf("%s: %d features, Go model has %d", c.file, len(pf), len(bf))
+		}
+		for i := range pf {
+			if pf[i] != bf[i] {
+				t.Fatalf("%s: feature %q vs %q — file is stale", c.file, pf[i], bf[i])
+			}
+		}
+		if parsed.CountVariants().Cmp(built.CountVariants()) != 0 {
+			t.Fatalf("%s: %v variants, Go model has %v — file is stale",
+				c.file, parsed.CountVariants(), built.CountVariants())
+		}
+		// Byte-exact round trip against the canonical printer.
+		if got := built.String(); got != string(src) {
+			t.Fatalf("%s is stale; regenerate it from the Go model", c.file)
+		}
+	}
+}

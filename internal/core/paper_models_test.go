@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFAMEModelStructure(t *testing.T) {
+	m := FAMEModel()
+	// Fig. 2 features all present.
+	for _, name := range []string{
+		"OSAbstraction", "Linux", "Win32", "NutOS",
+		"Storage", "Index", "BPlusTree", "BTreeSearch", "BTreeUpdate",
+		"BTreeRemove", "ListIndex", "DataTypes",
+		"BufferManager", "Replacement", "LRU", "LFU",
+		"MemoryAlloc", "DynamicAlloc", "StaticAlloc",
+		"Access", "Put", "Get", "Remove", "Update",
+		"Transaction", "CommitProtocol", "ForceCommit", "GroupCommit",
+		"Recovery", "Optimizer", "API", "SQLEngine",
+	} {
+		if m.Feature(name) == nil {
+			t.Errorf("FAME model missing feature %q", name)
+		}
+	}
+	if dead := m.DeadFeatures(); len(dead) != 0 {
+		t.Errorf("FAME model has dead features: %v", dead)
+	}
+	if n := m.CountVariants(); n.Sign() <= 0 {
+		t.Fatalf("FAME model variant count = %v", n)
+	} else {
+		t.Logf("FAME-DBMS model: %d features, %v variants", len(m.Features()), n)
+	}
+}
+
+func TestFAMEModelDomainConstraints(t *testing.T) {
+	m := FAMEModel()
+
+	// SQL on a NutOS node is forbidden.
+	c := m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("SQLEngine") != Deselected {
+		t.Error("NutOS should force SQLEngine off")
+	}
+	if c.State("Optimizer") != Deselected {
+		t.Error("NutOS should transitively force Optimizer off")
+	}
+
+	// Selecting Update with the B+-tree pulls in the tree's update op.
+	c = m.NewConfiguration()
+	if err := c.SelectAll("BPlusTree", "Update"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("BTreeUpdate") {
+		t.Error("BPlusTree+Update should force BTreeUpdate")
+	}
+
+	// Transactions require a buffer manager and writes.
+	c = m.NewConfiguration()
+	if err := c.Select("Transaction"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("BufferManager") || !c.Has("Put") {
+		t.Errorf("Transaction should force BufferManager and Put: %s", c)
+	}
+
+	// NutOS + buffer manager means static allocation.
+	c = m.NewConfiguration()
+	if err := c.SelectAll("NutOS", "BufferManager"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("StaticAlloc") || c.State("DynamicAlloc") != Deselected {
+		t.Errorf("NutOS+BufferManager should force StaticAlloc: %s", c)
+	}
+}
+
+func TestFAMEProductsAreValid(t *testing.T) {
+	m := FAMEModel()
+	for _, p := range FAMEProducts() {
+		c, err := m.Product(p.Features...)
+		if err != nil {
+			t.Errorf("product %q invalid: %v", p.Name, err)
+			continue
+		}
+		for _, f := range p.Features {
+			if !c.Has(f) {
+				t.Errorf("product %q lost requested feature %q", p.Name, f)
+			}
+		}
+	}
+}
+
+func TestFAMEProductsDiffer(t *testing.T) {
+	m := FAMEModel()
+	seen := map[string]string{}
+	for _, p := range FAMEProducts() {
+		c, err := m.Product(p.Features...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := c.String()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("products %q and %q derive the same configuration", prev, p.Name)
+		}
+		seen[key] = p.Name
+	}
+}
+
+func TestBDBModelHas24OptionalFeatures(t *testing.T) {
+	opt := BDBOptionalFeatures()
+	if len(opt) != 24 {
+		t.Fatalf("Berkeley DB model has %d optional features, want 24 (paper Sec. 2.2): %v",
+			len(opt), opt)
+	}
+}
+
+func TestBDBModelConstraints(t *testing.T) {
+	m := BDBModel()
+	c := m.NewConfiguration()
+	if err := c.Select("Transactions"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Logging") || !c.Has("Locking") {
+		t.Errorf("Transactions should force Logging and Locking: %s", c)
+	}
+
+	c = m.NewConfiguration()
+	if err := c.Select("Join"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Cursors") {
+		t.Error("Join should force Cursors")
+	}
+
+	// At least one access method in every product.
+	c = m.NewConfiguration()
+	for _, am := range []string{"Btree", "Hash", "Queue"} {
+		if err := c.Deselect(am); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.State("Recno") != Selected {
+		t.Errorf("deselecting three access methods should force the fourth: %s", c)
+	}
+}
+
+func TestBDBConfigurationsValid(t *testing.T) {
+	m := BDBModel()
+	cfgs := BDBConfigurations()
+	if len(cfgs) != 8 {
+		t.Fatalf("got %d configurations, want 8 (Fig. 1)", len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		c, err := m.Product(cfg.Features...)
+		if err != nil {
+			t.Errorf("configuration %d (%s) invalid: %v", cfg.Num, cfg.Label, err)
+			continue
+		}
+		for _, f := range cfg.Features {
+			if !c.Has(f) {
+				t.Errorf("configuration %d lost feature %q", cfg.Num, f)
+			}
+		}
+	}
+	// Configuration 1 is complete: every optional feature selected.
+	if got, want := len(cfgs[0].Features), 24; got != want {
+		t.Errorf("complete configuration has %d features, want %d", got, want)
+	}
+	// Exactly one configuration (8) is excluded from the performance
+	// figure, and 7 and 8 are FeatureC++-only.
+	perf := 0
+	for _, cfg := range cfgs {
+		if cfg.InPerfFigure {
+			perf++
+		}
+		wantModes := 2
+		if cfg.Num >= 7 {
+			wantModes = 1
+		}
+		if len(cfg.Modes) != wantModes {
+			t.Errorf("configuration %d has %d modes, want %d", cfg.Num, len(cfg.Modes), wantModes)
+		}
+	}
+	if perf != 7 {
+		t.Errorf("%d configurations in perf figure, want 7", perf)
+	}
+}
+
+func TestBDBVariantCountExceedsPreprocessorSpace(t *testing.T) {
+	// The refactoring's point: far more variants than the handful of
+	// preprocessor configurations. The model must admit a large space.
+	m := BDBModel()
+	n := m.CountVariants()
+	if n.BitLen() < 16 { // at least tens of thousands of variants
+		t.Fatalf("Berkeley DB model has only %v variants", n)
+	}
+	t.Logf("Berkeley DB model: %v variants", n)
+}
+
+func TestWithoutHelper(t *testing.T) {
+	in := []string{"A", "B", "C"}
+	out := without(in, "B")
+	if len(out) != 2 || out[0] != "A" || out[1] != "C" {
+		t.Fatalf("without = %v", out)
+	}
+	if len(without(in)) != 3 {
+		t.Fatal("without with no drops should be identity")
+	}
+}
+
+func TestBDBModeString(t *testing.T) {
+	if ModeC.String() != "C" || ModeComposed.String() != "FeatureC++" {
+		t.Fatal("mode labels wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package footprint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROMFine returns the fine-grained (feature-composed) ROM cost of a
+// selection: the core plus exactly the selected features.
+func (t *Table) ROMFine(selected []string) (int, error) {
+	total := t.Core
+	for _, f := range selected {
+		cost, ok := t.Features[f]
+		if !ok {
+			// Abstract features and the root carry no code.
+			continue
+		}
+		_ = cost
+		total += cost
+	}
+	return total, nil
+}
+
+// ROMCoarse returns the C-build ROM cost of a selection under the
+// compile-flag granularity: entangled features are always linked, a
+// flag unit is included whole when any of its features is selected, and
+// each included unit pays the glue overhead. Features outside any unit
+// and not entangled cannot be expressed in the C build at all — they
+// were only separated by the refactoring — and including them returns
+// an error.
+func (t *Table) ROMCoarse(selected []string) (int, error) {
+	if t.Model != "BerkeleyDB" {
+		return 0, fmt.Errorf("footprint: coarse model only defined for the Berkeley DB case study")
+	}
+	total := t.Core
+	// Entangled features: always linked.
+	for _, f := range BDBEntangledFeatures() {
+		total += t.Features[f]
+	}
+	entangled := map[string]bool{}
+	for _, f := range BDBEntangledFeatures() {
+		entangled[f] = true
+	}
+	unitOf := map[string]*CoarseUnit{}
+	units := BDBCoarseUnits()
+	for i := range units {
+		for _, f := range units[i].Features {
+			unitOf[f] = &units[i]
+		}
+	}
+	included := map[string]bool{}
+	for _, f := range selected {
+		if entangled[f] {
+			continue // already counted
+		}
+		u, ok := unitOf[f]
+		if !ok {
+			if _, costed := t.Features[f]; !costed {
+				continue // abstract
+			}
+			return 0, fmt.Errorf("footprint: feature %s is not separable in the C build", f)
+		}
+		included[u.Name] = true
+	}
+	for _, u := range units {
+		if !included[u.Name] {
+			continue
+		}
+		for _, f := range u.Features {
+			total += t.Features[f]
+		}
+		total += CoarseGlueBytes
+	}
+	return total, nil
+}
+
+// RAMParams are the configuration parameters that determine static RAM.
+type RAMParams struct {
+	PageSize   int
+	CachePages int
+	// StaticArena reports whether the product uses the static
+	// allocator (the arena is permanently reserved RAM).
+	StaticArena bool
+	// LogBuffer is the journal buffer size (0 without Logging).
+	LogBuffer int
+}
+
+// RAM estimates the static RAM of a configuration: the buffer arena (if
+// statically allocated), one page of working buffers per subsystem, and
+// the log buffer.
+func RAM(p RAMParams) int {
+	ram := 2 * p.PageSize // working buffers
+	if p.StaticArena {
+		ram += p.CachePages * p.PageSize
+	}
+	return ram + p.LogBuffer
+}
+
+// Report renders a table sorted by cost, for the CLI.
+func (t *Table) Report() string {
+	type row struct {
+		name string
+		cost int
+	}
+	rows := make([]row, 0, len(t.Features))
+	for n, c := range t.Features {
+		rows = append(rows, row{n, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cost != rows[j].cost {
+			return rows[i].cost > rows[j].cost
+		}
+		return rows[i].name < rows[j].name
+	})
+	out := fmt.Sprintf("%-16s %8s\n", "feature", "bytes")
+	out += fmt.Sprintf("%-16s %8d\n", "(core)", t.Core)
+	for _, r := range rows {
+		out += fmt.Sprintf("%-16s %8d\n", r.name, r.cost)
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package footprint
+
+import (
+	"strings"
+	"testing"
+
+	"famedb/internal/core"
+)
+
+func loadTable(t *testing.T, model string) *Table {
+	t.Helper()
+	tab, err := Load(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestComputeFromSourceMatchesSpecs(t *testing.T) {
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"FAME-DBMS", "BerkeleyDB"} {
+		tab, err := Compute(root, model)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if tab.Core <= 0 {
+			t.Errorf("%s: core cost %d", model, tab.Core)
+		}
+		for name, cost := range tab.Features {
+			if cost <= 0 {
+				t.Errorf("%s: feature %s has cost %d", model, name, cost)
+			}
+		}
+	}
+}
+
+func TestEveryConcreteFeatureIsCosted(t *testing.T) {
+	cases := []struct {
+		model string
+		fm    *core.Model
+	}{
+		{"FAME-DBMS", core.FAMEModel()},
+		{"BerkeleyDB", core.BDBModel()},
+	}
+	for _, c := range cases {
+		tab := loadTable(t, c.model)
+		for _, f := range c.fm.ConcreteFeatures() {
+			if f.IsRoot() {
+				continue
+			}
+			if _, ok := tab.Features[f.Name]; !ok {
+				t.Errorf("%s: concrete feature %q has no footprint entry", c.model, f.Name)
+			}
+		}
+		// No costs for features that do not exist in the model.
+		for name := range tab.Features {
+			if c.fm.Feature(name) == nil {
+				t.Errorf("%s: footprint entry %q is not a model feature", c.model, name)
+			}
+		}
+	}
+}
+
+func TestEmbeddedDefaultsTrackSources(t *testing.T) {
+	// The generated defaults may lag the sources slightly, but gross
+	// drift means cmd/fame-footprint -write was forgotten.
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Skip("not in the source tree")
+	}
+	for _, model := range []string{"FAME-DBMS", "BerkeleyDB"} {
+		live, err := Compute(root, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embedded, err := loadDefault(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within := func(a, b int) bool {
+			lo, hi := b-b/2, b+b/2
+			return a >= lo && a <= hi
+		}
+		if !within(live.Core, embedded.Core) {
+			t.Errorf("%s: core drifted: live %d, embedded %d (run go run ./cmd/fame-footprint -write)",
+				model, live.Core, embedded.Core)
+		}
+	}
+}
+
+func TestROMFineMonotone(t *testing.T) {
+	tab := loadTable(t, "FAME-DBMS")
+	small, err := tab.ROMFine([]string{"NutOS", "ListIndex", "Put", "Get", "DataTypes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := tab.ROMFine([]string{
+		"Linux", "BPlusTree", "BTreeSearch", "BTreeUpdate", "BTreeRemove",
+		"DataTypes", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Remove", "Update",
+		"Transaction", "ForceCommit", "Recovery", "SQLEngine", "Optimizer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= big {
+		t.Fatalf("minimal product (%d) not smaller than full product (%d)", small, big)
+	}
+	if small <= tab.Core {
+		t.Fatalf("product cost %d should exceed core %d", small, tab.Core)
+	}
+}
+
+func TestROMFineIgnoresAbstract(t *testing.T) {
+	tab := loadTable(t, "FAME-DBMS")
+	base, _ := tab.ROMFine(nil)
+	withAbstract, _ := tab.ROMFine([]string{"Storage", "Access", "API"})
+	if base != withAbstract {
+		t.Fatalf("abstract features changed cost: %d vs %d", base, withAbstract)
+	}
+}
+
+// figure1Configs resolves the Fig. 1 configurations against the model.
+func figure1Configs(t *testing.T) []core.BDBConfiguration {
+	t.Helper()
+	return core.BDBConfigurations()
+}
+
+func TestFigure1aShape(t *testing.T) {
+	// The central footprint claims of Fig. 1a, as orderings:
+	//  (1) each "without X" config is smaller than the complete one;
+	//  (2) minimal C (6) is smaller than configs 1-5;
+	//  (3) minimal FeatureC++ (7) is smaller than minimal C (6);
+	//  (4) for identical configs, C >= FeatureC++ (glue overhead).
+	tab := loadTable(t, "BerkeleyDB")
+	cfgs := figure1Configs(t)
+	fine := map[int]int{}
+	coarse := map[int]int{}
+	for _, c := range cfgs {
+		f, err := tab.ROMFine(c.Features)
+		if err != nil {
+			t.Fatalf("config %d fine: %v", c.Num, err)
+		}
+		fine[c.Num] = f
+		for _, m := range c.Modes {
+			if m == core.ModeC {
+				cc, err := tab.ROMCoarse(c.Features)
+				if err != nil {
+					t.Fatalf("config %d coarse: %v", c.Num, err)
+				}
+				coarse[c.Num] = cc
+			}
+		}
+	}
+	for n := 2; n <= 5; n++ {
+		if fine[n] >= fine[1] {
+			t.Errorf("config %d (%d B) not smaller than complete (%d B)", n, fine[n], fine[1])
+		}
+	}
+	for n := 1; n <= 5; n++ {
+		if coarse[6] >= coarse[n] {
+			t.Errorf("minimal C (%d B) not smaller than coarse config %d (%d B)", coarse[6], n, coarse[n])
+		}
+	}
+	if fine[7] >= coarse[6] {
+		t.Errorf("minimal FeatureC++ (%d B) not smaller than minimal C (%d B)", fine[7], coarse[6])
+	}
+	if fine[8] >= coarse[6] {
+		t.Errorf("config 8 (%d B) not smaller than minimal C (%d B)", fine[8], coarse[6])
+	}
+	for n := 1; n <= 6; n++ {
+		if coarse[n] < fine[n] {
+			t.Errorf("config %d: C build (%d B) smaller than composed (%d B)", n, coarse[n], fine[n])
+		}
+	}
+}
+
+func TestCoarseRejectsInexpressibleConfigs(t *testing.T) {
+	tab := loadTable(t, "BerkeleyDB")
+	// Config 7 is {Btree} only — in the C build Cursors etc. cannot be
+	// removed... but they also need not be selected; what the C build
+	// cannot express is *excluding* entangled features, which ROMCoarse
+	// models by always charging them. A truly inexpressible selection
+	// would name a feature outside every flag unit; all 24 features are
+	// covered, so ROMCoarse({Btree}) must equal minimal C.
+	minimal, err := tab.ROMCoarse([]string{"Btree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimalC, err := tab.ROMCoarse([]string{
+		"Btree", "Cursors", "Statistics", "Truncate", "Verify", "Events", "ErrorMessages",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimal != minimalC {
+		t.Fatalf("coarse {Btree} = %d, minimal C = %d: entangled features should always be charged",
+			minimal, minimalC)
+	}
+}
+
+func TestCoarseOnlyForBDB(t *testing.T) {
+	tab := loadTable(t, "FAME-DBMS")
+	if _, err := tab.ROMCoarse([]string{"Put"}); err == nil {
+		t.Fatal("coarse model should be BDB-only")
+	}
+}
+
+func TestRAMModel(t *testing.T) {
+	dynamic := RAM(RAMParams{PageSize: 512, CachePages: 16})
+	static := RAM(RAMParams{PageSize: 512, CachePages: 16, StaticArena: true})
+	if static-dynamic != 16*512 {
+		t.Fatalf("arena delta = %d", static-dynamic)
+	}
+	withLog := RAM(RAMParams{PageSize: 512, CachePages: 16, LogBuffer: 4096})
+	if withLog-dynamic != 4096 {
+		t.Fatalf("log delta = %d", withLog-dynamic)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	tab := loadTable(t, "FAME-DBMS")
+	r := tab.Report()
+	if !strings.Contains(r, "(core)") || !strings.Contains(r, "BPlusTree") {
+		t.Fatalf("report missing rows:\n%s", r)
+	}
+}
+
+func TestFindRepoRootFailsOutsideTree(t *testing.T) {
+	if _, err := FindRepoRoot("/"); err == nil {
+		t.Skip("a go.mod exists above /; environment-specific")
+	}
+}

@@ -1,0 +1,251 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"famedb/internal/osal"
+	"famedb/internal/storage"
+)
+
+func newPager(t *testing.T) storage.Pager {
+	t.Helper()
+	f, err := osal.NewMemFS().Create("i.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+// eachIndex runs a subtest against both index alternatives.
+func eachIndex(t *testing.T, fn func(t *testing.T, idx Index)) {
+	t.Helper()
+	t.Run("BPlusTree", func(t *testing.T) {
+		idx, _, err := CreateBTree(newPager(t), AllBTreeOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, idx)
+	})
+	t.Run("ListIndex", func(t *testing.T) {
+		idx, _, err := CreateList(newPager(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, idx)
+	})
+}
+
+func TestIndexBasicOps(t *testing.T) {
+	eachIndex(t, func(t *testing.T, idx Index) {
+		if err := idx.Insert([]byte("a"), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Insert([]byte("b"), []byte("2")); err != nil {
+			t.Fatal(err)
+		}
+		v, found, err := idx.Get([]byte("a"))
+		if err != nil || !found || string(v) != "1" {
+			t.Fatalf("Get(a) = %q, %v, %v", v, found, err)
+		}
+		if _, found, _ := idx.Get([]byte("zz")); found {
+			t.Fatal("found missing key")
+		}
+		// Insert replaces.
+		idx.Insert([]byte("a"), []byte("1b"))
+		v, _, _ = idx.Get([]byte("a"))
+		if string(v) != "1b" {
+			t.Fatalf("replaced value = %q", v)
+		}
+		if n, _ := idx.Len(); n != 2 {
+			t.Fatalf("Len = %d", n)
+		}
+		// Update only existing.
+		ok, err := idx.Update([]byte("b"), []byte("2b"))
+		if err != nil || !ok {
+			t.Fatalf("Update = %v, %v", ok, err)
+		}
+		if ok, _ := idx.Update([]byte("nope"), []byte("x")); ok {
+			t.Fatal("Update created a key")
+		}
+		// Delete.
+		ok, err = idx.Delete([]byte("a"))
+		if err != nil || !ok {
+			t.Fatalf("Delete = %v, %v", ok, err)
+		}
+		if ok, _ := idx.Delete([]byte("a")); ok {
+			t.Fatal("double delete succeeded")
+		}
+		if n, _ := idx.Len(); n != 1 {
+			t.Fatalf("Len after delete = %d", n)
+		}
+	})
+}
+
+func TestIndexScanFilter(t *testing.T) {
+	eachIndex(t, func(t *testing.T, idx Index) {
+		for i := 0; i < 30; i++ {
+			idx.Insert([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		}
+		var got []string
+		err := idx.Scan([]byte("k10"), []byte("k15"), func(k, v []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got) // list order is unspecified
+		want := []string{"k10", "k11", "k12", "k13", "k14"}
+		if len(got) != 5 {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scan = %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestIndexModelEquivalence(t *testing.T) {
+	eachIndex(t, func(t *testing.T, idx Index) {
+		rng := rand.New(rand.NewSource(21))
+		model := map[string]string{}
+		for op := 0; op < 800; op++ {
+			k := fmt.Sprintf("key%03d", rng.Intn(150))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := fmt.Sprintf("v%04d", rng.Intn(10000))
+				if err := idx.Insert([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			case 2:
+				_, inModel := model[k]
+				ok, err := idx.Delete([]byte(k))
+				if err != nil || ok != inModel {
+					t.Fatalf("Delete(%q) = %v, %v; model %v", k, ok, err, inModel)
+				}
+				delete(model, k)
+			case 3:
+				v, found, err := idx.Get([]byte(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, inModel := model[k]
+				if found != inModel || (found && string(v) != want) {
+					t.Fatalf("Get(%q) = %q, %v; model %q, %v", k, v, found, want, inModel)
+				}
+			}
+		}
+		if n, _ := idx.Len(); int(n) != len(model) {
+			t.Fatalf("Len = %d, model %d", n, len(model))
+		}
+	})
+}
+
+func TestBTreeFeatureGating(t *testing.T) {
+	// A product with only BTreeSearch: reads work, mutations of gated
+	// subfeatures fail with ErrOpNotComposed.
+	idx, _, err := CreateBTree(newPager(t), BTreeOps{Search: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := idx.Get([]byte("k")); err != nil || !found {
+		t.Fatalf("Get = %v, %v", found, err)
+	}
+	if _, err := idx.Delete([]byte("k")); !errors.Is(err, ErrOpNotComposed) {
+		t.Fatalf("Delete without BTreeRemove = %v", err)
+	}
+	if _, err := idx.Update([]byte("k"), []byte("x")); !errors.Is(err, ErrOpNotComposed) {
+		t.Fatalf("Update without BTreeUpdate = %v", err)
+	}
+
+	// Without BTreeSearch even reads fail.
+	idx2, _, _ := CreateBTree(newPager(t), BTreeOps{})
+	if _, _, err := idx2.Get([]byte("k")); !errors.Is(err, ErrOpNotComposed) {
+		t.Fatalf("Get without BTreeSearch = %v", err)
+	}
+	if err := idx2.Scan(nil, nil, nil); !errors.Is(err, ErrOpNotComposed) {
+		t.Fatalf("Scan without BTreeSearch = %v", err)
+	}
+}
+
+func TestListReopen(t *testing.T) {
+	p := newPager(t)
+	l, head, err := CreateList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Insert([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	l2, err := OpenList(p, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l2.Len(); n != 20 {
+		t.Fatalf("reopened Len = %d", n)
+	}
+	v, found, _ := l2.Get([]byte("k07"))
+	if !found || string(v) != "v7" {
+		t.Fatalf("reopened Get = %q, %v", v, found)
+	}
+}
+
+func TestBTreeReopen(t *testing.T) {
+	p := newPager(t)
+	b, meta, err := CreateBTree(p, AllBTreeOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Insert([]byte("k"), []byte("v"))
+	b2, err := OpenBTree(p, meta, AllBTreeOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, found, _ := b2.Get([]byte("k"))
+	if !found || string(v) != "v" {
+		t.Fatalf("reopened Get = %q, %v", v, found)
+	}
+	if b2.Name() != "BPlusTree" || (&List{}).Name() != "ListIndex" {
+		t.Fatal("index names wrong")
+	}
+	if b2.Tree() == nil {
+		t.Fatal("Tree() accessor nil")
+	}
+}
+
+func TestListScanUnorderedButComplete(t *testing.T) {
+	l, _, _ := CreateList(newPager(t))
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i)
+		l.Insert([]byte(k), []byte(v))
+		want[k] = v
+	}
+	got := map[string]string{}
+	l.Scan(nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("scan[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package nfp implements the paper's Feedback Approach to
+// non-functional properties (Sec. 3.2): measure generated products,
+// store the results in the product-line model keyed by configuration
+// and by feature, and use them to estimate the properties of products
+// that have not been built yet.
+//
+// Estimation is two-tier, as the paper sketches: an exact match against
+// an already-measured configuration is returned directly; otherwise an
+// additive per-feature model (fitted by least squares over all
+// measurements) predicts the value, with a confidence derived from the
+// distance to the nearest measured product.
+package nfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"famedb/internal/core"
+)
+
+// Property names a non-functional property.
+type Property string
+
+// The properties tracked in this reproduction.
+const (
+	ROM        Property = "rom"        // code footprint, bytes
+	RAM        Property = "ram"        // static memory, bytes
+	Throughput Property = "throughput" // operations per second
+)
+
+// Measurement is one measured product.
+type Measurement struct {
+	// Features is the product's concrete feature set, sorted.
+	Features []string
+	// Values holds the measured properties.
+	Values map[Property]float64
+}
+
+// Estimate is a predicted property value.
+type Estimate struct {
+	Value float64
+	// Exact reports whether the value comes from a measured identical
+	// configuration.
+	Exact bool
+	// Distance is the Hamming distance (in features) to the nearest
+	// measured product; 0 when Exact.
+	Distance int
+}
+
+// Store is the NFP repository attached to a feature model.
+type Store struct {
+	model        *core.Model
+	measurements []Measurement
+	byKey        map[string]int // config key -> measurement index
+	// fitted per-property feature weights (nil until Fit).
+	weights map[Property]map[string]float64
+	base    map[Property]float64
+}
+
+// NewStore creates an empty repository for the model.
+func NewStore(m *core.Model) *Store {
+	return &Store{
+		model:   m,
+		byKey:   map[string]int{},
+		weights: map[Property]map[string]float64{},
+		base:    map[Property]float64{},
+	}
+}
+
+// concreteSelected extracts the sorted concrete feature names of a
+// configuration.
+func concreteSelected(cfg *core.Configuration) []string {
+	var names []string
+	for _, f := range cfg.SelectedFeatures() {
+		if !f.Abstract && !f.IsRoot() {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func key(features []string) string { return strings.Join(features, "\x00") }
+
+// Record stores a measurement of a configuration. Re-measuring a
+// configuration replaces the old values. Fitted weights are invalidated.
+func (s *Store) Record(cfg *core.Configuration, values map[Property]float64) {
+	feats := concreteSelected(cfg)
+	m := Measurement{Features: feats, Values: map[Property]float64{}}
+	for p, v := range values {
+		m.Values[p] = v
+	}
+	k := key(feats)
+	if i, ok := s.byKey[k]; ok {
+		for p, v := range m.Values {
+			s.measurements[i].Values[p] = v
+		}
+	} else {
+		s.byKey[k] = len(s.measurements)
+		s.measurements = append(s.measurements, m)
+	}
+	s.weights = map[Property]map[string]float64{}
+}
+
+// Measurements returns the stored measurements.
+func (s *Store) Measurements() []Measurement { return s.measurements }
+
+// ErrNoData is returned when estimation has nothing to work from.
+var ErrNoData = errors.New("nfp: no measurements for property")
+
+// Fit computes the additive per-feature model for a property: value ≈
+// base + Σ_{f selected} w_f, least squares with light ridge
+// regularization for stability.
+func (s *Store) Fit(p Property) error {
+	// Collect measurements that have the property.
+	var rows []Measurement
+	for _, m := range s.measurements {
+		if _, ok := m.Values[p]; ok {
+			rows = append(rows, m)
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%w %q", ErrNoData, p)
+	}
+	// Variables: intercept + every concrete feature seen in the data.
+	featSet := map[string]bool{}
+	for _, m := range rows {
+		for _, f := range m.Features {
+			featSet[f] = true
+		}
+	}
+	feats := make([]string, 0, len(featSet))
+	for f := range featSet {
+		feats = append(feats, f)
+	}
+	sort.Strings(feats)
+	n := len(feats) + 1
+
+	// Normal equations AᵀA w = Aᵀy with ridge λI (skip the intercept).
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	aty := make([]float64, n)
+	colOf := map[string]int{}
+	for i, f := range feats {
+		colOf[f] = i + 1
+	}
+	for _, m := range rows {
+		x := make([]float64, n)
+		x[0] = 1
+		for _, f := range m.Features {
+			x[colOf[f]] = 1
+		}
+		y := m.Values[p]
+		for i := 0; i < n; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			aty[i] += y
+			for j := 0; j < n; j++ {
+				ata[i][j] += x[i] * x[j]
+			}
+		}
+	}
+	const lambda = 1e-3
+	for i := 1; i < n; i++ {
+		ata[i][i] += lambda
+	}
+	ata[0][0] += 1e-9
+	w, err := solveLinear(ata, aty)
+	if err != nil {
+		return fmt.Errorf("nfp: fit %q: %w", p, err)
+	}
+	s.base[p] = w[0]
+	fw := map[string]float64{}
+	for i, f := range feats {
+		fw[f] = w[i+1]
+	}
+	s.weights[p] = fw
+	return nil
+}
+
+// solveLinear solves Ax=b by Gaussian elimination with partial
+// pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}
+
+// FeatureWeight returns the fitted contribution of a feature to a
+// property (Fit must have run).
+func (s *Store) FeatureWeight(p Property, feature string) (float64, bool) {
+	w, ok := s.weights[p]
+	if !ok {
+		return 0, false
+	}
+	v, ok := w[feature]
+	return v, ok
+}
+
+// Estimate predicts a property for a configuration.
+func (s *Store) Estimate(cfg *core.Configuration, p Property) (Estimate, error) {
+	feats := concreteSelected(cfg)
+	if i, ok := s.byKey[key(feats)]; ok {
+		if v, has := s.measurements[i].Values[p]; has {
+			return Estimate{Value: v, Exact: true}, nil
+		}
+	}
+	if _, ok := s.weights[p]; !ok {
+		if err := s.Fit(p); err != nil {
+			return Estimate{}, err
+		}
+	}
+	v := s.base[p]
+	for _, f := range feats {
+		v += s.weights[p][f]
+	}
+	return Estimate{Value: v, Distance: s.nearestDistance(feats)}, nil
+}
+
+// nearestDistance computes the minimum Hamming distance from feats to
+// any measured configuration.
+func (s *Store) nearestDistance(feats []string) int {
+	best := math.MaxInt
+	set := map[string]bool{}
+	for _, f := range feats {
+		set[f] = true
+	}
+	for _, m := range s.measurements {
+		d := 0
+		mset := map[string]bool{}
+		for _, f := range m.Features {
+			mset[f] = true
+			if !set[f] {
+				d++
+			}
+		}
+		for f := range set {
+			if !mset[f] {
+				d++
+			}
+		}
+		if d < best {
+			best = d
+		}
+	}
+	if best == math.MaxInt {
+		return -1
+	}
+	return best
+}
+
+// CrossValidate reports the mean absolute relative error of the
+// additive model for a property under leave-one-out cross-validation —
+// the accuracy number EXPERIMENTS.md reports for the feedback approach.
+func (s *Store) CrossValidate(p Property) (meanAbsRelErr float64, n int, err error) {
+	var total float64
+	saved := s.measurements
+	for i, m := range saved {
+		if _, ok := m.Values[p]; !ok {
+			continue
+		}
+		// Refit without measurement i.
+		held := m
+		reduced := NewStore(s.model)
+		for j, mm := range saved {
+			if j == i {
+				continue
+			}
+			reduced.measurements = append(reduced.measurements, mm)
+			reduced.byKey[key(mm.Features)] = len(reduced.measurements) - 1
+		}
+		if ferr := reduced.Fit(p); ferr != nil {
+			continue
+		}
+		pred := reduced.base[p]
+		for _, f := range held.Features {
+			pred += reduced.weights[p][f]
+		}
+		actual := held.Values[p]
+		if actual != 0 {
+			total += math.Abs(pred-actual) / math.Abs(actual)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w %q", ErrNoData, p)
+	}
+	return total / float64(n), n, nil
+}

@@ -1,0 +1,187 @@
+package nfp
+
+import (
+	"math"
+	"testing"
+
+	"famedb/internal/core"
+)
+
+// model with independent optional features for controlled fitting.
+func flatModel(t *testing.T, names ...string) *core.Model {
+	t.Helper()
+	m := core.NewModel("Flat")
+	for _, n := range names {
+		m.Root().AddChild(n, core.Optional)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func product(t *testing.T, m *core.Model, names ...string) *core.Configuration {
+	t.Helper()
+	c, err := m.Product(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExactMatchEstimate(t *testing.T) {
+	m := flatModel(t, "A", "B")
+	s := NewStore(m)
+	cfg := product(t, m, "A")
+	s.Record(cfg, map[Property]float64{ROM: 1000})
+	est, err := s.Estimate(cfg, ROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.Value != 1000 || est.Distance != 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+func TestAdditiveModelRecoversExactWeights(t *testing.T) {
+	// Ground truth: base 100, A=+50, B=+30, C=+20. Measure enough
+	// products and the fit must recover the weights almost exactly.
+	m := flatModel(t, "A", "B", "C")
+	truth := func(feats ...string) float64 {
+		v := 100.0
+		for _, f := range feats {
+			switch f {
+			case "A":
+				v += 50
+			case "B":
+				v += 30
+			case "C":
+				v += 20
+			}
+		}
+		return v
+	}
+	s := NewStore(m)
+	combos := [][]string{{}, {"A"}, {"B"}, {"C"}, {"A", "B"}, {"A", "C"}, {"B", "C"}}
+	for _, combo := range combos {
+		s.Record(product(t, m, combo...), map[Property]float64{ROM: truth(combo...)})
+	}
+	// Predict the unseen full product.
+	full := product(t, m, "A", "B", "C")
+	est, err := s.Estimate(full, ROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Exact {
+		t.Fatal("full product should not be an exact match")
+	}
+	if math.Abs(est.Value-truth("A", "B", "C")) > 1.0 {
+		t.Fatalf("estimate %f, truth %f", est.Value, truth("A", "B", "C"))
+	}
+	if w, ok := s.FeatureWeight(ROM, "A"); !ok || math.Abs(w-50) > 1.0 {
+		t.Fatalf("weight(A) = %f, %v", w, ok)
+	}
+	if est.Distance != 1 {
+		t.Fatalf("distance = %d, want 1", est.Distance)
+	}
+}
+
+func TestEstimateWithInteractionsApproximates(t *testing.T) {
+	// A+B together cost extra (interaction); the additive model cannot
+	// be exact but should stay within the interaction magnitude.
+	m := flatModel(t, "A", "B")
+	truth := map[string]float64{
+		"":    100,
+		"A":   150,
+		"B":   130,
+		"A,B": 200, // +20 interaction
+	}
+	s := NewStore(m)
+	s.Record(product(t, m), map[Property]float64{ROM: truth[""]})
+	s.Record(product(t, m, "A"), map[Property]float64{ROM: truth["A"]})
+	s.Record(product(t, m, "B"), map[Property]float64{ROM: truth["B"]})
+	s.Record(product(t, m, "A", "B"), map[Property]float64{ROM: truth["A,B"]})
+	// Exact match wins even with interactions present.
+	est, _ := s.Estimate(product(t, m, "A", "B"), ROM)
+	if !est.Exact || est.Value != 200 {
+		t.Fatalf("exact lookup = %+v", est)
+	}
+	// Cross-validation error is bounded by the interaction share.
+	errRate, n, err := s.CrossValidate(ROM)
+	if err != nil || n != 4 {
+		t.Fatalf("CrossValidate = %v, n=%d", err, n)
+	}
+	if errRate > 0.25 {
+		t.Fatalf("LOO error %f unexpectedly large", errRate)
+	}
+}
+
+func TestRecordReplacesSameConfig(t *testing.T) {
+	m := flatModel(t, "A")
+	s := NewStore(m)
+	cfg := product(t, m, "A")
+	s.Record(cfg, map[Property]float64{ROM: 10})
+	s.Record(cfg, map[Property]float64{ROM: 20, Throughput: 5})
+	if len(s.Measurements()) != 1 {
+		t.Fatalf("measurements = %d", len(s.Measurements()))
+	}
+	est, _ := s.Estimate(cfg, ROM)
+	if est.Value != 20 {
+		t.Fatalf("value = %f", est.Value)
+	}
+	est, err := s.Estimate(cfg, Throughput)
+	if err != nil || est.Value != 5 {
+		t.Fatalf("throughput = %+v, %v", est, err)
+	}
+}
+
+func TestNoDataError(t *testing.T) {
+	m := flatModel(t, "A")
+	s := NewStore(m)
+	if _, err := s.Estimate(product(t, m, "A"), ROM); err == nil {
+		t.Fatal("estimate without data should fail")
+	}
+	if _, _, err := s.CrossValidate(ROM); err == nil {
+		t.Fatal("cross-validation without data should fail")
+	}
+}
+
+func TestEstimateOnRealFAMEModel(t *testing.T) {
+	m := core.FAMEModel()
+	s := NewStore(m)
+	// Synthetic ROM truth: 50 bytes per concrete feature count (purely
+	// additive), measured on the paper's representative products.
+	for _, p := range core.FAMEProducts() {
+		cfg := product(t, m, p.Features...)
+		s.Record(cfg, map[Property]float64{ROM: float64(100 + 50*len(concreteSelected(cfg)))})
+	}
+	// Predict a fresh product.
+	cfg := product(t, m, "Win32", "ListIndex", "Put", "Get", "Remove")
+	est, err := s.Estimate(cfg, ROM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(100 + 50*len(concreteSelected(cfg)))
+	if est.Exact {
+		t.Fatal("should not be exact")
+	}
+	// With only 4 training points, the fit is underdetermined; it must
+	// still be a sane magnitude (within 2x).
+	if est.Value < want/2 || est.Value > want*2 {
+		t.Fatalf("estimate %f, truth %f", est.Value, want)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	x, err := solveLinear([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+	if _, err := solveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Fatal("singular system should fail")
+	}
+}

@@ -1,0 +1,145 @@
+package osal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error returned by FaultFS-triggered failures.
+var ErrInjected = errors.New("osal: injected fault")
+
+// FaultFS wraps a filesystem and injects failures, for exercising error
+// paths and crash windows in the storage and transaction layers. The
+// countdown counts write-class operations (WriteAt, Sync, Truncate)
+// across all files: when it reaches zero, that operation and every
+// subsequent write-class operation fail until the countdown is reset.
+// Reads always succeed (a crashed write does not damage reads here;
+// torn-write simulation is done by truncating files directly).
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	countdown int64 // -1 = disarmed
+	tripped   bool
+	// WriteOps counts write-class operations observed, for planning
+	// fault points.
+	WriteOps int64
+}
+
+// NewFaultFS wraps fs with fault injection disarmed.
+func NewFaultFS(fs FS) *FaultFS {
+	return &FaultFS{inner: fs, countdown: -1}
+}
+
+// FailAfter arms the injector: the n-th write-class operation from now
+// (1-based) and all later ones fail.
+func (f *FaultFS) FailAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.countdown = n
+	f.tripped = false
+}
+
+// Disarm stops injecting failures.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.countdown = -1
+	f.tripped = false
+}
+
+// Tripped reports whether a fault has fired since the last arm/disarm.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// allowWrite consumes one write-class operation.
+func (f *FaultFS) allowWrite() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.WriteOps++
+	if f.countdown < 0 {
+		return nil
+	}
+	if f.countdown > 1 {
+		f.countdown--
+		return nil
+	}
+	f.countdown = 1 // stay tripped
+	f.tripped = true
+	return ErrInjected
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.allowWrite(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldName, newName string) error {
+	if err := f.allowWrite(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+// List implements FS.
+func (f *FaultFS) List() ([]string, error) { return f.inner.List() }
+
+// Stats implements FS.
+func (f *FaultFS) Stats() *Stats { return f.inner.Stats() }
+
+type faultFile struct {
+	f  File
+	fs *FaultFS
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) { return ff.f.ReadAt(p, off) }
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.allowWrite(); err != nil {
+		return 0, err
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Size() (int64, error) { return ff.f.Size() }
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.allowWrite(); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.allowWrite(); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

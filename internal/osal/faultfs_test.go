@@ -1,0 +1,80 @@
+package osal
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSDisarmedPassesThrough(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Tripped() {
+		t.Fatal("tripped while disarmed")
+	}
+	if fs.WriteOps != 2 {
+		t.Fatalf("WriteOps = %d", fs.WriteOps)
+	}
+}
+
+func TestFaultFSFailsAtCountdown(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("x")
+	fs.FailAfter(3)
+	if _, err := f.WriteAt([]byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("2"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("3"), 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write = %v, want ErrInjected", err)
+	}
+	// Stays failed until disarmed.
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after trip = %v", err)
+	}
+	if !fs.Tripped() {
+		t.Fatal("not reported as tripped")
+	}
+	fs.Disarm()
+	if _, err := f.WriteAt([]byte("4"), 3); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+	// Reads never fail.
+	fs.FailAfter(1)
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("read while armed: %v", err)
+	}
+}
+
+func TestFaultFSCoversAllWriteOps(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("x")
+	f.WriteAt([]byte("data"), 0)
+	cases := []func() error{
+		func() error { return f.Truncate(1) },
+		func() error { return f.Sync() },
+		func() error { return fs.Remove("x") },
+		func() error { return fs.Rename("x", "y") },
+	}
+	for i, op := range cases {
+		fs.FailAfter(1)
+		if err := op(); !errors.Is(err, ErrInjected) {
+			t.Errorf("case %d = %v, want ErrInjected", i, err)
+		}
+		fs.Disarm()
+	}
+}

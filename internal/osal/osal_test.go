@@ -1,0 +1,301 @@
+package osal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// fsUnderTest runs a subtest against both filesystem implementations.
+func fsUnderTest(t *testing.T, fn func(t *testing.T, fs FS)) {
+	t.Helper()
+	t.Run("MemFS", func(t *testing.T) { fn(t, NewMemFS()) })
+	t.Run("DirFS", func(t *testing.T) {
+		fs, err := NewDirFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, fs)
+	})
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		f, err := fs.Create("data.db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("hello, embedded world")
+		if _, err := f.WriteAt(payload, 100); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if _, err := f.ReadAt(got, 100); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("read back %q, want %q", got, payload)
+		}
+		// The hole before offset 100 reads as zeros.
+		hole := make([]byte, 100)
+		if _, err := f.ReadAt(hole, 0); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range hole {
+			if b != 0 {
+				t.Fatal("hole not zero-filled")
+			}
+		}
+		if size, _ := f.Size(); size != 121 {
+			t.Fatalf("Size = %d, want 121", size)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestOpenMissing(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("Open(missing) = %v, want ErrNotExist", err)
+		}
+		if err := fs.Remove("missing"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("Remove(missing) = %v, want ErrNotExist", err)
+		}
+		if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("Rename(missing) = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+func TestCreatePreservesContent(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		f, _ := fs.Create("f")
+		if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		f2, err := fs.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 3)
+		if _, err := f2.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "abc" {
+			t.Fatalf("Create truncated existing file: %q", got)
+		}
+	})
+}
+
+func TestRemoveAndList(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		for _, n := range []string{"b", "a", "c"} {
+			f, err := fs.Create(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+		names, err := fs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+			t.Fatalf("List = %v", names)
+		}
+		if err := fs.Remove("b"); err != nil {
+			t.Fatal(err)
+		}
+		names, _ = fs.List()
+		if len(names) != 2 {
+			t.Fatalf("List after remove = %v", names)
+		}
+		if _, err := fs.Open("b"); !errors.Is(err, ErrNotExist) {
+			t.Fatal("removed file still opens")
+		}
+	})
+}
+
+func TestRename(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		f, _ := fs.Create("old")
+		f.WriteAt([]byte("x"), 0)
+		f.Close()
+		if err := fs.Rename("old", "new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Open("old"); !errors.Is(err, ErrNotExist) {
+			t.Fatal("old name still exists")
+		}
+		nf, err := fs.Open("new")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 1)
+		nf.ReadAt(got, 0)
+		if got[0] != 'x' {
+			t.Fatal("content lost in rename")
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		f, _ := fs.Create("f")
+		f.WriteAt([]byte("0123456789"), 0)
+		if err := f.Truncate(4); err != nil {
+			t.Fatal(err)
+		}
+		if size, _ := f.Size(); size != 4 {
+			t.Fatalf("Size after shrink = %d", size)
+		}
+		if err := f.Truncate(8); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+			t.Fatalf("grow after shrink = %q", got)
+		}
+		if err := f.Truncate(-1); err == nil {
+			t.Fatal("negative truncate should fail")
+		}
+	})
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS) {
+		f, _ := fs.Create("f")
+		f.WriteAt([]byte("abc"), 0)
+		buf := make([]byte, 10)
+		n, err := f.ReadAt(buf, 0)
+		if n != 3 || err != io.EOF {
+			t.Fatalf("short read = (%d, %v), want (3, EOF)", n, err)
+		}
+		if _, err := f.ReadAt(buf, 100); err != io.EOF {
+			t.Fatalf("read past EOF = %v, want EOF", err)
+		}
+	})
+}
+
+func TestClosedFileErrors(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.Close()
+	if _, err := f.WriteAt([]byte("x"), 0); err == nil {
+		t.Fatal("write after close should fail")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read after close should fail")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync after close should fail")
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("double close should fail")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.WriteAt(make([]byte, 100), 0)
+	f.ReadAt(make([]byte, 40), 0)
+	f.Sync()
+	reads, writes, syncs, br, bw := fs.Stats().Snapshot()
+	if reads != 1 || writes != 1 || syncs != 1 || br != 40 || bw != 100 {
+		t.Fatalf("stats = %d %d %d %d %d", reads, writes, syncs, br, bw)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative read offset should fail")
+	}
+	if _, err := f.WriteAt([]byte("x"), -1); err == nil {
+		t.Fatal("negative write offset should fail")
+	}
+}
+
+func TestPlatforms(t *testing.T) {
+	for _, name := range []string{"Linux", "Win32", "NutOS"} {
+		p, err := PlatformByName(name)
+		if err != nil {
+			t.Fatalf("PlatformByName(%s): %v", name, err)
+		}
+		if p.Name != name || p.PageSize <= 0 || p.RAMBudget <= 0 {
+			t.Fatalf("platform %s misconfigured: %+v", name, p)
+		}
+	}
+	if _, err := PlatformByName("BeOS"); err == nil {
+		t.Fatal("unknown platform should fail")
+	}
+	if NutOS.PageSize >= Linux.PageSize {
+		t.Fatal("NutOS pages should be smaller than Linux pages")
+	}
+	if NutOS.RAMBudget >= Win32.RAMBudget {
+		t.Fatal("NutOS RAM budget should be smallest")
+	}
+}
+
+// TestWriteReadQuick checks the fundamental property: reading back any
+// written region returns exactly the written bytes.
+func TestWriteReadQuick(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("q")
+	property := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if _, err := f.WriteAt(data, int64(off)); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := f.ReadAt(got, int64(off)); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSConcurrentAccess(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("c")
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			buf := []byte{byte(g)}
+			for i := 0; i < 100; i++ {
+				if _, err := f.WriteAt(buf, int64(g*100+i)); err != nil {
+					done <- err
+					return
+				}
+				if _, err := f.ReadAt(buf, int64(g*100)); err != nil && err != io.EOF {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package repl is the Replication feature of the Berkeley DB case
+// study: log shipping of committed operations to replica indexes, with
+// offline buffering, catch-up, and divergence verification.
+//
+// Replication is in-process: the paper's embedded deployments replicate
+// between a device and its gateway; here every replica is another index
+// (usually in another file or filesystem), which exercises the same
+// code path — serialize committed ops, apply them elsewhere, verify.
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"famedb/internal/index"
+)
+
+// Op is one shipped operation.
+type Op struct {
+	Remove bool
+	Key    []byte
+	Value  []byte
+}
+
+// Replica is a replication target.
+type Replica struct {
+	idx     index.Index
+	online  bool
+	pending []Op
+	// Applied counts operations applied to this replica.
+	Applied int64
+}
+
+// Pending returns the number of buffered (not yet applied) operations.
+func (r *Replica) Pending() int { return len(r.pending) }
+
+// Replicator ships committed operations to attached replicas. It is
+// safe for concurrent use.
+type Replicator struct {
+	mu       sync.Mutex
+	replicas []*Replica
+	// Shipped counts operations shipped (to any number of replicas).
+	Shipped int64
+}
+
+// New returns an empty replicator.
+func New() *Replicator { return &Replicator{} }
+
+// Attach registers an index as an online replica.
+func (r *Replicator) Attach(idx index.Index) *Replica {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Replica{idx: idx, online: true}
+	r.replicas = append(r.replicas, rep)
+	return rep
+}
+
+// SetOnline switches a replica between applying immediately (online)
+// and buffering (offline).
+func (r *Replicator) SetOnline(rep *Replica, online bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep.online = online
+}
+
+// Replicas returns the number of attached replicas.
+func (r *Replicator) Replicas() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.replicas)
+}
+
+// Ship delivers one committed operation to every replica. Offline
+// replicas buffer it for CatchUp. The signature matches
+// txn.Options.OnApply so the replicator can hang directly off the
+// transaction manager.
+func (r *Replicator) Ship(remove bool, key, value []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := Op{
+		Remove: remove,
+		Key:    append([]byte(nil), key...),
+		Value:  append([]byte(nil), value...),
+	}
+	r.Shipped++
+	for _, rep := range r.replicas {
+		if !rep.online {
+			rep.pending = append(rep.pending, op)
+			continue
+		}
+		if err := applyOp(rep, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyOp(rep *Replica, op Op) error {
+	if op.Remove {
+		if _, err := rep.idx.Delete(op.Key); err != nil {
+			return fmt.Errorf("repl: apply delete: %w", err)
+		}
+	} else {
+		if err := rep.idx.Insert(op.Key, op.Value); err != nil {
+			return fmt.Errorf("repl: apply insert: %w", err)
+		}
+	}
+	rep.Applied++
+	return nil
+}
+
+// CatchUp applies a replica's buffered operations and marks it online.
+func (r *Replicator) CatchUp(rep *Replica) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, op := range rep.pending {
+		if err := applyOp(rep, op); err != nil {
+			return err
+		}
+	}
+	rep.pending = nil
+	rep.online = true
+	return nil
+}
+
+// Verify checks that every online replica holds exactly the primary's
+// contents. Offline replicas are skipped (they are expected to lag).
+func (r *Replicator) Verify(primary index.Index) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Materialize the primary once.
+	type kv struct{ k, v []byte }
+	var prim []kv
+	if err := primary.Scan(nil, nil, func(k, v []byte) bool {
+		prim = append(prim, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	}); err != nil {
+		return err
+	}
+	for i, rep := range r.replicas {
+		if !rep.online {
+			continue
+		}
+		n, err := rep.idx.Len()
+		if err != nil {
+			return err
+		}
+		if int(n) != len(prim) {
+			return fmt.Errorf("repl: replica %d has %d entries, primary %d", i, n, len(prim))
+		}
+		for _, e := range prim {
+			v, found, err := rep.idx.Get(e.k)
+			if err != nil {
+				return err
+			}
+			if !found || !bytes.Equal(v, e.v) {
+				return fmt.Errorf("repl: replica %d diverges at key %q", i, e.k)
+			}
+		}
+	}
+	return nil
+}

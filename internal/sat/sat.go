@@ -1,0 +1,404 @@
+// Package sat implements a small DPLL satisfiability solver with unit
+// propagation, activity-ordered branching, incremental solving under
+// assumptions, and exact model counting.
+//
+// It is the reasoning kernel behind the feature-model engine in
+// internal/core: configuration validation, decision propagation, and
+// variant counting all reduce to SAT queries over the feature model's
+// propositional encoding. Feature models in this repository are small
+// (tens of variables), so a clean DPLL without clause learning is both
+// sufficient and easy to audit.
+package sat
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Var identifies a propositional variable. Variables are dense,
+// starting at 1 (0 is invalid), matching the DIMACS convention.
+type Var int
+
+// Lit is a literal: a variable or its negation.
+type Lit int
+
+// NewLit returns the literal for v, negated if neg is true.
+func NewLit(v Var, neg bool) Lit {
+	if v <= 0 {
+		panic("sat: variable must be positive")
+	}
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Pos returns the positive literal of v.
+func Pos(v Var) Lit { return NewLit(v, false) }
+
+// Neg returns the negative literal of v.
+func Neg(v Var) Lit { return NewLit(v, true) }
+
+// Var returns the variable of the literal.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS style ("3" or "-3").
+func (l Lit) String() string {
+	if l.IsNeg() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// String renders the clause as a DIMACS-style literal list.
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// value is the tri-state assignment of a variable.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solver holds a CNF formula and answers satisfiability queries.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	numVars int
+	clauses []Clause
+
+	// occurrence lists: for each literal, indexes of clauses containing it.
+	occ map[Lit][]int
+
+	// activity counts how often each variable occurs; used as a static
+	// branching order (most constrained first).
+	activity []int
+
+	assign []value // indexed by Var
+	trail  []Lit   // assignment order, for backtracking
+
+	// stats
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+}
+
+// New creates a solver over variables 1..numVars.
+func New(numVars int) *Solver {
+	return &Solver{
+		numVars:  numVars,
+		occ:      make(map[Lit][]int),
+		activity: make([]int, numVars+1),
+		assign:   make([]value, numVars+1),
+	}
+}
+
+// NumVars returns the number of variables the solver was created with.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of clauses added so far.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// AddClause adds a clause to the formula. Duplicate literals are
+// removed; a tautological clause (containing l and ¬l) is ignored.
+// Adding an empty clause makes the formula trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	seen := make(map[Lit]bool, len(lits))
+	var c Clause
+	for _, l := range lits {
+		if l.Var() < 1 || int(l.Var()) > s.numVars {
+			panic(fmt.Sprintf("sat: literal %s out of range 1..%d", l, s.numVars))
+		}
+		if seen[l] {
+			continue
+		}
+		if seen[l.Not()] {
+			return // tautology
+		}
+		seen[l] = true
+		c = append(c, l)
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	for _, l := range c {
+		s.occ[l] = append(s.occ[l], idx)
+		s.activity[l.Var()]++
+	}
+}
+
+// val returns the current truth value of a literal.
+func (s *Solver) val(l Lit) value {
+	v := s.assign[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.IsNeg() {
+		if v == vTrue {
+			return vFalse
+		}
+		return vTrue
+	}
+	return v
+}
+
+// set assigns l to true and records it on the trail.
+func (s *Solver) set(l Lit) {
+	if l.IsNeg() {
+		s.assign[l.Var()] = vFalse
+	} else {
+		s.assign[l.Var()] = vTrue
+	}
+	s.trail = append(s.trail, l)
+}
+
+// undoTo backtracks the trail to length n.
+func (s *Solver) undoTo(n int) {
+	for len(s.trail) > n {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[l.Var()] = unassigned
+	}
+}
+
+// propagate performs unit propagation from the current trail position.
+// It returns false on conflict.
+func (s *Solver) propagate(qhead int) bool {
+	for qhead < len(s.trail) {
+		l := s.trail[qhead]
+		qhead++
+		// Clauses containing ¬l may have become unit or empty.
+		for _, ci := range s.occ[l.Not()] {
+			c := s.clauses[ci]
+			var unit Lit
+			unitCount := 0
+			satisfied := false
+			for _, cl := range c {
+				switch s.val(cl) {
+				case vTrue:
+					satisfied = true
+				case unassigned:
+					unit = cl
+					unitCount++
+				}
+				if satisfied || unitCount > 1 {
+					break
+				}
+			}
+			if satisfied || unitCount > 1 {
+				continue
+			}
+			if unitCount == 0 {
+				s.Conflicts++
+				return false
+			}
+			s.Propagations++
+			s.set(unit)
+		}
+	}
+	return true
+}
+
+// pickBranchVar returns the unassigned variable with the highest
+// activity, or 0 if all variables are assigned.
+func (s *Solver) pickBranchVar() Var {
+	best := Var(0)
+	bestAct := -1
+	for v := Var(1); int(v) <= s.numVars; v++ {
+		if s.assign[v] == unassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// allClausesSatisfied reports whether every clause is satisfied under
+// the current (possibly partial) assignment.
+func (s *Solver) allClausesSatisfied() bool {
+	for _, c := range s.clauses {
+		sat := false
+		for _, l := range c {
+			if s.val(l) == vTrue {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve reports whether the formula is satisfiable under the given
+// assumption literals. On success the satisfying assignment can be read
+// with Model before the next call.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	s.undoTo(0)
+	for _, c := range s.clauses {
+		if len(c) == 0 {
+			return false
+		}
+	}
+	for _, a := range assumptions {
+		switch s.val(a) {
+		case vFalse:
+			return false
+		case unassigned:
+			s.set(a)
+		}
+	}
+	if !s.propagate(0) {
+		return false
+	}
+	return s.search()
+}
+
+// search is the recursive DPLL core over the current trail.
+func (s *Solver) search() bool {
+	v := s.pickBranchVar()
+	if v == 0 {
+		return true // complete assignment; propagation guarantees consistency
+	}
+	mark := len(s.trail)
+	for _, l := range []Lit{Pos(v), Neg(v)} {
+		s.Decisions++
+		s.set(l)
+		if s.propagate(mark) && s.search() {
+			return true
+		}
+		s.undoTo(mark)
+	}
+	return false
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve call: model[v] is the value of variable v. Unassigned variables
+// (possible when the formula does not mention them) default to false.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.numVars+1)
+	for v := Var(1); int(v) <= s.numVars; v++ {
+		m[v] = s.assign[v] == vTrue
+	}
+	return m
+}
+
+// CountModels returns the exact number of satisfying assignments of the
+// formula under the given assumptions, counting over all numVars
+// variables (variables not occurring in any clause contribute a factor
+// of two each).
+func (s *Solver) CountModels(assumptions ...Lit) *big.Int {
+	s.undoTo(0)
+	total := new(big.Int)
+	for _, c := range s.clauses {
+		if len(c) == 0 {
+			return total
+		}
+	}
+	for _, a := range assumptions {
+		switch s.val(a) {
+		case vFalse:
+			return total
+		case unassigned:
+			s.set(a)
+		}
+	}
+	if !s.propagate(0) {
+		return total
+	}
+	s.countFrom(total)
+	s.undoTo(0)
+	return total
+}
+
+// countFrom adds to total the number of models extending the current
+// trail.
+func (s *Solver) countFrom(total *big.Int) {
+	if s.allClausesSatisfied() {
+		free := 0
+		for v := Var(1); int(v) <= s.numVars; v++ {
+			if s.assign[v] == unassigned {
+				free++
+			}
+		}
+		total.Add(total, new(big.Int).Lsh(big.NewInt(1), uint(free)))
+		return
+	}
+	v := s.pickUnsatBranchVar()
+	if v == 0 {
+		return // some clause is falsified and no unassigned var can fix it
+	}
+	mark := len(s.trail)
+	for _, l := range []Lit{Pos(v), Neg(v)} {
+		s.Decisions++
+		s.set(l)
+		if s.propagate(mark) {
+			s.countFrom(total)
+		}
+		s.undoTo(mark)
+	}
+}
+
+// pickUnsatBranchVar picks an unassigned variable from an unsatisfied
+// clause, preferring high activity. Branching only on variables of
+// unsatisfied clauses keeps the free-variable factor exact.
+func (s *Solver) pickUnsatBranchVar() Var {
+	best := Var(0)
+	bestAct := -1
+	for _, c := range s.clauses {
+		sat := false
+		for _, l := range c {
+			if s.val(l) == vTrue {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if s.val(l) == unassigned && s.activity[l.Var()] > bestAct {
+				best, bestAct = l.Var(), s.activity[l.Var()]
+			}
+		}
+	}
+	return best
+}
+
+// Implied reports whether the formula (plus assumptions) logically
+// entails the literal l, i.e. whether formula ∧ assumptions ∧ ¬l is
+// unsatisfiable. A literal over an unconstrained formula is not implied.
+func (s *Solver) Implied(l Lit, assumptions ...Lit) bool {
+	return !s.Solve(append(append([]Lit{}, assumptions...), l.Not())...)
+}
+
+// Clauses returns a copy of the solver's clause database, mainly for
+// diagnostics and tests.
+func (s *Solver) Clauses() []Clause {
+	out := make([]Clause, len(s.clauses))
+	for i, c := range s.clauses {
+		cc := make(Clause, len(c))
+		copy(cc, c)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		out[i] = cc
+	}
+	return out
+}

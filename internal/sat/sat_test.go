@@ -1,0 +1,338 @@
+package sat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := Pos(3)
+	if l.Var() != 3 || l.IsNeg() {
+		t.Fatalf("Pos(3) = %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 3 || !n.IsNeg() {
+		t.Fatalf("Not(Pos(3)) = %v", n)
+	}
+	if n.Not() != l {
+		t.Fatalf("double negation changed literal")
+	}
+	if got := Neg(5).String(); got != "-5" {
+		t.Fatalf("Neg(5).String() = %q", got)
+	}
+	if got := Pos(5).String(); got != "5" {
+		t.Fatalf("Pos(5).String() = %q", got)
+	}
+}
+
+func TestEmptyFormulaSatisfiable(t *testing.T) {
+	s := New(3)
+	if !s.Solve() {
+		t.Fatal("empty formula should be satisfiable")
+	}
+	if got := s.CountModels(); got.Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("CountModels = %v, want 8", got)
+	}
+}
+
+func TestEmptyClauseUnsatisfiable(t *testing.T) {
+	s := New(2)
+	s.AddClause()
+	if s.Solve() {
+		t.Fatal("formula with empty clause should be unsatisfiable")
+	}
+	if got := s.CountModels(); got.Sign() != 0 {
+		t.Fatalf("CountModels = %v, want 0", got)
+	}
+}
+
+func TestUnitAndConflict(t *testing.T) {
+	s := New(1)
+	s.AddClause(Pos(1))
+	s.AddClause(Neg(1))
+	if s.Solve() {
+		t.Fatal("x ∧ ¬x should be unsatisfiable")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New(2)
+	s.AddClause(Pos(1), Neg(1))
+	if s.NumClauses() != 0 {
+		t.Fatalf("tautology should be dropped, have %d clauses", s.NumClauses())
+	}
+	if got := s.CountModels(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("CountModels = %v, want 4", got)
+	}
+}
+
+func TestDuplicateLiteralsDeduped(t *testing.T) {
+	s := New(2)
+	s.AddClause(Pos(1), Pos(1), Pos(2))
+	cs := s.Clauses()
+	if len(cs) != 1 || len(cs[0]) != 2 {
+		t.Fatalf("clauses = %v", cs)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// 1 → 2 → 3, assume 1.
+	s := New(3)
+	s.AddClause(Neg(1), Pos(2))
+	s.AddClause(Neg(2), Pos(3))
+	if !s.Solve(Pos(1)) {
+		t.Fatal("chain should be satisfiable")
+	}
+	m := s.Model()
+	if !m[1] || !m[2] || !m[3] {
+		t.Fatalf("model = %v, want all true", m)
+	}
+	if !s.Implied(Pos(3), Pos(1)) {
+		t.Fatal("3 should be implied by 1")
+	}
+	if s.Implied(Pos(1)) {
+		t.Fatal("1 should not be implied unconditionally")
+	}
+}
+
+func TestAssumptionConflict(t *testing.T) {
+	s := New(2)
+	s.AddClause(Neg(1), Neg(2))
+	if s.Solve(Pos(1), Pos(2)) {
+		t.Fatal("assumptions violating ¬1∨¬2 should fail")
+	}
+	if !s.Solve(Pos(1)) {
+		t.Fatal("single assumption should succeed")
+	}
+}
+
+func TestXorCountModels(t *testing.T) {
+	// Exactly-one of 3 variables: 3 models.
+	s := New(3)
+	s.AddClause(Pos(1), Pos(2), Pos(3))
+	s.AddClause(Neg(1), Neg(2))
+	s.AddClause(Neg(1), Neg(3))
+	s.AddClause(Neg(2), Neg(3))
+	if got := s.CountModels(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("CountModels = %v, want 3", got)
+	}
+	if got := s.CountModels(Neg(2)); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("CountModels(¬2) = %v, want 2", got)
+	}
+}
+
+func TestCountModelsWithFreeVariables(t *testing.T) {
+	// Only variable 1 is constrained; 2 and 3 are free.
+	s := New(3)
+	s.AddClause(Pos(1))
+	if got := s.CountModels(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("CountModels = %v, want 4", got)
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	// 4 pigeons into 3 holes: classic small UNSAT instance.
+	const pigeons, holes = 4, 3
+	v := func(p, h int) Var { return Var(p*holes + h + 1) }
+	s := New(pigeons * holes)
+	for p := 0; p < pigeons; p++ {
+		c := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = Pos(v(p, h))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(v(p1, h)), Neg(v(p2, h)))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole 4-into-3 should be unsatisfiable")
+	}
+}
+
+func TestSolveIsRepeatable(t *testing.T) {
+	s := New(3)
+	s.AddClause(Pos(1), Pos(2))
+	s.AddClause(Neg(1), Pos(3))
+	for i := 0; i < 5; i++ {
+		if !s.Solve() {
+			t.Fatalf("iteration %d: became unsatisfiable", i)
+		}
+		if s.Solve(Pos(1), Neg(3)) {
+			t.Fatalf("iteration %d: 1∧¬3 should conflict with ¬1∨3", i)
+		}
+	}
+}
+
+// bruteForceCount enumerates all assignments of n variables and counts
+// those satisfying every clause.
+func bruteForceCount(n int, clauses []Clause) int64 {
+	var count int64
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				bit := mask>>(int(l.Var())-1)&1 == 1
+				if bit != l.IsNeg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// randomCNF builds a random formula over n vars with m clauses of width
+// up to 3.
+func randomCNF(rng *rand.Rand, n, m int) []Clause {
+	clauses := make([]Clause, 0, m)
+	for i := 0; i < m; i++ {
+		w := 1 + rng.Intn(3)
+		c := make(Clause, 0, w)
+		for j := 0; j < w; j++ {
+			c = append(c, NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1))
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses
+}
+
+func TestCountModelsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(7) // 2..8 vars
+		m := rng.Intn(12)
+		clauses := randomCNF(rng, n, m)
+		s := New(n)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		want := bruteForceCount(n, s.Clauses())
+		got := s.CountModels()
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("iter %d: n=%d clauses=%v: CountModels=%v want %d",
+				iter, n, s.Clauses(), got, want)
+		}
+		// Solve must agree with count>0.
+		if s.Solve() != (want > 0) {
+			t.Fatalf("iter %d: Solve disagrees with model count %d", iter, want)
+		}
+	}
+}
+
+func TestModelSatisfiesFormulaQuick(t *testing.T) {
+	// Property: whenever Solve returns true, the returned model
+	// satisfies every clause.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		clauses := randomCNF(rng, n, rng.Intn(15))
+		s := New(n)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		if !s.Solve() {
+			return true
+		}
+		m := s.Model()
+		for _, c := range s.Clauses() {
+			sat := false
+			for _, l := range c {
+				if m[l.Var()] != l.IsNeg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpliedQuick(t *testing.T) {
+	// Property: if a literal is implied, forcing its negation must be
+	// unsatisfiable, and every model must agree with the literal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		clauses := randomCNF(rng, n, 1+rng.Intn(8))
+		s := New(n)
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		l := NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1)
+		implied := s.Implied(l)
+		if !implied {
+			return true
+		}
+		return !s.Solve(l.Not())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeLiteralPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range literal")
+		}
+	}()
+	s := New(2)
+	s.AddClause(Pos(3))
+}
+
+func BenchmarkSolveChain(b *testing.B) {
+	const n = 200
+	s := New(n)
+	for i := 1; i < n; i++ {
+		s.AddClause(Neg(Var(i)), Pos(Var(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Solve(Pos(1)) {
+			b.Fatal("unsat")
+		}
+	}
+}
+
+func BenchmarkCountModelsXor(b *testing.B) {
+	const n = 16
+	s := New(n)
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = Pos(Var(i + 1))
+	}
+	s.AddClause(lits...)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			s.AddClause(Neg(Var(i)), Neg(Var(j)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.CountModels(); got.Cmp(big.NewInt(n)) != 0 {
+			b.Fatalf("count = %v", got)
+		}
+	}
+}

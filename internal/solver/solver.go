@@ -1,0 +1,219 @@
+// Package solver implements non-functional-constrained product
+// derivation (paper Sec. 3.2): finding a valid product that contains
+// the stakeholder's required features while satisfying resource
+// constraints (ROM budget) and minimizing footprint.
+//
+// The underlying problem is a constraint-satisfaction/optimization
+// problem (NP-complete, as the paper notes). Two derivers are provided:
+//
+//   - Greedy — the paper's approach: decide features one at a time,
+//     cheapest-consistent-choice first. Fast, not always optimal.
+//   - BranchAndBound — exact optimum, used as the baseline the greedy
+//     result is compared against (experiment E6's optimality gap).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+)
+
+// Request describes a derivation problem.
+type Request struct {
+	// Model is the product line.
+	Model *core.Model
+	// Table provides per-feature ROM costs.
+	Table *footprint.Table
+	// Required features must be selected (the application's functional
+	// requirements, e.g. from internal/analysis).
+	Required []string
+	// MaxROM is the ROM budget in bytes; 0 means unconstrained.
+	MaxROM int
+}
+
+// Result is a derived product with its cost.
+type Result struct {
+	Config *core.Configuration
+	ROM    int
+	// Explored counts search nodes (1 for greedy), for the cost
+	// comparison in E6.
+	Explored int
+}
+
+// ErrInfeasible is returned when no valid product satisfies the
+// constraints.
+var ErrInfeasible = errors.New("solver: no product satisfies the constraints")
+
+// cost returns a feature's ROM cost (abstract features cost 0).
+func (r *Request) cost(f *core.Feature) int {
+	if f.Abstract || f.IsRoot() {
+		return 0
+	}
+	return r.Table.Features[f.Name]
+}
+
+// romOf computes a complete configuration's ROM.
+func (r *Request) romOf(cfg *core.Configuration) (int, error) {
+	var names []string
+	for _, f := range cfg.SelectedFeatures() {
+		names = append(names, f.Name)
+	}
+	return r.Table.ROMFine(names)
+}
+
+// baseConfig applies the required features and propagation.
+func (r *Request) baseConfig() (*core.Configuration, error) {
+	cfg := r.Model.NewConfiguration()
+	if err := cfg.SelectAll(r.Required...); err != nil {
+		return nil, fmt.Errorf("solver: required features conflict: %w", err)
+	}
+	return cfg, nil
+}
+
+// Greedy derives a product by deciding undecided features in ascending
+// cost order, deselecting whenever the model allows it and otherwise
+// selecting; among the members of a forced choice (alternative groups)
+// the cheapest consistent member wins because cheaper members are
+// visited first.
+func Greedy(r Request) (*Result, error) {
+	cfg, err := r.baseConfig()
+	if err != nil {
+		return nil, err
+	}
+	// Order undecided features by ascending cost so that expensive
+	// alternatives are deselected before group pressure forces a pick.
+	features := append([]*core.Feature(nil), r.Model.Features()...)
+	sort.SliceStable(features, func(i, j int) bool {
+		return r.cost(features[i]) < r.cost(features[j])
+	})
+	// First pass: try to deselect every truly optional feature, most
+	// expensive first (so the big savings are locked in).
+	for i := len(features) - 1; i >= 0; i-- {
+		f := features[i]
+		if cfg.State(f.Name) != core.Undecided {
+			continue
+		}
+		if err := cfg.Deselect(f.Name); err != nil {
+			// Cannot be excluded right now; leave undecided, a later
+			// pass settles groups.
+			continue
+		}
+	}
+	// Second pass: whatever remains undecided is group-forced; pick the
+	// cheapest consistent completion.
+	for _, f := range features { // ascending cost
+		if cfg.State(f.Name) != core.Undecided {
+			continue
+		}
+		if err := cfg.Select(f.Name); err != nil {
+			if err := cfg.Deselect(f.Name); err != nil {
+				return nil, fmt.Errorf("solver: greedy wedged on %s: %w", f.Name, err)
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: greedy produced an invalid product: %w", err)
+	}
+	rom, err := r.romOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.MaxROM > 0 && rom > r.MaxROM {
+		return nil, fmt.Errorf("%w: greedy product needs %d bytes, budget %d",
+			ErrInfeasible, rom, r.MaxROM)
+	}
+	return &Result{Config: cfg, ROM: rom, Explored: 1}, nil
+}
+
+// BranchAndBound derives the ROM-minimal product exactly. The search
+// decides features in descending cost order (deselect branch first),
+// prunes with the model's SAT propagation and with a lower bound of
+// committed-plus-forced cost against the incumbent.
+func BranchAndBound(r Request) (*Result, error) {
+	base, err := r.baseConfig()
+	if err != nil {
+		return nil, err
+	}
+	// Decision order: descending cost. Deciding expensive features
+	// first makes the bound effective.
+	var order []*core.Feature
+	for _, f := range r.Model.Features() {
+		order = append(order, f)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return r.cost(order[i]) > r.cost(order[j])
+	})
+
+	bestROM := -1
+	var bestCfg *core.Configuration
+	explored := 0
+
+	// committedCost computes the cost of everything currently selected.
+	committedCost := func(cfg *core.Configuration) int {
+		total := r.Table.Core
+		for _, f := range cfg.SelectedFeatures() {
+			total += r.cost(f)
+		}
+		return total
+	}
+
+	var dfs func(cfg *core.Configuration)
+	dfs = func(cfg *core.Configuration) {
+		explored++
+		lower := committedCost(cfg)
+		if bestROM >= 0 && lower >= bestROM {
+			return // bound
+		}
+		if r.MaxROM > 0 && lower > r.MaxROM {
+			return // budget exceeded already
+		}
+		// Find the next undecided feature in decision order.
+		var next *core.Feature
+		for _, f := range order {
+			if cfg.State(f.Name) == core.Undecided {
+				next = f
+				break
+			}
+		}
+		if next == nil {
+			if err := cfg.Validate(); err != nil {
+				return
+			}
+			rom, err := r.romOf(cfg)
+			if err != nil {
+				return
+			}
+			if bestROM < 0 || rom < bestROM {
+				bestROM, bestCfg = rom, cfg.Clone()
+			}
+			return
+		}
+		// Deselect branch first: it never increases cost.
+		if c := cfg.Clone(); c.Deselect(next.Name) == nil {
+			dfs(c)
+		}
+		if c := cfg.Clone(); c.Select(next.Name) == nil {
+			dfs(c)
+		}
+	}
+	dfs(base)
+
+	if bestCfg == nil || (r.MaxROM > 0 && bestROM > r.MaxROM) {
+		return nil, fmt.Errorf("%w (budget %d)", ErrInfeasible, r.MaxROM)
+	}
+	return &Result{Config: bestCfg, ROM: bestROM, Explored: explored}, nil
+}
+
+// SpaceSize reports the number of products the search space contains
+// after the required features are applied — context for E6's tables.
+func SpaceSize(r Request) (*big.Int, error) {
+	cfg, err := r.baseConfig()
+	if err != nil {
+		return nil, err
+	}
+	return cfg.CountRemaining(), nil
+}

@@ -1,0 +1,142 @@
+package sql
+
+import "famedb/internal/types"
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// ColumnDef defines one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Kind       types.Kind
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// DropTable is DROP TABLE.
+type DropTable struct{ Table string }
+
+// Insert is INSERT INTO ... VALUES ....
+type Insert struct {
+	Table   string
+	Columns []string // empty = all columns in schema order
+	Rows    [][]types.Value
+}
+
+// CompareOp is a comparison operator in a predicate.
+type CompareOp string
+
+// The supported comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "!="
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+)
+
+// Condition is one "col op literal" term; predicates are conjunctions
+// of conditions.
+type Condition struct {
+	Column string
+	Op     CompareOp
+	Value  types.Value
+}
+
+// AggFunc is an aggregate function name.
+type AggFunc string
+
+// The supported aggregates.
+const (
+	AggCount AggFunc = "COUNT"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+)
+
+// Aggregate is one aggregate expression in a SELECT list.
+type Aggregate struct {
+	Func   AggFunc
+	Column string // "*" only for COUNT
+}
+
+// Select is SELECT ... FROM .... A select list is either plain columns
+// (possibly *) or aggregates, not a mix.
+type Select struct {
+	Table      string
+	Columns    []string // empty = * (when no aggregates)
+	Aggregates []Aggregate
+	Where      []Condition
+	// GroupBy names the grouping column; aggregates are then computed
+	// per group and the grouping column may appear in the select list.
+	GroupBy string
+	OrderBy string
+	Desc    bool
+	Limit   int // -1 = no limit
+}
+
+// Update is UPDATE ... SET ....
+type Update struct {
+	Table string
+	Set   map[string]types.Value
+	Where []Condition
+}
+
+// Delete is DELETE FROM ....
+type Delete struct {
+	Table string
+	Where []Condition
+}
+
+func (CreateTable) stmt() {}
+func (DropTable) stmt()   {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+func (Update) stmt()      {}
+func (Delete) stmt()      {}
+
+// matches evaluates a conjunction of conditions against a row.
+func matches(conds []Condition, schema []ColumnDef, row []types.Value) bool {
+	for _, c := range conds {
+		idx := columnIndex(schema, c.Column)
+		if idx < 0 {
+			return false
+		}
+		cmp := types.Compare(row[idx], c.Value)
+		ok := false
+		switch c.Op {
+		case OpEq:
+			ok = cmp == 0
+		case OpNe:
+			ok = cmp != 0
+		case OpLt:
+			ok = cmp < 0
+		case OpLe:
+			ok = cmp <= 0
+		case OpGt:
+			ok = cmp > 0
+		case OpGe:
+			ok = cmp >= 0
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func columnIndex(schema []ColumnDef, name string) int {
+	for i, c := range schema {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

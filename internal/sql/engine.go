@@ -1,0 +1,703 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"famedb/internal/access"
+	"famedb/internal/index"
+	"famedb/internal/storage"
+	"famedb/internal/types"
+)
+
+// Errors of the SQL layer.
+var (
+	// ErrNoTable is returned for statements over unknown tables.
+	ErrNoTable = errors.New("sql: no such table")
+	// ErrTableExists is returned by CREATE TABLE for duplicates.
+	ErrTableExists = errors.New("sql: table already exists")
+	// ErrDuplicateKey is returned by INSERT on primary-key collisions.
+	ErrDuplicateKey = errors.New("sql: duplicate primary key")
+	// ErrNoColumn is returned for references to unknown columns.
+	ErrNoColumn = errors.New("sql: no such column")
+	// ErrTypeMismatch is returned when a value does not fit its column.
+	ErrTypeMismatch = errors.New("sql: type mismatch")
+)
+
+// IndexFactory abstracts which Index alternative the product selected;
+// the SQL engine uses it for the catalog and for every table.
+type IndexFactory struct {
+	// Create makes a fresh index, returning its persistent meta page.
+	Create func(p storage.Pager) (index.Index, storage.PageID, error)
+	// Open reopens an index from its meta page.
+	Open func(p storage.Pager, meta storage.PageID) (index.Index, error)
+	// Ordered reports whether Scan visits keys in order (B+-tree: yes;
+	// List: no). The optimizer only plans range scans on ordered
+	// indexes.
+	Ordered bool
+}
+
+// BTreeFactory returns the factory for the BPlusTree alternative.
+func BTreeFactory(ops index.BTreeOps) IndexFactory {
+	return IndexFactory{
+		Create: func(p storage.Pager) (index.Index, storage.PageID, error) {
+			return index.CreateBTree(p, ops)
+		},
+		Open: func(p storage.Pager, meta storage.PageID) (index.Index, error) {
+			return index.OpenBTree(p, meta, ops)
+		},
+		Ordered: true,
+	}
+}
+
+// ListFactory returns the factory for the ListIndex alternative.
+func ListFactory() IndexFactory {
+	return IndexFactory{
+		Create: func(p storage.Pager) (index.Index, storage.PageID, error) {
+			return index.CreateList(p)
+		},
+		Open: func(p storage.Pager, meta storage.PageID) (index.Index, error) {
+			return index.OpenList(p, meta)
+		},
+		Ordered: false,
+	}
+}
+
+// Config assembles the engine from the product's feature selection.
+type Config struct {
+	Pager   storage.Pager
+	Factory IndexFactory
+	// Ops is the product's Access operation set; SQL statements that
+	// need an absent operation fail with access.ErrNotComposed.
+	Ops access.Ops
+	// Optimizer enables index access-path selection (the Optimizer
+	// feature). Without it, every query is a full scan.
+	Optimizer bool
+}
+
+// Engine executes SQL statements.
+type Engine struct {
+	cfg     Config
+	catalog index.Index
+	meta    storage.PageID
+	tables  map[string]*table
+}
+
+type table struct {
+	name    string
+	schema  []ColumnDef
+	pk      int // index into schema; -1 = hidden rowid
+	store   *access.Store
+	idxMeta storage.PageID
+	nextRow int64
+}
+
+// Create initializes a fresh engine; the returned meta page (the
+// catalog root) reopens it.
+func Create(cfg Config) (*Engine, storage.PageID, error) {
+	cat, meta, err := cfg.Factory.Create(cfg.Pager)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Engine{cfg: cfg, catalog: cat, meta: meta, tables: map[string]*table{}}, meta, nil
+}
+
+// Open loads an engine from its catalog meta page.
+func Open(cfg Config, meta storage.PageID) (*Engine, error) {
+	cat, err := cfg.Factory.Open(cfg.Pager, meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, catalog: cat, meta: meta, tables: map[string]*table{}}, nil
+}
+
+// Meta returns the catalog meta page.
+func (e *Engine) Meta() storage.PageID { return e.meta }
+
+// Result is the outcome of a statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds the result rows of a SELECT.
+	Rows [][]types.Value
+	// Affected counts rows changed by INSERT/UPDATE/DELETE.
+	Affected int
+	// Plan describes the chosen access path of a SELECT ("index-scan"
+	// or "full-scan"), for tests and the optimizer ablation.
+	Plan string
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case CreateTable:
+		return e.execCreate(s)
+	case DropTable:
+		return e.execDrop(s)
+	case Insert:
+		return e.execInsert(s)
+	case Select:
+		return e.execSelect(s)
+	case Update:
+		return e.execUpdate(s)
+	case Delete:
+		return e.execDelete(s)
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	}
+}
+
+// --- catalog ---
+
+func catalogKey(name string) []byte { return types.EncodeKey(types.Str(name)) }
+
+func encodeTableMeta(t *table) []byte {
+	vals := []types.Value{
+		types.Str(t.name),
+		types.Int(int64(t.idxMeta)),
+		types.Int(int64(t.pk)),
+		types.Int(t.nextRow),
+		types.Int(int64(len(t.schema))),
+	}
+	for _, c := range t.schema {
+		vals = append(vals, types.Str(c.Name), types.Int(int64(c.Kind)), types.Bool(c.PrimaryKey))
+	}
+	return types.EncodeRow(vals)
+}
+
+func decodeTableMeta(rec []byte) (*table, error) {
+	vals, err := types.DecodeRow(rec)
+	if err != nil || len(vals) < 5 {
+		return nil, fmt.Errorf("sql: corrupt catalog record: %v", err)
+	}
+	t := &table{
+		name:    vals[0].Str,
+		idxMeta: storage.PageID(vals[1].Int),
+		pk:      int(vals[2].Int),
+		nextRow: vals[3].Int,
+	}
+	n := int(vals[4].Int)
+	if len(vals) != 5+3*n {
+		return nil, errors.New("sql: corrupt catalog record length")
+	}
+	for i := 0; i < n; i++ {
+		t.schema = append(t.schema, ColumnDef{
+			Name:       vals[5+3*i].Str,
+			Kind:       types.Kind(vals[6+3*i].Int),
+			PrimaryKey: vals[7+3*i].Bool,
+		})
+	}
+	return t, nil
+}
+
+func (e *Engine) saveTableMeta(t *table) error {
+	return e.catalog.Insert(catalogKey(t.name), encodeTableMeta(t))
+}
+
+func (e *Engine) openTable(name string) (*table, error) {
+	if t, ok := e.tables[name]; ok {
+		return t, nil
+	}
+	rec, found, err := e.catalog.Get(catalogKey(name))
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	t, err := decodeTableMeta(rec)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := e.cfg.Factory.Open(e.cfg.Pager, t.idxMeta)
+	if err != nil {
+		return nil, err
+	}
+	t.store = access.New(idx, e.cfg.Ops)
+	e.tables[name] = t
+	return t, nil
+}
+
+// Tables lists the table names in the catalog.
+func (e *Engine) Tables() ([]string, error) {
+	var names []string
+	err := e.catalog.Scan(nil, nil, func(k, v []byte) bool {
+		t, derr := decodeTableMeta(v)
+		if derr == nil {
+			names = append(names, t.name)
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names, err
+}
+
+// --- DDL ---
+
+func (e *Engine) execCreate(s CreateTable) (*Result, error) {
+	if _, found, err := e.catalog.Get(catalogKey(s.Table)); err != nil {
+		return nil, err
+	} else if found {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	idx, meta, err := e.cfg.Factory.Create(e.cfg.Pager)
+	if err != nil {
+		return nil, err
+	}
+	pk := -1
+	for i, c := range s.Columns {
+		if c.PrimaryKey {
+			pk = i
+		}
+	}
+	t := &table{name: s.Table, schema: s.Columns, pk: pk, idxMeta: meta, nextRow: 1}
+	t.store = access.New(idx, e.cfg.Ops)
+	if err := e.saveTableMeta(t); err != nil {
+		return nil, err
+	}
+	e.tables[s.Table] = t
+	return &Result{}, nil
+}
+
+func (e *Engine) execDrop(s DropTable) (*Result, error) {
+	if _, err := e.openTable(s.Table); err != nil {
+		return nil, err
+	}
+	if _, err := e.catalog.Delete(catalogKey(s.Table)); err != nil {
+		return nil, err
+	}
+	delete(e.tables, s.Table)
+	return &Result{Affected: 1}, nil
+}
+
+// --- DML ---
+
+// coerce adapts a literal to the column kind where lossless (int
+// literals into float columns); anything else must match exactly.
+func coerce(v types.Value, kind types.Kind) (types.Value, error) {
+	if v.Kind == kind {
+		return v, nil
+	}
+	if v.Kind == types.KindInt && kind == types.KindFloat {
+		return types.Float(float64(v.Int)), nil
+	}
+	return types.Value{}, fmt.Errorf("%w: %v into %v column", ErrTypeMismatch, v.Kind, kind)
+}
+
+// rowKey computes the storage key for a row.
+func (t *table) rowKey(row []types.Value, rowid int64) []byte {
+	if t.pk >= 0 {
+		return types.EncodeKey(row[t.pk])
+	}
+	return types.EncodeKey(types.Int(rowid))
+}
+
+func (e *Engine) execInsert(s Insert) (*Result, error) {
+	t, err := e.openTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, c := range t.schema {
+			cols = append(cols, c.Name)
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		colIdx[i] = columnIndex(t.schema, c)
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+		}
+	}
+	affected := 0
+	for _, literals := range s.Rows {
+		if len(literals) != len(cols) {
+			return nil, fmt.Errorf("sql: %d values for %d columns", len(literals), len(cols))
+		}
+		row := make([]types.Value, len(t.schema))
+		assigned := make([]bool, len(t.schema))
+		for i, v := range literals {
+			cv, err := coerce(v, t.schema[colIdx[i]].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", cols[i], err)
+			}
+			row[colIdx[i]] = cv
+			assigned[colIdx[i]] = true
+		}
+		for i := range row {
+			if !assigned[i] {
+				return nil, fmt.Errorf("sql: column %s has no value (NULL is not supported)",
+					t.schema[i].Name)
+			}
+		}
+		key := t.rowKey(row, t.nextRow)
+		if t.pk >= 0 {
+			// Primary keys must be unique.
+			if _, found, err := t.store.Index().Get(key); err != nil {
+				return nil, err
+			} else if found {
+				return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, row[t.pk])
+			}
+		}
+		if err := t.store.Put(key, types.EncodeRow(row)); err != nil {
+			return nil, err
+		}
+		if t.pk < 0 {
+			t.nextRow++
+			if err := e.saveTableMeta(t); err != nil {
+				return nil, err
+			}
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// planScan decides the access path for a predicate over t, returning
+// the scan bounds and a plan label. Only the Optimizer feature plans
+// index ranges, and only over ordered indexes and primary-key columns.
+func (e *Engine) planScan(t *table, where []Condition) (lo, hi []byte, plan string) {
+	plan = "full-scan"
+	if !e.cfg.Optimizer || !e.cfg.Factory.Ordered || t.pk < 0 {
+		return nil, nil, plan
+	}
+	pkName := t.schema[t.pk].Name
+	for _, c := range where {
+		if c.Column != pkName {
+			continue
+		}
+		v, err := coerce(c.Value, t.schema[t.pk].Kind)
+		if err != nil {
+			continue
+		}
+		key := types.EncodeKey(v)
+		switch c.Op {
+		case OpEq:
+			// Point range [key, key+0x00).
+			lo = key
+			hi = append(append([]byte(nil), key...), 0)
+			plan = "index-scan"
+			return lo, hi, plan
+		case OpGt, OpGe:
+			if lo == nil || bytesCompare(key, lo) > 0 {
+				lo = key
+				if c.Op == OpGt {
+					lo = append(append([]byte(nil), key...), 0)
+				}
+				plan = "index-scan"
+			}
+		case OpLt, OpLe:
+			if hi == nil || bytesCompare(key, hi) < 0 {
+				hi = key
+				if c.Op == OpLe {
+					hi = append(append([]byte(nil), key...), 0)
+				}
+				plan = "index-scan"
+			}
+		}
+	}
+	return lo, hi, plan
+}
+
+func bytesCompare(a, b []byte) int {
+	switch {
+	case string(a) < string(b):
+		return -1
+	case string(a) > string(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// scanMatching collects rows matching the predicate, with their keys.
+func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows [][]types.Value, plan string, err error) {
+	for _, c := range where {
+		if columnIndex(t.schema, c.Column) < 0 {
+			return nil, nil, "", fmt.Errorf("%w: %s", ErrNoColumn, c.Column)
+		}
+	}
+	lo, hi, plan := e.planScan(t, where)
+	var scanErr error
+	err = t.store.Scan(lo, hi, func(k, v []byte) bool {
+		row, derr := types.DecodeRow(v)
+		if derr != nil {
+			scanErr = derr
+			return false
+		}
+		if matches(where, t.schema, row) {
+			keys = append(keys, append([]byte(nil), k...))
+			rows = append(rows, row)
+		}
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	return keys, rows, plan, err
+}
+
+func (e *Engine) execSelect(s Select) (*Result, error) {
+	t, err := e.openTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Aggregates) > 0 {
+		return e.execAggregates(t, s)
+	}
+	outCols := s.Columns
+	if len(outCols) == 0 {
+		for _, c := range t.schema {
+			outCols = append(outCols, c.Name)
+		}
+	}
+	proj := make([]int, len(outCols))
+	for i, c := range outCols {
+		proj[i] = columnIndex(t.schema, c)
+		if proj[i] < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+		}
+	}
+	_, rows, plan, err := e.scanMatching(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	if s.OrderBy != "" {
+		oi := columnIndex(t.schema, s.OrderBy)
+		if oi < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, s.OrderBy)
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			cmp := types.Compare(rows[a][oi], rows[b][oi])
+			if s.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	out := make([][]types.Value, len(rows))
+	for i, row := range rows {
+		pr := make([]types.Value, len(proj))
+		for j, pi := range proj {
+			pr[j] = row[pi]
+		}
+		out[i] = pr
+	}
+	return &Result{Columns: outCols, Rows: out, Plan: plan}, nil
+}
+
+// ErrEmptyAggregate is returned by MIN/MAX/SUM/AVG over zero rows
+// (there is no NULL to return).
+var ErrEmptyAggregate = errors.New("sql: aggregate over zero rows")
+
+// execAggregates evaluates an aggregate select list, optionally grouped
+// by one column. COUNT of zero rows is 0; the other aggregates need at
+// least one row per group (groups are never empty by construction, so
+// this only bites the ungrouped zero-row case).
+func (e *Engine) execAggregates(t *table, s Select) (*Result, error) {
+	for _, a := range s.Aggregates {
+		if a.Column == "*" {
+			continue
+		}
+		i := columnIndex(t.schema, a.Column)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, a.Column)
+		}
+		kind := t.schema[i].Kind
+		if (a.Func == AggSum || a.Func == AggAvg) &&
+			kind != types.KindInt && kind != types.KindFloat {
+			return nil, fmt.Errorf("%w: %s over %v column %s", ErrTypeMismatch, a.Func, kind, a.Column)
+		}
+	}
+	gi := -1
+	if s.GroupBy != "" {
+		if gi = columnIndex(t.schema, s.GroupBy); gi < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, s.GroupBy)
+		}
+	}
+	if s.OrderBy != "" && s.OrderBy != s.GroupBy {
+		return nil, errors.New("sql: aggregates can only be ordered by the grouping column")
+	}
+	_, rows, plan, err := e.scanMatching(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column header: grouping column first when selected, then the
+	// aggregates in select-list order.
+	var cols []string
+	includeGroupCol := len(s.Columns) > 0 // parser ensures Columns == {GroupBy}
+	if includeGroupCol {
+		cols = append(cols, s.GroupBy)
+	}
+	for _, a := range s.Aggregates {
+		cols = append(cols, fmt.Sprintf("%s(%s)", a.Func, a.Column))
+	}
+
+	if gi < 0 {
+		row, err := aggRow(t, s.Aggregates, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: cols, Rows: [][]types.Value{row}, Plan: plan}, nil
+	}
+
+	// Group rows by the encoded group key, keeping value order.
+	groups := map[string][][]types.Value{}
+	keyVals := map[string]types.Value{}
+	var keys []string
+	for _, r := range rows {
+		k := string(types.EncodeKey(r[gi]))
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+			keyVals[k] = r[gi]
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Strings(keys) // order-preserving encoding sorts by value
+	if s.Desc {
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	}
+	var out [][]types.Value
+	for _, k := range keys {
+		row, err := aggRow(t, s.Aggregates, groups[k])
+		if err != nil {
+			return nil, err
+		}
+		if includeGroupCol {
+			row = append([]types.Value{keyVals[k]}, row...)
+		}
+		out = append(out, row)
+	}
+	if s.Limit >= 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return &Result{Columns: cols, Rows: out, Plan: plan}, nil
+}
+
+// aggRow computes one aggregate result row over a row set.
+func aggRow(t *table, aggs []Aggregate, rows [][]types.Value) ([]types.Value, error) {
+	out := make([]types.Value, len(aggs))
+	for i, a := range aggs {
+		if a.Func == AggCount {
+			out[i] = types.Int(int64(len(rows)))
+			continue
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%s(%s): %w", a.Func, a.Column, ErrEmptyAggregate)
+		}
+		ci := columnIndex(t.schema, a.Column)
+		switch a.Func {
+		case AggMin, AggMax:
+			best := rows[0][ci]
+			for _, r := range rows[1:] {
+				cmp := types.Compare(r[ci], best)
+				if (a.Func == AggMin && cmp < 0) || (a.Func == AggMax && cmp > 0) {
+					best = r[ci]
+				}
+			}
+			out[i] = best
+		case AggSum, AggAvg:
+			isInt := t.schema[ci].Kind == types.KindInt
+			var sumI int64
+			var sumF float64
+			for _, r := range rows {
+				if isInt {
+					sumI += r[ci].Int
+				} else {
+					sumF += r[ci].Float
+				}
+			}
+			switch {
+			case a.Func == AggSum && isInt:
+				out[i] = types.Int(sumI)
+			case a.Func == AggSum:
+				out[i] = types.Float(sumF)
+			case isInt: // AVG over ints is a float
+				out[i] = types.Float(float64(sumI) / float64(len(rows)))
+			default:
+				out[i] = types.Float(sumF / float64(len(rows)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) execUpdate(s Update) (*Result, error) {
+	t, err := e.openTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	setIdx := map[int]types.Value{}
+	for col, v := range s.Set {
+		i := columnIndex(t.schema, col)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, col)
+		}
+		cv, err := coerce(v, t.schema[i].Kind)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", col, err)
+		}
+		setIdx[i] = cv
+	}
+	keys, rows, _, err := e.scanMatching(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for i, row := range rows {
+		newRow := append([]types.Value(nil), row...)
+		for ci, v := range setIdx {
+			newRow[ci] = v
+		}
+		pkChanged := t.pk >= 0 && types.Compare(row[t.pk], newRow[t.pk]) != 0
+		if pkChanged {
+			newKey := types.EncodeKey(newRow[t.pk])
+			if _, found, err := t.store.Index().Get(newKey); err != nil {
+				return nil, err
+			} else if found {
+				return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, newRow[t.pk])
+			}
+			if err := t.store.Remove(keys[i]); err != nil {
+				return nil, err
+			}
+			if err := t.store.Put(newKey, types.EncodeRow(newRow)); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := t.store.Update(keys[i], types.EncodeRow(newRow)); err != nil {
+				return nil, err
+			}
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (e *Engine) execDelete(s Delete) (*Result, error) {
+	t, err := e.openTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	keys, _, _, err := e.scanMatching(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if err := t.store.Remove(k); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(keys)}, nil
+}

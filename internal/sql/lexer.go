@@ -1,0 +1,129 @@
+// Package sql is the SQLEngine feature of FAME-DBMS: a compact SQL
+// subset (CREATE/DROP TABLE, INSERT, SELECT, UPDATE, DELETE) executed
+// over the access layer. The separate Optimizer feature selects index
+// access paths; without it every query scans.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	CREATE TABLE t (col TYPE [PRIMARY KEY], ...)
+//	DROP TABLE t
+//	INSERT INTO t [(col, ...)] VALUES (lit, ...) [, (lit, ...)]...
+//	SELECT * | cols | aggs FROM t [WHERE pred] [GROUP BY col]
+//	       [ORDER BY col [ASC|DESC]] [LIMIT n]
+//	UPDATE t SET col = lit [, col = lit]... [WHERE pred]
+//	DELETE FROM t [WHERE pred]
+//
+//	pred := col op lit [AND col op lit]...   op ∈ {=, !=, <, <=, >, >=}
+//	aggs := COUNT(*|col) | MIN(col) | MAX(col) | SUM(col) | AVG(col), ...
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; * =  != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "SELECT": true, "FROM": true,
+	"WHERE": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "GROUP": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"AND": true, "PRIMARY": true, "KEY": true, "TRUE": true, "FALSE": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "REAL": true, "DOUBLE": true,
+	"TEXT": true, "STRING": true, "VARCHAR": true, "BLOB": true,
+	"BOOL": true, "BOOLEAN": true, "NOT": true, "NULL": true,
+}
+
+// lex splits input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '-' && i+1 < len(rs) && rs[i+1] == '-':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '(' || r == ')' || r == ',' || r == ';' || r == '*' || r == '=':
+			toks = append(toks, token{tokSymbol, string(r), i})
+			i++
+		case r == '!' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, token{tokSymbol, "!=", i})
+			i += 2
+		case r == '<' || r == '>':
+			sym := string(r)
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				sym += "="
+				i++
+			}
+			toks = append(toks, token{tokSymbol, sym, i})
+			i++
+		case r == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(rs) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if rs[j] == '\'' {
+					if j+1 < len(rs) && rs[j+1] == '\'' { // escaped quote
+						sb.WriteRune('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteRune(rs[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(rs) && unicode.IsDigit(rs[i+1])):
+			j := i + 1
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == 'e' ||
+				rs[j] == 'E' || ((rs[j] == '+' || rs[j] == '-') && (rs[j-1] == 'e' || rs[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j]), i})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := string(rs[i:j])
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tokKeyword, upper, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", r, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(rs)})
+	return toks, nil
+}

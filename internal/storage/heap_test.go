@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newHeap(t *testing.T, pageSize int) (*HeapFile, *PageFile) {
+	t.Helper()
+	pf, err := CreatePageFile(newTestFile(t), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := CreateHeap(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, pf
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	h, _ := newHeap(t, 256)
+	rid, err := h.Insert([]byte("record-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "record-one" {
+		t.Fatalf("Get = %q", got)
+	}
+	if rid.IsZero() {
+		t.Fatal("valid RID reported as zero")
+	}
+	if rid.String() == "" {
+		t.Fatal("RID string empty")
+	}
+}
+
+func TestHeapSpansPages(t *testing.T) {
+	h, pf := newHeap(t, 128)
+	var rids []RID
+	for i := 0; i < 50; i++ {
+		rid, err := h.Insert([]byte(fmt.Sprintf("record-%02d-padding-padding", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if pf.NumPages() < 5 {
+		t.Fatalf("expected chain growth, have %d pages", pf.NumPages())
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		want := fmt.Sprintf("record-%02d-padding-padding", i)
+		if string(got) != want {
+			t.Fatalf("Get(%v) = %q, want %q", rid, got, want)
+		}
+	}
+	if n, _ := h.Len(); n != 50 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	h, _ := newHeap(t, 256)
+	rid, _ := h.Insert([]byte("bye"))
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if n, _ := h.Len(); n != 0 {
+		t.Fatalf("Len after delete = %d", n)
+	}
+}
+
+func TestHeapUpdateInPlaceAndRelocate(t *testing.T) {
+	h, _ := newHeap(t, 128)
+	rid, _ := h.Insert([]byte("small"))
+	// Fill the page so a grown update must relocate.
+	for i := 0; i < 20; i++ {
+		h.Insert(bytes.Repeat([]byte("f"), 20))
+	}
+	// In-place shrink keeps the RID.
+	rid2, err := h.Update(rid, []byte("sm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid2 != rid {
+		t.Fatalf("shrink moved record: %v -> %v", rid, rid2)
+	}
+	// Large grow relocates.
+	big := bytes.Repeat([]byte("G"), 80)
+	rid3, err := h.Update(rid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid3)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("relocated record: %q, %v", got, err)
+	}
+	if rid3 != rid {
+		// Old RID must be gone.
+		if _, err := h.Get(rid); !errors.Is(err, ErrNoRecord) {
+			t.Fatalf("old RID still readable after relocation: %v", err)
+		}
+	}
+}
+
+func TestHeapScanOrderAndStop(t *testing.T) {
+	h, _ := newHeap(t, 128)
+	want := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		rec := fmt.Sprintf("rec-%02d", i)
+		h.Insert([]byte(rec))
+		want[rec] = true
+	}
+	seen := map[string]bool{}
+	if err := h.Scan(func(rid RID, rec []byte) bool {
+		seen[string(rec)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(seen), len(want))
+	}
+	// Early termination.
+	n := 0
+	h.Scan(func(rid RID, rec []byte) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("scan visited %d after stop, want 5", n)
+	}
+}
+
+func TestHeapReopen(t *testing.T) {
+	pf, err := CreatePageFile(newTestFile(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, head, err := CreateHeap(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 25; i++ {
+		rid, _ := h.Insert([]byte(fmt.Sprintf("persist-%02d", i)))
+		rids = append(rids, rid)
+	}
+
+	h2, err := OpenHeap(pf, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		got, err := h2.Get(rid)
+		if err != nil || string(got) != fmt.Sprintf("persist-%02d", i) {
+			t.Fatalf("reopened Get(%v) = %q, %v", rid, got, err)
+		}
+	}
+	// Inserts continue at the tail.
+	if _, err := h2.Insert([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h2.Len(); n != 26 {
+		t.Fatalf("Len after reopen+insert = %d", n)
+	}
+}
+
+func TestHeapTruncate(t *testing.T) {
+	h, pf := newHeap(t, 128)
+	for i := 0; i < 40; i++ {
+		h.Insert(bytes.Repeat([]byte("t"), 30))
+	}
+	pagesBefore := pf.NumPages()
+	if err := h.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.Len(); n != 0 {
+		t.Fatalf("Len after truncate = %d", n)
+	}
+	// Freed pages are reused: inserting again must not grow the file
+	// beyond its previous size.
+	for i := 0; i < 40; i++ {
+		h.Insert(bytes.Repeat([]byte("u"), 30))
+	}
+	if pf.NumPages() > pagesBefore {
+		t.Fatalf("file grew after truncate: %d -> %d pages", pagesBefore, pf.NumPages())
+	}
+}
+
+func TestHeapRejectsHugeRecord(t *testing.T) {
+	h, _ := newHeap(t, 128)
+	if _, err := h.Insert(make([]byte, 4096)); err == nil {
+		t.Fatal("oversized record should be rejected")
+	}
+}
+
+func TestHeapGetWrongPage(t *testing.T) {
+	pf, _ := CreatePageFile(newTestFile(t), 128)
+	h, _, _ := CreateHeap(pf)
+	// Allocate a non-heap page and point a RID at it.
+	id, _ := pf.Alloc()
+	raw := make([]byte, 128)
+	InitSlotted(raw, 0x99)
+	pf.WritePage(id, raw)
+	if _, err := h.Get(RID{Page: id, Slot: 0}); err == nil {
+		t.Fatal("Get on non-heap page should fail")
+	}
+}
+
+// TestHeapModelEquivalence drives the heap against a map model.
+func TestHeapModelEquivalence(t *testing.T) {
+	h, _ := newHeap(t, 256)
+	rng := rand.New(rand.NewSource(99))
+	model := map[RID][]byte{}
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert (weighted)
+			rec := make([]byte, 1+rng.Intn(50))
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			if _, dup := model[rid]; dup {
+				t.Fatalf("op %d: RID %v reused while live", op, rid)
+			}
+			model[rid] = append([]byte(nil), rec...)
+		case 2: // delete
+			for rid := range model {
+				if err := h.Delete(rid); err != nil {
+					t.Fatalf("op %d delete %v: %v", op, rid, err)
+				}
+				delete(model, rid)
+				break
+			}
+		case 3: // update
+			for rid := range model {
+				rec := make([]byte, 1+rng.Intn(80))
+				rng.Read(rec)
+				newRID, err := h.Update(rid, rec)
+				if err != nil {
+					t.Fatalf("op %d update %v: %v", op, rid, err)
+				}
+				delete(model, rid)
+				model[newRID] = append([]byte(nil), rec...)
+				break
+			}
+		}
+	}
+	if n, _ := h.Len(); n != len(model) {
+		t.Fatalf("Len = %d, model = %d", n, len(model))
+	}
+	for rid, want := range model {
+		got, err := h.Get(rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%v) = %x, %v; want %x", rid, got, err, want)
+		}
+	}
+	// Scan agrees with the model too.
+	scanned := 0
+	h.Scan(func(rid RID, rec []byte) bool {
+		want, ok := model[rid]
+		if !ok || !bytes.Equal(rec, want) {
+			t.Fatalf("scan found unexpected %v = %x", rid, rec)
+		}
+		scanned++
+		return true
+	})
+	if scanned != len(model) {
+		t.Fatalf("scan visited %d, model has %d", scanned, len(model))
+	}
+}

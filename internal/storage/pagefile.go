@@ -1,0 +1,246 @@
+// Package storage is the storage-management substrate of FAME-DBMS:
+// page files with free-page management, slotted pages, and heap files
+// with record identifiers. Index structures (internal/btree,
+// internal/index) and the buffer manager (internal/buffer) are built on
+// the Pager interface defined here.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"famedb/internal/osal"
+)
+
+// PageID identifies a page within a page file. Page 0 is the file
+// header; 0 is therefore also the "no page" sentinel for user data.
+type PageID uint32
+
+// InvalidPage is the zero PageID, never a data page.
+const InvalidPage PageID = 0
+
+// Pager is the page-granular storage interface. PageFile implements it
+// directly; the buffer manager wraps any Pager and implements it again,
+// so index structures are oblivious to whether a cache is configured
+// (the BufferManager feature is optional in the product line).
+type Pager interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// Alloc allocates a page and returns its ID. Fresh pages are
+	// zeroed.
+	Alloc() (PageID, error)
+	// Free returns a page to the free list.
+	Free(PageID) error
+	// ReadPage fills buf (len == PageSize) with the page contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf (len == PageSize) as the page contents.
+	WritePage(id PageID, buf []byte) error
+	// Sync makes all written pages durable.
+	Sync() error
+	// Close flushes and releases resources.
+	Close() error
+}
+
+const (
+	fileMagic   = "FAMEPG01"
+	headerSize  = 8 + 4 + 4 + 4 // magic + pageSize + pageCount + freeHead
+	minPageSize = 64
+	maxPageSize = 64 << 10
+)
+
+// ErrBadPage is returned for out-of-range or unallocated page accesses.
+var ErrBadPage = errors.New("storage: invalid page access")
+
+// PageFile manages fixed-size pages in an osal.File with a free list.
+// It is not safe for concurrent use; the buffer manager serializes
+// access in concurrent configurations.
+type PageFile struct {
+	f        osal.File
+	pageSize int
+	// pageCount counts all pages including the header page 0.
+	pageCount uint32
+	// freeHead is the first page of the free list (0 = empty). Freed
+	// pages store the next free PageID in their first 4 bytes.
+	freeHead PageID
+	dirtyHdr bool
+	closed   bool
+	scratch  []byte
+}
+
+// CreatePageFile initializes a new page file in f with the given page
+// size, overwriting any existing content.
+func CreatePageFile(f osal.File, pageSize int) (*PageFile, error) {
+	if pageSize < minPageSize || pageSize > maxPageSize || pageSize%2 != 0 {
+		return nil, fmt.Errorf("storage: unsupported page size %d", pageSize)
+	}
+	if err := f.Truncate(0); err != nil {
+		return nil, err
+	}
+	pf := &PageFile{f: f, pageSize: pageSize, pageCount: 1, scratch: make([]byte, pageSize)}
+	if err := pf.writeHeader(); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}
+
+// OpenPageFile opens an existing page file and validates its header.
+func OpenPageFile(f osal.File) (*PageFile, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("storage: read header: %w", err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", hdr[:8])
+	}
+	pageSize := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if pageSize < minPageSize || pageSize > maxPageSize {
+		return nil, fmt.Errorf("storage: corrupt page size %d", pageSize)
+	}
+	pf := &PageFile{
+		f:         f,
+		pageSize:  pageSize,
+		pageCount: binary.LittleEndian.Uint32(hdr[12:16]),
+		freeHead:  PageID(binary.LittleEndian.Uint32(hdr[16:20])),
+		scratch:   make([]byte, pageSize),
+	}
+	if pf.pageCount == 0 {
+		return nil, errors.New("storage: corrupt page count 0")
+	}
+	return pf, nil
+}
+
+func (pf *PageFile) writeHeader() error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(pf.pageSize))
+	binary.LittleEndian.PutUint32(hdr[12:16], pf.pageCount)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(pf.freeHead))
+	if _, err := pf.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	pf.dirtyHdr = false
+	return nil
+}
+
+// PageSize implements Pager.
+func (pf *PageFile) PageSize() int { return pf.pageSize }
+
+// NumPages returns the number of allocated pages including the header.
+func (pf *PageFile) NumPages() uint32 { return pf.pageCount }
+
+func (pf *PageFile) offset(id PageID) int64 { return int64(id) * int64(pf.pageSize) }
+
+// Alloc implements Pager.
+func (pf *PageFile) Alloc() (PageID, error) {
+	if pf.closed {
+		return 0, errors.New("storage: page file is closed")
+	}
+	if pf.freeHead != InvalidPage {
+		id := pf.freeHead
+		var next [4]byte
+		if _, err := pf.f.ReadAt(next[:], pf.offset(id)); err != nil {
+			return 0, fmt.Errorf("storage: read free list: %w", err)
+		}
+		pf.freeHead = PageID(binary.LittleEndian.Uint32(next[:]))
+		pf.dirtyHdr = true
+		// Hand out zeroed pages regardless of history.
+		for i := range pf.scratch {
+			pf.scratch[i] = 0
+		}
+		if _, err := pf.f.WriteAt(pf.scratch, pf.offset(id)); err != nil {
+			return 0, err
+		}
+		return id, nil
+	}
+	id := PageID(pf.pageCount)
+	pf.pageCount++
+	pf.dirtyHdr = true
+	for i := range pf.scratch {
+		pf.scratch[i] = 0
+	}
+	if _, err := pf.f.WriteAt(pf.scratch, pf.offset(id)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Free implements Pager. The page joins the free list and may be handed
+// out again by Alloc.
+func (pf *PageFile) Free(id PageID) error {
+	if err := pf.check(id); err != nil {
+		return err
+	}
+	var next [4]byte
+	binary.LittleEndian.PutUint32(next[:], uint32(pf.freeHead))
+	if _, err := pf.f.WriteAt(next[:], pf.offset(id)); err != nil {
+		return err
+	}
+	pf.freeHead = id
+	pf.dirtyHdr = true
+	return nil
+}
+
+func (pf *PageFile) check(id PageID) error {
+	if pf.closed {
+		return errors.New("storage: page file is closed")
+	}
+	if id == InvalidPage || uint32(id) >= pf.pageCount {
+		return fmt.Errorf("storage: page %d out of range [1,%d): %w", id, pf.pageCount, ErrBadPage)
+	}
+	return nil
+}
+
+// ReadPage implements Pager.
+func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
+	if err := pf.check(id); err != nil {
+		return err
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
+	}
+	if _, err := pf.f.ReadAt(buf, pf.offset(id)); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Pager.
+func (pf *PageFile) WritePage(id PageID, buf []byte) error {
+	if err := pf.check(id); err != nil {
+		return err
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
+	}
+	if _, err := pf.f.WriteAt(buf, pf.offset(id)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Sync implements Pager: the header is flushed first, then the file is
+// made durable.
+func (pf *PageFile) Sync() error {
+	if pf.closed {
+		return errors.New("storage: page file is closed")
+	}
+	if pf.dirtyHdr {
+		if err := pf.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return pf.f.Sync()
+}
+
+// Close implements Pager.
+func (pf *PageFile) Close() error {
+	if pf.closed {
+		return errors.New("storage: page file already closed")
+	}
+	if err := pf.Sync(); err != nil {
+		return err
+	}
+	pf.closed = true
+	return pf.f.Close()
+}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSlottedInsertRead(t *testing.T) {
+	buf := make([]byte, 256)
+	p := InitSlotted(buf, 7)
+	if p.Type() != 7 || p.NumSlots() != 0 || p.NumRecords() != 0 {
+		t.Fatal("fresh page state wrong")
+	}
+	s1, err := p.Insert([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("duplicate slots")
+	}
+	r1, _ := p.Read(s1)
+	r2, _ := p.Read(s2)
+	if string(r1) != "alpha" || string(r2) != "beta" {
+		t.Fatalf("read back %q, %q", r1, r2)
+	}
+	if p.NumRecords() != 2 {
+		t.Fatalf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestSlottedDeleteAndReuse(t *testing.T) {
+	p := InitSlotted(make([]byte, 256), 1)
+	s1, _ := p.Insert([]byte("one"))
+	s2, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(s1); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("read deleted = %v, want ErrNoRecord", err)
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("double delete = %v, want ErrNoRecord", err)
+	}
+	// The tombstone slot is reused.
+	s3, _ := p.Insert([]byte("three"))
+	if s3 != s1 {
+		t.Fatalf("tombstone not reused: got %d, want %d", s3, s1)
+	}
+	// Existing record untouched.
+	r2, _ := p.Read(s2)
+	if string(r2) != "two" {
+		t.Fatal("neighbor record damaged")
+	}
+}
+
+func TestSlottedPageFull(t *testing.T) {
+	p := InitSlotted(make([]byte, 128), 1)
+	rec := bytes.Repeat([]byte("x"), 20)
+	var n int
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+	}
+	// 128-byte page, 16-byte header: each record costs 20+4=24 bytes.
+	if n < 4 {
+		t.Fatalf("only %d records fit", n)
+	}
+	// Oversized record rejected outright.
+	if _, err := p.Insert(make([]byte, 1024)); !errors.Is(err, ErrPageFull) {
+		t.Fatal("oversized insert should report ErrPageFull")
+	}
+}
+
+func TestSlottedCompactReclaimsSpace(t *testing.T) {
+	p := InitSlotted(make([]byte, 256), 1)
+	var slots []int
+	rec := bytes.Repeat([]byte("d"), 30)
+	for i := 0; i < 7; i++ {
+		s, err := p.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Delete all but one, compact implicitly via a big insert.
+	for _, s := range slots[1:] {
+		p.Delete(s)
+	}
+	big := bytes.Repeat([]byte("B"), 150)
+	s, err := p.Insert(big)
+	if err != nil {
+		t.Fatalf("insert after deletes should compact and fit: %v", err)
+	}
+	got, _ := p.Read(s)
+	if !bytes.Equal(got, big) {
+		t.Fatal("big record corrupted by compaction")
+	}
+	kept, _ := p.Read(slots[0])
+	if !bytes.Equal(kept, rec) {
+		t.Fatal("survivor record corrupted by compaction")
+	}
+}
+
+func TestSlottedUpdateInPlace(t *testing.T) {
+	p := InitSlotted(make([]byte, 256), 1)
+	s, _ := p.Insert([]byte("longrecord"))
+	if err := p.Update(s, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.Read(s)
+	if string(r) != "short" {
+		t.Fatalf("in-place shrink = %q", r)
+	}
+}
+
+func TestSlottedUpdateGrow(t *testing.T) {
+	p := InitSlotted(make([]byte, 256), 1)
+	s, _ := p.Insert([]byte("ab"))
+	other, _ := p.Insert([]byte("other"))
+	grown := bytes.Repeat([]byte("G"), 60)
+	if err := p.Update(s, grown); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.Read(s)
+	if !bytes.Equal(r, grown) {
+		t.Fatalf("grown update = %q", r)
+	}
+	ro, _ := p.Read(other)
+	if string(ro) != "other" {
+		t.Fatal("neighbor damaged by grow")
+	}
+	if p.NumRecords() != 2 {
+		t.Fatalf("NumRecords = %d after grow", p.NumRecords())
+	}
+}
+
+func TestSlottedUpdateTooBigRollsBack(t *testing.T) {
+	p := InitSlotted(make([]byte, 128), 1)
+	s, _ := p.Insert([]byte("keepme"))
+	err := p.Update(s, make([]byte, 500))
+	if !errors.Is(err, ErrPageFull) {
+		t.Fatalf("oversized update = %v, want ErrPageFull", err)
+	}
+	r, rerr := p.Read(s)
+	if rerr != nil || string(r) != "keepme" {
+		t.Fatalf("record lost by failed update: %q, %v", r, rerr)
+	}
+	if p.NumRecords() != 1 {
+		t.Fatalf("NumRecords = %d after failed update", p.NumRecords())
+	}
+}
+
+func TestSlottedHeaderFields(t *testing.T) {
+	p := InitSlotted(make([]byte, 128), 3)
+	p.SetFlags(0x5A)
+	p.SetNext(77)
+	p.SetExtra(0xDEADBEEF)
+	if p.Flags() != 0x5A || p.Next() != 77 || p.Extra() != 0xDEADBEEF {
+		t.Fatal("header round trip failed")
+	}
+	p.SetType(9)
+	if p.Type() != 9 {
+		t.Fatal("type round trip failed")
+	}
+}
+
+func TestSlottedRecordsIteration(t *testing.T) {
+	p := InitSlotted(make([]byte, 256), 1)
+	s0, _ := p.Insert([]byte("a"))
+	p.Insert([]byte("b"))
+	p.Insert([]byte("c"))
+	p.Delete(s0)
+	var got []string
+	p.Records(func(slot int, rec []byte) bool {
+		got = append(got, string(rec))
+		return true
+	})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Records = %v", got)
+	}
+	// Early stop.
+	count := 0
+	p.Records(func(slot int, rec []byte) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// TestSlottedRandomOps compares the page against a map model under a
+// random operation sequence — the core property test of the record
+// layout.
+func TestSlottedRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := InitSlotted(make([]byte, 1024), 1)
+	model := map[int][]byte{} // slot -> content
+	for op := 0; op < 3000; op++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			rec := make([]byte, 1+rng.Intn(40))
+			for i := range rec {
+				rec[i] = byte(rng.Intn(256))
+			}
+			s, err := p.Insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if _, taken := model[s]; taken {
+				t.Fatalf("op %d: slot %d double-allocated", op, s)
+			}
+			model[s] = rec
+		case 1: // delete random known slot
+			for s := range model {
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("op %d: delete: %v", op, err)
+				}
+				delete(model, s)
+				break
+			}
+		case 2: // update random known slot
+			for s := range model {
+				rec := make([]byte, 1+rng.Intn(60))
+				for i := range rec {
+					rec[i] = byte(rng.Intn(256))
+				}
+				err := p.Update(s, rec)
+				if errors.Is(err, ErrPageFull) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("op %d: update: %v", op, err)
+				}
+				model[s] = rec
+				break
+			}
+		}
+		// Validate model equivalence periodically.
+		if op%100 == 0 {
+			if p.NumRecords() != len(model) {
+				t.Fatalf("op %d: NumRecords %d != model %d", op, p.NumRecords(), len(model))
+			}
+			for s, want := range model {
+				got, err := p.Read(s)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: slot %d: got %x err %v, want %x", op, s, got, err, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlottedFreeSpaceMonotonic(t *testing.T) {
+	p := InitSlotted(make([]byte, 512), 1)
+	prev := p.FreeSpace()
+	for i := 0; i < 10; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d", i))
+		if _, err := p.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		cur := p.FreeSpace()
+		if cur >= prev {
+			t.Fatalf("free space did not shrink: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}

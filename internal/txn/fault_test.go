@@ -1,0 +1,150 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"famedb/internal/access"
+	"famedb/internal/index"
+	"famedb/internal/osal"
+	"famedb/internal/storage"
+)
+
+// faultEnv builds a transactional store over a fault-injecting
+// filesystem. The data file lives on a separate (reliable) filesystem
+// so only journal I/O is subject to faults.
+func faultEnv(t *testing.T) (*osal.FaultFS, *Manager, *access.Store) {
+	t.Helper()
+	dataFS := osal.NewMemFS()
+	f, err := dataFS.Create("data.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := index.CreateBTree(pf, index.AllBTreeOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := access.New(idx, access.AllOps())
+	logFS := osal.NewFaultFS(osal.NewMemFS())
+	m, err := Open(logFS, "wal.log", store, Options{Protocol: Force{}, Recovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logFS, m, store
+}
+
+func TestCommitFailsCleanlyWhenLogWriteFails(t *testing.T) {
+	fs, m, store := faultEnv(t)
+	// Fail the first journal write of the commit.
+	fs.FailAfter(1)
+	tx := m.Begin()
+	if err := tx.Put([]byte("doomed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, osal.ErrInjected) {
+		t.Fatalf("Commit = %v, want injected fault", err)
+	}
+	// The write set was never applied to the store.
+	if _, err := store.Get([]byte("doomed")); !errors.Is(err, access.ErrNotFound) {
+		t.Fatal("failed commit leaked into the store")
+	}
+	fs.Disarm()
+	// The manager keeps working after the fault clears.
+	tx2 := m.Begin()
+	tx2.Put([]byte("ok"), []byte("v"))
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after recovery from fault: %v", err)
+	}
+	if _, err := store.Get([]byte("ok")); err != nil {
+		t.Fatal("post-fault commit lost")
+	}
+}
+
+func TestCommitFailsWhenSyncFails(t *testing.T) {
+	fs, m, store := faultEnv(t)
+	tx := m.Begin()
+	tx.Put([]byte("k"), []byte("v"))
+	// Let the record writes pass (put + commit record = 2 writes) and
+	// fail the durability sync.
+	fs.FailAfter(3)
+	if err := tx.Commit(); !errors.Is(err, osal.ErrInjected) {
+		t.Fatalf("Commit = %v, want injected fault at sync", err)
+	}
+	// Force protocol: not durable -> not applied.
+	if _, err := store.Get([]byte("k")); !errors.Is(err, access.ErrNotFound) {
+		t.Fatal("unsynced commit applied to the store")
+	}
+}
+
+func TestCheckpointFaultSurfaces(t *testing.T) {
+	fs, _, _ := faultEnv(t)
+	_ = fs
+	// Build a manager with a SyncStore that itself fails.
+	dataFS := osal.NewMemFS()
+	f, _ := dataFS.Create("d.db")
+	pf, _ := storage.CreatePageFile(f, 512)
+	idx, _, _ := index.CreateBTree(pf, index.AllBTreeOps())
+	store := access.New(idx, access.AllOps())
+	m, err := Open(osal.NewMemFS(), "wal.log", store, Options{
+		Protocol:  Force{},
+		SyncStore: func() error { return osal.ErrInjected },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.Put([]byte("k"), []byte("v"))
+	tx.Commit()
+	if err := m.Checkpoint(); !errors.Is(err, osal.ErrInjected) {
+		t.Fatalf("Checkpoint = %v, want injected fault", err)
+	}
+	// The log was not truncated, so the committed data survives a
+	// replay.
+	if m.LogSize() <= int64(len("FAMEWAL1")) {
+		t.Fatal("log truncated despite failed checkpoint")
+	}
+}
+
+func TestCrashDuringCommitWindowRecovers(t *testing.T) {
+	// Commit several transactions, then simulate a crash where the
+	// last commit's records reached the log but the store apply never
+	// ran (we model this with a fresh store + the surviving log).
+	logFS := osal.NewMemFS()
+	build := func(n string) *access.Store {
+		f, _ := osal.NewMemFS().Create(n)
+		pf, _ := storage.CreatePageFile(f, 512)
+		idx, _, _ := index.CreateBTree(pf, index.AllBTreeOps())
+		return access.New(idx, access.AllOps())
+	}
+	s1 := build("a")
+	m1, err := Open(logFS, "wal.log", s1, Options{Protocol: Force{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tx := m1.Begin()
+		tx.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": reopen over a fresh store.
+	s2 := build("b")
+	m2, err := Open(logFS, "wal.log", s2, Options{Protocol: Force{}, Recovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Recovered != 5 {
+		t.Fatalf("Recovered = %d", m2.Recovered)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s2.Get([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatalf("k%d lost: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"famedb/internal/access"
+	"famedb/internal/osal"
+)
+
+// Protocol is the CommitProtocol alternative of the Transaction feature
+// (Fig. 2): it decides when appended commit records become durable.
+type Protocol interface {
+	// Name returns the feature name ("ForceCommit" or "GroupCommit").
+	Name() string
+	// OnCommit is called after a transaction's records (including the
+	// commit record) were appended.
+	OnCommit(w *WAL) error
+	// Flush forces durability of everything appended so far.
+	Flush(w *WAL) error
+}
+
+// Force syncs the log on every commit: maximal durability, one sync per
+// transaction.
+type Force struct{}
+
+// Name implements Protocol.
+func (Force) Name() string { return "ForceCommit" }
+
+// OnCommit implements Protocol.
+func (Force) OnCommit(w *WAL) error { return w.Sync() }
+
+// Flush implements Protocol.
+func (Force) Flush(w *WAL) error { return w.Sync() }
+
+// Group batches commits and syncs once per BatchSize commits,
+// amortizing sync cost at the price of a durability window. Commit
+// returns once the records are appended; durability follows with the
+// batch (call Manager.Flush to force it).
+type Group struct {
+	// BatchSize is the number of commits per sync (default 8).
+	BatchSize int
+	pending   int
+}
+
+// Name implements Protocol.
+func (g *Group) Name() string { return "GroupCommit" }
+
+// OnCommit implements Protocol.
+func (g *Group) OnCommit(w *WAL) error {
+	n := g.BatchSize
+	if n <= 0 {
+		n = 8
+	}
+	g.pending++
+	if g.pending >= n {
+		g.pending = 0
+		return w.Sync()
+	}
+	return nil
+}
+
+// Flush implements Protocol.
+func (g *Group) Flush(w *WAL) error {
+	g.pending = 0
+	return w.Sync()
+}
+
+// Errors of the transactional API.
+var (
+	// ErrTxnDone is returned when using a committed or aborted
+	// transaction.
+	ErrTxnDone = errors.New("txn: transaction already finished")
+	// ErrNotFound mirrors access.ErrNotFound for transactional reads.
+	ErrNotFound = access.ErrNotFound
+)
+
+// Options configures the transaction manager from the product's feature
+// selection.
+type Options struct {
+	// Protocol is the selected commit protocol (required).
+	Protocol Protocol
+	// Locking serializes transactions and guards reads against
+	// concurrent applies; products used from a single goroutine can
+	// deselect it.
+	Locking bool
+	// Recovery replays committed transactions from the log at Open
+	// (feature Recovery).
+	Recovery bool
+	// SyncStore makes the underlying store durable; used by
+	// Checkpoint. Optional: checkpointing is skipped when nil.
+	SyncStore func() error
+	// OnApply, if set, observes every committed operation as it is
+	// applied to the store (in commit order, under the manager lock).
+	// The Replication feature ships these to replicas. Recovery replays
+	// are not observed.
+	OnApply func(remove bool, key, value []byte) error
+}
+
+// Manager coordinates transactions over a store.
+type Manager struct {
+	store *access.Store
+	wal   *WAL
+	opts  Options
+
+	// mu serializes commits and guards the store during apply. It is a
+	// no-op when the Locking feature is deselected.
+	mu      rwLocker
+	nextTxn uint64
+	closed  bool
+
+	// Recovered reports how many committed transactions the opening
+	// recovery pass replayed.
+	Recovered int
+}
+
+// rwLocker lets Locking be a selectable feature: the null locker does
+// nothing.
+type rwLocker interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
+type nullLocker struct{}
+
+func (nullLocker) Lock()    {}
+func (nullLocker) Unlock()  {}
+func (nullLocker) RLock()   {}
+func (nullLocker) RUnlock() {}
+
+// Open creates the transaction manager, opening (and if configured,
+// recovering) the log file logName on fs.
+func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manager, error) {
+	if opts.Protocol == nil {
+		return nil, errors.New("txn: a commit protocol must be selected")
+	}
+	w, err := openWAL(fs, logName)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{store: store, wal: w, opts: opts}
+	if opts.Locking {
+		m.mu = &sync.RWMutex{}
+	} else {
+		m.mu = nullLocker{}
+	}
+	if opts.Recovery {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// recover replays the write sets of committed transactions in log
+// order. The operations are idempotent, so replaying already-applied
+// transactions is harmless.
+func (m *Manager) recover() error {
+	type op struct {
+		remove bool
+		key    []byte
+		value  []byte
+	}
+	pending := map[uint64][]op{}
+	var order []op
+	if err := m.wal.scan(func(r logRecord) error {
+		switch r.typ {
+		case recPut:
+			pending[r.txnID] = append(pending[r.txnID], op{key: r.key, value: r.value})
+		case recRemove:
+			pending[r.txnID] = append(pending[r.txnID], op{remove: true, key: r.key})
+		case recCommit:
+			order = append(order, pending[r.txnID]...)
+			m.Recovered++
+			delete(pending, r.txnID)
+		case recCheckpoint:
+			// Everything before the checkpoint is already in the store.
+			order = order[:0]
+			m.Recovered = 0
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	idx := m.store.Index()
+	for _, o := range order {
+		if o.remove {
+			if _, err := idx.Delete(o.key); err != nil {
+				return fmt.Errorf("txn: recovery delete: %w", err)
+			}
+		} else {
+			if err := idx.Insert(o.key, o.value); err != nil {
+				return fmt.Errorf("txn: recovery insert: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeOp is one entry of a transaction's private write set.
+type writeOp struct {
+	remove bool
+	key    []byte
+	value  []byte
+}
+
+// Txn is a transaction: reads see committed state plus the
+// transaction's own writes; writes stay private until Commit.
+type Txn struct {
+	m      *Manager
+	id     uint64
+	writes []writeOp
+	done   bool
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.nextTxn++
+	id := m.nextTxn
+	m.mu.Unlock()
+	return &Txn{m: m, id: id}
+}
+
+// lookupWriteSet finds the latest private write for key.
+func (t *Txn) lookupWriteSet(key []byte) (writeOp, bool) {
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if bytes.Equal(t.writes[i].key, key) {
+			return t.writes[i], true
+		}
+	}
+	return writeOp{}, false
+}
+
+// Get reads a key: the transaction's own writes win over committed
+// state.
+func (t *Txn) Get(key []byte) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if w, ok := t.lookupWriteSet(key); ok {
+		if w.remove {
+			return nil, fmt.Errorf("txn: %q: %w", key, ErrNotFound)
+		}
+		return append([]byte(nil), w.value...), nil
+	}
+	t.m.mu.RLock()
+	defer t.m.mu.RUnlock()
+	return t.m.store.Get(key)
+}
+
+// Put buffers a write of value under key.
+func (t *Txn) Put(key, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.m.store.Ops().Put {
+		return fmt.Errorf("Put: %w", access.ErrNotComposed)
+	}
+	t.writes = append(t.writes, writeOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// exists reports whether key is visible to the transaction.
+func (t *Txn) exists(key []byte) (bool, error) {
+	if w, ok := t.lookupWriteSet(key); ok {
+		return !w.remove, nil
+	}
+	t.m.mu.RLock()
+	defer t.m.mu.RUnlock()
+	_, found, err := t.m.store.Index().Get(key)
+	return found, err
+}
+
+// Update buffers a replacement of an existing key's value.
+func (t *Txn) Update(key, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.m.store.Ops().Update {
+		return fmt.Errorf("Update: %w", access.ErrNotComposed)
+	}
+	ok, err := t.exists(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("txn: %q: %w", key, ErrNotFound)
+	}
+	t.writes = append(t.writes, writeOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// Remove buffers a deletion of an existing key.
+func (t *Txn) Remove(key []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.m.store.Ops().Remove {
+		return fmt.Errorf("Remove: %w", access.ErrNotComposed)
+	}
+	ok, err := t.exists(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("txn: %q: %w", key, ErrNotFound)
+	}
+	t.writes = append(t.writes, writeOp{remove: true, key: append([]byte(nil), key...)})
+	return nil
+}
+
+// Commit logs the write set, makes it durable per the commit protocol,
+// and applies it to the store.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("txn: manager is closed")
+	}
+	// Write-ahead: records first, then the commit record, then the
+	// protocol decides durability, and only then the store changes.
+	for _, w := range t.writes {
+		rec := logRecord{typ: recPut, txnID: t.id, key: w.key, value: w.value}
+		if w.remove {
+			rec = logRecord{typ: recRemove, txnID: t.id, key: w.key}
+		}
+		if err := m.wal.append(rec); err != nil {
+			return err
+		}
+	}
+	if err := m.wal.append(logRecord{typ: recCommit, txnID: t.id}); err != nil {
+		return err
+	}
+	if err := m.opts.Protocol.OnCommit(m.wal); err != nil {
+		return err
+	}
+	idx := m.store.Index()
+	for _, w := range t.writes {
+		if w.remove {
+			if _, err := idx.Delete(w.key); err != nil {
+				return err
+			}
+		} else {
+			if err := idx.Insert(w.key, w.value); err != nil {
+				return err
+			}
+		}
+		if m.opts.OnApply != nil {
+			if err := m.opts.OnApply(w.remove, w.key, w.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Abort discards the transaction's writes.
+func (t *Txn) Abort() {
+	t.done = true
+	t.writes = nil
+}
+
+// Flush forces durability of all committed transactions (relevant under
+// GroupCommit).
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.opts.Protocol.Flush(m.wal)
+}
+
+// Checkpoint makes the store durable and truncates the log. Requires
+// Options.SyncStore.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.opts.SyncStore == nil {
+		return errors.New("txn: checkpointing requires Options.SyncStore")
+	}
+	if err := m.opts.Protocol.Flush(m.wal); err != nil {
+		return err
+	}
+	if err := m.opts.SyncStore(); err != nil {
+		return err
+	}
+	return m.wal.reset()
+}
+
+// LogSyncs returns how many durable log syncs have happened — the
+// metric the commit-protocol ablation compares.
+func (m *Manager) LogSyncs() int64 { return m.wal.Syncs }
+
+// LogSize returns the current log size in bytes.
+func (m *Manager) LogSize() int64 { return m.wal.Size() }
+
+// Close flushes and closes the log.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("txn: manager already closed")
+	}
+	m.closed = true
+	if err := m.opts.Protocol.Flush(m.wal); err != nil {
+		return err
+	}
+	return m.wal.close()
+}

@@ -1,0 +1,444 @@
+// Package types is the Data Types feature of FAME-DBMS (Fig. 2): typed
+// values, order-preserving key encodings, and row serialization.
+//
+// Key encodings are designed so that bytes.Compare on encoded keys
+// matches the natural ordering of the values, which is what the B+-tree
+// index requires. Composite keys concatenate encoded components with a
+// self-delimiting escape for variable-length fields.
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the supported data types.
+type Kind int
+
+const (
+	// KindInt is a signed 64-bit integer.
+	KindInt Kind = iota + 1
+	// KindFloat is an IEEE-754 double.
+	KindFloat
+	// KindString is a UTF-8 string.
+	KindString
+	// KindBytes is an opaque byte string.
+	KindBytes
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish type name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	case KindBytes:
+		return "BLOB"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindByName parses a SQL type name (case-insensitive).
+func KindByName(name string) (Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER":
+		return KindInt, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		return KindFloat, nil
+	case "TEXT", "STRING", "VARCHAR":
+		return KindString, nil
+	case "BLOB", "BYTES":
+		return KindBytes, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	default:
+		return 0, fmt.Errorf("types: unknown type %q", name)
+	}
+}
+
+// Value is a typed value. Exactly the field matching Kind is meaningful.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+	Bytes []byte
+	Bool  bool
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// Bytes returns a byte-string value.
+func Bytes(v []byte) Value { return Value{Kind: KindBytes, Bytes: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// String renders the value as a SQL literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.Bytes)
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// Compare orders two values of the same kind: -1, 0, or +1. Comparing
+// different kinds orders by kind, so heterogeneous sorts are stable.
+func Compare(a, b Value) int {
+	if a.Kind != b.Kind {
+		return cmpInt(int64(a.Kind), int64(b.Kind))
+	}
+	switch a.Kind {
+	case KindInt:
+		return cmpInt(a.Int, b.Int)
+	case KindFloat:
+		switch {
+		case a.Float < b.Float:
+			return -1
+		case a.Float > b.Float:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		return strings.Compare(a.Str, b.Str)
+	case KindBytes:
+		return bytesCompare(a.Bytes, b.Bytes)
+	case KindBool:
+		return cmpInt(boolInt(a.Bool), boolInt(b.Bool))
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+// --- Order-preserving key encodings ---
+
+// EncodeIntKey encodes a signed integer so that bytes.Compare matches
+// integer order: big-endian with the sign bit flipped.
+func EncodeIntKey(v int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v)^(1<<63))
+	return buf[:]
+}
+
+// DecodeIntKey reverses EncodeIntKey.
+func DecodeIntKey(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("types: int key has %d bytes, want 8", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63)), nil
+}
+
+// EncodeFloatKey encodes a float so that bytes.Compare matches float
+// order (NaN sorts above +Inf). Positive floats flip the sign bit;
+// negative floats flip all bits.
+func EncodeFloatKey(v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return buf[:]
+}
+
+// DecodeFloatKey reverses EncodeFloatKey.
+func DecodeFloatKey(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("types: float key has %d bytes, want 8", len(b))
+	}
+	bits := binary.BigEndian.Uint64(b)
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// EncodeBytesKey encodes a byte string self-delimitingly while
+// preserving order: each 0x00 becomes 0x00 0xFF, and the encoding ends
+// with 0x00 0x01. This allows concatenating encoded components into
+// composite keys that still sort component-wise.
+func EncodeBytesKey(v []byte) []byte {
+	out := make([]byte, 0, len(v)+2)
+	for _, c := range v {
+		if c == 0x00 {
+			out = append(out, 0x00, 0xFF)
+		} else {
+			out = append(out, c)
+		}
+	}
+	return append(out, 0x00, 0x01)
+}
+
+// DecodeBytesKey decodes one EncodeBytesKey component from the front of
+// b, returning the value and the remaining bytes.
+func DecodeBytesKey(b []byte) (val, rest []byte, err error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		if b[i] != 0x00 {
+			out = append(out, b[i])
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, nil, errors.New("types: truncated bytes key")
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x01:
+			return out, b[i+2:], nil
+		default:
+			return nil, nil, fmt.Errorf("types: invalid escape 0x00 0x%02X", b[i+1])
+		}
+	}
+	return nil, nil, errors.New("types: unterminated bytes key")
+}
+
+// EncodeKey encodes a single value as an order-preserving key with a
+// one-byte kind tag so keys of different kinds never collide.
+func EncodeKey(v Value) []byte {
+	out := []byte{byte(v.Kind)}
+	switch v.Kind {
+	case KindInt:
+		out = append(out, EncodeIntKey(v.Int)...)
+	case KindFloat:
+		out = append(out, EncodeFloatKey(v.Float)...)
+	case KindString:
+		out = append(out, EncodeBytesKey([]byte(v.Str))...)
+	case KindBytes:
+		out = append(out, EncodeBytesKey(v.Bytes)...)
+	case KindBool:
+		out = append(out, byte(boolInt(v.Bool)))
+	default:
+		panic(fmt.Sprintf("types: EncodeKey of invalid kind %v", v.Kind))
+	}
+	return out
+}
+
+// DecodeKey reverses EncodeKey.
+func DecodeKey(b []byte) (Value, error) {
+	v, rest, err := decodeKeyPrefix(b)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(rest) != 0 {
+		return Value{}, fmt.Errorf("types: %d trailing bytes after key", len(rest))
+	}
+	return v, nil
+}
+
+// EncodeCompositeKey concatenates the order-preserving encodings of the
+// given values; the result sorts component-wise.
+func EncodeCompositeKey(vs ...Value) []byte {
+	var out []byte
+	for _, v := range vs {
+		out = append(out, EncodeKey(v)...)
+	}
+	return out
+}
+
+// DecodeCompositeKey decodes all components of a composite key.
+func DecodeCompositeKey(b []byte) ([]Value, error) {
+	var out []Value
+	for len(b) > 0 {
+		v, rest, err := decodeKeyPrefix(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = rest
+	}
+	return out, nil
+}
+
+func decodeKeyPrefix(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, errors.New("types: empty key")
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindInt:
+		if len(b) < 8 {
+			return Value{}, nil, errors.New("types: truncated int key")
+		}
+		v, err := DecodeIntKey(b[:8])
+		return Int(v), b[8:], err
+	case KindFloat:
+		if len(b) < 8 {
+			return Value{}, nil, errors.New("types: truncated float key")
+		}
+		v, err := DecodeFloatKey(b[:8])
+		return Float(v), b[8:], err
+	case KindString:
+		val, rest, err := DecodeBytesKey(b)
+		return Str(string(val)), rest, err
+	case KindBytes:
+		val, rest, err := DecodeBytesKey(b)
+		return Bytes(val), rest, err
+	case KindBool:
+		if len(b) < 1 {
+			return Value{}, nil, errors.New("types: truncated bool key")
+		}
+		return Bool(b[0] != 0), b[1:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("types: invalid key tag 0x%02X", byte(kind))
+	}
+}
+
+// --- Row (tuple) serialization ---
+
+// EncodeRow serializes a tuple of values compactly (not
+// order-preserving; rows are payloads, not keys).
+func EncodeRow(vs []Value) []byte {
+	out := []byte{byte(len(vs))}
+	for _, v := range vs {
+		out = append(out, byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			out = binary.AppendVarint(out, v.Int)
+		case KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float))
+			out = append(out, buf[:]...)
+		case KindString:
+			out = binary.AppendUvarint(out, uint64(len(v.Str)))
+			out = append(out, v.Str...)
+		case KindBytes:
+			out = binary.AppendUvarint(out, uint64(len(v.Bytes)))
+			out = append(out, v.Bytes...)
+		case KindBool:
+			out = append(out, byte(boolInt(v.Bool)))
+		default:
+			panic(fmt.Sprintf("types: EncodeRow of invalid kind %v", v.Kind))
+		}
+	}
+	return out
+}
+
+// DecodeRow reverses EncodeRow.
+func DecodeRow(b []byte) ([]Value, error) {
+	if len(b) == 0 {
+		return nil, errors.New("types: empty row")
+	}
+	n := int(b[0])
+	b = b[1:]
+	out := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) == 0 {
+			return nil, errors.New("types: truncated row")
+		}
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case KindInt:
+			v, sz := binary.Varint(b)
+			if sz <= 0 {
+				return nil, errors.New("types: bad varint in row")
+			}
+			out = append(out, Int(v))
+			b = b[sz:]
+		case KindFloat:
+			if len(b) < 8 {
+				return nil, errors.New("types: truncated float in row")
+			}
+			out = append(out, Float(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case KindString, KindBytes:
+			l, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b)-sz) < l {
+				return nil, errors.New("types: truncated string in row")
+			}
+			data := b[sz : sz+int(l)]
+			if kind == KindString {
+				out = append(out, Str(string(data)))
+			} else {
+				out = append(out, Bytes(append([]byte(nil), data...)))
+			}
+			b = b[sz+int(l):]
+		case KindBool:
+			if len(b) < 1 {
+				return nil, errors.New("types: truncated bool in row")
+			}
+			out = append(out, Bool(b[0] != 0))
+			b = b[1:]
+		default:
+			return nil, fmt.Errorf("types: invalid row tag 0x%02X", byte(kind))
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after row", len(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,365 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"INT", KindInt}, {"integer", KindInt},
+		{"FLOAT", KindFloat}, {"real", KindFloat}, {"DOUBLE", KindFloat},
+		{"TEXT", KindString}, {"varchar", KindString},
+		{"BLOB", KindBytes},
+		{"bool", KindBool}, {"BOOLEAN", KindBool},
+	}
+	for _, c := range cases {
+		got, err := KindByName(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("KindByName(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := KindByName("DATETIME2"); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if KindInt.String() != "INT" || KindBytes.String() != "BLOB" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-5), "-5"},
+		{Float(2.5), "2.5"},
+		{Str("it's"), "'it''s'"},
+		{Bytes([]byte{0xAB}), "x'ab'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Bytes([]byte("ab")), Bytes([]byte("abc")), -1},
+		{Bool(false), Bool(true), -1},
+		{Int(1), Str("a"), -1}, // ordered by kind
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestIntKeyOrderPreserving(t *testing.T) {
+	vals := []int64{math.MinInt64, -1000, -1, 0, 1, 42, 1000, math.MaxInt64}
+	for i := 0; i < len(vals)-1; i++ {
+		a, b := EncodeIntKey(vals[i]), EncodeIntKey(vals[i+1])
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding of %d not < encoding of %d", vals[i], vals[i+1])
+		}
+	}
+	for _, v := range vals {
+		got, err := DecodeIntKey(EncodeIntKey(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %d = %d, %v", v, got, err)
+		}
+	}
+	if _, err := DecodeIntKey([]byte{1, 2}); err == nil {
+		t.Error("short int key should fail")
+	}
+}
+
+func TestIntKeyOrderQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := bytes.Compare(EncodeIntKey(a), EncodeIntKey(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatKeyOrderPreserving(t *testing.T) {
+	vals := []float64{
+		math.Inf(-1), -1e300, -1.5, -math.SmallestNonzeroFloat64,
+		0, math.SmallestNonzeroFloat64, 1.5, 1e300, math.Inf(1),
+	}
+	for i := 0; i < len(vals)-1; i++ {
+		a, b := EncodeFloatKey(vals[i]), EncodeFloatKey(vals[i+1])
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding of %g not < encoding of %g", vals[i], vals[i+1])
+		}
+	}
+	for _, v := range vals {
+		got, err := DecodeFloatKey(EncodeFloatKey(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %g = %g, %v", v, got, err)
+		}
+	}
+}
+
+func TestFloatKeyOrderQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		cmp := bytes.Compare(EncodeFloatKey(a), EncodeFloatKey(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesKeyRoundTripQuick(t *testing.T) {
+	f := func(v []byte) bool {
+		got, rest, err := DecodeBytesKey(EncodeBytesKey(v))
+		return err == nil && len(rest) == 0 && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesKeyOrderQuick(t *testing.T) {
+	f := func(a, b []byte) bool {
+		want := bytes.Compare(a, b)
+		got := bytes.Compare(EncodeBytesKey(a), EncodeBytesKey(b))
+		if want < 0 {
+			return got < 0
+		}
+		if want > 0 {
+			return got > 0
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesKeyZeroEscaping(t *testing.T) {
+	// A value containing 0x00 must still sort before a longer one and
+	// decode exactly.
+	a := []byte{0x00}
+	b := []byte{0x00, 0x00}
+	if bytes.Compare(EncodeBytesKey(a), EncodeBytesKey(b)) >= 0 {
+		t.Fatal("zero-byte ordering broken")
+	}
+	got, rest, err := DecodeBytesKey(EncodeBytesKey(b))
+	if err != nil || len(rest) != 0 || !bytes.Equal(got, b) {
+		t.Fatalf("round trip of %v = %v, %v, %v", b, got, rest, err)
+	}
+}
+
+func TestBytesKeyErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                 // unterminated
+		{0x41},             // unterminated
+		{0x00},             // truncated escape
+		{0x00, 0x02},       // invalid escape
+		{0x41, 0x00, 0x03}, // invalid escape after content
+	}
+	for _, c := range cases {
+		if _, _, err := DecodeBytesKey(c); err == nil {
+			t.Errorf("DecodeBytesKey(%v) should fail", c)
+		}
+	}
+}
+
+func TestEncodeKeyRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(-3), Int(0), Int(99),
+		Float(-2.25), Float(3.5),
+		Str(""), Str("hello"), Str("a\x00b"),
+		Bytes(nil), Bytes([]byte{1, 2, 3}),
+		Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		got, err := DecodeKey(EncodeKey(v))
+		if err != nil {
+			t.Errorf("DecodeKey(%v): %v", v, err)
+			continue
+		}
+		if Compare(got, v) != 0 {
+			t.Errorf("round trip %v = %v", v, got)
+		}
+	}
+}
+
+func TestEncodeKeyOrderMatchesCompare(t *testing.T) {
+	vals := []Value{
+		Int(-3), Int(0), Int(99),
+		Float(-2.25), Float(3.5),
+		Str("a"), Str("ab"), Str("b"),
+		Bool(false), Bool(true),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			keyCmp := bytes.Compare(EncodeKey(a), EncodeKey(b))
+			valCmp := Compare(a, b)
+			if (keyCmp < 0) != (valCmp < 0) || (keyCmp > 0) != (valCmp > 0) {
+				t.Errorf("key order of (%v, %v) = %d, value order %d", a, b, keyCmp, valCmp)
+			}
+		}
+	}
+}
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	in := []Value{Str("user"), Int(42), Bool(true)}
+	out, err := DecodeCompositeKey(EncodeCompositeKey(in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d components, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if Compare(in[i], out[i]) != 0 {
+			t.Errorf("component %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	// ("a", 2) < ("a", 10) < ("b", 1): component-wise, not bytewise on
+	// the raw strings.
+	k1 := EncodeCompositeKey(Str("a"), Int(2))
+	k2 := EncodeCompositeKey(Str("a"), Int(10))
+	k3 := EncodeCompositeKey(Str("b"), Int(1))
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Fatal("composite ordering broken")
+	}
+	// Prefix property: "ab" sorts after ("a", anything) only when
+	// compared as the same arity; distinct arities stay self-delimiting.
+	ka := EncodeCompositeKey(Str("a"))
+	kab := EncodeCompositeKey(Str("ab"))
+	if bytes.Compare(ka, kab) >= 0 {
+		t.Fatal("string prefix ordering broken")
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x7F},                          // invalid tag
+		{byte(KindInt), 1},              // truncated
+		{byte(KindBool)},                // truncated
+		append(EncodeKey(Int(1)), 0xFF), // trailing
+	}
+	for _, c := range cases {
+		if _, err := DecodeKey(c); err == nil {
+			t.Errorf("DecodeKey(%v) should fail", c)
+		}
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rows := [][]Value{
+		{},
+		{Int(7)},
+		{Int(-1), Float(2.5), Str("x"), Bytes([]byte{9}), Bool(true)},
+		{Str(""), Str("unicode: héllo")},
+	}
+	for _, row := range rows {
+		got, err := DecodeRow(EncodeRow(row))
+		if err != nil {
+			t.Errorf("DecodeRow(%v): %v", row, err)
+			continue
+		}
+		if len(got) != len(row) {
+			t.Errorf("row %v decoded to %v", row, got)
+			continue
+		}
+		for i := range row {
+			if Compare(row[i], got[i]) != 0 {
+				t.Errorf("row component %d: %v != %v", i, row[i], got[i])
+			}
+		}
+	}
+}
+
+func TestRowRoundTripQuick(t *testing.T) {
+	f := func(i int64, fl float64, s string, bs []byte, b bool) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		row := []Value{Int(i), Float(fl), Str(s), Bytes(bs), Bool(b)}
+		got, err := DecodeRow(EncodeRow(row))
+		if err != nil || len(got) != 5 {
+			return false
+		}
+		if got[3].Bytes == nil {
+			got[3].Bytes = []byte{}
+		}
+		want := row
+		if want[3].Bytes == nil {
+			want[3].Bytes = []byte{}
+		}
+		return reflect.DeepEqual(got[0], want[0]) &&
+			got[1].Float == want[1].Float &&
+			got[2].Str == want[2].Str &&
+			bytes.Equal(got[3].Bytes, want[3].Bytes) &&
+			got[4].Bool == want[4].Bool
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{2, byte(KindInt)},                       // truncated value
+		{1, 0x7F},                                // bad tag
+		{1, byte(KindFloat), 1, 2},               // truncated float
+		{1, byte(KindString), 5, 'a'},            // truncated string
+		append(EncodeRow([]Value{Int(1)}), 0xEE), // trailing
+	}
+	for _, c := range cases {
+		if _, err := DecodeRow(c); err == nil {
+			t.Errorf("DecodeRow(%v) should fail", c)
+		}
+	}
+}

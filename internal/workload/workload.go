@@ -1,0 +1,178 @@
+// Package workload provides deterministic workload generators for the
+// benchmarks: key/value streams with configurable size, distribution
+// and read/write mix, including the query-dominated mix of the paper's
+// Figure 1 benchmark application.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is the kind of one generated operation.
+type OpKind int
+
+// The operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpRemove
+	OpUpdate
+	OpScan
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpRemove:
+		return "remove"
+	case OpUpdate:
+		return "update"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+}
+
+// Distribution selects keys.
+type Distribution int
+
+// The key distributions.
+const (
+	Uniform Distribution = iota
+	Zipf
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Keys is the key-space size.
+	Keys int
+	// ValueSize is the value payload size in bytes.
+	ValueSize int
+	// Distribution selects hot keys (Zipf) or even access (Uniform).
+	Distribution Distribution
+	// Mix gives the per-kind weights; zero-valued kinds never occur.
+	Mix map[OpKind]int
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	kinds []OpKind
+	// cumulative weights aligned with kinds
+	weights []int
+	total   int
+}
+
+// New creates a generator. The default mix is 100% gets.
+func New(cfg Config) *Generator {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = map[OpKind]int{OpGet: 1}
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Distribution == Zipf {
+		g.zipf = rand.NewZipf(g.rng, 1.1, 1, uint64(cfg.Keys-1))
+	}
+	for _, k := range []OpKind{OpGet, OpPut, OpRemove, OpUpdate, OpScan} {
+		if w := cfg.Mix[k]; w > 0 {
+			g.kinds = append(g.kinds, k)
+			g.total += w
+			g.weights = append(g.weights, g.total)
+		}
+	}
+	return g
+}
+
+// Key renders the i-th key (fixed width, so B+-tree pages pack evenly).
+func Key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+// Value renders a deterministic value for key i.
+func (g *Generator) Value(i int) []byte {
+	v := make([]byte, g.cfg.ValueSize)
+	for j := range v {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// keyIndex draws a key index from the configured distribution.
+func (g *Generator) keyIndex() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(g.cfg.Keys)
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	w := g.rng.Intn(g.total)
+	kind := g.kinds[len(g.kinds)-1]
+	for i, cum := range g.weights {
+		if w < cum {
+			kind = g.kinds[i]
+			break
+		}
+	}
+	i := g.keyIndex()
+	op := Op{Kind: kind, Key: Key(i)}
+	if kind == OpPut || kind == OpUpdate {
+		op.Value = g.Value(i)
+	}
+	return op
+}
+
+// Preload returns the full key space as put operations, for loading a
+// store before the measured phase.
+func (g *Generator) Preload() []Op {
+	ops := make([]Op, g.cfg.Keys)
+	for i := 0; i < g.cfg.Keys; i++ {
+		ops[i] = Op{Kind: OpPut, Key: Key(i), Value: g.Value(i)}
+	}
+	return ops
+}
+
+// Fig1Config is the benchmark-application workload of Figure 1b: a
+// query-dominated mix over a modest embedded data set.
+func Fig1Config(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Keys:         5000,
+		ValueSize:    64,
+		Distribution: Uniform,
+		Mix:          map[OpKind]int{OpGet: 9, OpPut: 1},
+	}
+}
+
+// SensorConfig models a sensor node: tiny keys, small appended
+// readings, write-heavy.
+func SensorConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Keys:         200,
+		ValueSize:    8,
+		Distribution: Uniform,
+		Mix:          map[OpKind]int{OpPut: 8, OpGet: 2},
+	}
+}

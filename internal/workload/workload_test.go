@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(Fig1Config(7))
+	g2 := New(Fig1Config(7))
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || !bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("op %d diverged: %v vs %v", i, a, b)
+		}
+	}
+	// A different seed diverges.
+	g3 := New(Fig1Config(8))
+	same := 0
+	g1b := New(Fig1Config(7))
+	for i := 0; i < 100; i++ {
+		if bytes.Equal(g1b.Next().Key, g3.Next().Key) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: 100, Mix: map[OpKind]int{OpGet: 9, OpPut: 1}})
+	counts := map[OpKind]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	getFrac := float64(counts[OpGet]) / n
+	if getFrac < 0.85 || getFrac > 0.95 {
+		t.Fatalf("get fraction = %f, want ~0.9", getFrac)
+	}
+	if counts[OpRemove] != 0 || counts[OpScan] != 0 {
+		t.Fatal("zero-weight kinds appeared")
+	}
+}
+
+func TestPutsCarryValues(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: 10, ValueSize: 16, Mix: map[OpKind]int{OpPut: 1}})
+	for i := 0; i < 50; i++ {
+		op := g.Next()
+		if op.Kind != OpPut || len(op.Value) != 16 {
+			t.Fatalf("op = %+v", op)
+		}
+	}
+	g2 := New(Config{Seed: 1, Keys: 10, Mix: map[OpKind]int{OpGet: 1}})
+	if op := g2.Next(); op.Value != nil {
+		t.Fatal("get carried a value")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{Seed: 3, Keys: 1000, Distribution: Zipf, Mix: map[OpKind]int{OpGet: 1}})
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[string(g.Next().Key)]++
+	}
+	// The hottest key must be far above the uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5*(n/1000) {
+		t.Fatalf("zipf max key count %d not skewed", max)
+	}
+	// Uniform comparison: flat.
+	gu := New(Config{Seed: 3, Keys: 1000, Distribution: Uniform, Mix: map[OpKind]int{OpGet: 1}})
+	ucounts := map[string]int{}
+	for i := 0; i < n; i++ {
+		ucounts[string(gu.Next().Key)]++
+	}
+	umax := 0
+	for _, c := range ucounts {
+		if c > umax {
+			umax = c
+		}
+	}
+	if umax >= max {
+		t.Fatalf("uniform max %d >= zipf max %d", umax, max)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: 25, ValueSize: 4, Mix: map[OpKind]int{OpGet: 1}})
+	ops := g.Preload()
+	if len(ops) != 25 {
+		t.Fatalf("preload = %d ops", len(ops))
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind != OpPut || len(op.Value) != 4 {
+			t.Fatalf("preload op = %+v", op)
+		}
+		seen[string(op.Key)] = true
+	}
+	if len(seen) != 25 {
+		t.Fatal("preload keys not distinct")
+	}
+}
+
+func TestKeyStableWidth(t *testing.T) {
+	if len(Key(0)) != len(Key(99999)) {
+		t.Fatal("keys not fixed width")
+	}
+	if string(Key(5)) == string(Key(6)) {
+		t.Fatal("keys collide")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{Seed: 1})
+	op := g.Next()
+	if op.Kind != OpGet {
+		t.Fatalf("default mix op = %v", op.Kind)
+	}
+	if OpGet.String() != "get" || OpScan.String() != "scan" {
+		t.Fatal("kind names wrong")
+	}
+}
