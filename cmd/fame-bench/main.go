@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,E2,...] [-ops N]
+//	fame-bench [-run E1,...,E7,B1] [-ops N] [-json BENCH_1.json] [-stats]
+//
+// B1 runs the Statistics-feature benchmark: instrumented product runs
+// whose measured throughput and latency quantiles feed the NFP store,
+// closing the paper's feedback loop; -json names its machine-readable
+// report. -stats dumps the Prometheus text exposition of a full
+// instrumented run.
 package main
 
 import (
@@ -17,8 +23,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
+	jsonPath := flag.String("json", "BENCH_1.json", "file for B1's machine-readable report")
+	statsDump := flag.Bool("stats", false, "dump Prometheus metrics of a full instrumented run")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -78,5 +86,33 @@ func main() {
 			fail("E7", err)
 		}
 		fmt.Println(bench.FormatE7(r))
+	}
+	if want["B1"] {
+		r, err := bench.B1(*ops/4, 23)
+		if err != nil {
+			fail("B1", err)
+		}
+		fmt.Println(bench.FormatB1(r))
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail("B1", err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				fail("B1", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("B1", err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+	if *statsDump {
+		text, err := bench.StatsDump(*ops / 4)
+		if err != nil {
+			fail("stats", err)
+		}
+		fmt.Print(text)
 	}
 }

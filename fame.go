@@ -30,8 +30,10 @@ import (
 	"famedb/internal/composer"
 	"famedb/internal/core"
 	"famedb/internal/footprint"
+	"famedb/internal/nfp"
 	"famedb/internal/osal"
 	"famedb/internal/solver"
+	"famedb/internal/stats"
 	"famedb/internal/txn"
 	"famedb/internal/types"
 )
@@ -46,6 +48,23 @@ type (
 	Configuration = core.Configuration
 	// Value is a typed SQL value.
 	Value = types.Value
+	// Snapshot is a point-in-time copy of the Statistics feature's
+	// metrics (see DB.Stats).
+	Snapshot = stats.Snapshot
+	// NFPStore is the repository of measured non-functional properties
+	// (paper Sec. 3.2); see NewNFPStore and OptimizeMeasured.
+	NFPStore = nfp.Store
+	// NFProperty names a non-functional property in an NFPStore.
+	NFProperty = nfp.Property
+)
+
+// The measurable non-functional properties of the feedback approach.
+const (
+	PropROM        = nfp.ROM
+	PropRAM        = nfp.RAM
+	PropThroughput = nfp.Throughput
+	PropLatencyP50 = nfp.LatencyP50
+	PropLatencyP99 = nfp.LatencyP99
 )
 
 // Errors surfaced by the facade.
@@ -207,6 +226,12 @@ func (db *DB) Exec(query string) (*Result, error) {
 	return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected, Plan: r.Plan}, nil
 }
 
+// Stats returns a snapshot of the product's runtime metrics (feature
+// Statistics): per-layer counters plus latency histograms. Products
+// derived without Statistics return ErrNotComposed. Use
+// Snapshot.WritePrometheus or Snapshot.WriteJSON to encode it.
+func (db *DB) Stats() (Snapshot, error) { return db.inst.Stats() }
+
 // ROM returns the product's code footprint in bytes (the paper's
 // binary-size NFP).
 func (db *DB) ROM() (int, error) { return db.inst.ROM() }
@@ -271,6 +296,46 @@ func runSolver(run func(solver.Request) (*solver.Result, error), required []stri
 		Table:    tab,
 		Required: required,
 		MaxROM:   maxROM,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Config, res.ROM, nil
+}
+
+// NewNFPStore creates an empty NFP repository for the FAME-DBMS model.
+// Record measured products into it (e.g. from fame-bench runs) and pass
+// it to OptimizeMeasured.
+func NewNFPStore() *NFPStore { return nfp.NewStore(core.FAMEModel()) }
+
+// RecordMeasurement stores one measured product in the repository: the
+// feedback approach's "measure generated products" step. The feature
+// list is completed and validated against the model first.
+func RecordMeasurement(store *NFPStore, features []string, values map[NFProperty]float64) error {
+	cfg, err := core.FAMEModel().Product(features...)
+	if err != nil {
+		return err
+	}
+	store.Record(cfg, values)
+	return nil
+}
+
+// OptimizeMeasured derives the valid product containing the required
+// features that minimizes a *measured* property, using the additive
+// per-feature model fitted over the store's measurements — the closing
+// arc of the paper's feedback loop (Sec. 3.2). maxCost bounds the
+// property in its own unit (0 = unbounded). The returned int is the
+// product's predicted property value.
+func OptimizeMeasured(store *NFPStore, p NFProperty, required []string, maxCost int) (*Configuration, int, error) {
+	tab, err := store.Table(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := solver.BranchAndBound(solver.Request{
+		Model:    core.FAMEModel(),
+		Table:    tab,
+		Required: required,
+		MaxROM:   maxCost,
 	})
 	if err != nil {
 		return nil, 0, err

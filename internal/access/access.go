@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"famedb/internal/index"
+	"famedb/internal/stats"
 )
 
 // ErrNotComposed is returned by operations whose feature is not part of
@@ -42,7 +43,13 @@ type Store struct {
 	idx      index.Index
 	ops      Ops
 	counters Counters
+	// metrics observes per-operation latency when the Statistics feature
+	// is composed; nil otherwise (recording is then a no-op).
+	metrics *stats.Access
 }
+
+// SetMetrics attaches the Statistics feature's record-access metrics.
+func (s *Store) SetMetrics(m *stats.Access) { s.metrics = m }
 
 // New composes a store from an index and an operation selection.
 func New(idx index.Index, ops Ops) *Store {
@@ -74,7 +81,10 @@ func (s *Store) Put(key, value []byte) error {
 		return fmt.Errorf("Put: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Puts, 1)
-	return s.idx.Insert(key, value)
+	start := s.metrics.Start()
+	err := s.idx.Insert(key, value)
+	s.metrics.DonePut(start)
+	return err
 }
 
 // Get returns the value under key (feature Get). Missing keys return
@@ -84,7 +94,9 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 		return nil, fmt.Errorf("Get: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Gets, 1)
+	start := s.metrics.Start()
 	v, found, err := s.idx.Get(key)
+	s.metrics.DoneGet(start)
 	if err != nil {
 		return nil, err
 	}

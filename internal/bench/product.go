@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+	"famedb/internal/stats"
+	"famedb/internal/workload"
+)
+
+// ProductRun is one measured product of experiment B1: a configuration
+// composed *with* the Statistics feature, so the run yields counters and
+// latency histograms alongside throughput.
+type ProductRun struct {
+	Name      string   `json:"name"`
+	Features  []string `json:"features"`
+	Ops       int      `json:"ops"`
+	Seconds   float64  `json:"seconds"`
+	OpsPerSec float64  `json:"ops_per_sec"`
+	// Latency quantiles from the Statistics feature's access
+	// histograms, nanoseconds.
+	GetP50Ns float64 `json:"get_p50_ns"`
+	GetP99Ns float64 `json:"get_p99_ns"`
+	PutP50Ns float64 `json:"put_p50_ns"`
+	PutP99Ns float64 `json:"put_p99_ns"`
+	ROM      int     `json:"rom_bytes"`
+	RAM      int     `json:"ram_bytes"`
+	// Stats is the full metric snapshot after the run.
+	Stats stats.Snapshot `json:"stats"`
+}
+
+// withStatistics returns the feature list with Statistics selected.
+func withStatistics(features []string) []string {
+	for _, f := range features {
+		if f == "Statistics" {
+			return features
+		}
+	}
+	return append(append([]string(nil), features...), "Statistics")
+}
+
+// RunProduct composes a product with the Statistics feature, runs the
+// standard 9:1 get/put mix over it, and returns throughput together
+// with the observed metric snapshot — the "measure generated products"
+// step of the paper's feedback approach, fed by real instrumentation
+// instead of wall-clock-only timing.
+func RunProduct(name string, features []string, n int, seed int64) (*ProductRun, error) {
+	features = withStatistics(features)
+	inst, err := composer.ComposeProduct(composer.Options{}, features...)
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Close()
+	gen := workload.New(workload.Config{
+		Seed:      seed,
+		Keys:      2000,
+		ValueSize: 32,
+		Mix:       map[workload.OpKind]int{workload.OpGet: 9, workload.OpPut: 1},
+	})
+	for _, op := range gen.Preload() {
+		if err := inst.Store.Put(op.Key, op.Value); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			if _, err := inst.Store.Get(op.Key); err != nil {
+				return nil, err
+			}
+		case workload.OpPut:
+			if err := inst.Store.Put(op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	snap, err := inst.Stats()
+	if err != nil {
+		return nil, err
+	}
+	rom, err := inst.ROM()
+	if err != nil {
+		return nil, err
+	}
+	return &ProductRun{
+		Name:      name,
+		Features:  inst.Configuration.SelectedNames(),
+		Ops:       n,
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(n) / elapsed.Seconds(),
+		GetP50Ns:  snap.Access.GetLatency.P50(),
+		GetP99Ns:  snap.Access.GetLatency.P99(),
+		PutP50Ns:  snap.Access.PutLatency.P50(),
+		PutP99Ns:  snap.Access.PutLatency.P99(),
+		ROM:       rom,
+		RAM:       inst.RAM(),
+		Stats:     snap,
+	}, nil
+}
+
+// B1Feedback is the derivation closing the feedback loop: the measured
+// latency quantiles become per-feature costs, and the solver derives
+// the product predicted to minimize them.
+type B1Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	PredictedValue   int      `json:"predicted_value"`
+}
+
+// B1Result is the Statistics-feature benchmark: instrumented product
+// runs plus the measured-NFP derivation.
+type B1Result struct {
+	Ops      int          `json:"ops_per_product"`
+	Seed     int64        `json:"seed"`
+	Products []ProductRun `json:"products"`
+	Feedback B1Feedback   `json:"feedback"`
+}
+
+// B1 measures the representative FAME products with the Statistics
+// feature composed, records throughput and latency quantiles into the
+// NFP store, and derives the predicted-fastest product containing
+// Put+Get from the fitted per-feature latency model (paper Sec. 3.2's
+// feedback approach running on real measurements).
+func B1(n int, seed int64) (*B1Result, error) {
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	res := &B1Result{Ops: n, Seed: seed}
+	for _, p := range core.FAMEProducts() {
+		run, err := RunProduct(p.Name, p.Features, n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("B1 %s: %w", p.Name, err)
+		}
+		res.Products = append(res.Products, *run)
+		cfg, err := m.Product(run.Features...)
+		if err != nil {
+			return nil, err
+		}
+		store.Record(cfg, map[nfp.Property]float64{
+			nfp.ROM:        float64(run.ROM),
+			nfp.RAM:        float64(run.RAM),
+			nfp.Throughput: run.OpsPerSec,
+			nfp.LatencyP50: run.GetP50Ns,
+			nfp.LatencyP99: run.GetP99Ns,
+		})
+	}
+
+	// Closing the loop: fitted latency weights become the solver's cost
+	// table, and derivation minimizes a measured property.
+	required := []string{"Put", "Get"}
+	tab, err := store.Table(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	derived, err := solver.BranchAndBound(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	res.Feedback = B1Feedback{
+		Property:         string(nfp.LatencyP50),
+		MeasuredProducts: len(store.Measurements()),
+		Required:         required,
+		DerivedFeatures:  derived.Config.SelectedNames(),
+		PredictedValue:   derived.ROM,
+	}
+	return res, nil
+}
+
+// FormatB1 renders the B1 result as text.
+func FormatB1(r *B1Result) string {
+	var b strings.Builder
+	b.WriteString("B1 — Statistics feature: instrumented products and the measured-NFP loop\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "product\tops/s\tget p50 ns\tget p99 ns\tput p50 ns\tbuffer hit%\twal syncs")
+	for _, p := range r.Products {
+		hitPct := "-"
+		if total := p.Stats.Buffer.Hits + p.Stats.Buffer.Misses; total > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(p.Stats.Buffer.Hits)/float64(total))
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%s\t%d\n",
+			p.Name, p.OpsPerSec, p.GetP50Ns, p.GetP99Ns, p.PutP50Ns,
+			hitPct, p.Stats.Txn.WalSyncs)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "feedback: min %s product over %d measurements, required %v:\n  %v (predicted %d ns)\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures, r.Feedback.PredictedValue)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_1.json).
+func (r *B1Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// StatsDump runs the standard mix over the full product with Statistics
+// composed and returns the Prometheus text exposition of its metrics
+// (the fame-bench -stats flag).
+func StatsDump(n int) (string, error) {
+	full := core.FAMEProducts()[len(core.FAMEProducts())-1]
+	run, err := RunProduct(full.Name, full.Features, n, 23)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := run.Stats.WritePrometheus(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"famedb/internal/stats"
 	"famedb/internal/storage"
 )
 
@@ -26,6 +27,39 @@ type Tree struct {
 	root     storage.PageID
 	count    uint64
 	maxEntry int
+	// metrics counts structural events when the Statistics feature is
+	// composed; nil otherwise (recording is then a no-op).
+	metrics *stats.BTree
+}
+
+// SetMetrics attaches the Statistics feature's tree metrics and reports
+// the current height so the gauge is meaningful before the first split.
+func (t *Tree) SetMetrics(m *stats.BTree) {
+	t.metrics = m
+	if m == nil {
+		return
+	}
+	if h, err := t.height(); err == nil {
+		m.ObserveHeight(h)
+	}
+}
+
+// height counts the levels on the leftmost root-to-leaf path (a leaf-only
+// tree has height 1).
+func (t *Tree) height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.isLeaf() {
+			return h, nil
+		}
+		h++
+		id = n.leftChild()
+	}
 }
 
 const treeMetaMagic = "FAMEBT01"
@@ -225,6 +259,12 @@ func (t *Tree) Insert(key, value []byte) error {
 			return err
 		}
 		t.root = newRootID
+		if t.metrics != nil {
+			t.metrics.RootSplit()
+			if h, err := t.height(); err == nil {
+				t.metrics.ObserveHeight(h)
+			}
+		}
 	}
 	if added {
 		t.count++
@@ -256,6 +296,7 @@ func (t *Tree) insertAt(id storage.PageID, key, value []byte) (*splitResult, boo
 		return nil, added, t.writeNode(n)
 	}
 	// Inner split: rebuild both halves from the combined entry list.
+	t.metrics.InnerSplit()
 	es := t.innerEntries(n)
 	es = append(es[:idx:idx], append([]entry{{key: split.sep, child: split.right}}, es[idx:]...)...)
 	mid := splitPoint(es, innerCellSize2)
@@ -287,6 +328,7 @@ func (t *Tree) insertLeaf(n node, key, value []byte) (*splitResult, bool, error)
 		return nil, added, t.writeNode(n)
 	}
 	// Leaf split.
+	t.metrics.LeafSplit()
 	es := t.leafEntries(n)
 	es = append(es[:idx:idx], append([]entry{{key: key, val: value}}, es[idx:]...)...)
 	mid := splitPoint(es, leafCellSize2)
@@ -455,6 +497,7 @@ func (t *Tree) Compact() error {
 			return err
 		}
 	}
+	t.metrics.Compaction(len(old))
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"famedb/internal/stats"
 	"famedb/internal/storage"
 )
 
@@ -290,6 +291,16 @@ type Manager struct {
 	frames   map[storage.PageID]*frame
 	stats    Stats
 	closed   bool
+	// metrics mirrors the counters into the Statistics feature's
+	// registry when composed; nil otherwise (recording is a no-op).
+	metrics *stats.Buffer
+}
+
+// SetMetrics attaches the Statistics feature's buffer metrics, labeled
+// with the replacement policy in use.
+func (m *Manager) SetMetrics(b *stats.Buffer) {
+	m.metrics = b
+	b.SetPolicy(m.policy.Name())
 }
 
 // NewManager creates a buffer manager with the given capacity (in
@@ -356,11 +367,13 @@ func (m *Manager) ReadPage(id storage.PageID, buf []byte) error {
 	}
 	if f, ok := m.frames[id]; ok {
 		m.stats.Hits++
+		m.metrics.Hit()
 		m.policy.Touched(id)
 		copy(buf, f.data)
 		return nil
 	}
 	m.stats.Misses++
+	m.metrics.Miss()
 	f, err := m.admit(id, true)
 	if err != nil {
 		return err
@@ -378,12 +391,14 @@ func (m *Manager) WritePage(id storage.PageID, buf []byte) error {
 	}
 	if f, ok := m.frames[id]; ok {
 		m.stats.Hits++
+		m.metrics.Hit()
 		m.policy.Touched(id)
 		copy(f.data, buf)
 		f.dirty = true
 		return nil
 	}
 	m.stats.Misses++
+	m.metrics.Miss()
 	f, err := m.admit(id, false)
 	if err != nil {
 		return err
@@ -428,11 +443,13 @@ func (m *Manager) evictOne() error {
 			return err
 		}
 		m.stats.WriteBacks++
+		m.metrics.WriteBack()
 	}
 	m.policy.Removed(victim)
 	m.alloc.FreeFrame(f.data)
 	delete(m.frames, victim)
 	m.stats.Evictions++
+	m.metrics.Eviction()
 	return nil
 }
 
@@ -450,6 +467,7 @@ func (m *Manager) FlushPage(id storage.PageID) error {
 	}
 	f.dirty = false
 	m.stats.WriteBacks++
+	m.metrics.WriteBack()
 	return nil
 }
 
@@ -474,6 +492,7 @@ func (m *Manager) flushAllLocked() error {
 		}
 		f.dirty = false
 		m.stats.WriteBacks++
+		m.metrics.WriteBack()
 	}
 	return nil
 }

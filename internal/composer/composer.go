@@ -17,6 +17,7 @@ import (
 	"famedb/internal/index"
 	"famedb/internal/osal"
 	"famedb/internal/sql"
+	"famedb/internal/stats"
 	"famedb/internal/storage"
 	"famedb/internal/txn"
 )
@@ -53,6 +54,9 @@ type Instance struct {
 	pager      storage.Pager
 	cache      *buffer.Manager
 	cachePages int
+	// stats is the Statistics feature's registry; nil unless the feature
+	// is selected, in which case every layer records into it.
+	stats *stats.Registry
 }
 
 // layout records where the persistent structures live, so an instance
@@ -92,6 +96,13 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 	}
 	inst := &Instance{Configuration: cfg}
 
+	// Statistics feature: one registry shared by every layer. When the
+	// feature is deselected the registry stays nil, the layers' metric
+	// pointers stay nil, and all recording collapses to no-ops.
+	if cfg.Has("Statistics") {
+		inst.stats = stats.New()
+	}
+
 	// OS abstraction: platform target and filesystem.
 	for _, name := range []string{"Linux", "Win32", "NutOS"} {
 		if cfg.Has(name) {
@@ -130,6 +141,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	inst.pf.SetMetrics(inst.stats.Pager())
 	inst.pager = inst.pf
 
 	// Buffer manager feature.
@@ -168,6 +180,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
+		inst.cache.SetMetrics(inst.stats.Buffer())
 		inst.pager = inst.cache
 	}
 
@@ -213,6 +226,10 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		lay = layout{StoreMeta: uint32(meta), Index: indexName}
 	}
 
+	if bt, ok := idx.(*index.BTree); ok && inst.stats != nil {
+		bt.Tree().SetMetrics(inst.stats.BTree())
+	}
+
 	// Access feature: exactly the selected operations.
 	ops := access.Ops{
 		Put:    cfg.Has("Put"),
@@ -221,6 +238,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		Update: cfg.Has("Update"),
 	}
 	inst.Store = access.New(idx, ops)
+	inst.Store.SetMetrics(inst.stats.Access())
 
 	// Transaction feature.
 	if cfg.Has("Transaction") {
@@ -247,6 +265,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 				}
 				return nil
 			},
+			Metrics: inst.stats.Txn(),
 		})
 		if err != nil {
 			return nil, err
@@ -259,11 +278,18 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		if cfg.Has("BPlusTree") {
 			factory = sql.BTreeFactory(btOps)
 		}
+		if inst.stats != nil && cfg.Has("BPlusTree") {
+			// Instrument the catalog and per-table trees too; they share
+			// the registry's tree counters, and the height gauge tracks
+			// the tallest instrumented tree.
+			factory = instrumentFactory(factory, inst.stats)
+		}
 		sqlCfg := sql.Config{
 			Pager:     inst.pager,
 			Factory:   factory,
 			Ops:       ops,
 			Optimizer: cfg.Has("Optimizer"),
+			Metrics:   inst.stats.SQL(),
 		}
 		if existing {
 			inst.SQL, err = sql.Open(sqlCfg, storage.PageID(lay.SQLMeta))
@@ -293,6 +319,27 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		}
 	}
 	return inst, nil
+}
+
+// instrumentFactory wraps an IndexFactory so every index it produces
+// records into the Statistics registry.
+func instrumentFactory(base sql.IndexFactory, reg *stats.Registry) sql.IndexFactory {
+	wrapped := base
+	wrapped.Create = func(p storage.Pager) (index.Index, storage.PageID, error) {
+		idx, meta, err := base.Create(p)
+		if bt, ok := idx.(*index.BTree); ok && err == nil {
+			bt.Tree().SetMetrics(reg.BTree())
+		}
+		return idx, meta, err
+	}
+	wrapped.Open = func(p storage.Pager, meta storage.PageID) (index.Index, error) {
+		idx, err := base.Open(p, meta)
+		if bt, ok := idx.(*index.BTree); ok && err == nil {
+			bt.Tree().SetMetrics(reg.BTree())
+		}
+		return idx, err
+	}
+	return wrapped
 }
 
 // writeCheckpoint copies the synced data file to a temporary file and
@@ -422,6 +469,21 @@ func (i *Instance) RAM() int {
 		LogBuffer:   logBuf,
 	})
 }
+
+// Stats returns a snapshot of the Statistics feature's metrics, or
+// access.ErrNotComposed when the product was derived without the
+// Statistics feature.
+func (i *Instance) Stats() (stats.Snapshot, error) {
+	if i.stats == nil {
+		return stats.Snapshot{}, fmt.Errorf("Stats: %w", access.ErrNotComposed)
+	}
+	return i.stats.Snapshot(), nil
+}
+
+// StatsRegistry returns the live Statistics registry, or nil when the
+// feature is not composed. Benchmark harnesses use it to read
+// histograms without going through snapshots.
+func (i *Instance) StatsRegistry() *stats.Registry { return i.stats }
 
 // CacheStats returns buffer-manager statistics, or false when no
 // buffer manager is composed.

@@ -70,6 +70,12 @@ func FAMEModel() *Model {
 	// Optimizer and query API.
 	opt := root.AddChild("Optimizer", Optional)
 	opt.Description = "access-path selection for the SQL engine"
+	// Statistics is a cross-cutting concern turned optional feature
+	// (Sec. 2.3): when selected, every composed layer records counters
+	// and latency histograms into a shared registry; when deselected the
+	// instrumentation is absent from the product.
+	stats := root.AddChild("Statistics", Optional)
+	stats.Description = "runtime metrics: counters and latency histograms across all layers"
 	api := root.AddAbstract("API", Mandatory)
 	sql := api.AddChild("SQLEngine", Optional)
 	sql.Description = "declarative query interface"

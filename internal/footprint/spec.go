@@ -164,6 +164,14 @@ func FAMESources() map[string][]SourceSpec {
 		},
 		"Optimizer": {funcs("internal/sql/engine.go",
 			"Engine.planScan", "bytesCompare")},
+
+		// The Statistics feature: the cross-cutting metrics registry with
+		// its histograms and encoders.
+		"Statistics": {
+			file("internal/stats/stats.go"),
+			file("internal/stats/histogram.go"),
+			file("internal/stats/encode.go"),
+		},
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"famedb/internal/core"
+	"famedb/internal/footprint"
 )
 
 // Property names a non-functional property.
@@ -29,6 +30,10 @@ const (
 	ROM        Property = "rom"        // code footprint, bytes
 	RAM        Property = "ram"        // static memory, bytes
 	Throughput Property = "throughput" // operations per second
+	// Latency quantiles, observed by the Statistics feature's
+	// histograms when a product runs a workload (nanoseconds).
+	LatencyP50 Property = "latency_p50_ns"
+	LatencyP99 Property = "latency_p99_ns"
 )
 
 // Measurement is one measured product.
@@ -229,6 +234,33 @@ func (s *Store) FeatureWeight(p Property, feature string) (float64, bool) {
 	}
 	v, ok := w[feature]
 	return v, ok
+}
+
+// Table exports the fitted additive model of a property as a
+// footprint.Table, making measured NFPs consumable by the ROM-budget
+// solver — the closing arc of the paper's feedback loop: measure
+// generated products, fit per-feature contributions, derive the next
+// product against the measured costs. Negative fitted weights (features
+// that correlate with a *smaller* property value) are clamped to zero
+// because the solver's bound assumes non-negative per-feature costs.
+func (s *Store) Table(p Property) (*footprint.Table, error) {
+	if _, ok := s.weights[p]; !ok {
+		if err := s.Fit(p); err != nil {
+			return nil, err
+		}
+	}
+	t := &footprint.Table{Model: s.model.Name, Features: map[string]int{}}
+	if base := s.base[p]; base > 0 {
+		t.Core = int(math.Round(base))
+	}
+	for f, w := range s.weights[p] {
+		if w > 0 {
+			t.Features[f] = int(math.Round(w))
+		} else {
+			t.Features[f] = 0
+		}
+	}
+	return t, nil
 }
 
 // Estimate predicts a property for a configuration.

@@ -185,3 +185,46 @@ func TestSolveLinear(t *testing.T) {
 		t.Fatal("singular system should fail")
 	}
 }
+
+func TestTableExportsFittedWeights(t *testing.T) {
+	// Ground truth: base 100, A=+50, B=+30. The exported table must
+	// round the fitted weights so the solver can minimize them.
+	m := flatModel(t, "A", "B")
+	s := NewStore(m)
+	truth := func(feats ...string) float64 {
+		v := 100.0
+		for _, f := range feats {
+			switch f {
+			case "A":
+				v += 50
+			case "B":
+				v += 30
+			}
+		}
+		return v
+	}
+	for _, feats := range [][]string{{}, {"A"}, {"B"}, {"A", "B"}} {
+		s.Record(product(t, m, feats...), map[Property]float64{LatencyP50: truth(feats...)})
+	}
+	tab, err := s.Table(LatencyP50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Model != "Flat" {
+		t.Errorf("table model = %q, want Flat", tab.Model)
+	}
+	near := func(got, want, tol int) bool { return got >= want-tol && got <= want+tol }
+	if !near(tab.Core, 100, 2) {
+		t.Errorf("core = %d, want ~100", tab.Core)
+	}
+	if !near(tab.Features["A"], 50, 2) || !near(tab.Features["B"], 30, 2) {
+		t.Errorf("features = %v, want A~50 B~30", tab.Features)
+	}
+	// The fit covers the root feature too; any negative weights must
+	// have been clamped to keep the solver's bound admissible.
+	for f, w := range tab.Features {
+		if w < 0 {
+			t.Errorf("feature %s exported negative weight %d", f, w)
+		}
+	}
+}

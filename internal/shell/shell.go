@@ -1,0 +1,191 @@
+// Package shell is the interactive console for a derived FAME-DBMS
+// product (cmd/fame-repl): key/value commands, SQL pass-through for
+// products with the SQLEngine feature, and dot-commands for
+// introspection — notably .stats, which dumps the Statistics feature's
+// counters and latency histograms.
+//
+// The console operates strictly on the public facade, so it can only do
+// what the derived product composed: absent features answer with
+// ErrNotComposed like any other client would see.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	fame "famedb"
+)
+
+// Shell wraps a derived product with a line-oriented command loop.
+type Shell struct {
+	db  *fame.DB
+	out io.Writer
+}
+
+// New creates a shell over an open product, writing output to out.
+func New(db *fame.DB, out io.Writer) *Shell {
+	return &Shell{db: db, out: out}
+}
+
+// Run reads commands from r until EOF or .quit.
+func (s *Shell) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	fmt.Fprint(s.out, "fame> ")
+	for sc.Scan() {
+		if s.Execute(sc.Text()) {
+			return nil
+		}
+		fmt.Fprint(s.out, "fame> ")
+	}
+	return sc.Err()
+}
+
+// Execute runs one command line and reports whether the shell should
+// exit.
+func (s *Shell) Execute(line string) (done bool) {
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "":
+		return false
+	case strings.HasPrefix(line, "."):
+		return s.dotCommand(line)
+	}
+	fields := strings.Fields(line)
+	switch strings.ToLower(fields[0]) {
+	case "put":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.out, "usage: put <key> <value>")
+			return false
+		}
+		s.report(s.db.Put([]byte(fields[1]), []byte(fields[2])))
+	case "get":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: get <key>")
+			return false
+		}
+		v, err := s.db.Get([]byte(fields[1]))
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(s.out, string(v))
+	case "del":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: del <key>")
+			return false
+		}
+		s.report(s.db.Remove([]byte(fields[1])))
+	case "update":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.out, "usage: update <key> <value>")
+			return false
+		}
+		s.report(s.db.Update([]byte(fields[1]), []byte(fields[2])))
+	case "scan":
+		var from, to []byte
+		if len(fields) > 1 {
+			from = []byte(fields[1])
+		}
+		if len(fields) > 2 {
+			to = []byte(fields[2])
+		}
+		n := 0
+		err := s.db.Scan(from, to, func(k, v []byte) bool {
+			fmt.Fprintf(s.out, "%s = %s\n", k, v)
+			n++
+			return true
+		})
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(s.out, "(%d rows)\n", n)
+	default:
+		// Anything else is handed to the SQL engine.
+		res, err := s.db.Exec(line)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		s.printResult(res)
+	}
+	return false
+}
+
+// dotCommand handles the introspection commands.
+func (s *Shell) dotCommand(line string) (done bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Fprint(s.out, `commands:
+  put <key> <value>     store a value (feature Put)
+  get <key>             read a value (feature Get)
+  del <key>             delete a key (feature Remove)
+  update <key> <value>  replace an existing value (feature Update)
+  scan [from [to]]      list entries (feature Get)
+  <sql statement>       execute SQL (feature SQLEngine)
+  .features             show the product's selected features
+  .stats [prom|json]    dump runtime metrics (feature Statistics)
+  .help                 this text
+  .quit                 exit
+`)
+	case ".features":
+		feats := s.db.Features()
+		sort.Strings(feats)
+		fmt.Fprintln(s.out, strings.Join(feats, " "))
+	case ".stats":
+		snap, err := s.db.Stats()
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		format := ""
+		if len(fields) > 1 {
+			format = fields[1]
+		}
+		switch format {
+		case "prom":
+			if err := snap.WritePrometheus(s.out); err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+			}
+		case "json":
+			if err := snap.WriteJSON(s.out); err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+			}
+		default:
+			fmt.Fprint(s.out, snap.Format())
+		}
+	default:
+		fmt.Fprintf(s.out, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}
+
+func (s *Shell) report(err error) {
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintln(s.out, "ok")
+}
+
+func (s *Shell) printResult(res *fame.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Fprintln(s.out, strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(s.out, strings.Join(cells, " | "))
+		}
+		fmt.Fprintf(s.out, "(%d rows, %s)\n", len(res.Rows), res.Plan)
+		return
+	}
+	fmt.Fprintf(s.out, "ok (%d affected)\n", res.Affected)
+}

@@ -1,0 +1,110 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	fame "famedb"
+)
+
+func newShell(t *testing.T, features ...string) (*Shell, *strings.Builder) {
+	t.Helper()
+	db, err := fame.Open(fame.Options{}, features...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	var out strings.Builder
+	return New(db, &out), &out
+}
+
+func TestShellKVAndStats(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU", "Put", "Get", "Remove", "Statistics")
+
+	for _, line := range []string{"put a 1", "put b 2", "get a", "del b"} {
+		if done := s.Execute(line); done {
+			t.Fatalf("%q terminated the shell", line)
+		}
+	}
+	if got := out.String(); !strings.Contains(got, "ok\nok\n1\nok\n") {
+		t.Errorf("kv transcript = %q", got)
+	}
+
+	out.Reset()
+	s.Execute(".features")
+	if !strings.Contains(out.String(), "Statistics") {
+		t.Errorf(".features output %q missing Statistics", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".stats")
+	if !strings.Contains(out.String(), "buffer (LRU)") {
+		t.Errorf(".stats output %q missing buffer section", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".stats prom")
+	if !strings.Contains(out.String(), "famedb_buffer_hits_total") {
+		t.Errorf(".stats prom output %q missing Prometheus metric", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".stats json")
+	if !strings.Contains(out.String(), `"buffer"`) {
+		t.Errorf(".stats json output %q missing buffer key", out.String())
+	}
+
+	if !s.Execute(".quit") {
+		t.Error(".quit did not terminate the shell")
+	}
+}
+
+func TestShellStatsNotComposed(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get")
+	s.Execute(".stats")
+	if !strings.Contains(out.String(), "not composed") {
+		t.Errorf(".stats on uninstrumented product printed %q, want not-composed error", out.String())
+	}
+}
+
+func TestShellSQLPassThrough(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "Put", "Get", "Remove", "Update", "SQLEngine", "Optimizer")
+	for _, line := range []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT)",
+		"INSERT INTO t (id, name) VALUES (1, 'ada')",
+	} {
+		s.Execute(line)
+	}
+	out.Reset()
+	s.Execute("SELECT name FROM t WHERE id = 1")
+	got := out.String()
+	if !strings.Contains(got, "ada") || !strings.Contains(got, "(1 rows") {
+		t.Errorf("select transcript = %q", got)
+	}
+}
+
+func TestShellRun(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get")
+	in := strings.NewReader("put k v\nget k\n.quit\n")
+	if err := s.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "ok\nfame> v\n") {
+		t.Errorf("transcript = %q", got)
+	}
+}
+
+func TestShellUnknownAndUsage(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get")
+	s.Execute(".bogus")
+	if !strings.Contains(out.String(), "unknown command") {
+		t.Errorf("unknown dot-command transcript = %q", out.String())
+	}
+	out.Reset()
+	s.Execute("put onlykey")
+	if !strings.Contains(out.String(), "usage: put") {
+		t.Errorf("usage transcript = %q", out.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"famedb/internal/access"
 	"famedb/internal/index"
+	"famedb/internal/stats"
 	"famedb/internal/storage"
 	"famedb/internal/types"
 )
@@ -74,6 +75,9 @@ type Config struct {
 	// Optimizer enables index access-path selection (the Optimizer
 	// feature). Without it, every query is a full scan.
 	Optimizer bool
+	// Metrics receives statement and plan counters when the Statistics
+	// feature is composed; nil otherwise (recording is then a no-op).
+	Metrics *stats.SQL
 }
 
 // Engine executes SQL statements.
@@ -134,22 +138,33 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := e.cfg.Metrics
+	start := m.Start()
+	var res *Result
 	switch s := stmt.(type) {
 	case CreateTable:
-		return e.execCreate(s)
+		m.Statement("create")
+		res, err = e.execCreate(s)
 	case DropTable:
-		return e.execDrop(s)
+		m.Statement("drop")
+		res, err = e.execDrop(s)
 	case Insert:
-		return e.execInsert(s)
+		m.Statement("insert")
+		res, err = e.execInsert(s)
 	case Select:
-		return e.execSelect(s)
+		m.Statement("select")
+		res, err = e.execSelect(s)
 	case Update:
-		return e.execUpdate(s)
+		m.Statement("update")
+		res, err = e.execUpdate(s)
 	case Delete:
-		return e.execDelete(s)
+		m.Statement("delete")
+		res, err = e.execDelete(s)
 	default:
 		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 	}
+	m.Done(start)
+	return res, err
 }
 
 // --- catalog ---
@@ -424,6 +439,7 @@ func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows 
 		}
 	}
 	lo, hi, plan := e.planScan(t, where)
+	e.cfg.Metrics.Plan(plan)
 	var scanErr error
 	err = t.store.Scan(lo, hi, func(k, v []byte) bool {
 		row, derr := types.DecodeRow(v)

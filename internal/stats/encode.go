@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every metric of a Registry: plain
+// values, safe to retain, serialize, and compare after the product is
+// closed.
+type Snapshot struct {
+	Buffer BufferSnapshot `json:"buffer"`
+	Pager  PagerSnapshot  `json:"pager"`
+	BTree  BTreeSnapshot  `json:"btree"`
+	Txn    TxnSnapshot    `json:"txn"`
+	SQL    SQLSnapshot    `json:"sql"`
+	Access AccessSnapshot `json:"access"`
+}
+
+// BufferSnapshot copies the buffer-manager counters.
+type BufferSnapshot struct {
+	Policy     string `json:"policy,omitempty"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Evictions  int64  `json:"evictions"`
+	WriteBacks int64  `json:"write_backs"`
+}
+
+// PagerSnapshot copies the page-file counters.
+type PagerSnapshot struct {
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Allocs int64 `json:"allocs"`
+	Frees  int64 `json:"frees"`
+	Syncs  int64 `json:"syncs"`
+}
+
+// BTreeSnapshot copies the B+-tree counters.
+type BTreeSnapshot struct {
+	LeafSplits  int64 `json:"leaf_splits"`
+	InnerSplits int64 `json:"inner_splits"`
+	RootSplits  int64 `json:"root_splits"`
+	Compactions int64 `json:"compactions"`
+	PagesFreed  int64 `json:"pages_freed"`
+	Height      int64 `json:"height"`
+}
+
+// TxnSnapshot copies the transaction and WAL counters.
+type TxnSnapshot struct {
+	Begins        int64             `json:"begins"`
+	Commits       int64             `json:"commits"`
+	Aborts        int64             `json:"aborts"`
+	Checkpoints   int64             `json:"checkpoints"`
+	WalAppends    int64             `json:"wal_appends"`
+	WalSyncs      int64             `json:"wal_syncs"`
+	CommitLatency HistogramSnapshot `json:"commit_latency_ns"`
+	CommitBatch   HistogramSnapshot `json:"commit_batch"`
+}
+
+// SQLSnapshot copies the query-engine counters.
+type SQLSnapshot struct {
+	Creates     int64             `json:"creates"`
+	Drops       int64             `json:"drops"`
+	Inserts     int64             `json:"inserts"`
+	Selects     int64             `json:"selects"`
+	Updates     int64             `json:"updates"`
+	Deletes     int64             `json:"deletes"`
+	IndexScans  int64             `json:"index_scans"`
+	FullScans   int64             `json:"full_scans"`
+	StmtLatency HistogramSnapshot `json:"stmt_latency_ns"`
+}
+
+// AccessSnapshot copies the record-access latency histograms.
+type AccessSnapshot struct {
+	GetLatency HistogramSnapshot `json:"get_latency_ns"`
+	PutLatency HistogramSnapshot `json:"put_latency_ns"`
+}
+
+// Snapshot copies every metric. Safe on a nil registry (zero snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	if p, ok := r.buffer.policy.Load().(string); ok {
+		s.Buffer.Policy = p
+	}
+	s.Buffer.Hits = load(&r.buffer.hits)
+	s.Buffer.Misses = load(&r.buffer.misses)
+	s.Buffer.Evictions = load(&r.buffer.evictions)
+	s.Buffer.WriteBacks = load(&r.buffer.writeBacks)
+
+	s.Pager.Reads = load(&r.pager.reads)
+	s.Pager.Writes = load(&r.pager.writes)
+	s.Pager.Allocs = load(&r.pager.allocs)
+	s.Pager.Frees = load(&r.pager.frees)
+	s.Pager.Syncs = load(&r.pager.syncs)
+
+	s.BTree.LeafSplits = load(&r.btree.leafSplits)
+	s.BTree.InnerSplits = load(&r.btree.innerSplits)
+	s.BTree.RootSplits = load(&r.btree.rootSplits)
+	s.BTree.Compactions = load(&r.btree.compactions)
+	s.BTree.PagesFreed = load(&r.btree.pagesFreed)
+	s.BTree.Height = load(&r.btree.height)
+
+	s.Txn.Begins = load(&r.txn.begins)
+	s.Txn.Commits = load(&r.txn.commits)
+	s.Txn.Aborts = load(&r.txn.aborts)
+	s.Txn.Checkpoints = load(&r.txn.checkpoints)
+	s.Txn.WalAppends = load(&r.txn.walAppends)
+	s.Txn.WalSyncs = load(&r.txn.walSyncs)
+	s.Txn.CommitLatency = r.txn.CommitLatency.Snapshot()
+	s.Txn.CommitBatch = r.txn.CommitBatch.Snapshot()
+
+	s.SQL.Creates = load(&r.sql.creates)
+	s.SQL.Drops = load(&r.sql.drops)
+	s.SQL.Inserts = load(&r.sql.inserts)
+	s.SQL.Selects = load(&r.sql.selects)
+	s.SQL.Updates = load(&r.sql.updates)
+	s.SQL.Deletes = load(&r.sql.deletes)
+	s.SQL.IndexScans = load(&r.sql.indexScans)
+	s.SQL.FullScans = load(&r.sql.fullScans)
+	s.SQL.StmtLatency = r.sql.StmtLatency.Snapshot()
+
+	s.Access.GetLatency = r.access.GetLatency.Snapshot()
+	s.Access.PutLatency = r.access.PutLatency.Snapshot()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (expvar style).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, all metrics prefixed famedb_.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	labels := ""
+	if s.Buffer.Policy != "" {
+		labels = fmt.Sprintf("{policy=%q}", s.Buffer.Policy)
+	}
+	counter := func(name, help string, v int64, lbl string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n", name, help, name, name, lbl, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	hist := func(name, help string, h HistogramSnapshot) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+
+	counter("famedb_buffer_hits_total", "Buffer cache hits.", s.Buffer.Hits, labels)
+	counter("famedb_buffer_misses_total", "Buffer cache misses.", s.Buffer.Misses, labels)
+	counter("famedb_buffer_evictions_total", "Buffer cache evictions.", s.Buffer.Evictions, labels)
+	counter("famedb_buffer_write_backs_total", "Dirty pages written back.", s.Buffer.WriteBacks, labels)
+
+	counter("famedb_pager_reads_total", "Physical page reads.", s.Pager.Reads, "")
+	counter("famedb_pager_writes_total", "Physical page writes.", s.Pager.Writes, "")
+	counter("famedb_pager_allocs_total", "Pages allocated.", s.Pager.Allocs, "")
+	counter("famedb_pager_frees_total", "Pages freed.", s.Pager.Frees, "")
+	counter("famedb_pager_syncs_total", "Page file syncs.", s.Pager.Syncs, "")
+
+	counter("famedb_btree_leaf_splits_total", "B+-tree leaf splits.", s.BTree.LeafSplits, "")
+	counter("famedb_btree_inner_splits_total", "B+-tree inner splits.", s.BTree.InnerSplits, "")
+	counter("famedb_btree_root_splits_total", "B+-tree root splits.", s.BTree.RootSplits, "")
+	counter("famedb_btree_compactions_total", "B+-tree compactions.", s.BTree.Compactions, "")
+	counter("famedb_btree_pages_freed_total", "Pages freed by compaction.", s.BTree.PagesFreed, "")
+	gauge("famedb_btree_height", "Tallest instrumented B+-tree.", s.BTree.Height)
+
+	counter("famedb_txn_begins_total", "Transactions begun.", s.Txn.Begins, "")
+	counter("famedb_txn_commits_total", "Transactions committed.", s.Txn.Commits, "")
+	counter("famedb_txn_aborts_total", "Transactions aborted.", s.Txn.Aborts, "")
+	counter("famedb_txn_checkpoints_total", "Checkpoints taken.", s.Txn.Checkpoints, "")
+	counter("famedb_wal_appends_total", "WAL records appended.", s.Txn.WalAppends, "")
+	counter("famedb_wal_syncs_total", "Durable WAL syncs.", s.Txn.WalSyncs, "")
+	hist("famedb_txn_commit_latency_ns", "Commit latency in nanoseconds.", s.Txn.CommitLatency)
+	hist("famedb_txn_commit_batch", "Commits per durable sync.", s.Txn.CommitBatch)
+
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Creates, `{verb="create"}`)
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Drops, `{verb="drop"}`)
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Inserts, `{verb="insert"}`)
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Selects, `{verb="select"}`)
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Updates, `{verb="update"}`)
+	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Deletes, `{verb="delete"}`)
+	counter("famedb_sql_plans_total", "Chosen access paths.", s.SQL.IndexScans, `{plan="index-scan"}`)
+	counter("famedb_sql_plans_total", "Chosen access paths.", s.SQL.FullScans, `{plan="full-scan"}`)
+	hist("famedb_sql_stmt_latency_ns", "Statement latency in nanoseconds.", s.SQL.StmtLatency)
+
+	hist("famedb_access_get_latency_ns", "Get latency in nanoseconds.", s.Access.GetLatency)
+	hist("famedb_access_put_latency_ns", "Put latency in nanoseconds.", s.Access.PutLatency)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Format pretty-prints the snapshot for humans (the REPL's .stats).
+// Layers with no activity are omitted.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	row := func(name string, v int64) { fmt.Fprintf(&b, "  %-24s %12d\n", name, v) }
+	lat := func(name string, h HistogramSnapshot) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-24s %12d   mean %.0fns  p50 %.0fns  p99 %.0fns\n",
+			name, h.Count, round1(h.Mean()), round1(h.P50()), round1(h.P99()))
+	}
+
+	if s.Buffer.Hits+s.Buffer.Misses > 0 {
+		title := "buffer"
+		if s.Buffer.Policy != "" {
+			title = "buffer (" + s.Buffer.Policy + ")"
+		}
+		fmt.Fprintf(&b, "%s\n", title)
+		row("hits", s.Buffer.Hits)
+		row("misses", s.Buffer.Misses)
+		row("evictions", s.Buffer.Evictions)
+		row("write-backs", s.Buffer.WriteBacks)
+	}
+	if s.Pager.Reads+s.Pager.Writes+s.Pager.Allocs > 0 {
+		b.WriteString("pager\n")
+		row("page reads", s.Pager.Reads)
+		row("page writes", s.Pager.Writes)
+		row("page allocs", s.Pager.Allocs)
+		row("page frees", s.Pager.Frees)
+		row("syncs", s.Pager.Syncs)
+	}
+	if s.BTree.Height > 0 {
+		b.WriteString("btree\n")
+		row("leaf splits", s.BTree.LeafSplits)
+		row("inner splits", s.BTree.InnerSplits)
+		row("root splits", s.BTree.RootSplits)
+		row("compactions", s.BTree.Compactions)
+		row("height", s.BTree.Height)
+	}
+	if s.Txn.Begins > 0 {
+		b.WriteString("txn\n")
+		row("begins", s.Txn.Begins)
+		row("commits", s.Txn.Commits)
+		row("aborts", s.Txn.Aborts)
+		row("checkpoints", s.Txn.Checkpoints)
+		row("wal appends", s.Txn.WalAppends)
+		row("wal syncs", s.Txn.WalSyncs)
+		lat("commit latency", s.Txn.CommitLatency)
+		if s.Txn.CommitBatch.Count > 0 {
+			fmt.Fprintf(&b, "  %-24s %12.1f per sync\n", "commit batch (mean)", s.Txn.CommitBatch.Mean())
+		}
+	}
+	stmts := s.SQL.Creates + s.SQL.Drops + s.SQL.Inserts + s.SQL.Selects + s.SQL.Updates + s.SQL.Deletes
+	if stmts > 0 {
+		b.WriteString("sql\n")
+		row("create", s.SQL.Creates)
+		row("drop", s.SQL.Drops)
+		row("insert", s.SQL.Inserts)
+		row("select", s.SQL.Selects)
+		row("update", s.SQL.Updates)
+		row("delete", s.SQL.Deletes)
+		row("index scans", s.SQL.IndexScans)
+		row("full scans", s.SQL.FullScans)
+		lat("stmt latency", s.SQL.StmtLatency)
+	}
+	if s.Access.GetLatency.Count+s.Access.PutLatency.Count > 0 {
+		b.WriteString("access\n")
+		lat("get", s.Access.GetLatency)
+		lat("put", s.Access.PutLatency)
+	}
+	if b.Len() == 0 {
+		return "(no recorded activity)\n"
+	}
+	return b.String()
+}

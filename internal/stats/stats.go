@@ -1,0 +1,429 @@
+// Package stats is the Statistics feature of FAME-DBMS: cross-cutting
+// runtime instrumentation, following the paper's rule (Sec. 2.3) that
+// cross-cutting concerns become optional features of mixed granularity.
+// Every engine layer carries a nil-able pointer to its metric struct;
+// the composer points them at one shared Registry when the Statistics
+// feature is selected and leaves them nil otherwise. All recording
+// methods are safe on nil receivers and reduce to a single branch then,
+// so a product derived without Statistics pays no allocation and no
+// atomic traffic on the hot path — the Go analog of instrumentation
+// code that was never composed into the FeatureC++ binary.
+//
+// Counters and histogram buckets are updated with atomic adds (no
+// locks), so instrumentation never serializes the layers it observes.
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Registry aggregates the per-layer metrics of one composed product.
+// The layer accessors are safe on a nil Registry and return nil, which
+// the layers' nil-safe recording methods turn into no-ops — composition
+// therefore needs no conditionals at the call sites.
+type Registry struct {
+	buffer Buffer
+	pager  Pager
+	btree  BTree
+	txn    Txn
+	sql    SQL
+	access Access
+}
+
+// New creates a registry with all histograms initialized.
+func New() *Registry {
+	r := &Registry{}
+	r.access.GetLatency = NewHistogram(LatencyBounds())
+	r.access.PutLatency = NewHistogram(LatencyBounds())
+	r.txn.CommitLatency = NewHistogram(LatencyBounds())
+	r.txn.CommitBatch = NewHistogram(BatchBounds())
+	r.sql.StmtLatency = NewHistogram(LatencyBounds())
+	return r
+}
+
+// Buffer returns the buffer-manager metrics (nil on a nil registry).
+func (r *Registry) Buffer() *Buffer {
+	if r == nil {
+		return nil
+	}
+	return &r.buffer
+}
+
+// Pager returns the page-file metrics (nil on a nil registry).
+func (r *Registry) Pager() *Pager {
+	if r == nil {
+		return nil
+	}
+	return &r.pager
+}
+
+// BTree returns the B+-tree metrics (nil on a nil registry).
+func (r *Registry) BTree() *BTree {
+	if r == nil {
+		return nil
+	}
+	return &r.btree
+}
+
+// Txn returns the transaction/WAL metrics (nil on a nil registry).
+func (r *Registry) Txn() *Txn {
+	if r == nil {
+		return nil
+	}
+	return &r.txn
+}
+
+// SQL returns the query-engine metrics (nil on a nil registry).
+func (r *Registry) SQL() *SQL {
+	if r == nil {
+		return nil
+	}
+	return &r.sql
+}
+
+// Access returns the record-access metrics (nil on a nil registry).
+func (r *Registry) Access() *Access {
+	if r == nil {
+		return nil
+	}
+	return &r.access
+}
+
+// load is shorthand for an atomic counter read.
+func load(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// --- Buffer manager ---
+
+// Buffer counts page-cache effectiveness, labeled with the composed
+// replacement policy.
+type Buffer struct {
+	policy     atomic.Value // string
+	hits       int64
+	misses     int64
+	evictions  int64
+	writeBacks int64
+}
+
+// SetPolicy records the replacement feature in use ("LRU" or "LFU").
+func (b *Buffer) SetPolicy(name string) {
+	if b != nil {
+		b.policy.Store(name)
+	}
+}
+
+// Hit records a cache hit.
+func (b *Buffer) Hit() {
+	if b != nil {
+		atomic.AddInt64(&b.hits, 1)
+	}
+}
+
+// Miss records a cache miss.
+func (b *Buffer) Miss() {
+	if b != nil {
+		atomic.AddInt64(&b.misses, 1)
+	}
+}
+
+// Eviction records a victim leaving the cache.
+func (b *Buffer) Eviction() {
+	if b != nil {
+		atomic.AddInt64(&b.evictions, 1)
+	}
+}
+
+// WriteBack records a dirty page written to the base pager.
+func (b *Buffer) WriteBack() {
+	if b != nil {
+		atomic.AddInt64(&b.writeBacks, 1)
+	}
+}
+
+// --- Page file ---
+
+// Pager counts physical page traffic at the page-file level (below the
+// buffer manager, so with a cache composed these are device I/Os).
+type Pager struct {
+	reads  int64
+	writes int64
+	allocs int64
+	frees  int64
+	syncs  int64
+}
+
+// Read records a physical page read.
+func (p *Pager) Read() {
+	if p != nil {
+		atomic.AddInt64(&p.reads, 1)
+	}
+}
+
+// Write records a physical page write.
+func (p *Pager) Write() {
+	if p != nil {
+		atomic.AddInt64(&p.writes, 1)
+	}
+}
+
+// Alloc records a page allocation.
+func (p *Pager) Alloc() {
+	if p != nil {
+		atomic.AddInt64(&p.allocs, 1)
+	}
+}
+
+// Free records a page returned to the free list.
+func (p *Pager) Free() {
+	if p != nil {
+		atomic.AddInt64(&p.frees, 1)
+	}
+}
+
+// Sync records a durable flush of the page file.
+func (p *Pager) Sync() {
+	if p != nil {
+		atomic.AddInt64(&p.syncs, 1)
+	}
+}
+
+// --- B+-tree ---
+
+// BTree counts structural events of the instrumented trees. With the
+// SQL engine composed, several trees (catalog plus one per table) share
+// these counters; Height then tracks the tallest instrumented tree.
+type BTree struct {
+	leafSplits  int64
+	innerSplits int64
+	rootSplits  int64
+	compactions int64
+	pagesFreed  int64
+	height      int64
+}
+
+// LeafSplit records a leaf page split.
+func (t *BTree) LeafSplit() {
+	if t != nil {
+		atomic.AddInt64(&t.leafSplits, 1)
+	}
+}
+
+// InnerSplit records an inner page split.
+func (t *BTree) InnerSplit() {
+	if t != nil {
+		atomic.AddInt64(&t.innerSplits, 1)
+	}
+}
+
+// RootSplit records the root splitting (the tree growing one level).
+func (t *BTree) RootSplit() {
+	if t != nil {
+		atomic.AddInt64(&t.rootSplits, 1)
+	}
+}
+
+// Compaction records a Compact rebuild that freed n pages.
+func (t *BTree) Compaction(pagesFreed int) {
+	if t != nil {
+		atomic.AddInt64(&t.compactions, 1)
+		atomic.AddInt64(&t.pagesFreed, int64(pagesFreed))
+	}
+}
+
+// ObserveHeight folds in a tree's current height; the gauge keeps the
+// maximum across instrumented trees.
+func (t *BTree) ObserveHeight(h int) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&t.height)
+		if int64(h) <= cur || atomic.CompareAndSwapInt64(&t.height, cur, int64(h)) {
+			return
+		}
+	}
+}
+
+// --- Transactions / WAL ---
+
+// Txn counts transactional events and the write-ahead log's durability
+// behavior, including the group-commit batch-size distribution.
+type Txn struct {
+	begins      int64
+	commits     int64
+	aborts      int64
+	checkpoints int64
+	walAppends  int64
+	walSyncs    int64
+
+	// CommitLatency observes wall time of Commit (append + protocol
+	// durability + apply). CommitBatch observes commits per durable
+	// sync — 1 under ForceCommit, the batch size under GroupCommit.
+	CommitLatency *Histogram
+	CommitBatch   *Histogram
+}
+
+// Begin records a transaction start.
+func (t *Txn) Begin() {
+	if t != nil {
+		atomic.AddInt64(&t.begins, 1)
+	}
+}
+
+// Commit records a successful commit.
+func (t *Txn) Commit() {
+	if t != nil {
+		atomic.AddInt64(&t.commits, 1)
+	}
+}
+
+// Abort records an abort.
+func (t *Txn) Abort() {
+	if t != nil {
+		atomic.AddInt64(&t.aborts, 1)
+	}
+}
+
+// Checkpoint records a checkpoint.
+func (t *Txn) Checkpoint() {
+	if t != nil {
+		atomic.AddInt64(&t.checkpoints, 1)
+	}
+}
+
+// WalAppend records one log record appended.
+func (t *Txn) WalAppend() {
+	if t != nil {
+		atomic.AddInt64(&t.walAppends, 1)
+	}
+}
+
+// WalSync records one durable log sync covering batch commits.
+func (t *Txn) WalSync(batch int) {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.walSyncs, 1)
+	if batch > 0 {
+		t.CommitBatch.Observe(int64(batch))
+	}
+}
+
+// StartCommit begins timing a commit; pass the result to DoneCommit.
+// Returns 0 (and skips the clock read) when disabled.
+func (t *Txn) StartCommit() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// DoneCommit finishes timing a commit started with StartCommit.
+func (t *Txn) DoneCommit(start int64) {
+	if t == nil || start == 0 {
+		return
+	}
+	t.CommitLatency.Observe(time.Now().UnixNano() - start)
+}
+
+// --- SQL engine ---
+
+// SQL counts statements by verb and the optimizer's plan choices.
+type SQL struct {
+	creates int64
+	drops   int64
+	inserts int64
+	selects int64
+	updates int64
+	deletes int64
+
+	indexScans int64
+	fullScans  int64
+
+	// StmtLatency observes wall time per executed statement.
+	StmtLatency *Histogram
+}
+
+// Statement records one executed statement by verb ("create", "drop",
+// "insert", "select", "update", "delete"). Unknown verbs are ignored.
+func (s *SQL) Statement(verb string) {
+	if s == nil {
+		return
+	}
+	switch verb {
+	case "create":
+		atomic.AddInt64(&s.creates, 1)
+	case "drop":
+		atomic.AddInt64(&s.drops, 1)
+	case "insert":
+		atomic.AddInt64(&s.inserts, 1)
+	case "select":
+		atomic.AddInt64(&s.selects, 1)
+	case "update":
+		atomic.AddInt64(&s.updates, 1)
+	case "delete":
+		atomic.AddInt64(&s.deletes, 1)
+	}
+}
+
+// Plan records the access path of one table scan ("index-scan" or
+// "full-scan").
+func (s *SQL) Plan(plan string) {
+	if s == nil {
+		return
+	}
+	if plan == "index-scan" {
+		atomic.AddInt64(&s.indexScans, 1)
+	} else {
+		atomic.AddInt64(&s.fullScans, 1)
+	}
+}
+
+// Start begins timing a statement; pass the result to Done.
+func (s *SQL) Start() int64 {
+	if s == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// Done finishes timing a statement started with Start.
+func (s *SQL) Done(start int64) {
+	if s == nil || start == 0 {
+		return
+	}
+	s.StmtLatency.Observe(time.Now().UnixNano() - start)
+}
+
+// --- Record access ---
+
+// Access observes per-operation latency at the record-store API. The
+// histogram counts double as operation counts.
+type Access struct {
+	GetLatency *Histogram
+	PutLatency *Histogram
+}
+
+// Start begins timing an operation; pass the result to DoneGet/DonePut.
+func (a *Access) Start() int64 {
+	if a == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// DoneGet finishes timing a Get started with Start.
+func (a *Access) DoneGet(start int64) {
+	if a == nil || start == 0 {
+		return
+	}
+	a.GetLatency.Observe(time.Now().UnixNano() - start)
+}
+
+// DonePut finishes timing a Put started with Start.
+func (a *Access) DonePut(start int64) {
+	if a == nil || start == 0 {
+		return
+	}
+	a.PutLatency.Observe(time.Now().UnixNano() - start)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"famedb/internal/osal"
+	"famedb/internal/stats"
 )
 
 // PageID identifies a page within a page file. Page 0 is the file
@@ -66,7 +67,13 @@ type PageFile struct {
 	dirtyHdr bool
 	closed   bool
 	scratch  []byte
+	// metrics observes physical page traffic when the Statistics
+	// feature is composed; nil otherwise (recording is then a no-op).
+	metrics *stats.Pager
 }
+
+// SetMetrics attaches the Statistics feature's page-traffic metrics.
+func (pf *PageFile) SetMetrics(m *stats.Pager) { pf.metrics = m }
 
 // CreatePageFile initializes a new page file in f with the given page
 // size, overwriting any existing content.
@@ -136,6 +143,7 @@ func (pf *PageFile) Alloc() (PageID, error) {
 	if pf.closed {
 		return 0, errors.New("storage: page file is closed")
 	}
+	pf.metrics.Alloc()
 	if pf.freeHead != InvalidPage {
 		id := pf.freeHead
 		var next [4]byte
@@ -171,6 +179,7 @@ func (pf *PageFile) Free(id PageID) error {
 	if err := pf.check(id); err != nil {
 		return err
 	}
+	pf.metrics.Free()
 	var next [4]byte
 	binary.LittleEndian.PutUint32(next[:], uint32(pf.freeHead))
 	if _, err := pf.f.WriteAt(next[:], pf.offset(id)); err != nil {
@@ -199,6 +208,7 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 	if len(buf) != pf.pageSize {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
 	}
+	pf.metrics.Read()
 	if _, err := pf.f.ReadAt(buf, pf.offset(id)); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
@@ -213,6 +223,7 @@ func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 	if len(buf) != pf.pageSize {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
 	}
+	pf.metrics.Write()
 	if _, err := pf.f.WriteAt(buf, pf.offset(id)); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
@@ -230,6 +241,7 @@ func (pf *PageFile) Sync() error {
 			return err
 		}
 	}
+	pf.metrics.Sync()
 	return pf.f.Sync()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"famedb/internal/access"
 	"famedb/internal/osal"
+	"famedb/internal/stats"
 )
 
 // Protocol is the CommitProtocol alternative of the Transaction feature
@@ -97,6 +98,10 @@ type Options struct {
 	// The Replication feature ships these to replicas. Recovery replays
 	// are not observed.
 	OnApply func(remove bool, key, value []byte) error
+	// Metrics receives transactional and WAL counters when the
+	// Statistics feature is composed; nil otherwise (recording is then a
+	// no-op).
+	Metrics *stats.Txn
 }
 
 // Manager coordinates transactions over a store.
@@ -143,6 +148,7 @@ func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manag
 		return nil, err
 	}
 	m := &Manager{store: store, wal: w, opts: opts}
+	w.metrics = opts.Metrics
 	if opts.Locking {
 		m.mu = &sync.RWMutex{}
 	} else {
@@ -223,6 +229,7 @@ func (m *Manager) Begin() *Txn {
 	m.nextTxn++
 	id := m.nextTxn
 	m.mu.Unlock()
+	m.opts.Metrics.Begin()
 	return &Txn{m: m, id: id}
 }
 
@@ -328,9 +335,11 @@ func (t *Txn) Commit() error {
 	}
 	t.done = true
 	if len(t.writes) == 0 {
+		t.m.opts.Metrics.Commit()
 		return nil
 	}
 	m := t.m
+	start := m.opts.Metrics.StartCommit()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -370,11 +379,16 @@ func (t *Txn) Commit() error {
 			}
 		}
 	}
+	m.opts.Metrics.Commit()
+	m.opts.Metrics.DoneCommit(start)
 	return nil
 }
 
 // Abort discards the transaction's writes.
 func (t *Txn) Abort() {
+	if !t.done {
+		t.m.opts.Metrics.Abort()
+	}
 	t.done = true
 	t.writes = nil
 }
@@ -401,7 +415,11 @@ func (m *Manager) Checkpoint() error {
 	if err := m.opts.SyncStore(); err != nil {
 		return err
 	}
-	return m.wal.reset()
+	if err := m.wal.reset(); err != nil {
+		return err
+	}
+	m.opts.Metrics.Checkpoint()
+	return nil
 }
 
 // LogSyncs returns how many durable log syncs have happened — the

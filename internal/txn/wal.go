@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"famedb/internal/osal"
+	"famedb/internal/stats"
 )
 
 // WAL record types.
@@ -44,6 +45,12 @@ type WAL struct {
 	// Syncs counts durable flushes, exposed for the commit-protocol
 	// ablation.
 	Syncs int64
+	// metrics mirrors log activity into the Statistics feature's
+	// registry when composed; nil otherwise (recording is a no-op).
+	metrics *stats.Txn
+	// commitsSince counts commit records appended since the last durable
+	// sync — the group-commit batch size observed at the next Sync.
+	commitsSince int
 }
 
 // logRecord is the in-memory form of a WAL record.
@@ -113,6 +120,10 @@ func (w *WAL) append(r logRecord) error {
 		return err
 	}
 	w.end += int64(len(rec))
+	w.metrics.WalAppend()
+	if r.typ == recCommit {
+		w.commitsSince++
+	}
 	return nil
 }
 
@@ -180,6 +191,8 @@ func (w *WAL) Sync() error {
 	}
 	w.syncedTo = w.end
 	w.Syncs++
+	w.metrics.WalSync(w.commitsSince)
+	w.commitsSince = 0
 	return nil
 }
 
@@ -213,6 +226,8 @@ func (w *WAL) reset() error {
 	}
 	w.syncedTo = w.end
 	w.Syncs++
+	w.metrics.WalSync(w.commitsSince)
+	w.commitsSince = 0
 	return nil
 }
 
