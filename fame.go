@@ -94,6 +94,9 @@ type Options struct {
 	Dir string
 	// CachePages overrides the BufferManager capacity.
 	CachePages int
+	// CacheShards overrides the ShardedBuffer feature's lock-stripe
+	// count; ignored unless ShardedBuffer is selected.
+	CacheShards int
 	// GroupCommitBatch tunes the GroupCommit protocol.
 	GroupCommitBatch int
 }
@@ -120,6 +123,7 @@ func Open(opts Options, features ...string) (*DB, error) {
 func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 	copts := composer.Options{
 		CachePages:       opts.CachePages,
+		CacheShards:      opts.CacheShards,
 		GroupCommitBatch: opts.GroupCommitBatch,
 	}
 	if opts.Dir != "" {
@@ -310,14 +314,9 @@ func NewNFPStore() *NFPStore { return nfp.NewStore(core.FAMEModel()) }
 
 // RecordMeasurement stores one measured product in the repository: the
 // feedback approach's "measure generated products" step. The feature
-// list is completed and validated against the model first.
+// list is completed and validated against the store's model first.
 func RecordMeasurement(store *NFPStore, features []string, values map[NFProperty]float64) error {
-	cfg, err := core.FAMEModel().Product(features...)
-	if err != nil {
-		return err
-	}
-	store.Record(cfg, values)
-	return nil
+	return nfp.RecordMeasurement(store, features, values)
 }
 
 // OptimizeMeasured derives the valid product containing the required

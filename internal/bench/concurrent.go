@@ -1,0 +1,392 @@
+package bench
+
+// Benchmark B2: the ShardedBuffer feature under concurrent traffic.
+//
+// Both buffer managers run the same workload — parallel get/put page
+// mixes at 1, 4 and 16 goroutines over a cache-hit-heavy working set —
+// while a background checkpointer flushes the pool on a fixed cadence
+// and the base pager charges a flash-style latency per physical page
+// I/O. The single-latch manager holds its one latch across the whole
+// flush, stalling every worker; the sharded pool flushes stripe by
+// stripe, so at most 1/N of the traffic waits. The resulting throughput
+// delta is what the feature buys, and it is fed to the NFP store
+// (nfp.RecordMeasurement) so the greedy deriver selects ShardedBuffer
+// from measurements rather than from folklore.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/buffer"
+	"famedb/internal/core"
+	"famedb/internal/nfp"
+	"famedb/internal/osal"
+	"famedb/internal/solver"
+	"famedb/internal/storage"
+)
+
+// delayPager wraps a Pager and charges a fixed latency per physical
+// page read/write — a flash device model. The sleep happens in the
+// wrapper, outside the base pager's own mutex, so independent I/Os
+// overlap like requests queued on a real device.
+type delayPager struct {
+	base  storage.Pager
+	read  time.Duration
+	write time.Duration
+}
+
+func (d *delayPager) PageSize() int                  { return d.base.PageSize() }
+func (d *delayPager) Alloc() (storage.PageID, error) { return d.base.Alloc() }
+func (d *delayPager) Free(id storage.PageID) error   { return d.base.Free(id) }
+func (d *delayPager) Sync() error                    { return d.base.Sync() }
+func (d *delayPager) Close() error                   { return d.base.Close() }
+
+func (d *delayPager) ReadPage(id storage.PageID, buf []byte) error {
+	time.Sleep(d.read)
+	return d.base.ReadPage(id, buf)
+}
+
+func (d *delayPager) WritePage(id storage.PageID, buf []byte) error {
+	time.Sleep(d.write)
+	return d.base.WritePage(id, buf)
+}
+
+// B2Config fixes the scenario; the defaults model a NAND flash device
+// (reads ~50us, page programs ~200us) under a 1ms checkpoint cadence.
+// The capacity exceeds the working set so the steady state is pure
+// cache hits for both pools — what separates them is the flush: the
+// single latch stalls every worker for the whole write-back pass, the
+// sharded pool one stripe at a time.
+type B2Config struct {
+	Ops        int           // operations per measured point
+	Seed       int64         // workload RNG seed
+	Pages      int           // hot working set, pages
+	CachePages int           // pool capacity (>= Pages: hit-heavy)
+	Shards     int           // stripe count for the sharded pool
+	ReadDelay  time.Duration // base-pager read latency
+	WriteDelay time.Duration // base-pager write latency
+	Checkpoint time.Duration // background Sync cadence
+	WriteFrac  int           // writes per 100 operations
+}
+
+func defaultB2Config(ops int, seed int64) B2Config {
+	return B2Config{
+		Ops:        ops,
+		Seed:       seed,
+		Pages:      64,
+		CachePages: 256,
+		Shards:     16,
+		ReadDelay:  50 * time.Microsecond,
+		WriteDelay: 200 * time.Microsecond,
+		Checkpoint: time.Millisecond,
+		WriteFrac:  10,
+	}
+}
+
+// B2Point is one measured (pool, goroutines) cell.
+type B2Point struct {
+	Pool        string  `json:"pool"` // "single-latch" or "sharded"
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	HitRate     float64 `json:"hit_rate"`
+	Evictions   int64   `json:"evictions"`
+	WriteBacks  int64   `json:"write_backs"`
+	Checkpoints int64   `json:"checkpoints"`
+}
+
+// B2Feedback closes the loop for the concurrency NFP: the 16-goroutine
+// measurements are recorded into an nfp.Store and the greedy deriver
+// runs against the fitted signed latency table.
+type B2Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedSharded reports whether the deriver picked ShardedBuffer
+	// on the strength of the measurements alone.
+	SelectedSharded bool `json:"selected_sharded"`
+	// ShardedThroughputWeight is the fitted per-feature contribution of
+	// ShardedBuffer to throughput (ops/s) — the measured delta.
+	ShardedThroughputWeight float64 `json:"sharded_throughput_weight"`
+	// ShardedLatencyWeightNs is the (negative) fitted contribution to
+	// mean per-op latency, the signed cost the deriver minimized.
+	ShardedLatencyWeightNs float64 `json:"sharded_latency_weight_ns"`
+}
+
+// B2Result is the machine-readable report (BENCH_2.json).
+type B2Result struct {
+	Ops          int       `json:"ops_per_point"`
+	Seed         int64     `json:"seed"`
+	Pages        int       `json:"pages"`
+	CachePages   int       `json:"cache_pages"`
+	Shards       int       `json:"shards"`
+	ReadDelayUs  int       `json:"read_delay_us"`
+	WriteDelayUs int       `json:"write_delay_us"`
+	CheckpointMs float64   `json:"checkpoint_every_ms"`
+	Points       []B2Point `json:"points"`
+	// SpeedupAt16 is sharded over single-latch throughput at 16
+	// goroutines — the number the acceptance criterion gates on.
+	SpeedupAt16 float64    `json:"speedup_at_16"`
+	Feedback    B2Feedback `json:"feedback"`
+}
+
+// b2Pool builds one of the two pools over a fresh delayed page file and
+// returns the manager plus the working set's page IDs, prewritten and
+// warmed into the cache.
+func b2Pool(cfg B2Config, sharded bool) (buffer.Cache, []storage.PageID, error) {
+	f, err := osal.NewMemFS().Create("b2.db")
+	if err != nil {
+		return nil, nil, err
+	}
+	pf, err := storage.CreatePageFile(f, 4096)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]storage.PageID, cfg.Pages)
+	page := make([]byte, pf.PageSize())
+	for i := range ids {
+		if ids[i], err = pf.Alloc(); err != nil {
+			return nil, nil, err
+		}
+		page[0] = byte(i)
+		if err := pf.WritePage(ids[i], page); err != nil {
+			return nil, nil, err
+		}
+	}
+	base := &delayPager{base: pf, read: cfg.ReadDelay, write: cfg.WriteDelay}
+	var mgr buffer.Cache
+	if sharded {
+		mgr, err = buffer.NewShardedManager(base, cfg.CachePages, cfg.Shards,
+			func() buffer.Policy { return buffer.NewLRU() },
+			func(frames int) (buffer.Allocator, error) {
+				return buffer.NewDynamicAllocator(4096), nil
+			})
+	} else {
+		mgr, err = buffer.NewManager(base, cfg.CachePages, buffer.NewLRU(), buffer.NewDynamicAllocator(4096))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Warm the cache so the measured phase is hit-heavy.
+	for _, id := range ids {
+		if err := mgr.ReadPage(id, page); err != nil {
+			return nil, nil, err
+		}
+	}
+	return mgr, ids, nil
+}
+
+// b2Run measures one (pool, goroutines) point: g workers share cfg.Ops
+// operations while a checkpointer calls Sync every cfg.Checkpoint.
+func b2Run(cfg B2Config, sharded bool, g int) (B2Point, error) {
+	name := "single-latch"
+	if sharded {
+		name = "sharded"
+	}
+	pt := B2Point{Pool: name, Goroutines: g, Ops: cfg.Ops}
+
+	mgr, ids, err := b2Pool(cfg, sharded)
+	if err != nil {
+		return pt, err
+	}
+	warm := mgr.Stats()
+
+	stop := make(chan struct{})
+	var ckpts int64
+	var ckptErr atomic.Value
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(cfg.Checkpoint):
+				if err := mgr.Sync(); err != nil {
+					ckptErr.Store(err)
+					return
+				}
+				atomic.AddInt64(&ckpts, 1)
+			}
+		}
+	}()
+
+	errs := make(chan error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		n := cfg.Ops / g
+		if w < cfg.Ops%g {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			buf := make([]byte, mgr.PageSize())
+			for i := 0; i < n; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if rng.Intn(100) < cfg.WriteFrac {
+					buf[1] = byte(i)
+					if err := mgr.WritePage(id, buf); err != nil {
+						errs <- err
+						return
+					}
+				} else if err := mgr.ReadPage(id, buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	ckptWG.Wait()
+	close(errs)
+	for err := range errs {
+		return pt, err
+	}
+	if err, _ := ckptErr.Load().(error); err != nil {
+		return pt, err
+	}
+	st := mgr.Stats()
+	if err := mgr.Close(); err != nil {
+		return pt, err
+	}
+
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	hits := st.Hits - warm.Hits
+	misses := st.Misses - warm.Misses
+	if hits+misses > 0 {
+		pt.HitRate = float64(hits) / float64(hits+misses)
+	}
+	pt.Evictions = st.Evictions
+	pt.WriteBacks = st.WriteBacks
+	pt.Checkpoints = atomic.LoadInt64(&ckpts)
+	return pt, nil
+}
+
+// b2Features are the products the 16-goroutine points are recorded as.
+func b2Features(sharded bool) []string {
+	fs := []string{"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc", "Put", "Get"}
+	if sharded {
+		fs = append(fs, "ShardedBuffer")
+	}
+	return fs
+}
+
+// B2 runs the concurrent buffer benchmark and closes the feedback loop:
+// the measured 16-goroutine products land in an NFP store, and the
+// greedy deriver — which, unlike branch-and-bound, accepts the signed
+// cost table — picks the product minimizing measured per-op latency.
+func B2(n int, seed int64) (*B2Result, error) {
+	cfg := defaultB2Config(n, seed)
+	res := &B2Result{
+		Ops:          cfg.Ops,
+		Seed:         cfg.Seed,
+		Pages:        cfg.Pages,
+		CachePages:   cfg.CachePages,
+		Shards:       cfg.Shards,
+		ReadDelayUs:  int(cfg.ReadDelay / time.Microsecond),
+		WriteDelayUs: int(cfg.WriteDelay / time.Microsecond),
+		CheckpointMs: float64(cfg.Checkpoint) / float64(time.Millisecond),
+	}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	var at16 [2]float64
+	for _, sharded := range []bool{false, true} {
+		for _, g := range []int{1, 4, 16} {
+			pt, err := b2Run(cfg, sharded, g)
+			if err != nil {
+				return nil, fmt.Errorf("B2 %s/%d: %w", pt.Pool, g, err)
+			}
+			res.Points = append(res.Points, pt)
+			if g == 16 {
+				if sharded {
+					at16[1] = pt.OpsPerSec
+				} else {
+					at16[0] = pt.OpsPerSec
+				}
+				// Mean per-op latency with g workers in flight is
+				// g/throughput — the property the deriver minimizes.
+				err := nfp.RecordMeasurement(store, b2Features(sharded), map[nfp.Property]float64{
+					nfp.Throughput: pt.OpsPerSec,
+					nfp.LatencyP50: float64(g) / pt.OpsPerSec * 1e9,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if at16[0] > 0 {
+		res.SpeedupAt16 = at16[1] / at16[0]
+	}
+
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Put", "Get", "BufferManager", "Linux"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Fit(nfp.Throughput); err != nil {
+		return nil, err
+	}
+	tw, _ := store.FeatureWeight(nfp.Throughput, "ShardedBuffer")
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "ShardedBuffer")
+	res.Feedback = B2Feedback{
+		Property:                string(nfp.LatencyP50),
+		MeasuredProducts:        len(store.Measurements()),
+		Required:                required,
+		DerivedFeatures:         derived.Config.SelectedNames(),
+		SelectedSharded:         derived.Config.Has("ShardedBuffer"),
+		ShardedThroughputWeight: tw,
+		ShardedLatencyWeightNs:  lw,
+	}
+	return res, nil
+}
+
+// FormatB2 renders the B2 result as text.
+func FormatB2(r *B2Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B2 — ShardedBuffer: concurrent get/put under checkpointing (%d pages, %d frames, %d shards, write %dus)\n",
+		r.Pages, r.CachePages, r.Shards, r.WriteDelayUs)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "pool\tgoroutines\tops/s\thit%\twrite-backs\tcheckpoints")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%d\t%d\n",
+			p.Pool, p.Goroutines, p.OpsPerSec, 100*p.HitRate, p.WriteBacks, p.Checkpoints)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "speedup at 16 goroutines: %.2fx\n", r.SpeedupAt16)
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  ShardedBuffer selected: %v (throughput weight %+.0f ops/s, latency weight %+.0f ns)\n",
+		r.Feedback.SelectedSharded, r.Feedback.ShardedThroughputWeight,
+		r.Feedback.ShardedLatencyWeightNs)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_2.json).
+func (r *B2Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

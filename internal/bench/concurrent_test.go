@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestB2Shape(t *testing.T) {
+	r, err := B2(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 2 pools x 3 goroutine counts", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.OpsPerSec <= 0 {
+			t.Errorf("%s/%d: ops/s = %f", p.Pool, p.Goroutines, p.OpsPerSec)
+		}
+		if p.HitRate <= 0.5 {
+			t.Errorf("%s/%d: hit rate %f on a hit-heavy mix", p.Pool, p.Goroutines, p.HitRate)
+		}
+	}
+	if r.SpeedupAt16 <= 0 {
+		t.Errorf("speedup = %f", r.SpeedupAt16)
+	}
+	if r.Feedback.MeasuredProducts != 2 {
+		t.Errorf("measured products = %d, want both pools", r.Feedback.MeasuredProducts)
+	}
+
+	out := FormatB2(r)
+	for _, want := range []string{"B2", "single-latch", "sharded", "speedup at 16 goroutines", "ShardedBuffer selected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatB2 output missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back B2Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 6 || back.Shards != r.Shards {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}

@@ -9,7 +9,12 @@
 //     option on deeply embedded NutOS targets, which forbid dynamic
 //     allocation).
 //
-// The manager implements storage.Pager, so the index code is identical
+// A third, optional subfeature targets multi-core hosts: ShardedBuffer
+// (ShardedManager in sharded.go) stripes the cache over independently
+// latched shards so concurrent accesses to different pages do not
+// contend and flushing never stops the whole pool.
+//
+// Both managers implement storage.Pager, so the index code is identical
 // whether a cache is configured or not (the feature is optional: a
 // product without BufferManager uses the page file directly).
 package buffer
@@ -17,14 +22,15 @@ package buffer
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
 )
 
 // Policy selects eviction victims. Implementations are not safe for
-// concurrent use; the Manager serializes access.
+// concurrent use; each shard serializes access to its own instance
+// under the shard latch (the single-latch Manager is one shard).
 type Policy interface {
 	// Name returns the feature name ("LRU" or "LFU").
 	Name() string
@@ -274,33 +280,29 @@ type Stats struct {
 	WriteBacks int64
 }
 
-type frame struct {
-	data  []byte
-	dirty bool
-}
-
-// Manager is the buffer manager: a write-back cache of up to capacity
-// pages over a base Pager. It implements storage.Pager and is safe for
-// concurrent use.
+// Manager is the single-latch buffer manager: a write-back cache of up
+// to capacity pages over a base Pager. It implements Cache (and
+// therefore storage.Pager) and is safe for concurrent use. Internally
+// it is one shard of the lock-striped pool (see sharded.go), so base
+// reads and dirty write-backs happen outside the latch: a slow fault
+// blocks only accesses to the faulting page, not unrelated hits. The
+// latch itself is still shared by all pages — the ShardedBuffer feature
+// (ShardedManager) removes that bottleneck.
 type Manager struct {
-	mu       sync.Mutex
-	base     storage.Pager
-	capacity int
-	policy   Policy
-	alloc    Allocator
-	frames   map[storage.PageID]*frame
-	stats    Stats
-	closed   bool
+	base   storage.Pager
+	sh     *shard
+	closed atomic.Bool
 	// metrics mirrors the counters into the Statistics feature's
 	// registry when composed; nil otherwise (recording is a no-op).
 	metrics *stats.Buffer
 }
 
-// SetMetrics attaches the Statistics feature's buffer metrics, labeled
-// with the replacement policy in use.
+// SetMetrics implements Cache, labeling the metrics with the
+// replacement policy in use.
 func (m *Manager) SetMetrics(b *stats.Buffer) {
 	m.metrics = b
-	b.SetPolicy(m.policy.Name())
+	b.SetPolicy(m.sh.policy.Name())
+	b.SetShards(1)
 }
 
 // NewManager creates a buffer manager with the given capacity (in
@@ -309,204 +311,83 @@ func NewManager(base storage.Pager, capacity int, policy Policy, alloc Allocator
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
 	}
-	return &Manager{
-		base:     base,
-		capacity: capacity,
-		policy:   policy,
-		alloc:    alloc,
-		frames:   map[storage.PageID]*frame{},
-	}, nil
+	return &Manager{base: base, sh: newShard(capacity, policy, alloc)}, nil
 }
 
 // PageSize implements storage.Pager.
 func (m *Manager) PageSize() int { return m.base.PageSize() }
 
 // Stats returns a snapshot of the cache counters.
-func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
+func (m *Manager) Stats() Stats { return m.sh.snapshot() }
 
 // PolicyName returns the replacement feature in use.
-func (m *Manager) PolicyName() string { return m.policy.Name() }
+func (m *Manager) PolicyName() string { return m.sh.policy.Name() }
 
 // Resident returns the number of cached pages.
-func (m *Manager) Resident() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.frames)
-}
+func (m *Manager) Resident() int { return m.sh.resident() }
 
 // Alloc implements storage.Pager.
 func (m *Manager) Alloc() (storage.PageID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if m.closed.Load() {
+		return 0, errManagerClosed
+	}
 	return m.base.Alloc()
 }
 
 // Free implements storage.Pager: the page leaves the cache and returns
 // to the base free list.
 func (m *Manager) Free(id storage.PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if f, ok := m.frames[id]; ok {
-		m.policy.Removed(id)
-		m.alloc.FreeFrame(f.data)
-		delete(m.frames, id)
+	if m.closed.Load() {
+		return errManagerClosed
 	}
+	m.sh.drop(id)
 	return m.base.Free(id)
 }
 
 // ReadPage implements storage.Pager.
 func (m *Manager) ReadPage(id storage.PageID, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return errors.New("buffer: manager is closed")
+	if m.closed.Load() {
+		return errManagerClosed
 	}
-	if f, ok := m.frames[id]; ok {
-		m.stats.Hits++
-		m.metrics.Hit()
-		m.policy.Touched(id)
-		copy(buf, f.data)
-		return nil
-	}
-	m.stats.Misses++
-	m.metrics.Miss()
-	f, err := m.admit(id, true)
-	if err != nil {
-		return err
-	}
-	copy(buf, f.data)
-	return nil
+	return m.sh.access(m.base, m.metrics, id, buf, false)
 }
 
 // WritePage implements storage.Pager: write-allocate, write-back.
 func (m *Manager) WritePage(id storage.PageID, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return errors.New("buffer: manager is closed")
+	if m.closed.Load() {
+		return errManagerClosed
 	}
-	if f, ok := m.frames[id]; ok {
-		m.stats.Hits++
-		m.metrics.Hit()
-		m.policy.Touched(id)
-		copy(f.data, buf)
-		f.dirty = true
-		return nil
-	}
-	m.stats.Misses++
-	m.metrics.Miss()
-	f, err := m.admit(id, false)
-	if err != nil {
-		return err
-	}
-	copy(f.data, buf)
-	f.dirty = true
-	return nil
-}
-
-// admit makes page id resident, evicting if necessary. When load is
-// true the page content is read from the base pager.
-func (m *Manager) admit(id storage.PageID, load bool) (*frame, error) {
-	if len(m.frames) >= m.capacity {
-		if err := m.evictOne(); err != nil {
-			return nil, err
-		}
-	}
-	data, err := m.alloc.AllocFrame()
-	if err != nil {
-		return nil, err
-	}
-	if load {
-		if err := m.base.ReadPage(id, data); err != nil {
-			m.alloc.FreeFrame(data)
-			return nil, err
-		}
-	}
-	f := &frame{data: data}
-	m.frames[id] = f
-	m.policy.Admitted(id)
-	return f, nil
-}
-
-func (m *Manager) evictOne() error {
-	victim := m.policy.Victim()
-	f := m.frames[victim]
-	if f == nil {
-		return fmt.Errorf("buffer: policy chose non-resident victim %d", victim)
-	}
-	if f.dirty {
-		if err := m.base.WritePage(victim, f.data); err != nil {
-			return err
-		}
-		m.stats.WriteBacks++
-		m.metrics.WriteBack()
-	}
-	m.policy.Removed(victim)
-	m.alloc.FreeFrame(f.data)
-	delete(m.frames, victim)
-	m.stats.Evictions++
-	m.metrics.Eviction()
-	return nil
+	return m.sh.access(m.base, m.metrics, id, buf, true)
 }
 
 // FlushPage writes back one page if it is resident and dirty. Used by
 // the transaction manager to honor write-ahead ordering.
 func (m *Manager) FlushPage(id storage.PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, ok := m.frames[id]
-	if !ok || !f.dirty {
-		return nil
+	if m.closed.Load() {
+		return errManagerClosed
 	}
-	if err := m.base.WritePage(id, f.data); err != nil {
-		return err
-	}
-	f.dirty = false
-	m.stats.WriteBacks++
-	m.metrics.WriteBack()
-	return nil
+	return m.sh.flushPage(m.base, m.metrics, id)
 }
 
 // Sync implements storage.Pager: all dirty pages are written back and
-// the base pager is synced.
+// the base pager is synced. The latch is held across the write-backs,
+// so Sync on the single-latch manager stops the world — the price the
+// ShardedBuffer feature exists to avoid.
 func (m *Manager) Sync() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.flushAllLocked(); err != nil {
+	if err := m.sh.flushSharp(m.base, m.metrics); err != nil {
 		return err
 	}
 	return m.base.Sync()
 }
 
-func (m *Manager) flushAllLocked() error {
-	for id, f := range m.frames {
-		if !f.dirty {
-			continue
-		}
-		if err := m.base.WritePage(id, f.data); err != nil {
-			return err
-		}
-		f.dirty = false
-		m.stats.WriteBacks++
-		m.metrics.WriteBack()
-	}
-	return nil
-}
-
 // Close implements storage.Pager: flush, then close the base pager.
+// Close is terminal even when the flush fails.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if !m.closed.CompareAndSwap(false, true) {
 		return errors.New("buffer: manager already closed")
 	}
-	if err := m.flushAllLocked(); err != nil {
+	if err := m.sh.flushSharp(m.base, m.metrics); err != nil {
 		return err
 	}
-	m.closed = true
 	return m.base.Close()
 }

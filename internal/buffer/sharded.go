@@ -1,0 +1,653 @@
+package buffer
+
+// The ShardedBuffer feature: a lock-striped buffer pool. PageIDs hash
+// into a power-of-two number of shards; each shard owns a slice of the
+// total capacity with its own latch, frame map and replacement-policy
+// instance, so the policies stay single-threaded and the Policy
+// interface is unchanged.
+//
+// Base-pager I/O never happens under a shard latch. The fault protocol
+// (shard.access/shard.fault) is:
+//
+//	lock shard
+//	  hit            -> touch policy, copy under the latch, done
+//	  fault in flight-> wait on the frame's done channel, re-evaluate
+//	  write-back     -> wait on the writeback entry, re-evaluate
+//	miss:
+//	  insert a placeholder frame (singleflight: later accesses wait on
+//	  it instead of issuing a second base read)
+//	  pick a victim if the shard is full; a dirty victim registers a
+//	  writeback entry
+//	unlock shard
+//	  write back the victim / read the faulting page from the base
+//	lock shard
+//	  publish the frame (or undo on error), wake waiters
+//	unlock shard
+//
+// The invariant loaded+inflight <= capacity bounds frames and
+// placeholders together, so a static arena of exactly capacity frames
+// never exhausts; when every slot is an unpublished placeholder the
+// fault waits on the shard's condition variable until one publishes.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"famedb/internal/stats"
+	"famedb/internal/storage"
+)
+
+// Cache is what the composer expects from a buffer manager: the Pager
+// contract plus cache introspection. Manager (single latch) and
+// ShardedManager (lock striped) both implement it.
+type Cache interface {
+	storage.Pager
+	// Stats returns a snapshot of the cache counters.
+	Stats() Stats
+	// PolicyName returns the replacement feature in use.
+	PolicyName() string
+	// Resident returns the number of cached pages.
+	Resident() int
+	// FlushPage writes back one page if it is resident and dirty.
+	FlushPage(id storage.PageID) error
+	// SetMetrics attaches the Statistics feature's buffer metrics.
+	SetMetrics(b *stats.Buffer)
+}
+
+var errManagerClosed = errors.New("buffer: manager is closed")
+
+// sframe is a shard-resident page frame. Between insertion and publish
+// the frame is a singleflight placeholder: loaded is false, data is nil
+// and done is open; accesses to the page wait on done instead of
+// issuing a second base read.
+type sframe struct {
+	data   []byte
+	dirty  bool
+	loaded bool
+	// done is closed when the fault publishes the frame or gives up.
+	done chan struct{}
+}
+
+// shard is one stripe of the pool. All fields below the latch are
+// protected by mu; the counters are atomics so Stats() needs no latch.
+type shard struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	policy   Policy
+	alloc    Allocator
+	frames   map[storage.PageID]*sframe
+	// writeback tracks pages whose evicted dirty image is still being
+	// written to the base pager; a fault on such a page waits for the
+	// entry to close, or it could read stale base content.
+	writeback map[storage.PageID]chan struct{}
+	loaded    int // published frames
+	inflight  int // placeholders (faults between insert and publish)
+
+	hits, misses, evictions, writeBacks atomic.Int64
+}
+
+func newShard(capacity int, policy Policy, alloc Allocator) *shard {
+	s := &shard{
+		capacity:  capacity,
+		policy:    policy,
+		alloc:     alloc,
+		frames:    map[storage.PageID]*sframe{},
+		writeback: map[storage.PageID]chan struct{}{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *shard) snapshot() Stats {
+	return Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Evictions:  s.evictions.Load(),
+		WriteBacks: s.writeBacks.Load(),
+	}
+}
+
+func (s *shard) resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded
+}
+
+// access serves one read (write=false) or write-allocate (write=true).
+func (s *shard) access(base storage.Pager, m *stats.Buffer, id storage.PageID, buf []byte, write bool) error {
+	s.mu.Lock()
+	for {
+		if f, ok := s.frames[id]; ok {
+			if f.loaded {
+				s.hits.Add(1)
+				m.Hit()
+				s.policy.Touched(id)
+				if write {
+					copy(f.data, buf)
+					f.dirty = true
+				} else {
+					copy(buf, f.data)
+				}
+				s.mu.Unlock()
+				return nil
+			}
+			// A fault on this page is in flight; wait for it to publish
+			// or give up, then re-evaluate. If it failed, the frame is
+			// gone from the map and this access runs its own fault.
+			done := f.done
+			s.mu.Unlock()
+			<-done
+			s.mu.Lock()
+			continue
+		}
+		if ch, ok := s.writeback[id]; ok {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			continue
+		}
+		retry, err := s.fault(base, m, id, buf, write)
+		if retry {
+			continue
+		}
+		return err
+	}
+}
+
+// fault makes the page resident. Called with the latch held; releases
+// it around the base-pager I/O and before returning — except on
+// retry=true, where the latch is still held and the caller's access
+// loop must re-evaluate the page's state (the fault found it changed
+// while waiting for a free slot).
+func (s *shard) fault(base storage.Pager, m *stats.Buffer, id storage.PageID, buf []byte, write bool) (retry bool, err error) {
+	// Make room. Only published frames can be evicted (the policy knows
+	// nothing else); when every slot is a placeholder, wait for one to
+	// publish.
+	var victimID storage.PageID
+	var victim *sframe
+	var victimCh chan struct{}
+	for s.loaded+s.inflight >= s.capacity {
+		if s.loaded == 0 {
+			// Wait releases the latch, so the page may arrive — or be
+			// evicted dirty — before it returns. Either way this fault
+			// is void: inserting its placeholder would orphan the
+			// published frame in the policy and the loaded count.
+			s.cond.Wait()
+			if _, ok := s.frames[id]; ok {
+				return true, nil
+			}
+			if _, ok := s.writeback[id]; ok {
+				return true, nil
+			}
+			continue
+		}
+		victimID = s.policy.Victim()
+		if ch, ok := s.writeback[victimID]; ok {
+			// A fuzzy-flush write of the victim is in flight. Wait it
+			// out with the latch released and void this fault — the
+			// shard changed meanwhile, so the access must re-evaluate.
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			return true, nil
+		}
+		victim = s.frames[victimID]
+		s.policy.Removed(victimID)
+		delete(s.frames, victimID)
+		s.loaded--
+		if victim.dirty {
+			victimCh = make(chan struct{})
+			s.writeback[victimID] = victimCh
+		}
+		break
+	}
+
+	// Point of no return: this access is a miss.
+	s.misses.Add(1)
+	m.Miss()
+
+	f := &sframe{done: make(chan struct{})}
+	s.frames[id] = f
+	s.inflight++
+
+	if victimCh != nil {
+		// Dirty victim: write it back outside the latch — only accesses
+		// to the victim page itself wait, on the writeback entry.
+		s.mu.Unlock()
+		werr := base.WritePage(victimID, victim.data)
+		s.mu.Lock()
+		delete(s.writeback, victimID)
+		close(victimCh)
+		if werr != nil {
+			// The victim's frame is intact: put it back and abandon the
+			// fault, like the sequential path, where a failed write-back
+			// leaves the victim resident and fails the access.
+			s.frames[victimID] = victim
+			s.policy.Admitted(victimID)
+			s.loaded++
+			s.abandonFault(id, f)
+			return false, werr
+		}
+		s.evictions.Add(1)
+		m.Eviction()
+		s.writeBacks.Add(1)
+		m.WriteBack()
+		s.alloc.FreeFrame(victim.data)
+	} else if victim != nil {
+		s.evictions.Add(1)
+		m.Eviction()
+		s.alloc.FreeFrame(victim.data)
+	}
+
+	// The victim's frame went back to the allocator before this request,
+	// so a static arena of exactly capacity frames cannot exhaust.
+	data, err := s.alloc.AllocFrame()
+	if err != nil {
+		s.abandonFault(id, f)
+		return false, err
+	}
+
+	if write {
+		// Write-allocate: the caller's image becomes the frame content;
+		// no base read.
+		copy(data, buf)
+		s.publish(id, f, data, true)
+		return false, nil
+	}
+	s.mu.Unlock()
+	rerr := base.ReadPage(id, data)
+	if rerr == nil {
+		// data is still private to this fault; copy without the latch.
+		copy(buf, data)
+	}
+	s.mu.Lock()
+	if rerr != nil {
+		s.alloc.FreeFrame(data)
+		s.abandonFault(id, f)
+		return false, rerr
+	}
+	s.publish(id, f, data, false)
+	return false, nil
+}
+
+// publish fills a placeholder frame and wakes waiters. Called with the
+// latch held; releases it.
+func (s *shard) publish(id storage.PageID, f *sframe, data []byte, dirty bool) {
+	f.data = data
+	f.dirty = dirty
+	f.loaded = true
+	s.inflight--
+	s.loaded++
+	s.policy.Admitted(id)
+	close(f.done)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// abandonFault removes a failed fault's placeholder so waiters retry
+// their own fault. Called with the latch held; releases it.
+func (s *shard) abandonFault(id storage.PageID, f *sframe) {
+	if s.frames[id] == f {
+		delete(s.frames, id)
+	}
+	s.inflight--
+	close(f.done)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drop removes a page from the shard (Pager.Free), waiting out any
+// in-flight fault or write-back of that page — including a fuzzy-flush
+// write, whose base I/O must not land on a page the base has freed.
+func (s *shard) drop(id storage.PageID) {
+	s.mu.Lock()
+	for {
+		if ch, ok := s.writeback[id]; ok {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			continue
+		}
+		if f, ok := s.frames[id]; ok {
+			if !f.loaded {
+				done := f.done
+				s.mu.Unlock()
+				<-done
+				s.mu.Lock()
+				continue
+			}
+			s.policy.Removed(id)
+			delete(s.frames, id)
+			s.loaded--
+			s.alloc.FreeFrame(f.data)
+			s.cond.Broadcast()
+		}
+		break
+	}
+	s.mu.Unlock()
+}
+
+// claimWriteback snapshots a dirty frame's image, clears its dirty bit
+// and registers the page in the writeback table, all under the latch —
+// the claim that lets the base write proceed outside it. The caller
+// must write the returned image and then call releaseWriteback.
+func (s *shard) claimWriteback(id storage.PageID, f *sframe) ([]byte, chan struct{}) {
+	img := append([]byte(nil), f.data...)
+	f.dirty = false
+	ch := make(chan struct{})
+	s.writeback[id] = ch
+	return img, ch
+}
+
+// releaseWriteback retires a claim. On a failed base write the page is
+// re-dirtied if its frame is still resident, so the data is not lost.
+// Called with the latch held.
+func (s *shard) releaseWriteback(id storage.PageID, m *stats.Buffer, werr error) {
+	ch := s.writeback[id]
+	delete(s.writeback, id)
+	close(ch)
+	if werr != nil {
+		if f, ok := s.frames[id]; ok && f.loaded {
+			f.dirty = true
+		}
+		return
+	}
+	s.writeBacks.Add(1)
+	m.WriteBack()
+}
+
+// flushPage writes back one page if it is resident and dirty, with the
+// base I/O outside the latch under a writeback claim; a pending write
+// of the same page is waited out first so images land in order.
+func (s *shard) flushPage(base storage.Pager, m *stats.Buffer, id storage.PageID) error {
+	s.mu.Lock()
+	for {
+		if ch, ok := s.writeback[id]; ok {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			continue
+		}
+		f, ok := s.frames[id]
+		if !ok || !f.loaded || !f.dirty {
+			break
+		}
+		img, _ := s.claimWriteback(id, f)
+		s.mu.Unlock()
+		werr := base.WritePage(id, img)
+		s.mu.Lock()
+		s.releaseWriteback(id, m, werr)
+		if werr != nil {
+			s.mu.Unlock()
+			return werr
+		}
+		break
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// flushSharp writes back every dirty page of this shard while holding
+// the latch throughout: an atomic checkpoint — no access interleaves,
+// the written set is a consistent snapshot — at the price of stalling
+// the shard's traffic for the whole pass. This is the sequential
+// engine's semantics; the single-latch Manager syncs with it.
+func (s *shard) flushSharp(base storage.Pager, m *stats.Buffer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Drain outstanding eviction write-backs first: their pages must be
+	// in the base file before the caller's base.Sync.
+	for len(s.writeback) > 0 {
+		var ch chan struct{}
+		for _, ch = range s.writeback {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	for id, f := range s.frames {
+		if !f.loaded || !f.dirty {
+			continue
+		}
+		if err := base.WritePage(id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		s.writeBacks.Add(1)
+		m.WriteBack()
+	}
+	return nil
+}
+
+// flushFuzzy writes back every page that was dirty when the pass began,
+// releasing the latch around each base write (the writeback claim keeps
+// concurrent evictions, faults, drops and flushes of that page in
+// order). Traffic to the shard proceeds during the I/O — a fuzzy
+// checkpoint: pages re-dirtied behind the scan stay dirty for the next
+// pass. ShardedManager syncs with it.
+func (s *shard) flushFuzzy(base storage.Pager, m *stats.Buffer) error {
+	s.mu.Lock()
+	ids := make([]storage.PageID, 0, len(s.frames))
+	for id, f := range s.frames {
+		if f.loaded && f.dirty {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		for {
+			if ch, ok := s.writeback[id]; ok {
+				s.mu.Unlock()
+				<-ch
+				s.mu.Lock()
+				continue
+			}
+			f, ok := s.frames[id]
+			if !ok || !f.loaded || !f.dirty {
+				break // evicted or written back since the scan
+			}
+			img, _ := s.claimWriteback(id, f)
+			s.mu.Unlock()
+			werr := base.WritePage(id, img)
+			s.mu.Lock()
+			s.releaseWriteback(id, m, werr)
+			if werr != nil {
+				s.mu.Unlock()
+				return werr
+			}
+			break
+		}
+	}
+	// Eviction write-backs that raced the scan carry pages dirtied
+	// before this pass; wait for the ones in flight right now so the
+	// caller's base.Sync covers them.
+	chans := make([]chan struct{}, 0, len(s.writeback))
+	for _, ch := range s.writeback {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range chans {
+		<-ch
+	}
+	return nil
+}
+
+// --- ShardedManager ---
+
+// DefaultShards is the shard count used when the product does not set
+// one (the composer's CacheShards knob).
+const DefaultShards = 8
+
+// ShardedManager is the ShardedBuffer feature: a write-back page cache
+// striped over power-of-two shards, each with its own latch, frame map
+// and replacement-policy instance. It implements Cache (and therefore
+// storage.Pager) and is safe for concurrent use; unlike Manager, hits
+// on different shards never contend, and Sync flushes shard by shard
+// instead of stopping the world.
+type ShardedManager struct {
+	base       storage.Pager
+	shards     []*shard
+	shift      uint
+	policyName string
+	closed     atomic.Bool
+	// metrics mirrors the counters into the Statistics feature's
+	// registry when composed; nil otherwise (recording is a no-op).
+	metrics *stats.Buffer
+}
+
+// NewShardedManager stripes capacity pages over shards. The shard count
+// is rounded up to a power of two and clamped so every shard owns at
+// least one frame (capacity < shards yields fewer shards); the capacity
+// remainder goes to the low shards. Each shard gets its own policy and
+// allocator from the factories, keeping both single-threaded per shard.
+func NewShardedManager(base storage.Pager, capacity, shards int, newPolicy func() Policy, newAlloc func(frames int) (Allocator, error)) (*ShardedManager, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
+	}
+	if newPolicy == nil || newAlloc == nil {
+		return nil, errors.New("buffer: nil policy or allocator factory")
+	}
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	n := 1 << uint(bits.Len(uint(shards-1)))
+	for n > capacity {
+		n >>= 1
+	}
+	m := &ShardedManager{base: base, shift: uint(64 - bits.TrailingZeros(uint(n)))}
+	for i := 0; i < n; i++ {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		p := newPolicy()
+		if i == 0 {
+			m.policyName = p.Name()
+		}
+		a, err := newAlloc(c)
+		if err != nil {
+			return nil, err
+		}
+		m.shards = append(m.shards, newShard(c, p, a))
+	}
+	return m, nil
+}
+
+// shardFor maps a page to its shard with a Fibonacci multiplicative
+// hash: consecutive PageIDs — the common allocation pattern — spread
+// uniformly instead of clustering in one shard.
+func (m *ShardedManager) shardFor(id storage.PageID) *shard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return m.shards[h>>m.shift]
+}
+
+// ShardCount returns the number of stripes actually in use.
+func (m *ShardedManager) ShardCount() int { return len(m.shards) }
+
+// SetMetrics implements Cache, labeling the metrics with the policy and
+// shard count.
+func (m *ShardedManager) SetMetrics(b *stats.Buffer) {
+	m.metrics = b
+	b.SetPolicy(m.policyName)
+	b.SetShards(len(m.shards))
+}
+
+// PageSize implements storage.Pager.
+func (m *ShardedManager) PageSize() int { return m.base.PageSize() }
+
+// PolicyName implements Cache.
+func (m *ShardedManager) PolicyName() string { return m.policyName }
+
+// Stats implements Cache: the per-shard atomics summed.
+func (m *ShardedManager) Stats() Stats {
+	var st Stats
+	for _, s := range m.shards {
+		sn := s.snapshot()
+		st.Hits += sn.Hits
+		st.Misses += sn.Misses
+		st.Evictions += sn.Evictions
+		st.WriteBacks += sn.WriteBacks
+	}
+	return st
+}
+
+// Resident implements Cache.
+func (m *ShardedManager) Resident() int {
+	total := 0
+	for _, s := range m.shards {
+		total += s.resident()
+	}
+	return total
+}
+
+// Alloc implements storage.Pager.
+func (m *ShardedManager) Alloc() (storage.PageID, error) {
+	if m.closed.Load() {
+		return 0, errManagerClosed
+	}
+	return m.base.Alloc()
+}
+
+// Free implements storage.Pager: the page leaves its shard and returns
+// to the base free list.
+func (m *ShardedManager) Free(id storage.PageID) error {
+	if m.closed.Load() {
+		return errManagerClosed
+	}
+	m.shardFor(id).drop(id)
+	return m.base.Free(id)
+}
+
+// ReadPage implements storage.Pager.
+func (m *ShardedManager) ReadPage(id storage.PageID, buf []byte) error {
+	if m.closed.Load() {
+		return errManagerClosed
+	}
+	return m.shardFor(id).access(m.base, m.metrics, id, buf, false)
+}
+
+// WritePage implements storage.Pager: write-allocate, write-back.
+func (m *ShardedManager) WritePage(id storage.PageID, buf []byte) error {
+	if m.closed.Load() {
+		return errManagerClosed
+	}
+	return m.shardFor(id).access(m.base, m.metrics, id, buf, true)
+}
+
+// FlushPage implements Cache.
+func (m *ShardedManager) FlushPage(id storage.PageID) error {
+	if m.closed.Load() {
+		return errManagerClosed
+	}
+	return m.shardFor(id).flushPage(m.base, m.metrics, id)
+}
+
+// Sync implements storage.Pager: every shard is flushed in turn — one
+// stripe of the pool stalls at a time, never the whole pool — and the
+// base pager is synced.
+func (m *ShardedManager) Sync() error {
+	for _, s := range m.shards {
+		if err := s.flushFuzzy(m.base, m.metrics); err != nil {
+			return err
+		}
+	}
+	return m.base.Sync()
+}
+
+// Close implements storage.Pager: flush, then close the base pager.
+// Close is terminal even when the flush fails.
+func (m *ShardedManager) Close() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return errors.New("buffer: manager already closed")
+	}
+	for _, s := range m.shards {
+		if err := s.flushFuzzy(m.base, m.metrics); err != nil {
+			return err
+		}
+	}
+	return m.base.Close()
+}

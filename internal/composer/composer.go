@@ -29,6 +29,10 @@ type Options struct {
 	// CachePages overrides the buffer capacity derived from the
 	// platform's RAM budget.
 	CachePages int
+	// CacheShards overrides the ShardedBuffer feature's stripe count
+	// (default buffer.DefaultShards; rounded to a power of two and
+	// capped at one frame per shard). Ignored without ShardedBuffer.
+	CacheShards int
 	// GroupCommitBatch tunes the GroupCommit protocol (default 8).
 	GroupCommitBatch int
 }
@@ -49,11 +53,12 @@ type Instance struct {
 	// selected.
 	SQL *sql.Engine
 
-	fs         osal.FS
-	pf         *storage.PageFile
-	pager      storage.Pager
-	cache      *buffer.Manager
-	cachePages int
+	fs          osal.FS
+	pf          *storage.PageFile
+	pager       storage.Pager
+	cache       buffer.Cache
+	cachePages  int
+	cacheShards int
 	// stats is the Statistics feature's registry; nil unless the feature
 	// is selected, in which case every layer records into it.
 	stats *stats.Registry
@@ -159,26 +164,44 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			}
 		}
 		inst.cachePages = capacity
-		var policy buffer.Policy
-		switch {
-		case cfg.Has("LFU"):
-			policy = buffer.NewLFU()
-		default:
-			policy = buffer.NewLRU()
-		}
-		var alloc buffer.Allocator
-		if cfg.Has("StaticAlloc") {
-			alloc, err = buffer.NewStaticAllocator(inst.Platform.PageSize, capacity, inst.Platform.RAMBudget)
-			if err != nil {
-				return nil, fmt.Errorf("composer: static arena exceeds the %s RAM budget: %w",
-					inst.Platform.Name, err)
+		newPolicy := func() buffer.Policy {
+			if cfg.Has("LFU") {
+				return buffer.NewLFU()
 			}
-		} else {
-			alloc = buffer.NewDynamicAllocator(inst.Platform.PageSize)
+			return buffer.NewLRU()
 		}
-		inst.cache, err = buffer.NewManager(inst.pager, capacity, policy, alloc)
-		if err != nil {
-			return nil, err
+		// Per-shard allocator factory: a static product splits one
+		// RAM-budgeted arena figure across the shards, so the aggregate
+		// arena equals the unsharded one.
+		pageSize := inst.Platform.PageSize
+		newAlloc := func(frames int) (buffer.Allocator, error) {
+			if cfg.Has("StaticAlloc") {
+				return buffer.NewStaticAllocator(pageSize, frames, 0)
+			}
+			return buffer.NewDynamicAllocator(pageSize), nil
+		}
+		if cfg.Has("StaticAlloc") && inst.Platform.RAMBudget > 0 && capacity*pageSize > inst.Platform.RAMBudget {
+			return nil, fmt.Errorf("composer: static arena of %d bytes exceeds the %s RAM budget %d",
+				capacity*pageSize, inst.Platform.Name, inst.Platform.RAMBudget)
+		}
+		if cfg.Has("ShardedBuffer") {
+			sharded, err := buffer.NewShardedManager(inst.pager, capacity, opts.CacheShards, newPolicy, newAlloc)
+			if err != nil {
+				return nil, err
+			}
+			inst.cache = sharded
+			inst.cacheShards = sharded.ShardCount()
+		} else {
+			alloc, err := newAlloc(capacity)
+			if err != nil {
+				return nil, err
+			}
+			single, err := buffer.NewManager(inst.pager, capacity, newPolicy(), alloc)
+			if err != nil {
+				return nil, err
+			}
+			inst.cache = single
+			inst.cacheShards = 1
 		}
 		inst.cache.SetMetrics(inst.stats.Buffer())
 		inst.pager = inst.cache
@@ -493,6 +516,11 @@ func (i *Instance) CacheStats() (buffer.Stats, bool) {
 	}
 	return i.cache.Stats(), true
 }
+
+// CacheShards returns the buffer pool's lock-stripe count: 0 without a
+// buffer manager, 1 for the single-latch manager, and the (power-of-
+// two) stripe count with the ShardedBuffer feature.
+func (i *Instance) CacheShards() int { return i.cacheShards }
 
 // FS returns the instance's filesystem.
 func (i *Instance) FS() osal.FS { return i.fs }

@@ -1,0 +1,69 @@
+package composer
+
+import (
+	"testing"
+)
+
+func TestComposeShardedBuffer(t *testing.T) {
+	inst, err := ComposeProduct(Options{},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.CacheShards() < 2 {
+		t.Fatalf("CacheShards = %d, want a striped pool", inst.CacheShards())
+	}
+	if err := inst.Store.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := inst.Store.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestComposeShardedBufferShardKnob(t *testing.T) {
+	inst, err := ComposeProduct(Options{CacheShards: 4},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.CacheShards() != 4 {
+		t.Fatalf("CacheShards = %d, want 4", inst.CacheShards())
+	}
+	// The knob rounds to a power of two.
+	inst2, err := ComposeProduct(Options{CacheShards: 3},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	if inst2.CacheShards() != 4 {
+		t.Fatalf("CacheShards(3 requested) = %d, want 4", inst2.CacheShards())
+	}
+}
+
+func TestComposeSingleLatchReportsOneShard(t *testing.T) {
+	inst, err := ComposeProduct(Options{},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.CacheShards() != 1 {
+		t.Fatalf("CacheShards = %d, want 1 for the single-latch manager", inst.CacheShards())
+	}
+}
+
+func TestNutOSExcludesShardedBuffer(t *testing.T) {
+	_, err := ComposeProduct(Options{},
+		"NutOS", "BPlusTree", "BufferManager", "LRU", "StaticAlloc",
+		"ShardedBuffer", "Put", "Get")
+	if err == nil {
+		t.Fatal("NutOS composed with ShardedBuffer despite the model constraint")
+	}
+}

@@ -48,6 +48,8 @@ func FAMEModel() *Model {
 	al := bm.AddAbstract("MemoryAlloc", Mandatory)
 	al.AddChild("DynamicAlloc", Alternative)
 	al.AddChild("StaticAlloc", Alternative)
+	sb := bm.AddChild("ShardedBuffer", Optional)
+	sb.Description = "lock-striped page cache for multi-core hosts"
 
 	// Access: the low-level record API; at least one operation.
 	ac := root.AddAbstract("Access", Mandatory)
@@ -87,9 +89,11 @@ func FAMEModel() *Model {
 	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Update")), Ref("BTreeUpdate")))
 	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Remove")), Ref("BTreeRemove")))
 	m.AddConstraint(Implies(Ref("Transaction"), And(Ref("BufferManager"), Ref("Put"))))
-	// Deeply embedded NutOS nodes: no dynamic allocation, no SQL.
+	// Deeply embedded NutOS nodes: no dynamic allocation, no SQL, and —
+	// being single-threaded — no lock-striped buffer pool.
 	m.AddConstraint(Implies(And(Ref("NutOS"), Ref("BufferManager")), Ref("StaticAlloc")))
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("SQLEngine"))))
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("ShardedBuffer"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -140,7 +144,7 @@ func FAMEProducts() []NamedProduct {
 			Name: "full",
 			Features: []string{
 				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
-				"BufferManager", "LFU", "DynamicAlloc",
+				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery",
 				"Optimizer", "SQLEngine",

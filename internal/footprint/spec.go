@@ -105,13 +105,30 @@ func FAMESources() map[string][]SourceSpec {
 			"List.find", "List.Name", "List.Insert", "List.Get",
 			"List.Delete", "List.Update", "List.Scan", "List.Len")},
 
-		// Buffer manager and its alternatives.
-		"BufferManager": {funcs("internal/buffer/buffer.go",
-			"NewManager", "Manager.PageSize", "Manager.Stats", "Manager.PolicyName",
-			"Manager.Resident", "Manager.Alloc", "Manager.Free",
-			"Manager.ReadPage", "Manager.WritePage", "Manager.admit",
-			"Manager.evictOne", "Manager.FlushPage", "Manager.Sync",
-			"Manager.flushAllLocked", "Manager.Close")},
+		// Buffer manager and its alternatives. The shard engine in
+		// sharded.go is shared code: the single-latch Manager is one
+		// shard, so it belongs to BufferManager, not ShardedBuffer.
+		"BufferManager": {
+			funcs("internal/buffer/buffer.go",
+				"NewManager", "Manager.PageSize", "Manager.Stats", "Manager.PolicyName",
+				"Manager.Resident", "Manager.Alloc", "Manager.Free",
+				"Manager.ReadPage", "Manager.WritePage", "Manager.FlushPage",
+				"Manager.Sync", "Manager.Close"),
+			funcs("internal/buffer/sharded.go",
+				"newShard", "shard.snapshot", "shard.resident", "shard.access",
+				"shard.fault", "shard.publish", "shard.abandonFault",
+				"shard.drop", "shard.claimWriteback", "shard.releaseWriteback",
+				"shard.flushPage", "shard.flushSharp", "shard.flushFuzzy"),
+		},
+		"ShardedBuffer": {funcs("internal/buffer/sharded.go",
+			"NewShardedManager", "ShardedManager.shardFor",
+			"ShardedManager.ShardCount", "ShardedManager.SetMetrics",
+			"ShardedManager.PageSize", "ShardedManager.PolicyName",
+			"ShardedManager.Stats", "ShardedManager.Resident",
+			"ShardedManager.Alloc", "ShardedManager.Free",
+			"ShardedManager.ReadPage", "ShardedManager.WritePage",
+			"ShardedManager.FlushPage", "ShardedManager.Sync",
+			"ShardedManager.Close")},
 		"LRU": {funcs("internal/buffer/buffer.go",
 			"NewLRU", "LRU.Name", "LRU.Admitted", "LRU.Touched", "LRU.Removed",
 			"LRU.Victim", "LRU.pushFront", "LRU.unlink")},
@@ -190,12 +207,16 @@ func BDBCore() []SourceSpec {
 		funcs("internal/buffer/buffer.go",
 			"NewManager", "Manager.PageSize", "Manager.Stats", "Manager.Resident",
 			"Manager.Alloc", "Manager.Free", "Manager.ReadPage",
-			"Manager.WritePage", "Manager.admit", "Manager.evictOne",
-			"Manager.Sync", "Manager.flushAllLocked", "Manager.Close",
+			"Manager.WritePage", "Manager.Sync", "Manager.Close",
 			"NewLRU", "LRU.Name", "LRU.Admitted", "LRU.Touched", "LRU.Removed",
 			"LRU.Victim", "LRU.pushFront", "LRU.unlink",
 			"NewDynamicAllocator", "DynamicAllocator.Name",
 			"DynamicAllocator.AllocFrame", "DynamicAllocator.FreeFrame"),
+		funcs("internal/buffer/sharded.go",
+			"newShard", "shard.snapshot", "shard.resident", "shard.access",
+			"shard.fault", "shard.publish", "shard.abandonFault",
+			"shard.drop", "shard.claimWriteback", "shard.releaseWriteback",
+			"shard.flushPage", "shard.flushSharp", "shard.flushFuzzy"),
 		funcs("internal/index/index.go",
 			"CreateList", "OpenList", "encodeEntry", "decodeEntry",
 			"List.find", "List.Insert", "List.Get", "List.Scan", "List.Len"),

@@ -1,0 +1,52 @@
+package nfp
+
+import (
+	"testing"
+)
+
+func TestRecordMeasurement(t *testing.T) {
+	m := flatModel(t, "A", "B")
+	s := NewStore(m)
+	if err := RecordMeasurement(s, []string{"A"}, map[Property]float64{Throughput: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Measurements()); got != 1 {
+		t.Fatalf("measurements = %d", got)
+	}
+	est, err := s.Estimate(product(t, m, "A"), Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.Value != 5000 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	if err := RecordMeasurement(s, []string{"NoSuchFeature"}, nil); err == nil {
+		t.Error("unknown feature accepted")
+	}
+}
+
+func TestSignedTableKeepsNegativeWeights(t *testing.T) {
+	// S lowers the measured latency: its fitted weight is negative.
+	m := flatModel(t, "S")
+	s := NewStore(m)
+	if err := RecordMeasurement(s, nil, map[Property]float64{LatencyP50: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordMeasurement(s, []string{"S"}, map[Property]float64{LatencyP50: 200}); err != nil {
+		t.Fatal(err)
+	}
+	signed, err := s.SignedTable(LatencyP50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := signed.Features["S"]; w >= 0 {
+		t.Errorf("SignedTable weight = %d, want negative", w)
+	}
+	clamped, err := s.Table(LatencyP50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := clamped.Features["S"]; w != 0 {
+		t.Errorf("Table weight = %d, want clamped to 0", w)
+	}
+}

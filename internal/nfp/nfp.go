@@ -113,6 +113,18 @@ func (s *Store) Record(cfg *core.Configuration, values map[Property]float64) {
 // Measurements returns the stored measurements.
 func (s *Store) Measurements() []Measurement { return s.measurements }
 
+// RecordMeasurement is the programmatic entry point benchmarks use to
+// feed the store: the feature list is completed and validated against
+// the store's model, then recorded like Record.
+func RecordMeasurement(s *Store, features []string, values map[Property]float64) error {
+	cfg, err := s.model.Product(features...)
+	if err != nil {
+		return err
+	}
+	s.Record(cfg, values)
+	return nil
+}
+
 // ErrNoData is returned when estimation has nothing to work from.
 var ErrNoData = errors.New("nfp: no measurements for property")
 
@@ -259,6 +271,28 @@ func (s *Store) Table(p Property) (*footprint.Table, error) {
 		} else {
 			t.Features[f] = 0
 		}
+	}
+	return t, nil
+}
+
+// SignedTable is Table without the non-negativity clamp: fitted weights
+// keep their sign, so a feature measured to *improve* a property (e.g.
+// ShardedBuffer lowering per-op latency) carries a negative cost. Only
+// the greedy deriver handles such tables — it selects negative-cost
+// features outright — while BranchAndBound's lower bound assumes
+// non-negative costs and must use Table.
+func (s *Store) SignedTable(p Property) (*footprint.Table, error) {
+	if _, ok := s.weights[p]; !ok {
+		if err := s.Fit(p); err != nil {
+			return nil, err
+		}
+	}
+	t := &footprint.Table{Model: s.model.Name, Features: map[string]int{}}
+	if base := s.base[p]; base > 0 {
+		t.Core = int(math.Round(base))
+	}
+	for f, w := range s.weights[p] {
+		t.Features[f] = int(math.Round(w))
 	}
 	return t, nil
 }

@@ -1,0 +1,32 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShellShardedBufferProduct(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU", "ShardedBuffer",
+		"Put", "Get", "Statistics")
+
+	s.Execute(".features")
+	if !strings.Contains(out.String(), "ShardedBuffer") {
+		t.Errorf(".features output %q missing ShardedBuffer", out.String())
+	}
+
+	out.Reset()
+	for _, line := range []string{"put k 1", "get k"} {
+		s.Execute(line)
+	}
+	if got := out.String(); !strings.Contains(got, "ok\n1\n") {
+		t.Errorf("kv transcript = %q", got)
+	}
+
+	// The striped pool reports its shard count through the stats layer.
+	out.Reset()
+	s.Execute(".stats")
+	if got := out.String(); !strings.Contains(got, "shards") {
+		t.Errorf(".stats output %q missing shard count", got)
+	}
+}

@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"testing"
+
+	"famedb/internal/core"
+)
+
+// negModel has one optional feature with a negative cost — the shape
+// nfp.SignedTable produces when a feature measurably improves the
+// property being minimized.
+func negModel(t *testing.T) *core.Model {
+	t.Helper()
+	m := core.NewModel("Neg")
+	m.Root().AddChild("Fast", core.Optional)
+	m.Root().AddChild("Heavy", core.Optional)
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGreedySelectsNegativeCostFeature(t *testing.T) {
+	m := negModel(t)
+	tab := table("Neg", 1000, map[string]int{"Fast": -400, "Heavy": 300})
+	res, err := Greedy(Request{Model: m, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Config.Has("Fast") {
+		t.Error("greedy left a latency-improving (negative-cost) feature out")
+	}
+	if res.Config.Has("Heavy") {
+		t.Error("greedy selected a positive-cost optional feature")
+	}
+	if res.ROM != 600 {
+		t.Errorf("ROM = %d, want 1000-400", res.ROM)
+	}
+}
+
+func TestGreedyNegativeCostRespectsConstraints(t *testing.T) {
+	// Fast excludes Req: selecting the negative-cost feature would
+	// conflict with the requirements, so greedy must leave it out.
+	m := core.NewModel("NegC")
+	m.Root().AddChild("Fast", core.Optional)
+	m.Root().AddChild("Req", core.Optional)
+	m.AddConstraint(core.Implies(core.Ref("Fast"), core.Not(core.Ref("Req"))))
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	tab := table("NegC", 100, map[string]int{"Fast": -50, "Req": 10})
+	res, err := Greedy(Request{Model: m, Table: tab, Required: []string{"Req"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Has("Fast") {
+		t.Error("greedy selected a feature that conflicts with the requirements")
+	}
+	if !res.Config.Has("Req") {
+		t.Error("required feature missing")
+	}
+}

@@ -78,7 +78,9 @@ func (r *Request) baseConfig() (*core.Configuration, error) {
 // cost order, deselecting whenever the model allows it and otherwise
 // selecting; among the members of a forced choice (alternative groups)
 // the cheapest consistent member wins because cheaper members are
-// visited first.
+// visited first. Unlike BranchAndBound, Greedy tolerates negative costs
+// (nfp.SignedTable): a feature measured to improve the property is
+// selected rather than deselected.
 func Greedy(r Request) (*Result, error) {
 	cfg, err := r.baseConfig()
 	if err != nil {
@@ -91,10 +93,19 @@ func Greedy(r Request) (*Result, error) {
 		return r.cost(features[i]) < r.cost(features[j])
 	})
 	// First pass: try to deselect every truly optional feature, most
-	// expensive first (so the big savings are locked in).
+	// expensive first (so the big savings are locked in). Negative-cost
+	// features are the mirror image: selecting them is the saving.
 	for i := len(features) - 1; i >= 0; i-- {
 		f := features[i]
 		if cfg.State(f.Name) != core.Undecided {
+			continue
+		}
+		if r.cost(f) < 0 {
+			if err := cfg.Select(f.Name); err != nil {
+				// Conflicts with the requirements; fall back to the
+				// deselect attempt below.
+				_ = cfg.Deselect(f.Name)
+			}
 			continue
 		}
 		if err := cfg.Deselect(f.Name); err != nil {

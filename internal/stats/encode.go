@@ -21,11 +21,14 @@ type Snapshot struct {
 
 // BufferSnapshot copies the buffer-manager counters.
 type BufferSnapshot struct {
-	Policy     string `json:"policy,omitempty"`
-	Hits       int64  `json:"hits"`
-	Misses     int64  `json:"misses"`
-	Evictions  int64  `json:"evictions"`
-	WriteBacks int64  `json:"write_backs"`
+	Policy string `json:"policy,omitempty"`
+	// Shards is the pool's lock-stripe count: 1 for the single-latch
+	// manager, >1 with the ShardedBuffer feature, 0 without a cache.
+	Shards     int64 `json:"shards,omitempty"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	WriteBacks int64 `json:"write_backs"`
 }
 
 // PagerSnapshot copies the page-file counters.
@@ -87,6 +90,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if p, ok := r.buffer.policy.Load().(string); ok {
 		s.Buffer.Policy = p
 	}
+	s.Buffer.Shards = load(&r.buffer.shards)
 	s.Buffer.Hits = load(&r.buffer.hits)
 	s.Buffer.Misses = load(&r.buffer.misses)
 	s.Buffer.Evictions = load(&r.buffer.evictions)
@@ -164,6 +168,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
 	}
 
+	if s.Buffer.Shards > 0 {
+		fmt.Fprintf(&b, "# HELP famedb_buffer_shards Buffer pool lock stripes.\n# TYPE famedb_buffer_shards gauge\nfamedb_buffer_shards%s %d\n",
+			labels, s.Buffer.Shards)
+	}
 	counter("famedb_buffer_hits_total", "Buffer cache hits.", s.Buffer.Hits, labels)
 	counter("famedb_buffer_misses_total", "Buffer cache misses.", s.Buffer.Misses, labels)
 	counter("famedb_buffer_evictions_total", "Buffer cache evictions.", s.Buffer.Evictions, labels)
@@ -225,6 +233,9 @@ func (s Snapshot) Format() string {
 		title := "buffer"
 		if s.Buffer.Policy != "" {
 			title = "buffer (" + s.Buffer.Policy + ")"
+		}
+		if s.Buffer.Shards > 1 {
+			title += fmt.Sprintf(", %d shards", s.Buffer.Shards)
 		}
 		fmt.Fprintf(&b, "%s\n", title)
 		row("hits", s.Buffer.Hits)

@@ -96,9 +96,11 @@ func load(p *int64) int64 { return atomic.LoadInt64(p) }
 // --- Buffer manager ---
 
 // Buffer counts page-cache effectiveness, labeled with the composed
-// replacement policy.
+// replacement policy and, for the ShardedBuffer feature, the number of
+// lock stripes.
 type Buffer struct {
 	policy     atomic.Value // string
+	shards     int64
 	hits       int64
 	misses     int64
 	evictions  int64
@@ -109,6 +111,14 @@ type Buffer struct {
 func (b *Buffer) SetPolicy(name string) {
 	if b != nil {
 		b.policy.Store(name)
+	}
+}
+
+// SetShards records the buffer pool's shard count (1 for the
+// single-latch manager).
+func (b *Buffer) SetShards(n int) {
+	if b != nil {
+		atomic.StoreInt64(&b.shards, int64(n))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"famedb/internal/osal"
 	"famedb/internal/stats"
@@ -54,9 +55,11 @@ const (
 var ErrBadPage = errors.New("storage: invalid page access")
 
 // PageFile manages fixed-size pages in an osal.File with a free list.
-// It is not safe for concurrent use; the buffer manager serializes
-// access in concurrent configurations.
+// It is safe for concurrent use: an internal mutex protects the header
+// state and the scratch buffer, so the sharded buffer manager may issue
+// reads and write-backs from several shards at once.
 type PageFile struct {
+	mu       sync.Mutex
 	f        osal.File
 	pageSize int
 	// pageCount counts all pages including the header page 0.
@@ -134,12 +137,18 @@ func (pf *PageFile) writeHeader() error {
 func (pf *PageFile) PageSize() int { return pf.pageSize }
 
 // NumPages returns the number of allocated pages including the header.
-func (pf *PageFile) NumPages() uint32 { return pf.pageCount }
+func (pf *PageFile) NumPages() uint32 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.pageCount
+}
 
 func (pf *PageFile) offset(id PageID) int64 { return int64(id) * int64(pf.pageSize) }
 
 // Alloc implements Pager.
 func (pf *PageFile) Alloc() (PageID, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if pf.closed {
 		return 0, errors.New("storage: page file is closed")
 	}
@@ -176,6 +185,8 @@ func (pf *PageFile) Alloc() (PageID, error) {
 // Free implements Pager. The page joins the free list and may be handed
 // out again by Alloc.
 func (pf *PageFile) Free(id PageID) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if err := pf.check(id); err != nil {
 		return err
 	}
@@ -202,6 +213,8 @@ func (pf *PageFile) check(id PageID) error {
 
 // ReadPage implements Pager.
 func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if err := pf.check(id); err != nil {
 		return err
 	}
@@ -217,6 +230,8 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Pager.
 func (pf *PageFile) WritePage(id PageID, buf []byte) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if err := pf.check(id); err != nil {
 		return err
 	}
@@ -233,6 +248,12 @@ func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 // Sync implements Pager: the header is flushed first, then the file is
 // made durable.
 func (pf *PageFile) Sync() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.syncLocked()
+}
+
+func (pf *PageFile) syncLocked() error {
 	if pf.closed {
 		return errors.New("storage: page file is closed")
 	}
@@ -247,10 +268,12 @@ func (pf *PageFile) Sync() error {
 
 // Close implements Pager.
 func (pf *PageFile) Close() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if pf.closed {
 		return errors.New("storage: page file already closed")
 	}
-	if err := pf.Sync(); err != nil {
+	if err := pf.syncLocked(); err != nil {
 		return err
 	}
 	pf.closed = true
