@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2] [-ops N] [-json BENCH_1.json]
-//	           [-json2 BENCH_2.json] [-stats]
+//	fame-bench [-run E1,...,E7,B1,B2,B3] [-ops N] [-json BENCH_1.json]
+//	           [-json2 BENCH_2.json] [-json3 BENCH_3.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
 // whose measured throughput and latency quantiles feed the NFP store,
 // closing the paper's feedback loop; -json names its machine-readable
 // report. B2 runs the ShardedBuffer concurrency benchmark — both buffer
 // pools under parallel get/put mixes at 1/4/16 goroutines — and -json2
-// names its report. -stats dumps the Prometheus text exposition of a
-// full instrumented run.
+// names its report. B3 runs the GroupCommit benchmark — ForceCommit vs
+// the group-commit pipeline at 1/4/16 concurrent committers on a
+// delayed-sync device — and -json3 names its report. -stats dumps the
+// Prometheus text exposition of a full instrumented run.
 package main
 
 import (
@@ -26,10 +28,11 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	jsonPath := flag.String("json", "BENCH_1.json", "file for B1's machine-readable report")
 	json2Path := flag.String("json2", "BENCH_2.json", "file for B2's machine-readable report")
+	json3Path := flag.String("json3", "BENCH_3.json", "file for B3's machine-readable report")
 	statsDump := flag.Bool("stats", false, "dump Prometheus metrics of a full instrumented run")
 	flag.Parse()
 
@@ -131,6 +134,27 @@ func main() {
 				fail("B2", err)
 			}
 			fmt.Printf("wrote %s\n", *json2Path)
+		}
+	}
+	if want["B3"] {
+		r, err := bench.B3(*ops/40, 23)
+		if err != nil {
+			fail("B3", err)
+		}
+		fmt.Println(bench.FormatB3(r))
+		if *json3Path != "" {
+			f, err := os.Create(*json3Path)
+			if err != nil {
+				fail("B3", err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				fail("B3", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("B3", err)
+			}
+			fmt.Printf("wrote %s\n", *json3Path)
 		}
 	}
 	if *statsDump {

@@ -60,11 +60,12 @@ type (
 
 // The measurable non-functional properties of the feedback approach.
 const (
-	PropROM        = nfp.ROM
-	PropRAM        = nfp.RAM
-	PropThroughput = nfp.Throughput
-	PropLatencyP50 = nfp.LatencyP50
-	PropLatencyP99 = nfp.LatencyP99
+	PropROM              = nfp.ROM
+	PropRAM              = nfp.RAM
+	PropThroughput       = nfp.Throughput
+	PropLatencyP50       = nfp.LatencyP50
+	PropLatencyP99       = nfp.LatencyP99
+	PropCommitThroughput = nfp.CommitThroughput
 )
 
 // Errors surfaced by the facade.

@@ -1,0 +1,302 @@
+package bench
+
+// Benchmark B3: the GroupCommit feature under concurrent committers.
+//
+// Two transactional products — ForceCommit and GroupCommit, both with
+// the Locking feature — run the same commit-heavy workload at 1, 4 and
+// 16 committer goroutines over a delayed-sync device (osal.DelayFS
+// charges a flash-style latency per WriteAt and a much larger one per
+// Sync). ForceCommit pays one sync per transaction, so its throughput
+// is pinned at 1/syncLatency no matter how many committers queue up.
+// The group-commit pipeline lets the leader coalesce every staged
+// transaction into ONE WriteAt and ONE Sync, so syncs grow sublinearly
+// in commits and throughput scales with the batch size. The
+// 16-committer measurements are fed to the NFP store so the greedy
+// deriver re-derives GroupCommit from the measurements alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/nfp"
+	"famedb/internal/osal"
+	"famedb/internal/solver"
+)
+
+// B3Config fixes the scenario; the defaults model a managed-NAND device
+// (page program ~20us, flush barrier ~400us).
+type B3Config struct {
+	Ops        int           // transactions per measured point
+	Seed       int64         // reserved for workload shuffling
+	GroupBatch int           // GroupCommit batch size
+	WriteDelay time.Duration // device latency per WriteAt
+	SyncDelay  time.Duration // device latency per Sync
+	ValueBytes int           // payload per transaction
+}
+
+func defaultB3Config(ops int, seed int64) B3Config {
+	if ops < 512 {
+		ops = 512
+	}
+	return B3Config{
+		Ops:        ops,
+		Seed:       seed,
+		GroupBatch: 16,
+		WriteDelay: 20 * time.Microsecond,
+		SyncDelay:  400 * time.Microsecond,
+		ValueBytes: 64,
+	}
+}
+
+// B3Point is one measured (protocol, committers) cell.
+type B3Point struct {
+	Protocol      string  `json:"protocol"` // "ForceCommit" or "GroupCommit"
+	Goroutines    int     `json:"goroutines"`
+	Commits       int     `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// LogSyncs is the durable-sync count for the whole point; the
+	// sublinearity claim is LogSyncs << Commits under GroupCommit.
+	LogSyncs       int64   `json:"log_syncs"`
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+	// BatchMean/BatchP99 summarize the commits-per-sync histogram.
+	BatchMean float64 `json:"batch_mean"`
+	BatchP99  float64 `json:"batch_p99"`
+	// StallP99Us is the 99th percentile of how long a follower waited
+	// on its group-commit leader, microseconds.
+	StallP99Us float64 `json:"stall_p99_us"`
+}
+
+// B3Feedback closes the loop for the commit NFP: the 16-committer
+// measurements land in an nfp.Store and the greedy deriver runs against
+// the fitted signed latency table.
+type B3Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedGroupCommit reports whether the deriver picked the
+	// GroupCommit protocol on the strength of the measurements alone.
+	SelectedGroupCommit bool `json:"selected_group_commit"`
+	// GroupCommitThroughputWeight is the fitted per-feature contribution
+	// of GroupCommit to commit throughput (txns/s).
+	GroupCommitThroughputWeight float64 `json:"group_commit_throughput_weight"`
+	// GroupCommitLatencyWeightNs is the (negative) fitted contribution
+	// to mean commit latency, the signed cost the deriver minimized.
+	GroupCommitLatencyWeightNs float64 `json:"group_commit_latency_weight_ns"`
+}
+
+// B3Result is the machine-readable report (BENCH_3.json).
+type B3Result struct {
+	Ops          int       `json:"ops_per_point"`
+	Seed         int64     `json:"seed"`
+	GroupBatch   int       `json:"group_batch"`
+	WriteDelayUs int       `json:"write_delay_us"`
+	SyncDelayUs  int       `json:"sync_delay_us"`
+	Points       []B3Point `json:"points"`
+	// SpeedupAt16 is GroupCommit over ForceCommit commit throughput at
+	// 16 committers — the number the acceptance criterion gates on.
+	SpeedupAt16 float64    `json:"speedup_at_16"`
+	Feedback    B3Feedback `json:"feedback"`
+}
+
+// b3Features is the measured product for one protocol. Both products
+// carry Locking (ForceCommit rides the pipeline as the degenerate
+// one-transaction batch), so the fitted delta isolates the protocol.
+func b3Features(group bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Transaction", "Locking", "Statistics",
+	}
+	if group {
+		fs = append(fs, "GroupCommit")
+	} else {
+		fs = append(fs, "ForceCommit")
+	}
+	return fs
+}
+
+// b3Run measures one (protocol, committers) point: g workers share
+// cfg.Ops single-put transactions over a fresh instance on the delayed
+// device.
+func b3Run(cfg B3Config, group bool, g int) (B3Point, error) {
+	name := "ForceCommit"
+	if group {
+		name = "GroupCommit"
+	}
+	pt := B3Point{Protocol: name, Goroutines: g, Commits: cfg.Ops}
+
+	fs := osal.NewDelayFS(osal.NewMemFS(), cfg.WriteDelay, cfg.SyncDelay)
+	inst, err := composer.ComposeProduct(
+		composer.Options{FS: fs, GroupCommitBatch: cfg.GroupBatch},
+		b3Features(group)...)
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	errs := make(chan error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		n := cfg.Ops / g
+		if w < cfg.Ops%g {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				tx := inst.Txn.Begin()
+				key := fmt.Sprintf("w%02d-k%07d", w, i)
+				if err := tx.Put([]byte(key), value); err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		inst.Close()
+		return pt, err
+	}
+
+	pt.LogSyncs = inst.Txn.LogSyncs()
+	snap, err := inst.Stats()
+	if err != nil {
+		inst.Close()
+		return pt, err
+	}
+	if err := inst.Close(); err != nil {
+		return pt, err
+	}
+
+	pt.Seconds = elapsed.Seconds()
+	pt.CommitsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	if cfg.Ops > 0 {
+		pt.SyncsPerCommit = float64(pt.LogSyncs) / float64(cfg.Ops)
+	}
+	pt.BatchMean = snap.Txn.CommitBatch.Mean()
+	pt.BatchP99 = snap.Txn.CommitBatch.P99()
+	pt.StallP99Us = snap.Txn.CommitStall.P99() / 1e3
+	return pt, nil
+}
+
+// B3 runs the concurrent commit benchmark and closes the feedback loop:
+// the measured 16-committer products land in an NFP store, and the
+// greedy deriver picks the commit protocol minimizing measured commit
+// latency.
+func B3(n int, seed int64) (*B3Result, error) {
+	cfg := defaultB3Config(n, seed)
+	res := &B3Result{
+		Ops:          cfg.Ops,
+		Seed:         cfg.Seed,
+		GroupBatch:   cfg.GroupBatch,
+		WriteDelayUs: int(cfg.WriteDelay / time.Microsecond),
+		SyncDelayUs:  int(cfg.SyncDelay / time.Microsecond),
+	}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	var at16 [2]float64
+	for _, group := range []bool{false, true} {
+		for _, g := range []int{1, 4, 16} {
+			pt, err := b3Run(cfg, group, g)
+			if err != nil {
+				return nil, fmt.Errorf("B3 %s/%d: %w", pt.Protocol, g, err)
+			}
+			res.Points = append(res.Points, pt)
+			if g == 16 {
+				if group {
+					at16[1] = pt.CommitsPerSec
+				} else {
+					at16[0] = pt.CommitsPerSec
+				}
+				// Mean commit latency with g committers in flight is
+				// g/throughput — the property the deriver minimizes.
+				err := nfp.RecordMeasurement(store, b3Features(group), map[nfp.Property]float64{
+					nfp.CommitThroughput: pt.CommitsPerSec,
+					nfp.LatencyP50:       float64(g) / pt.CommitsPerSec * 1e9,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if at16[0] > 0 {
+		res.SpeedupAt16 = at16[1] / at16[0]
+	}
+
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Put", "Get", "BufferManager", "Linux", "Transaction"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Fit(nfp.CommitThroughput); err != nil {
+		return nil, err
+	}
+	tw, _ := store.FeatureWeight(nfp.CommitThroughput, "GroupCommit")
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "GroupCommit")
+	res.Feedback = B3Feedback{
+		Property:                    string(nfp.LatencyP50),
+		MeasuredProducts:            len(store.Measurements()),
+		Required:                    required,
+		DerivedFeatures:             derived.Config.SelectedNames(),
+		SelectedGroupCommit:         derived.Config.Has("GroupCommit"),
+		GroupCommitThroughputWeight: tw,
+		GroupCommitLatencyWeightNs:  lw,
+	}
+	return res, nil
+}
+
+// FormatB3 renders the B3 result as text.
+func FormatB3(r *B3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B3 — GroupCommit: pipelined commits on a delayed-sync device (batch %d, write %dus, sync %dus)\n",
+		r.GroupBatch, r.WriteDelayUs, r.SyncDelayUs)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tcommitters\tcommits/s\tsyncs\tsyncs/commit\tbatch mean\tstall p99 us")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%d\t%.3f\t%.1f\t%.0f\n",
+			p.Protocol, p.Goroutines, p.CommitsPerSec, p.LogSyncs,
+			p.SyncsPerCommit, p.BatchMean, p.StallP99Us)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "speedup at 16 committers: %.2fx\n", r.SpeedupAt16)
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  GroupCommit selected: %v (commit-throughput weight %+.0f txns/s, latency weight %+.0f ns)\n",
+		r.Feedback.SelectedGroupCommit, r.Feedback.GroupCommitThroughputWeight,
+		r.Feedback.GroupCommitLatencyWeightNs)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_3.json).
+func (r *B3Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

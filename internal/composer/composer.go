@@ -275,7 +275,10 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		}
 		inst.Txn, err = txn.Open(inst.fs, walFile, inst.Store, txn.Options{
 			Protocol: proto,
-			Locking:  true,
+			// The Locking feature buys thread safety plus the pipelined
+			// group commit; single-threaded products deselect it and
+			// keep the lock-free plain path (GroupCommit implies it).
+			Locking:  cfg.Has("Locking"),
 			Recovery: cfg.Has("Recovery"),
 			// Checkpointing = flush the cache, then atomically refresh
 			// the shadow copy the next recovery will restore from.

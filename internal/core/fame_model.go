@@ -68,6 +68,8 @@ func FAMEModel() *Model {
 	cp.AddChild("GroupCommit", Alternative)
 	rc := tx.AddChild("Recovery", Optional)
 	rc.Description = "redo recovery from the write-ahead log after a crash"
+	lk := tx.AddChild("Locking", Optional)
+	lk.Description = "thread-safe transactions and the group-commit pipeline"
 
 	// Optimizer and query API.
 	opt := root.AddChild("Optimizer", Optional)
@@ -89,11 +91,16 @@ func FAMEModel() *Model {
 	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Update")), Ref("BTreeUpdate")))
 	m.AddConstraint(Implies(And(Ref("BPlusTree"), Ref("Remove")), Ref("BTreeRemove")))
 	m.AddConstraint(Implies(Ref("Transaction"), And(Ref("BufferManager"), Ref("Put"))))
+	// Sharing one sync across committers only makes sense when several
+	// threads commit at once: the pipeline needs the Locking feature.
+	m.AddConstraint(Implies(Ref("GroupCommit"), Ref("Locking")))
 	// Deeply embedded NutOS nodes: no dynamic allocation, no SQL, and —
-	// being single-threaded — no lock-striped buffer pool.
+	// being single-threaded — no lock-striped buffer pool, no commit
+	// pipeline (they keep ForceCommit).
 	m.AddConstraint(Implies(And(Ref("NutOS"), Ref("BufferManager")), Ref("StaticAlloc")))
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("SQLEngine"))))
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("ShardedBuffer"))))
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("GroupCommit"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -135,7 +142,7 @@ func FAMEProducts() []NamedProduct {
 				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
 				"BufferManager", "LRU", "DynamicAlloc",
 				"Put", "Get", "Remove", "Update",
-				"Transaction", "ForceCommit", "Recovery",
+				"Transaction", "ForceCommit", "Recovery", "Locking",
 				"SQLEngine",
 			},
 			Note: "the paper's personal calendar application scenario",
@@ -146,7 +153,7 @@ func FAMEProducts() []NamedProduct {
 				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
-				"Transaction", "GroupCommit", "Recovery",
+				"Transaction", "GroupCommit", "Recovery", "Locking",
 				"Optimizer", "SQLEngine",
 			},
 			Note: "everything selected: the largest product",

@@ -150,20 +150,26 @@ func FAMESources() map[string][]SourceSpec {
 		"Remove": {funcs("internal/access/access.go", "Store.Remove")},
 		"Update": {funcs("internal/access/access.go", "Store.Update")},
 
-		// Transactions with commit-protocol alternatives and recovery.
+		// Transactions with commit-protocol alternatives, the optional
+		// Locking feature (thread safety + the group-commit pipeline),
+		// and recovery.
 		"Transaction": {
 			file("internal/txn/wal.go"),
 			funcs("internal/txn/txn.go",
-				"Open", "Manager.Begin", "Txn.lookupWriteSet", "Txn.Get",
-				"Txn.Put", "Txn.exists", "Txn.Update", "Txn.Remove",
+				"Open", "Manager.Begin", "Txn.lookupWriteSet", "Txn.record",
+				"Txn.Get", "Txn.Put", "Txn.exists", "Txn.Update", "Txn.Remove",
+				"Txn.encodeWriteSet", "Manager.applyLocked",
 				"Txn.Commit", "Txn.Abort", "Manager.Flush",
 				"Manager.Checkpoint", "Manager.LogSyncs", "Manager.LogSize",
-				"Manager.Close"),
+				"Manager.quiesce", "Manager.Close",
+				"nullLocker.Lock", "nullLocker.Unlock", "nullLocker.RLock",
+				"nullLocker.RUnlock"),
 		},
 		"ForceCommit": {funcs("internal/txn/txn.go",
-			"Force.Name", "Force.OnCommit", "Force.Flush")},
+			"Force.Name", "Force.OnCommit", "Force.Flush", "Force.BatchLimit")},
 		"GroupCommit": {funcs("internal/txn/txn.go",
-			"Group.Name", "Group.OnCommit", "Group.Flush")},
+			"Group.Name", "Group.OnCommit", "Group.Flush", "Group.BatchLimit")},
+		"Locking":  {file("internal/txn/groupcommit.go")},
 		"Recovery": {funcs("internal/txn/txn.go", "Manager.recover")},
 
 		// The query stack.
@@ -247,17 +253,22 @@ func BDBSources() map[string][]SourceSpec {
 		"Queue": {file("internal/bdb/queue.go")},
 		"Recno": {funcs("internal/bdb/engine.go", "DB.Append", "DB.GetRecno", "recnoKey")},
 
-		"Locking": {funcs("internal/txn/txn.go",
-			"nullLocker.Lock", "nullLocker.Unlock", "nullLocker.RLock",
-			"nullLocker.RUnlock")},
+		"Locking": {
+			funcs("internal/txn/txn.go",
+				"nullLocker.Lock", "nullLocker.Unlock", "nullLocker.RLock",
+				"nullLocker.RUnlock"),
+			file("internal/txn/groupcommit.go"),
+		},
 		"Logging": {
 			file("internal/txn/wal.go"),
 			funcs("internal/txn/txn.go", "Open", "Manager.Begin",
 				"Txn.Put", "Txn.Remove", "Txn.Commit", "Txn.Abort",
-				"Txn.lookupWriteSet", "Txn.exists",
+				"Txn.lookupWriteSet", "Txn.record", "Txn.exists",
+				"Txn.encodeWriteSet", "Manager.applyLocked", "Manager.quiesce",
 				"Manager.Flush", "Manager.LogSyncs", "Manager.LogSize",
 				"Manager.Close", "Force.Name", "Force.OnCommit", "Force.Flush",
-				"Group.Name", "Group.OnCommit", "Group.Flush"),
+				"Force.BatchLimit",
+				"Group.Name", "Group.OnCommit", "Group.Flush", "Group.BatchLimit"),
 			funcs("internal/bdb/engine.go", "routerIndex.Name",
 				"routerIndex.resolve", "routerIndex.Insert", "routerIndex.Get",
 				"routerIndex.Delete", "routerIndex.Update", "routerIndex.Scan",

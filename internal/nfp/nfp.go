@@ -34,6 +34,10 @@ const (
 	// histograms when a product runs a workload (nanoseconds).
 	LatencyP50 Property = "latency_p50_ns"
 	LatencyP99 Property = "latency_p99_ns"
+	// CommitThroughput is committed transactions per second under a
+	// concurrent commit workload — the property the B3 benchmark
+	// measures to justify the GroupCommit feature.
+	CommitThroughput Property = "commit_throughput"
 )
 
 // Measurement is one measured product.

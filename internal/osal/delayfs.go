@@ -1,0 +1,79 @@
+package osal
+
+import "time"
+
+// DelayFS wraps a filesystem and charges a fixed latency per write and
+// per sync — a flash-device model for benchmarking the commit path. The
+// sleeps happen in the wrapper, outside the inner filesystem's locks,
+// so independent operations overlap like requests queued on a real
+// device; a sync, in particular, costs its full latency regardless of
+// how many commits it covers — which is exactly what group commit
+// amortizes.
+type DelayFS struct {
+	inner FS
+	// WriteDelay is charged per WriteAt; SyncDelay per Sync.
+	WriteDelay time.Duration
+	SyncDelay  time.Duration
+}
+
+// NewDelayFS wraps fs with the given per-operation latencies.
+func NewDelayFS(fs FS, write, sync time.Duration) *DelayFS {
+	return &DelayFS{inner: fs, WriteDelay: write, SyncDelay: sync}
+}
+
+// Open implements FS.
+func (d *DelayFS) Open(name string) (File, error) {
+	f, err := d.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &delayFile{f: f, fs: d}, nil
+}
+
+// Create implements FS.
+func (d *DelayFS) Create(name string) (File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &delayFile{f: f, fs: d}, nil
+}
+
+// Remove implements FS.
+func (d *DelayFS) Remove(name string) error { return d.inner.Remove(name) }
+
+// Rename implements FS.
+func (d *DelayFS) Rename(oldName, newName string) error { return d.inner.Rename(oldName, newName) }
+
+// List implements FS.
+func (d *DelayFS) List() ([]string, error) { return d.inner.List() }
+
+// Stats implements FS.
+func (d *DelayFS) Stats() *Stats { return d.inner.Stats() }
+
+type delayFile struct {
+	f  File
+	fs *DelayFS
+}
+
+func (df *delayFile) ReadAt(p []byte, off int64) (int, error) { return df.f.ReadAt(p, off) }
+
+func (df *delayFile) WriteAt(p []byte, off int64) (int, error) {
+	if df.fs.WriteDelay > 0 {
+		time.Sleep(df.fs.WriteDelay)
+	}
+	return df.f.WriteAt(p, off)
+}
+
+func (df *delayFile) Size() (int64, error) { return df.f.Size() }
+
+func (df *delayFile) Truncate(size int64) error { return df.f.Truncate(size) }
+
+func (df *delayFile) Sync() error {
+	if df.fs.SyncDelay > 0 {
+		time.Sleep(df.fs.SyncDelay)
+	}
+	return df.f.Sync()
+}
+
+func (df *delayFile) Close() error { return df.f.Close() }

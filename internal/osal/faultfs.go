@@ -143,3 +143,153 @@ func (ff *faultFile) Sync() error {
 }
 
 func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// CrashFS wraps a filesystem and models power loss: writes reach the
+// live file immediately, but only the content present at the last Sync
+// of a file survives Crash(). This is the tool for testing the
+// durability window of deferred commit protocols — records appended
+// but never synced must vanish at the crash, exactly as they would on
+// real hardware. Metadata operations (Remove, Rename) are modeled as
+// immediately durable.
+type CrashFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	durable map[string][]byte // per-file image as of its last Sync
+	seen    map[string]bool   // every file opened or created through us
+}
+
+// NewCrashFS wraps fs with power-loss simulation.
+func NewCrashFS(fs FS) *CrashFS {
+	return &CrashFS{inner: fs, durable: map[string][]byte{}, seen: map[string]bool{}}
+}
+
+// Crash reverts every file to its last synced image (files never synced
+// become empty). The filesystem keeps working afterwards, so a test can
+// reopen its structures "after the power returns".
+func (c *CrashFS) Crash() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name := range c.seen {
+		f, err := c.inner.Open(name)
+		if errors.Is(err, ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		img := c.durable[name]
+		if err := f.Truncate(int64(len(img))); err != nil {
+			f.Close()
+			return err
+		}
+		if len(img) > 0 {
+			if _, err := f.WriteAt(img, 0); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CrashFS) track(name string) {
+	c.mu.Lock()
+	c.seen[name] = true
+	c.mu.Unlock()
+}
+
+// snapshot records a file's content as durable (called under no locks
+// but serialized by the caller's Sync).
+func (c *CrashFS) snapshot(name string, f File) error {
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	img := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(img, 0); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.durable[name] = img
+	c.mu.Unlock()
+	return nil
+}
+
+// Open implements FS.
+func (c *CrashFS) Open(name string) (File, error) {
+	f, err := c.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	c.track(name)
+	return &crashFile{f: f, fs: c, name: name}, nil
+}
+
+// Create implements FS.
+func (c *CrashFS) Create(name string) (File, error) {
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	c.track(name)
+	return &crashFile{f: f, fs: c, name: name}, nil
+}
+
+// Remove implements FS.
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	delete(c.durable, name)
+	delete(c.seen, name)
+	c.mu.Unlock()
+	return c.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (c *CrashFS) Rename(oldName, newName string) error {
+	if err := c.inner.Rename(oldName, newName); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if img, ok := c.durable[oldName]; ok {
+		c.durable[newName] = img
+		delete(c.durable, oldName)
+	}
+	if c.seen[oldName] {
+		c.seen[newName] = true
+		delete(c.seen, oldName)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// List implements FS.
+func (c *CrashFS) List() ([]string, error) { return c.inner.List() }
+
+// Stats implements FS.
+func (c *CrashFS) Stats() *Stats { return c.inner.Stats() }
+
+type crashFile struct {
+	f    File
+	fs   *CrashFS
+	name string
+}
+
+func (cf *crashFile) ReadAt(p []byte, off int64) (int, error)  { return cf.f.ReadAt(p, off) }
+func (cf *crashFile) WriteAt(p []byte, off int64) (int, error) { return cf.f.WriteAt(p, off) }
+func (cf *crashFile) Size() (int64, error)                     { return cf.f.Size() }
+func (cf *crashFile) Truncate(size int64) error                { return cf.f.Truncate(size) }
+
+func (cf *crashFile) Sync() error {
+	if err := cf.f.Sync(); err != nil {
+		return err
+	}
+	return cf.fs.snapshot(cf.name, cf.f)
+}
+
+func (cf *crashFile) Close() error { return cf.f.Close() }

@@ -131,9 +131,18 @@ func (s *Shell) dotCommand(line string) (done bool) {
   <sql statement>       execute SQL (feature SQLEngine)
   .features             show the product's selected features
   .stats [prom|json]    dump runtime metrics (feature Statistics)
+  .flush                force all state durable (drains pending group commits)
   .help                 this text
   .quit                 exit
 `)
+	case ".flush":
+		// Under GroupCommit a singleton commit may sit in the deferred
+		// durability window; .flush quiesces the pipeline and syncs.
+		if err := s.db.Sync(); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(s.out, "flushed")
 	case ".features":
 		feats := s.db.Features()
 		sort.Strings(feats)

@@ -60,6 +60,7 @@ type TxnSnapshot struct {
 	WalSyncs      int64             `json:"wal_syncs"`
 	CommitLatency HistogramSnapshot `json:"commit_latency_ns"`
 	CommitBatch   HistogramSnapshot `json:"commit_batch"`
+	CommitStall   HistogramSnapshot `json:"commit_stall_ns"`
 }
 
 // SQLSnapshot copies the query-engine counters.
@@ -117,6 +118,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Txn.WalSyncs = load(&r.txn.walSyncs)
 	s.Txn.CommitLatency = r.txn.CommitLatency.Snapshot()
 	s.Txn.CommitBatch = r.txn.CommitBatch.Snapshot()
+	s.Txn.CommitStall = r.txn.CommitStall.Snapshot()
 
 	s.SQL.Creates = load(&r.sql.creates)
 	s.SQL.Drops = load(&r.sql.drops)
@@ -198,6 +200,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("famedb_wal_syncs_total", "Durable WAL syncs.", s.Txn.WalSyncs, "")
 	hist("famedb_txn_commit_latency_ns", "Commit latency in nanoseconds.", s.Txn.CommitLatency)
 	hist("famedb_txn_commit_batch", "Commits per durable sync.", s.Txn.CommitBatch)
+	hist("famedb_txn_commit_stall_ns", "Follower wait on the group-commit leader in nanoseconds.", s.Txn.CommitStall)
 
 	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Creates, `{verb="create"}`)
 	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Drops, `{verb="drop"}`)
@@ -268,6 +271,7 @@ func (s Snapshot) Format() string {
 		row("wal appends", s.Txn.WalAppends)
 		row("wal syncs", s.Txn.WalSyncs)
 		lat("commit latency", s.Txn.CommitLatency)
+		lat("commit stall", s.Txn.CommitStall)
 		if s.Txn.CommitBatch.Count > 0 {
 			fmt.Fprintf(&b, "  %-24s %12.1f per sync\n", "commit batch (mean)", s.Txn.CommitBatch.Mean())
 		}

@@ -38,6 +38,7 @@ func New() *Registry {
 	r.access.PutLatency = NewHistogram(LatencyBounds())
 	r.txn.CommitLatency = NewHistogram(LatencyBounds())
 	r.txn.CommitBatch = NewHistogram(BatchBounds())
+	r.txn.CommitStall = NewHistogram(LatencyBounds())
 	r.sql.StmtLatency = NewHistogram(LatencyBounds())
 	return r
 }
@@ -269,8 +270,11 @@ type Txn struct {
 	// CommitLatency observes wall time of Commit (append + protocol
 	// durability + apply). CommitBatch observes commits per durable
 	// sync — 1 under ForceCommit, the batch size under GroupCommit.
+	// CommitStall observes how long a pipelined committer waited for
+	// its group-commit leader to make the batch durable.
 	CommitLatency *Histogram
 	CommitBatch   *Histogram
+	CommitStall   *Histogram
 }
 
 // Begin records a transaction start.
@@ -334,6 +338,23 @@ func (t *Txn) DoneCommit(start int64) {
 		return
 	}
 	t.CommitLatency.Observe(time.Now().UnixNano() - start)
+}
+
+// StartStall begins timing a follower's wait on its group-commit
+// leader; pass the result to DoneStall.
+func (t *Txn) StartStall() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// DoneStall finishes timing a wait started with StartStall.
+func (t *Txn) DoneStall(start int64) {
+	if t == nil || start == 0 {
+		return
+	}
+	t.CommitStall.Observe(time.Now().UnixNano() - start)
 }
 
 // --- SQL engine ---

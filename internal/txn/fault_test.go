@@ -3,6 +3,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"famedb/internal/access"
@@ -69,9 +70,9 @@ func TestCommitFailsWhenSyncFails(t *testing.T) {
 	fs, m, store := faultEnv(t)
 	tx := m.Begin()
 	tx.Put([]byte("k"), []byte("v"))
-	// Let the record writes pass (put + commit record = 2 writes) and
-	// fail the durability sync.
-	fs.FailAfter(3)
+	// Let the record write pass (put + commit record are one coalesced
+	// write) and fail the durability sync.
+	fs.FailAfter(2)
 	if err := tx.Commit(); !errors.Is(err, osal.ErrInjected) {
 		t.Fatalf("Commit = %v, want injected fault at sync", err)
 	}
@@ -107,6 +108,258 @@ func TestCheckpointFaultSurfaces(t *testing.T) {
 	// replay.
 	if m.LogSize() <= int64(len("FAMEWAL1")) {
 		t.Fatal("log truncated despite failed checkpoint")
+	}
+}
+
+// groupEnv builds a transactional store with the group-commit pipeline
+// active (Locking + Group protocol) whose journal lives on logFS.
+func groupEnv(t *testing.T, logFS osal.FS, batch int) (*Manager, *access.Store) {
+	t.Helper()
+	f, err := osal.NewMemFS().Create("data.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := index.CreateBTree(pf, index.AllBTreeOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := access.New(idx, access.AllOps())
+	m, err := Open(logFS, "wal.log", store, Options{
+		Protocol: &Group{BatchSize: batch},
+		Locking:  true,
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, store
+}
+
+func TestGroupSyncFaultFailsWholeBatch(t *testing.T) {
+	logFS := osal.NewFaultFS(osal.NewMemFS())
+	m, store := groupEnv(t, logFS, 4)
+	// Stage two transactions into one batch by hand so the batch is
+	// deterministically multi-transaction — such a batch always syncs
+	// before waking its followers, which is the failure we want.
+	b := &gcBatch{done: make(chan struct{})}
+	keys := []string{"a", "b"}
+	for _, k := range keys {
+		tx := m.Begin()
+		if err := tx.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		buf, records := tx.encodeWriteSet(b.buf)
+		b.buf = buf
+		b.txns = append(b.txns, tx)
+		b.errs = append(b.errs, nil)
+		b.records += records
+	}
+	base := m.wal.offset()
+	// The batch body is ONE coalesced WriteAt (op 1); fail the Sync
+	// (op 2).
+	logFS.FailAfter(2)
+	m.gc.drain(b)
+	<-b.done
+	for i, err := range b.errs {
+		if !errors.Is(err, osal.ErrInjected) {
+			t.Fatalf("waiter %d: err = %v, want injected fault", i, err)
+		}
+	}
+	// The unacknowledged tail was cut off so recovery cannot replay it.
+	if got := m.wal.offset(); got != base {
+		t.Fatalf("failed batch left %d bytes in the log", got-base)
+	}
+	for _, k := range keys {
+		if _, err := store.Get([]byte(k)); !errors.Is(err, access.ErrNotFound) {
+			t.Fatalf("failed batch leaked %q into the store", k)
+		}
+	}
+	logFS.Disarm()
+	// The pipeline keeps working once the device recovers.
+	tx := m.Begin()
+	tx.Put([]byte("ok"), []byte("v"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after fault: %v", err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get([]byte("ok")); err != nil {
+		t.Fatal("post-fault commit lost")
+	}
+}
+
+func TestConcurrentCommitFaultFailsEveryWaiter(t *testing.T) {
+	logFS := osal.NewFaultFS(osal.NewMemFS())
+	m, store := groupEnv(t, logFS, 4)
+	// Every write-class operation fails: whatever batches the committers
+	// land in, every waiter must get the batch's error, none may hang,
+	// and nothing may reach the store.
+	logFS.FailAfter(1)
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := m.Begin()
+			if err := tx.Put([]byte(fmt.Sprintf("k%d", w)), []byte("v")); err != nil {
+				errs[w] = err
+				return
+			}
+			errs[w] = tx.Commit()
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, osal.ErrInjected) {
+			t.Fatalf("committer %d: err = %v, want injected fault", w, err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		k := []byte(fmt.Sprintf("k%d", w))
+		if _, err := store.Get(k); !errors.Is(err, access.ErrNotFound) {
+			t.Fatalf("failed commit %d leaked into the store", w)
+		}
+	}
+	logFS.Disarm()
+	tx := m.Begin()
+	tx.Put([]byte("ok"), []byte("v"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after fault: %v", err)
+	}
+}
+
+func TestCrashWindowSkipsUnsyncedCommits(t *testing.T) {
+	// GroupCommit defers the sync of uncontended commits; a power loss
+	// inside that durability window must lose exactly the deferred
+	// transactions — recovery may not replay records that never hit the
+	// device.
+	crashFS := osal.NewCrashFS(osal.NewMemFS())
+	build := func() *access.Store {
+		f, _ := osal.NewMemFS().Create("d.db")
+		pf, _ := storage.CreatePageFile(f, 512)
+		idx, _, _ := index.CreateBTree(pf, index.AllBTreeOps())
+		return access.New(idx, access.AllOps())
+	}
+	s1 := build()
+	m1, err := Open(crashFS, "wal.log", s1, Options{
+		Protocol: &Group{BatchSize: 8},
+		Locking:  true,
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(k string) {
+		tx := m1.Begin()
+		if err := tx.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two commits made durable by an explicit flush...
+	commit("k0")
+	commit("k1")
+	if err := m1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and two more left inside the deferred durability window (the
+	// batch budget of 8 is not reached, so no sync happens).
+	commit("k2")
+	commit("k3")
+	syncs := m1.LogSyncs()
+
+	if err := crashFS.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := build()
+	m2, err := Open(crashFS, "wal.log", s2, Options{
+		Protocol: &Group{BatchSize: 8},
+		Locking:  true,
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Recovered != 2 {
+		t.Fatalf("Recovered = %d, want 2 (synced commits only); syncs before crash = %d",
+			m2.Recovered, syncs)
+	}
+	for _, k := range []string{"k0", "k1"} {
+		if _, err := s2.Get([]byte(k)); err != nil {
+			t.Fatalf("synced commit %q lost: %v", k, err)
+		}
+	}
+	for _, k := range []string{"k2", "k3"} {
+		if _, err := s2.Get([]byte(k)); !errors.Is(err, access.ErrNotFound) {
+			t.Fatalf("unsynced commit %q replayed after crash", k)
+		}
+	}
+}
+
+func TestGroupCommitConcurrentStress(t *testing.T) {
+	// Many committers racing the pipeline, with a flusher quiescing it
+	// mid-flight; meant to run under -race. Every commit must land, and
+	// syncs must stay sublinear in commits.
+	m, store := groupEnv(t, osal.NewMemFS(), 8)
+	const workers = 8
+	const per = 50
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tx := m.Begin()
+				key := fmt.Sprintf("w%d-k%03d", w, i)
+				if err := tx.Put([]byte(key), []byte("v")); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs[w] = err
+					return
+				}
+				if i%16 == 0 && w == 0 {
+					if err := m.Flush(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			key := fmt.Sprintf("w%d-k%03d", w, i)
+			if _, err := store.Get([]byte(key)); err != nil {
+				t.Fatalf("%s lost: %v", key, err)
+			}
+		}
+	}
+	if syncs := m.LogSyncs(); syncs >= workers*per {
+		t.Fatalf("LogSyncs = %d for %d commits; group commit is not coalescing", syncs, workers*per)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,10 +1,10 @@
 package txn
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"famedb/internal/access"
 	"famedb/internal/osal"
@@ -17,10 +17,17 @@ type Protocol interface {
 	// Name returns the feature name ("ForceCommit" or "GroupCommit").
 	Name() string
 	// OnCommit is called after a transaction's records (including the
-	// commit record) were appended.
+	// commit record) were appended. Only the unpipelined commit path
+	// uses it; with Locking composed the group-commit pipeline decides
+	// durability from BatchLimit instead.
 	OnCommit(w *WAL) error
 	// Flush forces durability of everything appended so far.
 	Flush(w *WAL) error
+	// BatchLimit returns how many transactions the pipelined
+	// group-commit leader may coalesce into one durable sync.
+	// ForceCommit returns 1 — the degenerate one-transaction batch —
+	// which preserves its sync-per-commit durability contract.
+	BatchLimit() int
 }
 
 // Force syncs the log on every commit: maximal durability, one sync per
@@ -35,6 +42,9 @@ func (Force) OnCommit(w *WAL) error { return w.Sync() }
 
 // Flush implements Protocol.
 func (Force) Flush(w *WAL) error { return w.Sync() }
+
+// BatchLimit implements Protocol: every batch is one transaction.
+func (Force) BatchLimit() int { return 1 }
 
 // Group batches commits and syncs once per BatchSize commits,
 // amortizing sync cost at the price of a durability window. Commit
@@ -69,6 +79,14 @@ func (g *Group) Flush(w *WAL) error {
 	return w.Sync()
 }
 
+// BatchLimit implements Protocol.
+func (g *Group) BatchLimit() int {
+	if g.BatchSize <= 0 {
+		return 8
+	}
+	return g.BatchSize
+}
+
 // Errors of the transactional API.
 var (
 	// ErrTxnDone is returned when using a committed or aborted
@@ -76,6 +94,8 @@ var (
 	ErrTxnDone = errors.New("txn: transaction already finished")
 	// ErrNotFound mirrors access.ErrNotFound for transactional reads.
 	ErrNotFound = access.ErrNotFound
+	// ErrClosed is returned by operations on a closed manager.
+	ErrClosed = errors.New("txn: manager is closed")
 )
 
 // Options configures the transaction manager from the product's feature
@@ -113,8 +133,14 @@ type Manager struct {
 	// mu serializes commits and guards the store during apply. It is a
 	// no-op when the Locking feature is deselected.
 	mu      rwLocker
-	nextTxn uint64
+	nextTxn atomic.Uint64
 	closed  bool
+
+	// gc is the leader-elected group-commit pipeline, active when the
+	// Locking feature is composed (the single-goroutine products keep
+	// the plain path: without concurrency there is nobody to share a
+	// sync with).
+	gc *groupCommit
 
 	// Recovered reports how many committed transactions the opening
 	// recovery pass replayed.
@@ -151,6 +177,7 @@ func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manag
 	w.metrics = opts.Metrics
 	if opts.Locking {
 		m.mu = &sync.RWMutex{}
+		m.gc = newGroupCommit(m, opts.Protocol.BatchLimit())
 	} else {
 		m.mu = nullLocker{}
 	}
@@ -220,27 +247,35 @@ type Txn struct {
 	m      *Manager
 	id     uint64
 	writes []writeOp
-	done   bool
+	// widx maps a key to the index of its latest entry in writes, so
+	// read-your-writes lookups stay O(1) for large write sets.
+	widx map[string]int
+	done bool
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction. Allocating the ID is a single atomic, so
+// concurrent Begins never contend on the commit lock.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	m.nextTxn++
-	id := m.nextTxn
-	m.mu.Unlock()
+	id := m.nextTxn.Add(1)
 	m.opts.Metrics.Begin()
 	return &Txn{m: m, id: id}
 }
 
 // lookupWriteSet finds the latest private write for key.
 func (t *Txn) lookupWriteSet(key []byte) (writeOp, bool) {
-	for i := len(t.writes) - 1; i >= 0; i-- {
-		if bytes.Equal(t.writes[i].key, key) {
-			return t.writes[i], true
-		}
+	if i, ok := t.widx[string(key)]; ok {
+		return t.writes[i], true
 	}
 	return writeOp{}, false
+}
+
+// record appends w to the write set and indexes its key.
+func (t *Txn) record(w writeOp) {
+	t.writes = append(t.writes, w)
+	if t.widx == nil {
+		t.widx = make(map[string]int)
+	}
+	t.widx[string(w.key)] = len(t.writes) - 1
 }
 
 // Get reads a key: the transaction's own writes win over committed
@@ -268,7 +303,7 @@ func (t *Txn) Put(key, value []byte) error {
 	if !t.m.store.Ops().Put {
 		return fmt.Errorf("Put: %w", access.ErrNotComposed)
 	}
-	t.writes = append(t.writes, writeOp{
+	t.record(writeOp{
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
 	})
@@ -301,7 +336,7 @@ func (t *Txn) Update(key, value []byte) error {
 	if !ok {
 		return fmt.Errorf("txn: %q: %w", key, ErrNotFound)
 	}
-	t.writes = append(t.writes, writeOp{
+	t.record(writeOp{
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
 	})
@@ -323,45 +358,28 @@ func (t *Txn) Remove(key []byte) error {
 	if !ok {
 		return fmt.Errorf("txn: %q: %w", key, ErrNotFound)
 	}
-	t.writes = append(t.writes, writeOp{remove: true, key: append([]byte(nil), key...)})
+	t.record(writeOp{remove: true, key: append([]byte(nil), key...)})
 	return nil
 }
 
-// Commit logs the write set, makes it durable per the commit protocol,
-// and applies it to the store.
-func (t *Txn) Commit() error {
-	if t.done {
-		return ErrTxnDone
-	}
-	t.done = true
-	if len(t.writes) == 0 {
-		t.m.opts.Metrics.Commit()
-		return nil
-	}
-	m := t.m
-	start := m.opts.Metrics.StartCommit()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return errors.New("txn: manager is closed")
-	}
-	// Write-ahead: records first, then the commit record, then the
-	// protocol decides durability, and only then the store changes.
+// encodeWriteSet appends the transaction's log frames (writes, then the
+// commit record) to dst and returns the extended slice plus the frame
+// count.
+func (t *Txn) encodeWriteSet(dst []byte) ([]byte, int) {
 	for _, w := range t.writes {
 		rec := logRecord{typ: recPut, txnID: t.id, key: w.key, value: w.value}
 		if w.remove {
 			rec = logRecord{typ: recRemove, txnID: t.id, key: w.key}
 		}
-		if err := m.wal.append(rec); err != nil {
-			return err
-		}
+		dst = encodeFrame(dst, rec)
 	}
-	if err := m.wal.append(logRecord{typ: recCommit, txnID: t.id}); err != nil {
-		return err
-	}
-	if err := m.opts.Protocol.OnCommit(m.wal); err != nil {
-		return err
-	}
+	dst = encodeFrame(dst, logRecord{typ: recCommit, txnID: t.id})
+	return dst, len(t.writes) + 1
+}
+
+// applyLocked installs a logged-and-durable write set into the store.
+// The caller holds m.mu.
+func (m *Manager) applyLocked(t *Txn) error {
 	idx := m.store.Index()
 	for _, w := range t.writes {
 		if w.remove {
@@ -380,6 +398,54 @@ func (t *Txn) Commit() error {
 		}
 	}
 	m.opts.Metrics.Commit()
+	return nil
+}
+
+// Commit logs the write set, makes it durable per the commit protocol,
+// and applies it to the store. With Locking composed the commit goes
+// through the group-commit pipeline: the write set is staged into the
+// shared log buffer and one leader drains the whole batch with a single
+// WriteAt and a single Sync while the latch is free.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	m := t.m
+	start := m.opts.Metrics.StartCommit()
+	if len(t.writes) == 0 {
+		m.opts.Metrics.Commit()
+		m.opts.Metrics.DoneCommit(start)
+		return nil
+	}
+	if m.gc != nil {
+		err := m.gc.commit(t)
+		if err == nil {
+			m.opts.Metrics.DoneCommit(start)
+		}
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	// Write-ahead: records first, then the commit record, then the
+	// protocol decides durability, and only then the store changes.
+	scratch := getScratch()
+	buf, records := t.encodeWriteSet(*scratch)
+	err := m.wal.appendEncoded(buf, records, 1)
+	*scratch = buf
+	putScratch(scratch)
+	if err != nil {
+		return err
+	}
+	if err := m.opts.Protocol.OnCommit(m.wal); err != nil {
+		return err
+	}
+	if err := m.applyLocked(t); err != nil {
+		return err
+	}
 	m.opts.Metrics.DoneCommit(start)
 	return nil
 }
@@ -393,17 +459,35 @@ func (t *Txn) Abort() {
 	t.writes = nil
 }
 
+// quiesce drains the group-commit pipeline (if any) so the caller can
+// take m.mu without racing a leader, and returns the matching resume.
+// It must be called BEFORE m.mu is acquired: the leader needs m.mu to
+// apply its batch, so pausing after locking would deadlock.
+func (m *Manager) quiesce() func() {
+	if m.gc == nil {
+		return func() {}
+	}
+	m.gc.pause()
+	return m.gc.resume
+}
+
 // Flush forces durability of all committed transactions (relevant under
 // GroupCommit).
 func (m *Manager) Flush() error {
+	defer m.quiesce()()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.opts.Protocol.Flush(m.wal)
+	if err := m.opts.Protocol.Flush(m.wal); err != nil {
+		return err
+	}
+	m.gc.clearDeferred()
+	return nil
 }
 
 // Checkpoint makes the store durable and truncates the log. Requires
 // Options.SyncStore.
 func (m *Manager) Checkpoint() error {
+	defer m.quiesce()()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.opts.SyncStore == nil {
@@ -418,19 +502,22 @@ func (m *Manager) Checkpoint() error {
 	if err := m.wal.reset(); err != nil {
 		return err
 	}
+	m.gc.clearDeferred()
 	m.opts.Metrics.Checkpoint()
 	return nil
 }
 
 // LogSyncs returns how many durable log syncs have happened — the
 // metric the commit-protocol ablation compares.
-func (m *Manager) LogSyncs() int64 { return m.wal.Syncs }
+func (m *Manager) LogSyncs() int64 { return m.wal.SyncCount() }
 
 // LogSize returns the current log size in bytes.
 func (m *Manager) LogSize() int64 { return m.wal.Size() }
 
 // Close flushes and closes the log.
 func (m *Manager) Close() error {
+	defer m.quiesce()()
+	m.gc.shutdown()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

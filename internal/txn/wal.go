@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"famedb/internal/osal"
 	"famedb/internal/stats"
@@ -38,13 +39,18 @@ var ErrLogCorrupt = errors.New("txn: corrupt log record")
 
 // WAL is an append-only write-ahead log over an osal.File.
 type WAL struct {
-	f   osal.File
+	f osal.File
+	// mu guards the positional state below. Writers are never truly
+	// concurrent (the group-commit leader is singular and maintenance
+	// quiesces the pipeline first), but readers such as LogSyncs may
+	// observe the log from other goroutines.
+	mu  sync.Mutex
 	end int64
 	// syncedTo tracks durability for the commit protocols.
 	syncedTo int64
-	// Syncs counts durable flushes, exposed for the commit-protocol
-	// ablation.
-	Syncs int64
+	// syncs counts durable flushes, exposed via SyncCount for the
+	// commit-protocol ablation.
+	syncs int64
 	// metrics mirrors log activity into the Statistics feature's
 	// registry when composed; nil otherwise (recording is a no-op).
 	metrics *stats.Txn
@@ -59,6 +65,46 @@ type logRecord struct {
 	txnID uint64
 	key   []byte
 	value []byte
+}
+
+// frameScratch pools encode buffers so committing does not allocate two
+// slices per record.
+var frameScratch = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// getScratch borrows a zero-length encode buffer from the pool.
+func getScratch() *[]byte {
+	b := frameScratch.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putScratch returns a borrowed buffer. Oversized buffers are dropped so
+// one huge write set does not pin its memory forever.
+func putScratch(b *[]byte) {
+	if cap(*b) <= 1<<20 {
+		frameScratch.Put(b)
+	}
+}
+
+// encodeFrame appends the on-disk frame of r (4-byte length, 4-byte
+// CRC32, payload) to dst in place and returns the extended slice.
+func encodeFrame(dst []byte, r logRecord) []byte {
+	base := len(dst)
+	// Reserve the header, append the payload directly behind it, then
+	// backfill length and checksum — no per-record temporaries.
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, r.typ)
+	dst = binary.AppendUvarint(dst, r.txnID)
+	dst = binary.AppendUvarint(dst, uint64(len(r.key)))
+	dst = append(dst, r.key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.value)))
+	dst = append(dst, r.value...)
+	payload := dst[base+8:]
+	binary.LittleEndian.PutUint32(dst[base:base+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[base+4:base+8], crc32.ChecksumIEEE(payload))
+	return dst
 }
 
 // openWAL opens or creates the log file and positions at its end,
@@ -101,30 +147,43 @@ func openWAL(fs osal.FS, name string) (*WAL, error) {
 	return w, nil
 }
 
-// append encodes and appends a record, returning nothing; durability is
-// a separate Sync.
-func (w *WAL) append(r logRecord) error {
-	payload := make([]byte, 0, 16+len(r.key)+len(r.value))
-	payload = append(payload, r.typ)
-	payload = binary.AppendUvarint(payload, r.txnID)
-	payload = binary.AppendUvarint(payload, uint64(len(r.key)))
-	payload = append(payload, r.key...)
-	payload = binary.AppendUvarint(payload, uint64(len(r.value)))
-	payload = append(payload, r.value...)
-
-	rec := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
-	copy(rec[8:], payload)
-	if _, err := w.f.WriteAt(rec, w.end); err != nil {
+// appendEncoded writes an already-encoded run of frames (records record
+// frames, commits of which are commit records) in ONE WriteAt. The end
+// offset only advances on success, so a failed write leaves no hole:
+// the torn tail is truncated away by the next recovery scan.
+func (w *WAL) appendEncoded(buf []byte, records, commits int) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	end := w.end
+	w.mu.Unlock()
+	if _, err := w.f.WriteAt(buf, end); err != nil {
 		return err
 	}
-	w.end += int64(len(rec))
-	w.metrics.WalAppend()
-	if r.typ == recCommit {
-		w.commitsSince++
+	w.mu.Lock()
+	w.end = end + int64(len(buf))
+	w.commitsSince += commits
+	w.mu.Unlock()
+	for i := 0; i < records; i++ {
+		w.metrics.WalAppend()
 	}
 	return nil
+}
+
+// append encodes and appends a single record; durability is a separate
+// Sync.
+func (w *WAL) append(r logRecord) error {
+	scratch := getScratch()
+	buf := encodeFrame(*scratch, r)
+	commits := 0
+	if r.typ == recCommit {
+		commits = 1
+	}
+	err := w.appendEncoded(buf, 1, commits)
+	*scratch = buf
+	putScratch(scratch)
+	return err
 }
 
 // readRecordAt decodes the record at offset, returning it and the next
@@ -183,16 +242,23 @@ func decodeRecord(payload []byte) (logRecord, error) {
 
 // Sync makes all appended records durable.
 func (w *WAL) Sync() error {
+	w.mu.Lock()
 	if w.syncedTo == w.end {
+		w.mu.Unlock()
 		return nil
 	}
+	end := w.end
+	batch := w.commitsSince
+	w.mu.Unlock()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.syncedTo = w.end
-	w.Syncs++
-	w.metrics.WalSync(w.commitsSince)
-	w.commitsSince = 0
+	w.mu.Lock()
+	w.syncedTo = end
+	w.syncs++
+	w.commitsSince -= batch
+	w.mu.Unlock()
+	w.metrics.WalSync(batch)
 	return nil
 }
 
@@ -215,23 +281,78 @@ func (w *WAL) scan(fn func(r logRecord) error) error {
 	return nil
 }
 
+// truncateTo discards the log tail past off after a failed batch write
+// or sync, so a later recovery scan cannot replay transactions whose
+// committers saw an error; commits is how many commit records the
+// discarded tail held. The append cursor rolls back even when the file
+// truncate itself fails (the device may still be refusing writes): the
+// tail was never synced, so overwriting it is safe, and any leftover
+// bytes past a shorter overwrite are cut off by the recovery scan's
+// checksum.
+func (w *WAL) truncateTo(off int64, commits int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if off >= w.end {
+		return
+	}
+	_ = w.f.Truncate(off)
+	w.end = off
+	if w.syncedTo > off {
+		w.syncedTo = off
+	}
+	if w.commitsSince -= commits; w.commitsSince < 0 {
+		w.commitsSince = 0
+	}
+}
+
 // reset truncates the log to empty (after a checkpoint).
 func (w *WAL) reset() error {
 	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
 		return err
 	}
+	w.mu.Lock()
 	w.end = int64(len(walMagic))
+	batch := w.commitsSince
+	w.mu.Unlock()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.mu.Lock()
 	w.syncedTo = w.end
-	w.Syncs++
-	w.metrics.WalSync(w.commitsSince)
-	w.commitsSince = 0
+	w.syncs++
+	w.commitsSince -= batch
+	w.mu.Unlock()
+	w.metrics.WalSync(batch)
 	return nil
 }
 
+// SyncCount returns how many durable flushes the log has performed.
+func (w *WAL) SyncCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
 // Size returns the current log length in bytes.
-func (w *WAL) Size() int64 { return w.end }
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.end
+}
+
+// offset returns the current append position.
+func (w *WAL) offset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.end
+}
+
+// unsynced reports whether the log holds records past the durable
+// prefix.
+func (w *WAL) unsynced() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.end != w.syncedTo
+}
 
 func (w *WAL) close() error { return w.f.Close() }
