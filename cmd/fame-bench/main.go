@@ -4,23 +4,33 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3] [-ops N] [-json BENCH_1.json]
-//	           [-json2 BENCH_2.json] [-json3 BENCH_3.json] [-stats]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4] [-ops N] [-out BENCH_N.json]
+//	           [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
 // whose measured throughput and latency quantiles feed the NFP store,
-// closing the paper's feedback loop; -json names its machine-readable
-// report. B2 runs the ShardedBuffer concurrency benchmark — both buffer
-// pools under parallel get/put mixes at 1/4/16 goroutines — and -json2
-// names its report. B3 runs the GroupCommit benchmark — ForceCommit vs
-// the group-commit pipeline at 1/4/16 concurrent committers on a
-// delayed-sync device — and -json3 names its report. -stats dumps the
-// Prometheus text exposition of a full instrumented run.
+// closing the paper's feedback loop. B2 runs the ShardedBuffer
+// concurrency benchmark — both buffer pools under parallel get/put
+// mixes at 1/4/16 goroutines. B3 runs the GroupCommit benchmark —
+// ForceCommit vs the group-commit pipeline at 1/4/16 concurrent
+// committers on a delayed-sync device. B4 runs the Tracing benchmark —
+// the same product with and without span recording at 1/4/16
+// goroutines, closing the loop the other way (the deriver excludes
+// Tracing under a latency or ROM budget).
+//
+// -out names the machine-readable reports with a literal "N" standing
+// for the benchmark number: -out BENCH_N.json writes BENCH_1.json ..
+// BENCH_4.json for whichever of B1..B4 run; -out "" suppresses them.
+// The former per-benchmark flags -json/-json2/-json3 remain as
+// deprecated aliases and, when set explicitly, override -out for their
+// benchmark. -stats dumps the Prometheus text exposition of a full
+// instrumented run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,13 +38,42 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
-	jsonPath := flag.String("json", "BENCH_1.json", "file for B1's machine-readable report")
-	json2Path := flag.String("json2", "BENCH_2.json", "file for B2's machine-readable report")
-	json3Path := flag.String("json3", "BENCH_3.json", "file for B3's machine-readable report")
+	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
+	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
+	json2Path := flag.String("json2", "", "deprecated: file for B2's report (overrides -out for B2)")
+	json3Path := flag.String("json3", "", "deprecated: file for B3's report (overrides -out for B3)")
 	statsDump := flag.Bool("stats", false, "dump Prometheus metrics of a full instrumented run")
 	flag.Parse()
+
+	// The deprecated per-benchmark flags win only when set explicitly,
+	// so plain invocations follow the -out convention.
+	legacy := map[string]*string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "json":
+			legacy["B1"] = jsonPath
+		case "json2":
+			legacy["B2"] = json2Path
+		case "json3":
+			legacy["B3"] = json3Path
+		}
+	})
+	outPath := func(id string) string {
+		if p, ok := legacy[id]; ok {
+			return *p
+		}
+		if *outPattern == "" {
+			return ""
+		}
+		// Replace the LAST "N" so names like BENCH_N.json keep their
+		// prefix intact.
+		if i := strings.LastIndex(*outPattern, "N"); i >= 0 {
+			return (*outPattern)[:i] + id[1:] + (*outPattern)[i+1:]
+		}
+		return *outPattern
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
@@ -43,6 +82,23 @@ func main() {
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "fame-bench: %s: %v\n", id, err)
 		os.Exit(1)
+	}
+	writeReport := func(id, path string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail(id, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fail(id, err)
+		}
+		if err := f.Close(); err != nil {
+			fail(id, err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 
 	if want["E1"] {
@@ -100,20 +156,7 @@ func main() {
 			fail("B1", err)
 		}
 		fmt.Println(bench.FormatB1(r))
-		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fail("B1", err)
-			}
-			if err := r.WriteJSON(f); err != nil {
-				f.Close()
-				fail("B1", err)
-			}
-			if err := f.Close(); err != nil {
-				fail("B1", err)
-			}
-			fmt.Printf("wrote %s\n", *jsonPath)
-		}
+		writeReport("B1", outPath("B1"), r.WriteJSON)
 	}
 	if want["B2"] {
 		r, err := bench.B2(*ops/4, 23)
@@ -121,20 +164,7 @@ func main() {
 			fail("B2", err)
 		}
 		fmt.Println(bench.FormatB2(r))
-		if *json2Path != "" {
-			f, err := os.Create(*json2Path)
-			if err != nil {
-				fail("B2", err)
-			}
-			if err := r.WriteJSON(f); err != nil {
-				f.Close()
-				fail("B2", err)
-			}
-			if err := f.Close(); err != nil {
-				fail("B2", err)
-			}
-			fmt.Printf("wrote %s\n", *json2Path)
-		}
+		writeReport("B2", outPath("B2"), r.WriteJSON)
 	}
 	if want["B3"] {
 		r, err := bench.B3(*ops/40, 23)
@@ -142,20 +172,15 @@ func main() {
 			fail("B3", err)
 		}
 		fmt.Println(bench.FormatB3(r))
-		if *json3Path != "" {
-			f, err := os.Create(*json3Path)
-			if err != nil {
-				fail("B3", err)
-			}
-			if err := r.WriteJSON(f); err != nil {
-				f.Close()
-				fail("B3", err)
-			}
-			if err := f.Close(); err != nil {
-				fail("B3", err)
-			}
-			fmt.Printf("wrote %s\n", *json3Path)
+		writeReport("B3", outPath("B3"), r.WriteJSON)
+	}
+	if want["B4"] {
+		r, err := bench.B4(*ops/4, 23)
+		if err != nil {
+			fail("B4", err)
 		}
+		fmt.Println(bench.FormatB4(r))
+		writeReport("B4", outPath("B4"), r.WriteJSON)
 	}
 	if *statsDump {
 		text, err := bench.StatsDump(*ops / 4)

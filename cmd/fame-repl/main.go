@@ -7,9 +7,10 @@
 //
 //	fame-repl [-features Linux,BPlusTree,...] [-dir path]
 //
-// The default selection includes the Statistics feature; use the .stats
-// command to inspect counters and latency histograms, .help for the
-// full command list.
+// The default selection includes the Statistics and Tracing features;
+// use the .stats command to inspect counters and latency histograms,
+// .trace dump|slow to inspect span trees, .help for the full command
+// list.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	features := flag.String("features",
-		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,Statistics",
+		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,Statistics,Tracing",
 		"comma-separated feature selection to compose")
 	dir := flag.String("dir", "", "persist the instance in a directory (default: in memory)")
 	flag.Parse()

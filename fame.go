@@ -24,6 +24,7 @@ package fame
 
 import (
 	"fmt"
+	"time"
 
 	"famedb/internal/access"
 	"famedb/internal/analysis"
@@ -34,6 +35,7 @@ import (
 	"famedb/internal/osal"
 	"famedb/internal/solver"
 	"famedb/internal/stats"
+	"famedb/internal/trace"
 	"famedb/internal/txn"
 	"famedb/internal/types"
 )
@@ -51,6 +53,9 @@ type (
 	// Snapshot is a point-in-time copy of the Statistics feature's
 	// metrics (see DB.Stats).
 	Snapshot = stats.Snapshot
+	// TraceSnapshot is a point-in-time copy of the Tracing feature's
+	// span ring and slow-op log (see DB.Trace).
+	TraceSnapshot = trace.Snapshot
 	// NFPStore is the repository of measured non-functional properties
 	// (paper Sec. 3.2); see NewNFPStore and OptimizeMeasured.
 	NFPStore = nfp.Store
@@ -100,6 +105,16 @@ type Options struct {
 	CacheShards int
 	// GroupCommitBatch tunes the GroupCommit protocol.
 	GroupCommitBatch int
+	// TraceSpans overrides the Tracing feature's span-ring capacity;
+	// ignored unless Tracing is selected.
+	TraceSpans int
+	// TraceSlowOp overrides the slow-operation threshold: completed
+	// root spans at least this slow are kept (with their subtree) in
+	// the slow-op log.
+	TraceSlowOp time.Duration
+	// TraceDisabled composes the Tracing feature with recording off;
+	// enable later with DB.SetTracing(true).
+	TraceDisabled bool
 }
 
 // DB is a derived FAME-DBMS instance.
@@ -126,6 +141,9 @@ func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 		CachePages:       opts.CachePages,
 		CacheShards:      opts.CacheShards,
 		GroupCommitBatch: opts.GroupCommitBatch,
+		TraceSpans:       opts.TraceSpans,
+		TraceSlowOp:      opts.TraceSlowOp,
+		TraceDisabled:    opts.TraceDisabled,
 	}
 	if opts.Dir != "" {
 		fs, err := osal.NewDirFS(opts.Dir)
@@ -236,6 +254,17 @@ func (db *DB) Exec(query string) (*Result, error) {
 // derived without Statistics return ErrNotComposed. Use
 // Snapshot.WritePrometheus or Snapshot.WriteJSON to encode it.
 func (db *DB) Stats() (Snapshot, error) { return db.inst.Stats() }
+
+// Trace returns a snapshot of the product's span ring and slow-op log
+// (feature Tracing): every retained span with its parent links, plus
+// the N worst complete operation trees. Products derived without
+// Tracing return ErrNotComposed. Use TraceSnapshot.WriteChrome for a
+// chrome://tracing file, WriteText / WriteSlow for human output.
+func (db *DB) Trace() (TraceSnapshot, error) { return db.inst.Trace() }
+
+// SetTracing turns span recording on or off at runtime (feature
+// Tracing). Products derived without Tracing return ErrNotComposed.
+func (db *DB) SetTracing(on bool) error { return db.inst.SetTracing(on) }
 
 // ROM returns the product's code footprint in bytes (the paper's
 // binary-size NFP).

@@ -13,6 +13,7 @@ import (
 
 	"famedb/internal/index"
 	"famedb/internal/stats"
+	"famedb/internal/trace"
 )
 
 // ErrNotComposed is returned by operations whose feature is not part of
@@ -46,10 +47,16 @@ type Store struct {
 	// metrics observes per-operation latency when the Statistics feature
 	// is composed; nil otherwise (recording is then a no-op).
 	metrics *stats.Access
+	// tracer records record operations as root spans when the Tracing
+	// feature is composed; nil otherwise.
+	tracer *trace.Tracer
 }
 
 // SetMetrics attaches the Statistics feature's record-access metrics.
 func (s *Store) SetMetrics(m *stats.Access) { s.metrics = m }
+
+// SetTracer attaches the Tracing feature's span recorder.
+func (s *Store) SetTracer(t *trace.Tracer) { s.tracer = t }
 
 // New composes a store from an index and an operation selection.
 func New(idx index.Index, ops Ops) *Store {
@@ -81,9 +88,12 @@ func (s *Store) Put(key, value []byte) error {
 		return fmt.Errorf("Put: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Puts, 1)
+	sp := s.tracer.Start(trace.LayerAccess, "put")
 	start := s.metrics.Start()
 	err := s.idx.Insert(key, value)
 	s.metrics.DonePut(start)
+	sp.Fail(err)
+	sp.End()
 	return err
 }
 
@@ -94,9 +104,12 @@ func (s *Store) Get(key []byte) ([]byte, error) {
 		return nil, fmt.Errorf("Get: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Gets, 1)
+	sp := s.tracer.Start(trace.LayerAccess, "get")
 	start := s.metrics.Start()
 	v, found, err := s.idx.Get(key)
 	s.metrics.DoneGet(start)
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +125,10 @@ func (s *Store) Remove(key []byte) error {
 		return fmt.Errorf("Remove: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Removes, 1)
+	sp := s.tracer.Start(trace.LayerAccess, "remove")
 	deleted, err := s.idx.Delete(key)
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -129,7 +145,10 @@ func (s *Store) Update(key, value []byte) error {
 		return fmt.Errorf("Update: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Updates, 1)
+	sp := s.tracer.Start(trace.LayerAccess, "update")
 	ok, err := s.idx.Update(key, value)
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -146,7 +165,11 @@ func (s *Store) Scan(from, to []byte, fn func(key, value []byte) bool) error {
 		return fmt.Errorf("Scan: %w", ErrNotComposed)
 	}
 	atomic.AddInt64(&s.counters.Scans, 1)
-	return s.idx.Scan(from, to, fn)
+	sp := s.tracer.Start(trace.LayerAccess, "scan")
+	err := s.idx.Scan(from, to, fn)
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // Len returns the number of stored records.

@@ -1,0 +1,348 @@
+package bench
+
+// Benchmark B4: the Tracing feature's overhead and its NFP feedback.
+//
+// Two otherwise identical products — with and without the Tracing
+// feature — run the same workload at 1, 4 and 16 goroutines over an
+// in-memory device: a sequential instrumented put load, then a timed
+// concurrent get phase, so every nanosecond of span bookkeeping shows
+// up in the measured throughput and latency quantiles instead of
+// hiding behind I/O. The traced points also report the span ring's gauges
+// (occupancy, recorded, dropped) via the Statistics bridge.
+//
+// The 16-goroutine measurements close the paper's feedback loop the
+// unflattering way round: Tracing's fitted latency weight is positive,
+// so the greedy deriver minimizing measured latency EXCLUDES it — and
+// under a ROM budget tight enough for the base product alone, requiring
+// Tracing makes derivation infeasible. Observability is a feature you
+// pay for, and the NFP machinery prices it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+)
+
+// B4Config fixes the scenario.
+type B4Config struct {
+	Ops        int   // operations per measured point (half puts, half gets)
+	Seed       int64 // reserved for workload shuffling
+	ValueBytes int   // payload per put
+	TraceSpans int   // ring capacity of the traced product
+}
+
+func defaultB4Config(ops int, seed int64) B4Config {
+	if ops < 2048 {
+		ops = 2048
+	}
+	return B4Config{Ops: ops, Seed: seed, ValueBytes: 64, TraceSpans: 4096}
+}
+
+// B4Point is one measured (tracing, goroutines) cell.
+type B4Point struct {
+	Tracing    bool    `json:"tracing"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"` // timed gets; puts load the store beforehand
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Latency quantiles from the Statistics feature's access
+	// histograms, nanoseconds. Gets are the timed concurrent phase;
+	// puts are the instrumented sequential load phase.
+	GetP50Ns float64 `json:"get_p50_ns"`
+	GetP99Ns float64 `json:"get_p99_ns"`
+	PutP50Ns float64 `json:"put_p50_ns"`
+	PutP99Ns float64 `json:"put_p99_ns"`
+	// Span-ring gauges via the stats/trace bridge; zero when Tracing
+	// is not composed.
+	RingOccupancy int64 `json:"ring_occupancy"`
+	RecordedSpans int64 `json:"recorded_spans"`
+	DroppedSpans  int64 `json:"dropped_spans"`
+}
+
+// B4Overhead compares traced vs untraced throughput at one concurrency.
+type B4Overhead struct {
+	Goroutines  int     `json:"goroutines"`
+	PlainOpsSec float64 `json:"plain_ops_per_sec"`
+	TraceOpsSec float64 `json:"traced_ops_per_sec"`
+	// OverheadPct is (plain - traced) / plain in percent; the cost of
+	// the Tracing feature when composed and enabled.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// B4Feedback is the closed loop: measured latency prices Tracing out,
+// and a tight ROM budget makes a Tracing-required derivation
+// infeasible.
+type B4Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedTracing reports whether the latency-minimizing greedy
+	// deriver kept Tracing; the whole point is that it does not.
+	SelectedTracing bool `json:"selected_tracing"`
+	// TracingLatencyWeightNs is the fitted per-feature contribution of
+	// Tracing to p50 latency — the positive cost the deriver avoided.
+	TracingLatencyWeightNs float64 `json:"tracing_latency_weight_ns"`
+	// The ROM side: the base product's footprint, Tracing's footprint
+	// delta, and the budget under which requiring Tracing fails.
+	BaseROM               int  `json:"base_rom_bytes"`
+	TracingROM            int  `json:"tracing_rom_bytes"`
+	TightROMBudget        int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithTracing bool `json:"infeasible_with_tracing"`
+}
+
+// B4Result is the machine-readable report (BENCH_4.json).
+type B4Result struct {
+	Ops        int          `json:"ops_per_point"`
+	Seed       int64        `json:"seed"`
+	ValueBytes int          `json:"value_bytes"`
+	TraceSpans int          `json:"trace_spans"`
+	Points     []B4Point    `json:"points"`
+	Overheads  []B4Overhead `json:"overheads"`
+	Feedback   B4Feedback   `json:"feedback"`
+}
+
+// b4Features is the measured product: the concurrent read path
+// (ShardedBuffer) with Statistics for the latency histograms, plus
+// Tracing for the traced variant.
+func b4Features(traced bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get", "Statistics",
+	}
+	if traced {
+		fs = append(fs, "Tracing")
+	}
+	return fs
+}
+
+// b4Run measures one (tracing, goroutines) point. The store is loaded
+// with an instrumented sequential put phase (the B+-tree has no
+// internal latching without the Locking feature, so writes stay on one
+// goroutine — as in B2, which drives the buffer pool directly for the
+// same reason), then g workers share cfg.Ops timed gets over the loaded
+// keys. Both phases run the full span stack when Tracing is composed;
+// the timed phase is the concurrent read path the overhead numbers
+// quote.
+func b4Run(cfg B4Config, traced bool, g int) (B4Point, error) {
+	pt := B4Point{Tracing: traced, Goroutines: g, Ops: cfg.Ops}
+
+	inst, err := composer.ComposeProduct(
+		composer.Options{TraceSpans: cfg.TraceSpans},
+		b4Features(traced)...)
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keys := cfg.Ops / 8
+	if keys < 256 {
+		keys = 256
+	}
+	for i := 0; i < keys; i++ {
+		if err := inst.Store.Put([]byte(fmt.Sprintf("k%07d", i)), value); err != nil {
+			inst.Close()
+			return pt, err
+		}
+	}
+
+	errs := make(chan error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		n := cfg.Ops / g
+		if w < cfg.Ops%g {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				key := []byte(fmt.Sprintf("k%07d", (w*7919+i)%keys))
+				if _, err := inst.Store.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		inst.Close()
+		return pt, err
+	}
+
+	snap, err := inst.Stats()
+	if err != nil {
+		inst.Close()
+		return pt, err
+	}
+	if err := inst.Close(); err != nil {
+		return pt, err
+	}
+
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	pt.GetP50Ns = snap.Access.GetLatency.P50()
+	pt.GetP99Ns = snap.Access.GetLatency.P99()
+	pt.PutP50Ns = snap.Access.PutLatency.P50()
+	pt.PutP99Ns = snap.Access.PutLatency.P99()
+	pt.RingOccupancy = snap.Trace.RingOccupancy
+	pt.RecordedSpans = snap.Trace.RecordedSpans
+	pt.DroppedSpans = snap.Trace.DroppedSpans
+	return pt, nil
+}
+
+// B4 runs the tracing-overhead benchmark and closes the feedback loop:
+// the greedy deriver minimizing measured latency excludes Tracing, and
+// a tight ROM budget makes requiring it infeasible.
+func B4(n int, seed int64) (*B4Result, error) {
+	cfg := defaultB4Config(n, seed)
+	res := &B4Result{
+		Ops:        cfg.Ops,
+		Seed:       cfg.Seed,
+		ValueBytes: cfg.ValueBytes,
+		TraceSpans: cfg.TraceSpans,
+	}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	at16 := map[bool]float64{}
+	byG := map[int]*B4Overhead{}
+	for _, traced := range []bool{false, true} {
+		for _, g := range []int{1, 4, 16} {
+			pt, err := b4Run(cfg, traced, g)
+			if err != nil {
+				return nil, fmt.Errorf("B4 traced=%v/%d: %w", traced, g, err)
+			}
+			res.Points = append(res.Points, pt)
+			ov := byG[g]
+			if ov == nil {
+				ov = &B4Overhead{Goroutines: g}
+				byG[g] = ov
+				res.Overheads = append(res.Overheads, B4Overhead{})
+			}
+			if traced {
+				ov.TraceOpsSec = pt.OpsPerSec
+			} else {
+				ov.PlainOpsSec = pt.OpsPerSec
+			}
+			if g == 16 {
+				at16[traced] = pt.OpsPerSec
+				err := nfp.RecordMeasurement(store, b4Features(traced), map[nfp.Property]float64{
+					nfp.Throughput: pt.OpsPerSec,
+					nfp.LatencyP50: (pt.GetP50Ns + pt.PutP50Ns) / 2,
+					nfp.LatencyP99: (pt.GetP99Ns + pt.PutP99Ns) / 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i, g := range []int{1, 4, 16} {
+		ov := byG[g]
+		if ov.PlainOpsSec > 0 {
+			ov.OverheadPct = (ov.PlainOpsSec - ov.TraceOpsSec) / ov.PlainOpsSec * 100
+		}
+		res.Overheads[i] = *ov
+	}
+
+	// Latency side: greedy over the signed fitted table. Tracing's
+	// weight is positive (it only costs), so the deriver leaves it out.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "Tracing")
+
+	// ROM side: size a budget that fits the minimal base product but
+	// not the span recorder, then require Tracing under it.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	tracingROM := rom.Features["Tracing"]
+	budget := base.ROM + tracingROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "Tracing"),
+		MaxROM:   budget,
+	})
+
+	res.Feedback = B4Feedback{
+		Property:               string(nfp.LatencyP50),
+		MeasuredProducts:       len(store.Measurements()),
+		Required:               required,
+		DerivedFeatures:        derived.Config.SelectedNames(),
+		SelectedTracing:        derived.Config.Has("Tracing"),
+		TracingLatencyWeightNs: lw,
+		BaseROM:                base.ROM,
+		TracingROM:             tracingROM,
+		TightROMBudget:         budget,
+		InfeasibleWithTracing:  errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+// FormatB4 renders the B4 result as text.
+func FormatB4(r *B4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B4 — Tracing: span-recording overhead, in-memory load + concurrent gets (ring %d spans)\n",
+		r.TraceSpans)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "tracing\tgoroutines\tops/s\tget p50 ns\tput p50 ns\tring occ\trecorded\tdropped")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%v\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			p.Tracing, p.Goroutines, p.OpsPerSec, p.GetP50Ns, p.PutP50Ns,
+			p.RingOccupancy, p.RecordedSpans, p.DroppedSpans)
+	}
+	w.Flush()
+	for _, ov := range r.Overheads {
+		fmt.Fprintf(&b, "overhead at %2d goroutines: %+.1f%%\n", ov.Goroutines, ov.OverheadPct)
+	}
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  Tracing selected: %v (latency weight %+.0f ns)\n",
+		r.Feedback.SelectedTracing, r.Feedback.TracingLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, Tracing +%d B; requiring Tracing under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.TracingROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithTracing)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_4.json).
+func (r *B4Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

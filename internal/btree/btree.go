@@ -8,6 +8,7 @@ import (
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
+	"famedb/internal/trace"
 )
 
 // Tree is a persistent B+-tree. All keys are unique; Insert overwrites
@@ -30,7 +31,13 @@ type Tree struct {
 	// metrics counts structural events when the Statistics feature is
 	// composed; nil otherwise (recording is then a no-op).
 	metrics *stats.BTree
+	// tracer records tree operations as spans when the Tracing feature
+	// is composed; nil otherwise.
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches the Tracing feature's span recorder.
+func (t *Tree) SetTracer(tr *trace.Tracer) { t.tracer = tr }
 
 // SetMetrics attaches the Statistics feature's tree metrics and reports
 // the current height so the gauge is meaningful before the first split.
@@ -147,8 +154,11 @@ func (t *Tree) writeNode(n node) error { return t.pager.WritePage(n.id, n.buf) }
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	sp := t.tracer.Start(trace.LayerBTree, "get")
+	defer sp.End()
 	n, err := t.descendToLeaf(key)
 	if err != nil {
+		sp.Fail(err)
 		return nil, false, err
 	}
 	idx, found := n.search(key)
@@ -242,8 +252,11 @@ func (t *Tree) Insert(key, value []byte) error {
 	if leafCellSize(key, value) > t.maxEntry {
 		return fmt.Errorf("%w: %d > %d bytes", ErrKeyTooLarge, leafCellSize(key, value), t.maxEntry)
 	}
+	sp := t.tracer.Start(trace.LayerBTree, "insert")
+	defer sp.End()
 	split, added, err := t.insertAt(t.root, key, value)
 	if err != nil {
+		sp.Fail(err)
 		return err
 	}
 	if split != nil {
@@ -387,8 +400,11 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	if len(key) == 0 {
 		return false, nil
 	}
+	sp := t.tracer.Start(trace.LayerBTree, "delete")
+	defer sp.End()
 	n, err := t.descendToLeaf(key)
 	if err != nil {
+		sp.Fail(err)
 		return false, err
 	}
 	idx, found := n.search(key)
@@ -408,6 +424,8 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // Returning false from fn stops the scan. Key and value slices are only
 // valid during the call.
 func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	sp := t.tracer.Start(trace.LayerBTree, "scan")
+	defer sp.End()
 	var n node
 	var err error
 	if from == nil {

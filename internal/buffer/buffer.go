@@ -26,6 +26,7 @@ import (
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
+	"famedb/internal/trace"
 )
 
 // Policy selects eviction victims. Implementations are not safe for
@@ -295,6 +296,9 @@ type Manager struct {
 	// metrics mirrors the counters into the Statistics feature's
 	// registry when composed; nil otherwise (recording is a no-op).
 	metrics *stats.Buffer
+	// tracer records cache accesses as spans when the Tracing feature
+	// is composed; nil otherwise.
+	tracer *trace.Tracer
 }
 
 // SetMetrics implements Cache, labeling the metrics with the
@@ -303,6 +307,12 @@ func (m *Manager) SetMetrics(b *stats.Buffer) {
 	m.metrics = b
 	b.SetPolicy(m.sh.policy.Name())
 	b.SetShards(1)
+}
+
+// SetTracer implements Cache.
+func (m *Manager) SetTracer(t *trace.Tracer) {
+	m.tracer = t
+	m.sh.tr = t
 }
 
 // NewManager creates a buffer manager with the given capacity (in
@@ -349,7 +359,12 @@ func (m *Manager) ReadPage(id storage.PageID, buf []byte) error {
 	if m.closed.Load() {
 		return errManagerClosed
 	}
-	return m.sh.access(m.base, m.metrics, id, buf, false)
+	sp := m.tracer.Start(trace.LayerBuffer, "read")
+	sp.Page(uint32(id))
+	err := m.sh.access(m.base, m.metrics, id, buf, false)
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // WritePage implements storage.Pager: write-allocate, write-back.
@@ -357,7 +372,12 @@ func (m *Manager) WritePage(id storage.PageID, buf []byte) error {
 	if m.closed.Load() {
 		return errManagerClosed
 	}
-	return m.sh.access(m.base, m.metrics, id, buf, true)
+	sp := m.tracer.Start(trace.LayerBuffer, "write")
+	sp.Page(uint32(id))
+	err := m.sh.access(m.base, m.metrics, id, buf, true)
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // FlushPage writes back one page if it is resident and dirty. Used by

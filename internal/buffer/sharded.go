@@ -38,6 +38,7 @@ import (
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
+	"famedb/internal/trace"
 )
 
 // Cache is what the composer expects from a buffer manager: the Pager
@@ -55,6 +56,8 @@ type Cache interface {
 	FlushPage(id storage.PageID) error
 	// SetMetrics attaches the Statistics feature's buffer metrics.
 	SetMetrics(b *stats.Buffer)
+	// SetTracer attaches the Tracing feature's span recorder.
+	SetTracer(t *trace.Tracer)
 }
 
 var errManagerClosed = errors.New("buffer: manager is closed")
@@ -86,6 +89,10 @@ type shard struct {
 	writeback map[storage.PageID]chan struct{}
 	loaded    int // published frames
 	inflight  int // placeholders (faults between insert and publish)
+
+	// tr records the shard's wait points as spans when the Tracing
+	// feature is composed; nil otherwise (every call is a no-op).
+	tr *trace.Tracer
 
 	hits, misses, evictions, writeBacks atomic.Int64
 }
@@ -140,13 +147,19 @@ func (s *shard) access(base storage.Pager, m *stats.Buffer, id storage.PageID, b
 			// gone from the map and this access runs its own fault.
 			done := f.done
 			s.mu.Unlock()
+			wsp := s.tr.Start(trace.LayerBuffer, "singleflight-wait")
+			wsp.Page(uint32(id))
 			<-done
+			wsp.End()
 			s.mu.Lock()
 			continue
 		}
 		if ch, ok := s.writeback[id]; ok {
 			s.mu.Unlock()
+			wsp := s.tr.Start(trace.LayerBuffer, "writeback-wait")
+			wsp.Page(uint32(id))
 			<-ch
+			wsp.End()
 			s.mu.Lock()
 			continue
 		}
@@ -497,6 +510,9 @@ type ShardedManager struct {
 	// metrics mirrors the counters into the Statistics feature's
 	// registry when composed; nil otherwise (recording is a no-op).
 	metrics *stats.Buffer
+	// tracer records cache accesses as spans when the Tracing feature
+	// is composed; nil otherwise.
+	tracer *trace.Tracer
 }
 
 // NewShardedManager stripes capacity pages over shards. The shard count
@@ -556,6 +572,14 @@ func (m *ShardedManager) SetMetrics(b *stats.Buffer) {
 	b.SetShards(len(m.shards))
 }
 
+// SetTracer implements Cache.
+func (m *ShardedManager) SetTracer(t *trace.Tracer) {
+	m.tracer = t
+	for _, s := range m.shards {
+		s.tr = t
+	}
+}
+
 // PageSize implements storage.Pager.
 func (m *ShardedManager) PageSize() int { return m.base.PageSize() }
 
@@ -607,7 +631,12 @@ func (m *ShardedManager) ReadPage(id storage.PageID, buf []byte) error {
 	if m.closed.Load() {
 		return errManagerClosed
 	}
-	return m.shardFor(id).access(m.base, m.metrics, id, buf, false)
+	sp := m.tracer.Start(trace.LayerBuffer, "read")
+	sp.Page(uint32(id))
+	err := m.shardFor(id).access(m.base, m.metrics, id, buf, false)
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // WritePage implements storage.Pager: write-allocate, write-back.
@@ -615,7 +644,12 @@ func (m *ShardedManager) WritePage(id storage.PageID, buf []byte) error {
 	if m.closed.Load() {
 		return errManagerClosed
 	}
-	return m.shardFor(id).access(m.base, m.metrics, id, buf, true)
+	sp := m.tracer.Start(trace.LayerBuffer, "write")
+	sp.Page(uint32(id))
+	err := m.shardFor(id).access(m.base, m.metrics, id, buf, true)
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // FlushPage implements Cache.

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"famedb/internal/access"
 	"famedb/internal/buffer"
@@ -19,6 +20,7 @@ import (
 	"famedb/internal/sql"
 	"famedb/internal/stats"
 	"famedb/internal/storage"
+	"famedb/internal/trace"
 	"famedb/internal/txn"
 )
 
@@ -35,6 +37,15 @@ type Options struct {
 	CacheShards int
 	// GroupCommitBatch tunes the GroupCommit protocol (default 8).
 	GroupCommitBatch int
+	// TraceSpans overrides the Tracing feature's ring capacity in spans
+	// (default 4096). Ignored without Tracing.
+	TraceSpans int
+	// TraceSlowOp overrides the Tracing feature's slow-op threshold
+	// (default 1ms). Ignored without Tracing.
+	TraceSlowOp time.Duration
+	// TraceDisabled composes the tracer switched off; recording can be
+	// enabled later with Instance.SetTracing. Ignored without Tracing.
+	TraceDisabled bool
 }
 
 // Instance is a derived FAME-DBMS product.
@@ -62,6 +73,9 @@ type Instance struct {
 	// stats is the Statistics feature's registry; nil unless the feature
 	// is selected, in which case every layer records into it.
 	stats *stats.Registry
+	// tracer is the Tracing feature's span recorder; nil unless the
+	// feature is selected, in which case every layer records into it.
+	tracer *trace.Tracer
 }
 
 // layout records where the persistent structures live, so an instance
@@ -108,6 +122,22 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		inst.stats = stats.New()
 	}
 
+	// Tracing feature: one span recorder shared by every layer; same
+	// nil-discipline as the stats registry. When Statistics is also
+	// composed the tracer learns the histogram bucket bounds, so spans
+	// carry the bucket their duration landed in (the stats/trace
+	// bridge).
+	if cfg.Has("Tracing") {
+		inst.tracer = trace.New(trace.Config{
+			Capacity:      opts.TraceSpans,
+			SlowThreshold: opts.TraceSlowOp,
+			Disabled:      opts.TraceDisabled,
+		})
+		if inst.stats != nil {
+			inst.tracer.SetLatencyBounds(stats.LatencyBounds())
+		}
+	}
+
 	// OS abstraction: platform target and filesystem.
 	for _, name := range []string{"Linux", "Win32", "NutOS"} {
 		if cfg.Has(name) {
@@ -147,6 +177,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		return nil, err
 	}
 	inst.pf.SetMetrics(inst.stats.Pager())
+	inst.pf.SetTracer(inst.tracer)
 	inst.pager = inst.pf
 
 	// Buffer manager feature.
@@ -204,6 +235,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			inst.cacheShards = 1
 		}
 		inst.cache.SetMetrics(inst.stats.Buffer())
+		inst.cache.SetTracer(inst.tracer)
 		inst.pager = inst.cache
 	}
 
@@ -249,8 +281,11 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		lay = layout{StoreMeta: uint32(meta), Index: indexName}
 	}
 
-	if bt, ok := idx.(*index.BTree); ok && inst.stats != nil {
-		bt.Tree().SetMetrics(inst.stats.BTree())
+	if bt, ok := idx.(*index.BTree); ok {
+		if inst.stats != nil {
+			bt.Tree().SetMetrics(inst.stats.BTree())
+		}
+		bt.Tree().SetTracer(inst.tracer)
 	}
 
 	// Access feature: exactly the selected operations.
@@ -262,6 +297,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 	}
 	inst.Store = access.New(idx, ops)
 	inst.Store.SetMetrics(inst.stats.Access())
+	inst.Store.SetTracer(inst.tracer)
 
 	// Transaction feature.
 	if cfg.Has("Transaction") {
@@ -292,6 +328,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 				return nil
 			},
 			Metrics: inst.stats.Txn(),
+			Tracer:  inst.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -304,11 +341,11 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		if cfg.Has("BPlusTree") {
 			factory = sql.BTreeFactory(btOps)
 		}
-		if inst.stats != nil && cfg.Has("BPlusTree") {
+		if (inst.stats != nil || inst.tracer != nil) && cfg.Has("BPlusTree") {
 			// Instrument the catalog and per-table trees too; they share
 			// the registry's tree counters, and the height gauge tracks
 			// the tallest instrumented tree.
-			factory = instrumentFactory(factory, inst.stats)
+			factory = instrumentFactory(factory, inst.stats, inst.tracer)
 		}
 		sqlCfg := sql.Config{
 			Pager:     inst.pager,
@@ -316,6 +353,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			Ops:       ops,
 			Optimizer: cfg.Has("Optimizer"),
 			Metrics:   inst.stats.SQL(),
+			Tracer:    inst.tracer,
 		}
 		if existing {
 			inst.SQL, err = sql.Open(sqlCfg, storage.PageID(lay.SQLMeta))
@@ -348,20 +386,30 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 }
 
 // instrumentFactory wraps an IndexFactory so every index it produces
-// records into the Statistics registry.
-func instrumentFactory(base sql.IndexFactory, reg *stats.Registry) sql.IndexFactory {
+// records into the Statistics registry and/or the Tracing recorder.
+func instrumentFactory(base sql.IndexFactory, reg *stats.Registry, tr *trace.Tracer) sql.IndexFactory {
+	observe := func(idx index.Index) {
+		bt, ok := idx.(*index.BTree)
+		if !ok {
+			return
+		}
+		if reg != nil {
+			bt.Tree().SetMetrics(reg.BTree())
+		}
+		bt.Tree().SetTracer(tr)
+	}
 	wrapped := base
 	wrapped.Create = func(p storage.Pager) (index.Index, storage.PageID, error) {
 		idx, meta, err := base.Create(p)
-		if bt, ok := idx.(*index.BTree); ok && err == nil {
-			bt.Tree().SetMetrics(reg.BTree())
+		if err == nil {
+			observe(idx)
 		}
 		return idx, meta, err
 	}
 	wrapped.Open = func(p storage.Pager, meta storage.PageID) (index.Index, error) {
 		idx, err := base.Open(p, meta)
-		if bt, ok := idx.(*index.BTree); ok && err == nil {
-			bt.Tree().SetMetrics(reg.BTree())
+		if err == nil {
+			observe(idx)
 		}
 		return idx, err
 	}
@@ -498,12 +546,42 @@ func (i *Instance) RAM() int {
 
 // Stats returns a snapshot of the Statistics feature's metrics, or
 // access.ErrNotComposed when the product was derived without the
-// Statistics feature.
+// Statistics feature. With Tracing also composed, the snapshot's trace
+// section carries the ring's occupancy and dropped-span gauges — so
+// dropped observability data is itself observable.
 func (i *Instance) Stats() (stats.Snapshot, error) {
 	if i.stats == nil {
 		return stats.Snapshot{}, fmt.Errorf("Stats: %w", access.ErrNotComposed)
 	}
+	if i.tracer != nil {
+		capacity, occ, recorded, dropped, slowOps, slowEvicted := i.tracer.RingStats()
+		i.stats.Trace().Set(int64(capacity), int64(occ), int64(recorded), int64(dropped), int64(slowOps), slowEvicted)
+	}
 	return i.stats.Snapshot(), nil
+}
+
+// Tracer returns the live Tracing recorder, or nil when the feature is
+// not composed.
+func (i *Instance) Tracer() *trace.Tracer { return i.tracer }
+
+// Trace returns a snapshot of the Tracing feature's span recorder, or
+// access.ErrNotComposed when the product was derived without Tracing.
+func (i *Instance) Trace() (trace.Snapshot, error) {
+	if i.tracer == nil {
+		return trace.Snapshot{}, fmt.Errorf("Trace: %w", access.ErrNotComposed)
+	}
+	return i.tracer.Snapshot(), nil
+}
+
+// SetTracing switches span recording on or off at runtime. It fails
+// with access.ErrNotComposed when the product was derived without the
+// Tracing feature.
+func (i *Instance) SetTracing(on bool) error {
+	if i.tracer == nil {
+		return fmt.Errorf("SetTracing: %w", access.ErrNotComposed)
+	}
+	i.tracer.SetEnabled(on)
+	return nil
 }
 
 // StatsRegistry returns the live Statistics registry, or nil when the

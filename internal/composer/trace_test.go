@@ -1,0 +1,259 @@
+package composer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"famedb/internal/access"
+	"famedb/internal/osal"
+	"famedb/internal/trace"
+)
+
+func TestTraceNotComposedErrors(t *testing.T) {
+	inst, err := ComposeProduct(Options{}, "Linux", "BPlusTree", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Tracer() != nil {
+		t.Fatal("product without Tracing has a tracer")
+	}
+	if _, err := inst.Trace(); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("Trace() = %v, want ErrNotComposed", err)
+	}
+	if err := inst.SetTracing(true); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("SetTracing() = %v, want ErrNotComposed", err)
+	}
+}
+
+// TestTracePutDecomposesAcrossLayers is the acceptance scenario: with a
+// cache too small to hold the working set, one put's span tree reaches
+// from the access layer down to the pager.
+func TestTracePutDecomposesAcrossLayers(t *testing.T) {
+	inst, err := ComposeProduct(Options{CachePages: 2},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	// Grow the tree past the cache so later puts fault pages back in.
+	value := make([]byte, 256)
+	for i := 0; i < 64; i++ {
+		if err := inst.Store.Put([]byte(fmt.Sprintf("warm%04d", i)), value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The measured put: a fresh tree in the snapshot.
+	if err := inst.Store.Put([]byte("probe"), value); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := snap.Trees()
+	var probe *trace.Tree
+	for i := range trees {
+		if trees[i].Root.Layer == trace.LayerAccess && trees[i].Root.Op == "put" {
+			probe = &trees[i] // keep the newest access.put tree
+		}
+	}
+	if probe == nil {
+		t.Fatal("no access.put root span recorded")
+	}
+	layers := map[string]bool{probe.Root.Layer: true}
+	for _, r := range probe.Spans {
+		if r.Root != probe.Root.ID {
+			t.Fatalf("span %d grouped under root %d, want %d", r.ID, r.Root, probe.Root.ID)
+		}
+		layers[r.Layer] = true
+	}
+	for _, want := range []string{trace.LayerAccess, trace.LayerBTree, trace.LayerBuffer, trace.LayerPager} {
+		if !layers[want] {
+			t.Fatalf("put tree misses layer %q; got %v (%d spans)", want, layers, len(probe.Spans))
+		}
+	}
+	if len(layers) < 4 {
+		t.Fatalf("put decomposed into %d layers, want >= 4", len(layers))
+	}
+}
+
+func TestTraceStatsBridge(t *testing.T) {
+	inst, err := ComposeProduct(Options{TraceSpans: 64},
+		"Linux", "BPlusTree", "Put", "Get", "Statistics", "Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	for i := 0; i < 300; i++ {
+		if err := inst.Store.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := inst.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Trace.RingCapacity != 64 {
+		t.Fatalf("ring capacity gauge = %d, want 64", snap.Trace.RingCapacity)
+	}
+	if snap.Trace.RingOccupancy != 64 || snap.Trace.DroppedSpans == 0 {
+		t.Fatalf("occupancy=%d dropped=%d, want full ring with drops",
+			snap.Trace.RingOccupancy, snap.Trace.DroppedSpans)
+	}
+	// The bridge also stamps histogram buckets onto recorded spans.
+	tsnap, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tsnap.Spans {
+		if r.Bucket < 0 {
+			t.Fatalf("span %d bucket = %d, want bridged bucket >= 0", r.ID, r.Bucket)
+		}
+	}
+}
+
+// TestTraceRaceStress drives 16 committers through the sharded buffer
+// and the group-commit pipeline with tracing on (run under -race in
+// CI): every commit span must carry its own transaction's ID, follower
+// handoffs must name a real leader, and the ring must have evicted
+// strictly oldest-first.
+func TestTraceRaceStress(t *testing.T) {
+	// The ring holds the whole commit phase, so follower spans cannot be
+	// evicted before the attribution checks; a later get phase overflows
+	// it for the eviction check. Syncs are slowed so the leader's fsync
+	// opens a batching window — on an instant MemFS every commit drains
+	// alone and no follower handoffs would form.
+	fs := osal.NewDelayFS(osal.NewMemFS(), 0, 200*time.Microsecond)
+	inst, err := ComposeProduct(Options{FS: fs, TraceSpans: 16384, GroupCommitBatch: 8},
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get", "Transaction", "GroupCommit",
+		"Locking", "Statistics", "Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	const workers = 16
+	const txPerWorker = 40
+	var mu sync.Mutex
+	committed := map[uint64]bool{} // every txn ID any worker committed
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txPerWorker; i++ {
+				tx := inst.Txn.Begin()
+				id := tx.ID()
+				key := fmt.Sprintf("w%02d-k%04d", w, i)
+				if err := tx.Put([]byte(key), []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				committed[id] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := inst.Txn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commitSpans, followerSpans int
+	for _, r := range snap.Spans {
+		if r.Layer != trace.LayerTxn {
+			continue
+		}
+		switch r.Op {
+		case "commit":
+			commitSpans++
+			if !committed[r.Txn] {
+				t.Fatalf("commit span names txn %d, which no worker committed", r.Txn)
+			}
+		case "follower-wait":
+			followerSpans++
+			if !committed[r.Txn] {
+				t.Fatalf("follower span names txn %d, which no worker committed", r.Txn)
+			}
+			if r.Batch < 1 || !committed[r.Leader] {
+				t.Fatalf("follower handoff batch=%d leader=%d invalid", r.Batch, r.Leader)
+			}
+			if r.Leader == r.Txn {
+				t.Fatalf("follower span %d claims to be its own leader", r.ID)
+			}
+		case "drain":
+			if r.Batch < 1 {
+				t.Fatalf("drain span batch = %d", r.Batch)
+			}
+		}
+	}
+	if commitSpans == 0 {
+		t.Fatal("no commit spans survived in the ring")
+	}
+	if followerSpans == 0 {
+		t.Fatal("no follower-wait spans recorded despite 16 concurrent committers")
+	}
+
+	// Phase 2: concurrent reads until the ring has wrapped, then check
+	// eviction was strictly oldest-first — the surviving seqs are the
+	// newest `capacity` tickets, ascending and contiguous.
+	for {
+		capacity, _, recorded, _, _, _ := inst.Tracer().RingStats()
+		if recorded > uint64(capacity) {
+			break
+		}
+		var rwg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			rwg.Add(1)
+			go func(w int) {
+				defer rwg.Done()
+				for i := 0; i < 100; i++ {
+					key := fmt.Sprintf("w%02d-k%04d", w, i%txPerWorker)
+					if _, err := inst.Store.Get([]byte(key)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		rwg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	snap, err = inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) != snap.Capacity {
+		t.Fatalf("snapshot holds %d spans, want full ring of %d", len(snap.Spans), snap.Capacity)
+	}
+	first := snap.Recorded - uint64(snap.Capacity)
+	for i, r := range snap.Spans {
+		if want := first + uint64(i); r.Seq != want {
+			t.Fatalf("spans[%d].Seq = %d, want %d (oldest-first eviction violated)", i, r.Seq, want)
+		}
+	}
+}

@@ -80,6 +80,13 @@ func FAMEModel() *Model {
 	// instrumentation is absent from the product.
 	stats := root.AddChild("Statistics", Optional)
 	stats.Description = "runtime metrics: counters and latency histograms across all layers"
+	// Tracing is the second cross-cutting observability feature: spans
+	// with parent links across every composed layer, recorded into a
+	// fixed-capacity ring with a slow-operation log. Like Statistics it
+	// is woven through all layers at composition time and entirely absent
+	// when deselected.
+	tr := root.AddChild("Tracing", Optional)
+	tr.Description = "per-operation spans: ring-buffer recorder and slow-op log across all layers"
 	api := root.AddAbstract("API", Mandatory)
 	sql := api.AddChild("SQLEngine", Optional)
 	sql.Description = "declarative query interface"
@@ -101,6 +108,9 @@ func FAMEModel() *Model {
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("SQLEngine"))))
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("ShardedBuffer"))))
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("GroupCommit"))))
+	// The span recorder's preallocated ring and goroutine-local parenting
+	// are far beyond a deeply embedded node's RAM and threading model.
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Tracing"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -154,7 +164,7 @@ func FAMEProducts() []NamedProduct {
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking",
-				"Optimizer", "SQLEngine",
+				"Optimizer", "SQLEngine", "Statistics", "Tracing",
 			},
 			Note: "everything selected: the largest product",
 		},

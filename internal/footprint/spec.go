@@ -195,6 +195,17 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/stats/histogram.go"),
 			file("internal/stats/encode.go"),
 		},
+
+		// The Tracing feature: the span recorder with its ring buffer,
+		// slow-op log and exporters. No other feature maps to these files
+		// (CI guards that), so a product without Tracing carries none of
+		// this code.
+		"Tracing": {
+			file("internal/trace/trace.go"),
+			file("internal/trace/ring.go"),
+			file("internal/trace/slow.go"),
+			file("internal/trace/export.go"),
+		},
 	}
 }
 

@@ -1,0 +1,35 @@
+package footprint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOnlyTracingMapsTraceSources guards the Tracing feature's
+// zero-cost contract on the ROM side: a product derived without Tracing
+// must carry none of internal/trace, so no other feature — and not the
+// core — may claim those sources.
+func TestOnlyTracingMapsTraceSources(t *testing.T) {
+	for _, spec := range FAMECore() {
+		if strings.HasPrefix(spec.File, "internal/trace/") {
+			t.Errorf("core claims trace source %s", spec.File)
+		}
+	}
+	for feat, specs := range FAMESources() {
+		for _, spec := range specs {
+			if strings.HasPrefix(spec.File, "internal/trace/") && feat != "Tracing" {
+				t.Errorf("feature %q claims trace source %s", feat, spec.File)
+			}
+		}
+	}
+	// And Tracing claims the whole package, so its ROM cost is real.
+	var traced int
+	for _, spec := range FAMESources()["Tracing"] {
+		if strings.HasPrefix(spec.File, "internal/trace/") {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatal("Tracing feature maps no internal/trace sources")
+	}
+}

@@ -1,8 +1,9 @@
 // Package shell is the interactive console for a derived FAME-DBMS
 // product (cmd/fame-repl): key/value commands, SQL pass-through for
 // products with the SQLEngine feature, and dot-commands for
-// introspection — notably .stats, which dumps the Statistics feature's
-// counters and latency histograms.
+// introspection — .stats dumps the Statistics feature's counters and
+// latency histograms, .trace the Tracing feature's span ring and
+// slow-op log.
 //
 // The console operates strictly on the public facade, so it can only do
 // what the derived product composed: absent features answer with
@@ -11,6 +12,7 @@ package shell
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -30,6 +32,38 @@ func New(db *fame.DB, out io.Writer) *Shell {
 	return &Shell{db: db, out: out}
 }
 
+// command is one console command: the .help text is generated from
+// this table, so usage strings and the command list cannot drift apart.
+type command struct {
+	name string // leading "." marks a dot-command
+	args string
+	help string
+	run  func(s *Shell, fields []string) (done bool)
+}
+
+// commands is the single source of truth for the console, in .help
+// order. The SQL fallback (any line that is not a command) is appended
+// to the help text separately since it has no name to dispatch on.
+// Populated in init: .help walks the table, which Go's initializer
+// cycle check cannot see through for a composite literal.
+var commands []command
+
+func init() {
+	commands = []command{
+		{"put", "<key> <value>", "store a value (feature Put)", (*Shell).cmdPut},
+		{"get", "<key>", "read a value (feature Get)", (*Shell).cmdGet},
+		{"del", "<key>", "delete a key (feature Remove)", (*Shell).cmdDel},
+		{"update", "<key> <value>", "replace an existing value (feature Update)", (*Shell).cmdUpdate},
+		{"scan", "[from [to]]", "list entries (feature Get)", (*Shell).cmdScan},
+		{".features", "", "show the product's selected features", (*Shell).cmdFeatures},
+		{".stats", "[prom|json]", "dump runtime metrics (feature Statistics)", (*Shell).cmdStats},
+		{".trace", "on|off|dump|slow", "control span recording (feature Tracing)", (*Shell).cmdTrace},
+		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
+		{".help", "", "this text", (*Shell).cmdHelp},
+		{".quit", "", "exit", (*Shell).cmdQuit},
+	}
+}
+
 // Run reads commands from r until EOF or .quit.
 func (s *Shell) Run(r io.Reader) error {
 	sc := bufio.NewScanner(r)
@@ -47,132 +81,210 @@ func (s *Shell) Run(r io.Reader) error {
 // exit.
 func (s *Shell) Execute(line string) (done bool) {
 	line = strings.TrimSpace(line)
-	switch {
-	case line == "":
+	if line == "" {
 		return false
-	case strings.HasPrefix(line, "."):
-		return s.dotCommand(line)
 	}
 	fields := strings.Fields(line)
-	switch strings.ToLower(fields[0]) {
-	case "put":
-		if len(fields) != 3 {
-			fmt.Fprintln(s.out, "usage: put <key> <value>")
-			return false
+	name := fields[0]
+	if !strings.HasPrefix(name, ".") {
+		name = strings.ToLower(name)
+	}
+	if name == ".exit" { // undocumented alias
+		name = ".quit"
+	}
+	for i := range commands {
+		if commands[i].name == name {
+			return commands[i].run(s, fields)
 		}
-		s.report(s.db.Put([]byte(fields[1]), []byte(fields[2])))
-	case "get":
-		if len(fields) != 2 {
-			fmt.Fprintln(s.out, "usage: get <key>")
-			return false
+	}
+	if strings.HasPrefix(name, ".") {
+		fmt.Fprintf(s.out, "unknown command %s (try .help)\n", name)
+		return false
+	}
+	// Anything else is handed to the SQL engine.
+	res, err := s.db.Exec(line)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return false
+	}
+	s.printResult(res)
+	return false
+}
+
+func (s *Shell) cmdHelp(fields []string) bool {
+	fmt.Fprintln(s.out, "commands:")
+	width := len("<sql statement>")
+	for _, c := range commands {
+		if n := len(c.name) + 1 + len(c.args); n > width {
+			width = n
 		}
-		v, err := s.db.Get([]byte(fields[1]))
-		if err != nil {
+	}
+	for _, c := range commands {
+		sig := c.name
+		if c.args != "" {
+			sig += " " + c.args
+		}
+		fmt.Fprintf(s.out, "  %-*s  %s\n", width, sig, c.help)
+	}
+	fmt.Fprintf(s.out, "  %-*s  %s\n", width, "<sql statement>", "execute SQL (feature SQLEngine)")
+	return false
+}
+
+func (s *Shell) cmdQuit([]string) bool { return true }
+
+func (s *Shell) cmdPut(fields []string) bool {
+	if len(fields) != 3 {
+		fmt.Fprintln(s.out, "usage: put <key> <value>")
+		return false
+	}
+	s.report(s.db.Put([]byte(fields[1]), []byte(fields[2])))
+	return false
+}
+
+func (s *Shell) cmdGet(fields []string) bool {
+	if len(fields) != 2 {
+		fmt.Fprintln(s.out, "usage: get <key>")
+		return false
+	}
+	v, err := s.db.Get([]byte(fields[1]))
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return false
+	}
+	fmt.Fprintln(s.out, string(v))
+	return false
+}
+
+func (s *Shell) cmdDel(fields []string) bool {
+	if len(fields) != 2 {
+		fmt.Fprintln(s.out, "usage: del <key>")
+		return false
+	}
+	s.report(s.db.Remove([]byte(fields[1])))
+	return false
+}
+
+func (s *Shell) cmdUpdate(fields []string) bool {
+	if len(fields) != 3 {
+		fmt.Fprintln(s.out, "usage: update <key> <value>")
+		return false
+	}
+	s.report(s.db.Update([]byte(fields[1]), []byte(fields[2])))
+	return false
+}
+
+func (s *Shell) cmdScan(fields []string) bool {
+	var from, to []byte
+	if len(fields) > 1 {
+		from = []byte(fields[1])
+	}
+	if len(fields) > 2 {
+		to = []byte(fields[2])
+	}
+	n := 0
+	err := s.db.Scan(from, to, func(k, v []byte) bool {
+		fmt.Fprintf(s.out, "%s = %s\n", k, v)
+		n++
+		return true
+	})
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return false
+	}
+	fmt.Fprintf(s.out, "(%d rows)\n", n)
+	return false
+}
+
+func (s *Shell) cmdFlush(fields []string) bool {
+	// Under GroupCommit a singleton commit may sit in the deferred
+	// durability window; .flush quiesces the pipeline and syncs.
+	if err := s.db.Sync(); err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return false
+	}
+	fmt.Fprintln(s.out, "flushed")
+	return false
+}
+
+func (s *Shell) cmdFeatures(fields []string) bool {
+	feats := s.db.Features()
+	sort.Strings(feats)
+	fmt.Fprintln(s.out, strings.Join(feats, " "))
+	return false
+}
+
+func (s *Shell) cmdStats(fields []string) bool {
+	snap, err := s.db.Stats()
+	if err != nil {
+		s.featureErr("Statistics", ".stats", err)
+		return false
+	}
+	format := ""
+	if len(fields) > 1 {
+		format = fields[1]
+	}
+	switch format {
+	case "prom":
+		if err := snap.WritePrometheus(s.out); err != nil {
 			fmt.Fprintln(s.out, "error:", err)
-			return false
 		}
-		fmt.Fprintln(s.out, string(v))
-	case "del":
-		if len(fields) != 2 {
-			fmt.Fprintln(s.out, "usage: del <key>")
-			return false
-		}
-		s.report(s.db.Remove([]byte(fields[1])))
-	case "update":
-		if len(fields) != 3 {
-			fmt.Fprintln(s.out, "usage: update <key> <value>")
-			return false
-		}
-		s.report(s.db.Update([]byte(fields[1]), []byte(fields[2])))
-	case "scan":
-		var from, to []byte
-		if len(fields) > 1 {
-			from = []byte(fields[1])
-		}
-		if len(fields) > 2 {
-			to = []byte(fields[2])
-		}
-		n := 0
-		err := s.db.Scan(from, to, func(k, v []byte) bool {
-			fmt.Fprintf(s.out, "%s = %s\n", k, v)
-			n++
-			return true
-		})
-		if err != nil {
+	case "json":
+		if err := snap.WriteJSON(s.out); err != nil {
 			fmt.Fprintln(s.out, "error:", err)
-			return false
 		}
-		fmt.Fprintf(s.out, "(%d rows)\n", n)
 	default:
-		// Anything else is handed to the SQL engine.
-		res, err := s.db.Exec(line)
-		if err != nil {
-			fmt.Fprintln(s.out, "error:", err)
-			return false
-		}
-		s.printResult(res)
+		fmt.Fprint(s.out, snap.Format())
 	}
 	return false
 }
 
-// dotCommand handles the introspection commands.
-func (s *Shell) dotCommand(line string) (done bool) {
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case ".quit", ".exit":
-		return true
-	case ".help":
-		fmt.Fprint(s.out, `commands:
-  put <key> <value>     store a value (feature Put)
-  get <key>             read a value (feature Get)
-  del <key>             delete a key (feature Remove)
-  update <key> <value>  replace an existing value (feature Update)
-  scan [from [to]]      list entries (feature Get)
-  <sql statement>       execute SQL (feature SQLEngine)
-  .features             show the product's selected features
-  .stats [prom|json]    dump runtime metrics (feature Statistics)
-  .flush                force all state durable (drains pending group commits)
-  .help                 this text
-  .quit                 exit
-`)
-	case ".flush":
-		// Under GroupCommit a singleton commit may sit in the deferred
-		// durability window; .flush quiesces the pipeline and syncs.
-		if err := s.db.Sync(); err != nil {
-			fmt.Fprintln(s.out, "error:", err)
+func (s *Shell) cmdTrace(fields []string) bool {
+	sub := ""
+	if len(fields) > 1 {
+		sub = fields[1]
+	}
+	switch sub {
+	case "on", "off":
+		if err := s.db.SetTracing(sub == "on"); err != nil {
+			s.featureErr("Tracing", ".trace", err)
 			return false
 		}
-		fmt.Fprintln(s.out, "flushed")
-	case ".features":
-		feats := s.db.Features()
-		sort.Strings(feats)
-		fmt.Fprintln(s.out, strings.Join(feats, " "))
-	case ".stats":
-		snap, err := s.db.Stats()
+		fmt.Fprintln(s.out, "tracing", sub)
+	case "dump", "slow":
+		snap, err := s.db.Trace()
 		if err != nil {
-			fmt.Fprintln(s.out, "error:", err)
+			s.featureErr("Tracing", ".trace", err)
 			return false
 		}
-		format := ""
-		if len(fields) > 1 {
-			format = fields[1]
-		}
-		switch format {
-		case "prom":
-			if err := snap.WritePrometheus(s.out); err != nil {
-				fmt.Fprintln(s.out, "error:", err)
-			}
-		case "json":
-			if err := snap.WriteJSON(s.out); err != nil {
-				fmt.Fprintln(s.out, "error:", err)
-			}
+		var werr error
+		switch {
+		case sub == "slow":
+			werr = snap.WriteSlow(s.out)
+		case len(fields) > 2 && fields[2] == "chrome":
+			werr = snap.WriteChrome(s.out)
+		case len(fields) > 2 && fields[2] == "json":
+			werr = snap.WriteJSON(s.out)
 		default:
-			fmt.Fprint(s.out, snap.Format())
+			werr = snap.WriteText(s.out)
+		}
+		if werr != nil {
+			fmt.Fprintln(s.out, "error:", werr)
 		}
 	default:
-		fmt.Fprintf(s.out, "unknown command %s (try .help)\n", fields[0])
+		fmt.Fprintln(s.out, "usage: .trace on|off|dump [chrome|json]|slow")
 	}
 	return false
+}
+
+// featureErr prints a one-line explanation when an introspection
+// command's backing feature is absent from the derived product.
+func (s *Shell) featureErr(feature, cmd string, err error) {
+	if errors.Is(err, fame.ErrNotComposed) {
+		fmt.Fprintf(s.out, "%s feature not composed into this product: derive it with %q to use %s\n",
+			feature, feature, cmd)
+		return
+	}
+	fmt.Fprintln(s.out, "error:", err)
 }
 
 func (s *Shell) report(err error) {

@@ -108,3 +108,67 @@ func TestShellUnknownAndUsage(t *testing.T) {
 		t.Errorf("usage transcript = %q", out.String())
 	}
 }
+
+func TestShellHelpGeneratedFromCommandTable(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get")
+	s.Execute(".help")
+	got := out.String()
+	for _, c := range commands {
+		if !strings.Contains(got, c.name) || !strings.Contains(got, c.help) {
+			t.Errorf(".help missing %q (%q):\n%s", c.name, c.help, got)
+		}
+	}
+	if !strings.Contains(got, "<sql statement>") {
+		t.Errorf(".help missing SQL fallback:\n%s", got)
+	}
+}
+
+func TestShellTrace(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU", "Put", "Get", "Tracing")
+	s.Execute("put k v")
+	s.Execute("get k")
+
+	out.Reset()
+	s.Execute(".trace dump")
+	if got := out.String(); !strings.Contains(got, "access.put") || !strings.Contains(got, "access.get") {
+		t.Errorf(".trace dump = %q, want span tree", got)
+	}
+
+	out.Reset()
+	s.Execute(".trace dump chrome")
+	if !strings.Contains(out.String(), `"traceEvents"`) {
+		t.Errorf(".trace dump chrome = %q", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".trace slow")
+	if !strings.Contains(out.String(), "slow ops") {
+		t.Errorf(".trace slow = %q", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".trace off")
+	s.Execute("put k2 v2")
+	s.Execute(".trace on")
+	if !strings.Contains(out.String(), "tracing off") || !strings.Contains(out.String(), "tracing on") {
+		t.Errorf("toggle transcript = %q", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".trace")
+	if !strings.Contains(out.String(), "usage: .trace") {
+		t.Errorf("bare .trace = %q, want usage", out.String())
+	}
+}
+
+func TestShellTraceNotComposed(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get")
+	for _, line := range []string{".trace on", ".trace dump", ".trace slow"} {
+		out.Reset()
+		s.Execute(line)
+		if !strings.Contains(out.String(), "not composed") {
+			t.Errorf("%q on untraced product printed %q, want not-composed error", line, out.String())
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"famedb/internal/index"
 	"famedb/internal/stats"
 	"famedb/internal/storage"
+	"famedb/internal/trace"
 	"famedb/internal/types"
 )
 
@@ -78,6 +79,9 @@ type Config struct {
 	// Metrics receives statement and plan counters when the Statistics
 	// feature is composed; nil otherwise (recording is then a no-op).
 	Metrics *stats.SQL
+	// Tracer records statements as root spans when the Tracing feature
+	// is composed; nil otherwise.
+	Tracer *trace.Tracer
 }
 
 // Engine executes SQL statements.
@@ -138,32 +142,45 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var verb string
+	switch stmt.(type) {
+	case CreateTable:
+		verb = "create"
+	case DropTable:
+		verb = "drop"
+	case Insert:
+		verb = "insert"
+	case Select:
+		verb = "select"
+	case Update:
+		verb = "update"
+	case Delete:
+		verb = "delete"
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	}
 	m := e.cfg.Metrics
+	m.Statement(verb)
+	sp := e.cfg.Tracer.Start(trace.LayerSQL, verb)
 	start := m.Start()
 	var res *Result
 	switch s := stmt.(type) {
 	case CreateTable:
-		m.Statement("create")
 		res, err = e.execCreate(s)
 	case DropTable:
-		m.Statement("drop")
 		res, err = e.execDrop(s)
 	case Insert:
-		m.Statement("insert")
 		res, err = e.execInsert(s)
 	case Select:
-		m.Statement("select")
 		res, err = e.execSelect(s)
 	case Update:
-		m.Statement("update")
 		res, err = e.execUpdate(s)
 	case Delete:
-		m.Statement("delete")
 		res, err = e.execDelete(s)
-	default:
-		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 	}
 	m.Done(start)
+	sp.Fail(err)
+	sp.End()
 	return res, err
 }
 
@@ -234,6 +251,7 @@ func (e *Engine) openTable(name string) (*table, error) {
 		return nil, err
 	}
 	t.store = access.New(idx, e.cfg.Ops)
+	t.store.SetTracer(e.cfg.Tracer)
 	e.tables[name] = t
 	return t, nil
 }
@@ -272,6 +290,7 @@ func (e *Engine) execCreate(s CreateTable) (*Result, error) {
 	}
 	t := &table{name: s.Table, schema: s.Columns, pk: pk, idxMeta: meta, nextRow: 1}
 	t.store = access.New(idx, e.cfg.Ops)
+	t.store.SetTracer(e.cfg.Tracer)
 	if err := e.saveTableMeta(t); err != nil {
 		return nil, err
 	}

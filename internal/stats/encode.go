@@ -17,6 +17,7 @@ type Snapshot struct {
 	Txn    TxnSnapshot    `json:"txn"`
 	SQL    SQLSnapshot    `json:"sql"`
 	Access AccessSnapshot `json:"access"`
+	Trace  TraceSnapshot  `json:"trace"`
 }
 
 // BufferSnapshot copies the buffer-manager counters.
@@ -82,6 +83,17 @@ type AccessSnapshot struct {
 	PutLatency HistogramSnapshot `json:"put_latency_ns"`
 }
 
+// TraceSnapshot copies the Tracing feature's ring-recorder gauges; all
+// zero unless both Statistics and Tracing are composed (the bridge).
+type TraceSnapshot struct {
+	RingCapacity  int64 `json:"ring_capacity"`
+	RingOccupancy int64 `json:"ring_occupancy"`
+	RecordedSpans int64 `json:"recorded_spans"`
+	DroppedSpans  int64 `json:"dropped_spans"`
+	SlowOps       int64 `json:"slow_ops"`
+	SlowEvicted   int64 `json:"slow_evicted"`
+}
+
 // Snapshot copies every metric. Safe on a nil registry (zero snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -132,6 +144,13 @@ func (r *Registry) Snapshot() Snapshot {
 
 	s.Access.GetLatency = r.access.GetLatency.Snapshot()
 	s.Access.PutLatency = r.access.PutLatency.Snapshot()
+
+	s.Trace.RingCapacity = load(&r.trace.ringCapacity)
+	s.Trace.RingOccupancy = load(&r.trace.ringOccupancy)
+	s.Trace.RecordedSpans = load(&r.trace.recordedSpans)
+	s.Trace.DroppedSpans = load(&r.trace.droppedSpans)
+	s.Trace.SlowOps = load(&r.trace.slowOps)
+	s.Trace.SlowEvicted = load(&r.trace.slowEvicted)
 	return s
 }
 
@@ -215,6 +234,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	hist("famedb_access_get_latency_ns", "Get latency in nanoseconds.", s.Access.GetLatency)
 	hist("famedb_access_put_latency_ns", "Put latency in nanoseconds.", s.Access.PutLatency)
 
+	if s.Trace.RingCapacity > 0 {
+		gauge("famedb_trace_ring_capacity", "Trace ring slot count.", s.Trace.RingCapacity)
+		gauge("famedb_trace_ring_occupancy", "Spans currently held in the trace ring.", s.Trace.RingOccupancy)
+		counter("famedb_trace_recorded_spans_total", "Spans ever recorded.", s.Trace.RecordedSpans, "")
+		counter("famedb_trace_dropped_spans_total", "Spans overwritten (oldest-first) in the trace ring.", s.Trace.DroppedSpans, "")
+		gauge("famedb_trace_slow_ops", "Span trees held in the slow-op log.", s.Trace.SlowOps)
+		counter("famedb_trace_slow_evicted_total", "Slow-op trees evicted by worse ones.", s.Trace.SlowEvicted, "")
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -293,6 +321,14 @@ func (s Snapshot) Format() string {
 		b.WriteString("access\n")
 		lat("get", s.Access.GetLatency)
 		lat("put", s.Access.PutLatency)
+	}
+	if s.Trace.RingCapacity > 0 {
+		b.WriteString("trace\n")
+		row("ring capacity", s.Trace.RingCapacity)
+		row("ring occupancy", s.Trace.RingOccupancy)
+		row("recorded spans", s.Trace.RecordedSpans)
+		row("dropped spans", s.Trace.DroppedSpans)
+		row("slow ops kept", s.Trace.SlowOps)
 	}
 	if b.Len() == 0 {
 		return "(no recorded activity)\n"

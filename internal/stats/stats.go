@@ -29,6 +29,7 @@ type Registry struct {
 	txn    Txn
 	sql    SQL
 	access Access
+	trace  Trace
 }
 
 // New creates a registry with all histograms initialized.
@@ -89,6 +90,45 @@ func (r *Registry) Access() *Access {
 		return nil
 	}
 	return &r.access
+}
+
+// Trace returns the trace-recorder gauges (nil on a nil registry).
+// They are populated only when the Tracing feature is also composed —
+// the stats/trace bridge.
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return &r.trace
+}
+
+// --- Trace recorder (the stats/trace bridge) ---
+
+// Trace gauges the Tracing feature's ring recorder, so a product that
+// composes both observability features can see — through its ordinary
+// stats snapshots — whether the trace ring is overwriting spans and how
+// many slow ops were kept. Dropped observability data is itself
+// observable.
+type Trace struct {
+	ringCapacity  int64
+	ringOccupancy int64
+	recordedSpans int64
+	droppedSpans  int64
+	slowOps       int64
+	slowEvicted   int64
+}
+
+// Set replaces the trace gauges with the recorder's current accounting.
+func (t *Trace) Set(capacity, occupancy, recorded, dropped, slowOps, slowEvicted int64) {
+	if t == nil {
+		return
+	}
+	atomic.StoreInt64(&t.ringCapacity, capacity)
+	atomic.StoreInt64(&t.ringOccupancy, occupancy)
+	atomic.StoreInt64(&t.recordedSpans, recorded)
+	atomic.StoreInt64(&t.droppedSpans, dropped)
+	atomic.StoreInt64(&t.slowOps, slowOps)
+	atomic.StoreInt64(&t.slowEvicted, slowEvicted)
 }
 
 // load is shorthand for an atomic counter read.

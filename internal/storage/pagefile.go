@@ -13,6 +13,7 @@ import (
 
 	"famedb/internal/osal"
 	"famedb/internal/stats"
+	"famedb/internal/trace"
 )
 
 // PageID identifies a page within a page file. Page 0 is the file
@@ -73,10 +74,16 @@ type PageFile struct {
 	// metrics observes physical page traffic when the Statistics
 	// feature is composed; nil otherwise (recording is then a no-op).
 	metrics *stats.Pager
+	// tracer records per-I/O spans when the Tracing feature is
+	// composed; nil otherwise.
+	tracer *trace.Tracer
 }
 
 // SetMetrics attaches the Statistics feature's page-traffic metrics.
 func (pf *PageFile) SetMetrics(m *stats.Pager) { pf.metrics = m }
+
+// SetTracer attaches the Tracing feature's span recorder.
+func (pf *PageFile) SetTracer(t *trace.Tracer) { pf.tracer = t }
 
 // CreatePageFile initializes a new page file in f with the given page
 // size, overwriting any existing content.
@@ -222,9 +229,14 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
 	}
 	pf.metrics.Read()
+	sp := pf.tracer.Start(trace.LayerPager, "read")
+	sp.Page(uint32(id))
 	if _, err := pf.f.ReadAt(buf, pf.offset(id)); err != nil {
+		sp.Fail(err)
+		sp.End()
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
+	sp.End()
 	return nil
 }
 
@@ -239,9 +251,14 @@ func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: buffer size %d != page size %d", len(buf), pf.pageSize)
 	}
 	pf.metrics.Write()
+	sp := pf.tracer.Start(trace.LayerPager, "write")
+	sp.Page(uint32(id))
 	if _, err := pf.f.WriteAt(buf, pf.offset(id)); err != nil {
+		sp.Fail(err)
+		sp.End()
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
+	sp.End()
 	return nil
 }
 
@@ -263,7 +280,11 @@ func (pf *PageFile) syncLocked() error {
 		}
 	}
 	pf.metrics.Sync()
-	return pf.f.Sync()
+	sp := pf.tracer.Start(trace.LayerPager, "sync")
+	err := pf.f.Sync()
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // Close implements Pager.

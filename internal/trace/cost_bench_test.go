@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+func BenchmarkGid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gid()
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	t := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := t.Start(LayerAccess, "get")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanNested(b *testing.B) {
+	t := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := t.Start(LayerAccess, "get")
+		c := t.Start(LayerBTree, "get")
+		c.End()
+		sp.End()
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var t *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := t.Start(LayerAccess, "get")
+		sp.End()
+	}
+}

@@ -1,0 +1,358 @@
+// Package trace is the Tracing feature of FAME-DBMS: span-based,
+// per-operation visibility into where a single request spends its time.
+// Where the Statistics feature (internal/stats) aggregates counters and
+// histograms, Tracing records *individual* operations as trees of
+// spans — one SQL statement decomposes into its access → btree →
+// buffer/pager → txn/WAL child spans — which is exactly the per-feature
+// cost attribution the paper's feedback approach (Sec. 3.2) wants to
+// store on features.
+//
+// The package follows the same nil-receiver zero-cost discipline as
+// internal/stats: every engine layer carries a nil-able *Tracer, the
+// composer points them at one shared tracer when the Tracing feature is
+// selected and leaves them nil otherwise. Start on a nil (or disabled)
+// tracer returns a nil *Span, and every Span method is safe on nil, so
+// a product derived without Tracing pays a single branch and no
+// allocation on the hot path.
+//
+// Memory is bounded, embedded-friendly: completed spans land in a
+// fixed-capacity lock-striped ring buffer of preallocated slots
+// (ring.go), live spans come from a sync.Pool, and the slow-op log
+// (slow.go) keeps only the N worst complete span trees. Nothing grows
+// with traffic; old spans are overwritten strictly oldest-first and the
+// overwrite count is exported so dropped observability data is itself
+// observable.
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Layer names used in span records. They are package-level constants so
+// span creation never allocates a string.
+const (
+	LayerSQL    = "sql"
+	LayerAccess = "access"
+	LayerBTree  = "btree"
+	LayerBuffer = "buffer"
+	LayerPager  = "pager"
+	LayerTxn    = "txn"
+	LayerWAL    = "wal"
+)
+
+// SpanRecord is one completed span: plain data, safe to retain and
+// serialize. Records are what the ring buffer stores and the exporters
+// consume.
+type SpanRecord struct {
+	// Seq is the record's global ring ticket: records are admitted (and
+	// evicted) in strictly ascending Seq order.
+	Seq uint64 `json:"seq"`
+	// ID identifies the span; Parent is 0 for roots. Root names the
+	// tree's root span (== ID for roots), so one operation's spans can
+	// be regrouped from the flat ring.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Root   uint64 `json:"root"`
+	// Layer and Op locate the span in the engine ("buffer"/"read").
+	Layer string `json:"layer"`
+	Op    string `json:"op"`
+	// Start is UnixNano; Dur is wall time in nanoseconds.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	// Goro is the recording goroutine, for leader/follower attribution.
+	Goro uint64 `json:"goro"`
+	// Page and Txn attribute the span to a page or transaction; 0 when
+	// not applicable.
+	Page uint32 `json:"page,omitempty"`
+	Txn  uint64 `json:"txn,omitempty"`
+	// Batch and Leader describe group-commit handoff: a follower span
+	// records how many transactions its batch held and which leader
+	// transaction drained it.
+	Batch  int32  `json:"batch,omitempty"`
+	Leader uint64 `json:"leader,omitempty"`
+	// Bucket is the Statistics latency-histogram bucket this span's
+	// duration landed in (le semantics), bridging traces to histograms
+	// when both features are composed; -1 without the bridge.
+	Bucket int32 `json:"bucket"`
+	// Err marks spans whose operation returned an error.
+	Err bool `json:"err,omitempty"`
+}
+
+// Span is a live, unfinished span handle. Handles are pooled; after End
+// the handle must not be touched again. All methods are safe on nil, so
+// call sites need no feature conditionals.
+type Span struct {
+	rec    SpanRecord
+	tr     *Tracer
+	parent *Span
+	root   *Span
+	// kids accumulates completed descendant records on root handles so
+	// the slow-op log can keep whole trees; bounded by slowTreeCap.
+	kids     []SpanRecord
+	kidsDrop int
+}
+
+// slowTreeCap bounds how many descendant spans a root retains for the
+// slow-op log; further descendants are counted, not kept.
+const slowTreeCap = 64
+
+// Config sizes the tracer. Zero values take the defaults.
+type Config struct {
+	// Capacity is the ring buffer's span count (default 4096); memory
+	// is Capacity * sizeof(SpanRecord), preallocated.
+	Capacity int
+	// Stripes is the ring's lock-stripe count (default 8, rounded up to
+	// a power of two).
+	Stripes int
+	// SlowThreshold marks root spans at least this long as slow ops
+	// (default 1ms).
+	SlowThreshold time.Duration
+	// SlowOps is how many worst span trees the slow-op log keeps
+	// (default 8).
+	SlowOps int
+	// Disabled starts the tracer switched off; recording can be toggled
+	// at runtime with SetEnabled.
+	Disabled bool
+}
+
+// glsStripes stripes the goroutine-local span stacks; must be a power
+// of two.
+const glsStripes = 64
+
+// glsStripe holds the current (innermost live) span per goroutine for
+// one stripe of goroutine IDs.
+type glsStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*Span
+}
+
+// Tracer records spans for one composed product.
+type Tracer struct {
+	enabled atomic.Bool
+	ids     atomic.Uint64
+	ring    *ring
+	slow    *slowLog
+	gls     [glsStripes]glsStripe
+	pool    sync.Pool
+	// bounds, when set, are the Statistics latency-histogram bucket
+	// bounds; each recorded span then carries the bucket its duration
+	// landed in (the stats/trace bridge).
+	bounds []int64
+}
+
+// New creates a tracer. A nil *Tracer is itself valid (and free): every
+// method no-ops.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 8
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = time.Millisecond
+	}
+	if cfg.SlowOps <= 0 {
+		cfg.SlowOps = 8
+	}
+	t := &Tracer{
+		ring: newRing(cfg.Capacity, cfg.Stripes),
+		slow: newSlowLog(cfg.SlowThreshold.Nanoseconds(), cfg.SlowOps),
+	}
+	t.pool.New = func() any { return new(Span) }
+	for i := range t.gls {
+		t.gls[i].m = map[uint64]*Span{}
+	}
+	t.enabled.Store(!cfg.Disabled)
+	return t
+}
+
+// SetEnabled switches recording on or off at runtime. Spans already in
+// flight finish normally. Safe on nil.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the tracer is recording. False on nil.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetLatencyBounds installs the Statistics feature's histogram bucket
+// bounds, so every recorded span also carries the bucket its duration
+// landed in. Safe on nil.
+func (t *Tracer) SetLatencyBounds(bounds []int64) {
+	if t != nil {
+		t.bounds = bounds
+	}
+}
+
+// gidBufs pools the small stacks runtime.Stack parses the goroutine ID
+// from, keeping Start allocation-free.
+var gidBufs = sync.Pool{
+	New: func() any { b := make([]byte, 64); return &b },
+}
+
+// gid returns the current goroutine's ID, parsed from the first
+// runtime.Stack line ("goroutine N [running]:"). This is the measured
+// cost of implicit span parenting — part of the Tracing feature's
+// latency footprint that benchmark B4 quantifies.
+func gid() uint64 {
+	bp := gidBufs.Get().(*[]byte)
+	buf := *bp
+	n := runtime.Stack(buf, false)
+	var id uint64
+	// Skip "goroutine " (10 bytes), accumulate digits.
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	gidBufs.Put(bp)
+	return id
+}
+
+// Start opens a span in the given layer. The parent is the goroutine's
+// innermost live span, so synchronous call chains nest automatically
+// without threading a context through every layer API. Returns nil when
+// the tracer is nil or disabled.
+func (t *Tracer) Start(layer, op string) *Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	sp.tr = t
+	sp.rec = SpanRecord{ID: t.ids.Add(1), Layer: layer, Op: op, Bucket: -1}
+	g := gid()
+	sp.rec.Goro = g
+	st := &t.gls[g&(glsStripes-1)]
+	st.mu.Lock()
+	if cur := st.m[g]; cur != nil {
+		sp.parent = cur
+		sp.root = cur.root
+		sp.rec.Parent = cur.rec.ID
+		sp.rec.Root = cur.root.rec.ID
+	} else {
+		sp.root = sp
+		sp.rec.Root = sp.rec.ID
+	}
+	st.m[g] = sp
+	st.mu.Unlock()
+	// Clock read last, so the span charges as little tracer overhead as
+	// possible to the operation itself.
+	sp.rec.Start = time.Now().UnixNano()
+	return sp
+}
+
+// Page attributes the span to a page. Safe on nil.
+func (sp *Span) Page(id uint32) {
+	if sp != nil {
+		sp.rec.Page = id
+	}
+}
+
+// Txn attributes the span to a transaction. Safe on nil.
+func (sp *Span) Txn(id uint64) {
+	if sp != nil {
+		sp.rec.Txn = id
+	}
+}
+
+// Handoff records group-commit attribution: the batch size this span's
+// transaction was drained in and the leader transaction that drained
+// it. Safe on nil.
+func (sp *Span) Handoff(batch int, leader uint64) {
+	if sp != nil {
+		sp.rec.Batch = int32(batch)
+		sp.rec.Leader = leader
+	}
+}
+
+// Fail marks the span's operation as having returned an error. Safe on
+// nil.
+func (sp *Span) Fail(err error) {
+	if sp != nil && err != nil {
+		sp.rec.Err = true
+	}
+}
+
+// End completes the span: it leaves the goroutine's span stack, is
+// copied into the ring, and — for roots past the slow threshold — its
+// whole tree is offered to the slow-op log. The handle returns to the
+// pool; it must not be used afterwards. Safe on nil.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.rec.Dur = time.Now().UnixNano() - sp.rec.Start
+	t := sp.tr
+	g := sp.rec.Goro
+	st := &t.gls[g&(glsStripes-1)]
+	st.mu.Lock()
+	if st.m[g] == sp {
+		if sp.parent != nil {
+			st.m[g] = sp.parent
+		} else {
+			delete(st.m, g)
+		}
+	}
+	st.mu.Unlock()
+	if t.bounds != nil {
+		sp.rec.Bucket = bucketOf(t.bounds, sp.rec.Dur)
+	}
+	t.ring.record(&sp.rec)
+	if root := sp.root; root != sp {
+		// Completed descendant: remember it on the root for the slow-op
+		// log. The root is an ancestor on this goroutine's stack, so it
+		// is still live and only this goroutine appends.
+		if len(root.kids) < slowTreeCap {
+			root.kids = append(root.kids, sp.rec)
+		} else {
+			root.kidsDrop++
+		}
+	} else if sp.rec.Dur >= t.slow.threshold {
+		t.slow.add(sp.rec, sp.kids, sp.kidsDrop)
+	}
+	sp.tr = nil
+	sp.parent = nil
+	sp.root = nil
+	sp.kids = sp.kids[:0]
+	sp.kidsDrop = 0
+	t.pool.Put(sp)
+}
+
+// bucketOf returns the index of the first bound >= v (le semantics),
+// or len(bounds) for the +Inf bucket — matching stats.Histogram.
+func bucketOf(bounds []int64, v int64) int32 {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	return int32(i)
+}
+
+// RingStats reports the recorder's occupancy accounting: the ring
+// capacity, how many spans are currently held, how many were ever
+// recorded, and how many were overwritten (dropped) — plus the slow-op
+// log's size and eviction count. Zero values on nil.
+func (t *Tracer) RingStats() (capacity, occupancy int, recorded, dropped uint64, slowOps int, slowEvicted int64) {
+	if t == nil {
+		return 0, 0, 0, 0, 0, 0
+	}
+	capacity = len(t.ring.slots)
+	recorded = t.ring.ticket.Load()
+	occupancy = int(recorded)
+	if occupancy > capacity {
+		occupancy = capacity
+	}
+	if recorded > uint64(capacity) {
+		dropped = recorded - uint64(capacity)
+	}
+	slowOps, slowEvicted = t.slow.stats()
+	return capacity, occupancy, recorded, dropped, slowOps, slowEvicted
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsFreeAndAllocationFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(LayerAccess, "get")
+		sp.Page(7)
+		sp.Txn(9)
+		sp.Handoff(3, 1)
+		sp.Fail(nil)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer span path allocates %.1f per op, want 0", allocs)
+	}
+	if snap := tr.Snapshot(); snap.Capacity != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil tracer snapshot not empty: %+v", snap)
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := New(Config{Disabled: true})
+	if tr.Enabled() {
+		t.Fatal("disabled tracer reports enabled")
+	}
+	sp := tr.Start(LayerAccess, "get")
+	if sp != nil {
+		t.Fatal("disabled tracer handed out a span")
+	}
+	sp.End()
+	tr.SetEnabled(true)
+	if sp := tr.Start(LayerAccess, "get"); sp == nil {
+		t.Fatal("re-enabled tracer returned nil span")
+	} else {
+		sp.End()
+	}
+	if _, occ, _, _, _, _ := tr.RingStats(); occ != 1 {
+		t.Fatalf("occupancy = %d, want 1", occ)
+	}
+}
+
+func TestSpanParentingNestsSynchronousCalls(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Start(LayerSQL, "insert")
+	child := tr.Start(LayerAccess, "put")
+	grand := tr.Start(LayerBTree, "insert")
+	grand.End()
+	child.End()
+	// A sibling opened after the first child ended still parents to the
+	// root, not the finished sibling.
+	sib := tr.Start(LayerBuffer, "write")
+	sib.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	byLayer := map[string]SpanRecord{}
+	for _, r := range snap.Spans {
+		byLayer[r.Layer] = r
+	}
+	rt := byLayer[LayerSQL]
+	if rt.Parent != 0 || rt.Root != rt.ID {
+		t.Fatalf("root: parent=%d root=%d id=%d", rt.Parent, rt.Root, rt.ID)
+	}
+	if c := byLayer[LayerAccess]; c.Parent != rt.ID || c.Root != rt.ID {
+		t.Fatalf("child: parent=%d root=%d, want both %d", c.Parent, c.Root, rt.ID)
+	}
+	if g := byLayer[LayerBTree]; g.Parent != byLayer[LayerAccess].ID || g.Root != rt.ID {
+		t.Fatalf("grandchild: parent=%d root=%d", g.Parent, g.Root)
+	}
+	if s := byLayer[LayerBuffer]; s.Parent != rt.ID {
+		t.Fatalf("sibling: parent=%d, want root %d", s.Parent, rt.ID)
+	}
+}
+
+func TestSpansOnDifferentGoroutinesDoNotNest(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Start(LayerSQL, "select")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sp := tr.Start(LayerBuffer, "read")
+		sp.End()
+	}()
+	wg.Wait()
+	root.End()
+	for _, r := range tr.Snapshot().Spans {
+		if r.Layer == LayerBuffer && r.Parent != 0 {
+			t.Fatalf("span on another goroutine inherited parent %d", r.Parent)
+		}
+	}
+}
+
+func TestRingEvictsStrictlyOldestFirst(t *testing.T) {
+	tr := New(Config{Capacity: 64, Stripes: 4})
+	const total = 200
+	for i := 0; i < total; i++ {
+		tr.Start(LayerPager, "write").End()
+	}
+	capacity, occ, recorded, dropped, _, _ := tr.RingStats()
+	if capacity != 64 || occ != 64 {
+		t.Fatalf("capacity=%d occupancy=%d, want 64/64", capacity, occ)
+	}
+	if recorded != total || dropped != total-64 {
+		t.Fatalf("recorded=%d dropped=%d, want %d/%d", recorded, dropped, total, total-64)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 64 {
+		t.Fatalf("snapshot holds %d spans, want 64", len(snap.Spans))
+	}
+	// Survivors are exactly the newest 64 seqs, ascending and
+	// contiguous: eviction is strictly oldest-first.
+	for i, r := range snap.Spans {
+		want := uint64(total - 64 + i)
+		if r.Seq != want {
+			t.Fatalf("spans[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+func TestSlowLogKeepsWorstTrees(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Nanosecond, SlowOps: 2})
+	durs := []time.Duration{3 * time.Millisecond, time.Millisecond, 5 * time.Millisecond}
+	for _, d := range durs {
+		sp := tr.Start(LayerSQL, "insert")
+		kid := tr.Start(LayerAccess, "put")
+		kid.End()
+		sp.rec.Start -= d.Nanoseconds() // backdate instead of sleeping
+		sp.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Slow) != 2 {
+		t.Fatalf("slow log holds %d trees, want 2", len(snap.Slow))
+	}
+	if snap.Slow[0].Root.Dur < snap.Slow[1].Root.Dur {
+		t.Fatal("slow log not sorted worst-first")
+	}
+	if snap.Slow[0].Root.Dur < (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("worst tree dur = %d, want the 5ms op", snap.Slow[0].Root.Dur)
+	}
+	if snap.SlowEvicted != 1 {
+		t.Fatalf("slow evicted = %d, want 1", snap.SlowEvicted)
+	}
+	if len(snap.Slow[0].Spans) != 1 || snap.Slow[0].Spans[0].Layer != LayerAccess {
+		t.Fatalf("worst tree lost its child spans: %+v", snap.Slow[0].Spans)
+	}
+}
+
+func TestLatencyBoundsBridgeSetsBucket(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.Start(LayerAccess, "get")
+	sp.End()
+	if got := tr.Snapshot().Spans[0].Bucket; got != -1 {
+		t.Fatalf("bucket without bounds = %d, want -1", got)
+	}
+
+	tr = New(Config{})
+	tr.SetLatencyBounds([]int64{1_000, 1_000_000, 1_000_000_000})
+	sp = tr.Start(LayerAccess, "get")
+	sp.rec.Start -= (2 * time.Millisecond).Nanoseconds()
+	sp.End()
+	if got := tr.Snapshot().Spans[0].Bucket; got != 2 {
+		t.Fatalf("2ms span bucket = %d, want 2 (le 1s)", got)
+	}
+	if got := bucketOf([]int64{10, 20}, 30); got != 2 {
+		t.Fatalf("overflow bucket = %d, want len(bounds)", got)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Nanosecond})
+	sp := tr.Start(LayerAccess, "put")
+	sp.Page(3)
+	kid := tr.Start(LayerPager, "write")
+	kid.End()
+	sp.rec.Start -= time.Millisecond.Nanoseconds()
+	sp.End()
+	snap := tr.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(round.Spans) != 2 {
+		t.Fatalf("round-tripped %d spans, want 2", len(round.Spans))
+	}
+
+	buf.Reset()
+	if err := snap.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("chrome trace has %d events, want 2", len(chrome.TraceEvents))
+	}
+	if ph := chrome.TraceEvents[0]["ph"]; ph != "X" {
+		t.Fatalf(`chrome event ph = %v, want "X"`, ph)
+	}
+
+	buf.Reset()
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "access.put") || !strings.Contains(text, "pager.write") {
+		t.Fatalf("text export missing spans:\n%s", text)
+	}
+	// The child renders indented under its parent.
+	if !strings.Contains(text, "  pager.write") {
+		t.Fatalf("child span not indented:\n%s", text)
+	}
+
+	buf.Reset()
+	if err := snap.WriteSlow(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "access.put") {
+		t.Fatalf("slow export missing the slow root:\n%s", buf.String())
+	}
+}
+
+func TestTreesRegroupsByRoot(t *testing.T) {
+	tr := New(Config{})
+	a := tr.Start(LayerSQL, "insert")
+	tr.Start(LayerAccess, "put").End()
+	a.End()
+	b := tr.Start(LayerSQL, "select")
+	b.End()
+	trees := tr.Snapshot().Trees()
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	if len(trees[0].Spans)+len(trees[1].Spans) != 1 {
+		t.Fatal("descendant spans misassigned")
+	}
+}

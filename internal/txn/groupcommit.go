@@ -1,6 +1,10 @@
 package txn
 
-import "sync"
+import (
+	"sync"
+
+	"famedb/internal/trace"
+)
 
 // This file is the leader-elected group-commit pipeline (the classic
 // MySQL/etcd arrangement). Committers encode their write set OUTSIDE
@@ -29,7 +33,11 @@ type gcBatch struct {
 	txns    []*Txn  // committers, staging (= log) order
 	errs    []error // per-committer outcome, parallel to txns
 	records int     // frame count across buf, for the WAL metrics
-	done    chan struct{}
+	// leaderID is the transaction whose committer drained this batch;
+	// written before done closes, so followers read it race-free after
+	// their wait and can attribute the handoff in their trace span.
+	leaderID uint64
+	done     chan struct{}
 }
 
 // groupCommit is the pipeline state hung off a Manager when Locking is
@@ -108,12 +116,18 @@ func (g *groupCommit) commit(t *Txn) error {
 	putScratch(scratch)
 
 	if lead {
-		g.lead()
+		g.lead(t.id)
 		// The leader's own batch was drained by the loop above (it
 		// cannot exit while any batch is open or ready).
 	} else {
 		stall := g.m.opts.Metrics.StartStall()
+		wsp := g.m.opts.Tracer.Start(trace.LayerTxn, "follower-wait")
+		wsp.Txn(t.id)
 		<-b.done
+		// The batch is fully drained once done closes; its size and
+		// leader are final.
+		wsp.Handoff(len(b.txns), b.leaderID)
+		wsp.End()
 		g.m.opts.Metrics.DoneStall(stall)
 		return b.errs[idx]
 	}
@@ -122,7 +136,9 @@ func (g *groupCommit) commit(t *Txn) error {
 }
 
 // lead drains batches FIFO until none remain, then steps down.
-func (g *groupCommit) lead() {
+// leaderID is the draining committer's transaction, recorded on every
+// batch it drains for follower span attribution.
+func (g *groupCommit) lead(leaderID uint64) {
 	for {
 		g.mu.Lock()
 		var b *gcBatch
@@ -139,14 +155,19 @@ func (g *groupCommit) lead() {
 			return
 		}
 		g.mu.Unlock()
-		g.drain(b)
+		g.drain(b, leaderID)
 	}
 }
 
 // drain makes one batch durable and applies it: ONE WriteAt, at most
 // ONE Sync, then the store apply under Manager.mu.
-func (g *groupCommit) drain(b *gcBatch) {
+func (g *groupCommit) drain(b *gcBatch, leaderID uint64) {
 	m := g.m
+	b.leaderID = leaderID
+	sp := m.opts.Tracer.Start(trace.LayerTxn, "drain")
+	sp.Txn(leaderID)
+	sp.Handoff(len(b.txns), leaderID)
+	defer sp.End()
 	base := m.wal.offset()
 	commits := len(b.txns)
 	err := m.wal.appendEncoded(b.buf, b.records, commits)

@@ -9,6 +9,7 @@ import (
 	"famedb/internal/access"
 	"famedb/internal/osal"
 	"famedb/internal/stats"
+	"famedb/internal/trace"
 )
 
 // Protocol is the CommitProtocol alternative of the Transaction feature
@@ -122,6 +123,9 @@ type Options struct {
 	// Statistics feature is composed; nil otherwise (recording is then a
 	// no-op).
 	Metrics *stats.Txn
+	// Tracer records commit, WAL and group-commit handoff spans when
+	// the Tracing feature is composed; nil otherwise.
+	Tracer *trace.Tracer
 }
 
 // Manager coordinates transactions over a store.
@@ -175,6 +179,7 @@ func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manag
 	}
 	m := &Manager{store: store, wal: w, opts: opts}
 	w.metrics = opts.Metrics
+	w.tracer = opts.Tracer
 	if opts.Locking {
 		m.mu = &sync.RWMutex{}
 		m.gc = newGroupCommit(m, opts.Protocol.BatchLimit())
@@ -260,6 +265,10 @@ func (m *Manager) Begin() *Txn {
 	m.opts.Metrics.Begin()
 	return &Txn{m: m, id: id}
 }
+
+// ID returns the transaction's identifier — the value trace spans and
+// group-commit leader attribution carry.
+func (t *Txn) ID() uint64 { return t.id }
 
 // lookupWriteSet finds the latest private write for key.
 func (t *Txn) lookupWriteSet(key []byte) (writeOp, bool) {
@@ -418,16 +427,21 @@ func (t *Txn) Commit() error {
 		m.opts.Metrics.DoneCommit(start)
 		return nil
 	}
+	sp := m.opts.Tracer.Start(trace.LayerTxn, "commit")
+	sp.Txn(t.id)
+	defer sp.End()
 	if m.gc != nil {
 		err := m.gc.commit(t)
 		if err == nil {
 			m.opts.Metrics.DoneCommit(start)
 		}
+		sp.Fail(err)
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		sp.Fail(ErrClosed)
 		return ErrClosed
 	}
 	// Write-ahead: records first, then the commit record, then the
@@ -438,12 +452,15 @@ func (t *Txn) Commit() error {
 	*scratch = buf
 	putScratch(scratch)
 	if err != nil {
+		sp.Fail(err)
 		return err
 	}
 	if err := m.opts.Protocol.OnCommit(m.wal); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	if err := m.applyLocked(t); err != nil {
+		sp.Fail(err)
 		return err
 	}
 	m.opts.Metrics.DoneCommit(start)

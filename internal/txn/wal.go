@@ -21,6 +21,7 @@ import (
 
 	"famedb/internal/osal"
 	"famedb/internal/stats"
+	"famedb/internal/trace"
 )
 
 // WAL record types.
@@ -54,6 +55,9 @@ type WAL struct {
 	// metrics mirrors log activity into the Statistics feature's
 	// registry when composed; nil otherwise (recording is a no-op).
 	metrics *stats.Txn
+	// tracer records appends and syncs as spans when the Tracing
+	// feature is composed; nil otherwise.
+	tracer *trace.Tracer
 	// commitsSince counts commit records appended since the last durable
 	// sync — the group-commit batch size observed at the next Sync.
 	commitsSince int
@@ -158,9 +162,13 @@ func (w *WAL) appendEncoded(buf []byte, records, commits int) error {
 	w.mu.Lock()
 	end := w.end
 	w.mu.Unlock()
+	sp := w.tracer.Start(trace.LayerWAL, "append")
 	if _, err := w.f.WriteAt(buf, end); err != nil {
+		sp.Fail(err)
+		sp.End()
 		return err
 	}
+	sp.End()
 	w.mu.Lock()
 	w.end = end + int64(len(buf))
 	w.commitsSince += commits
@@ -250,9 +258,13 @@ func (w *WAL) Sync() error {
 	end := w.end
 	batch := w.commitsSince
 	w.mu.Unlock()
+	sp := w.tracer.Start(trace.LayerWAL, "sync")
 	if err := w.f.Sync(); err != nil {
+		sp.Fail(err)
+		sp.End()
 		return err
 	}
+	sp.End()
 	w.mu.Lock()
 	w.syncedTo = end
 	w.syncs++
