@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4] [-ops N] [-out BENCH_N.json]
-//	           [-stats]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,CP] [-ops N]
+//	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
 // whose measured throughput and latency quantiles feed the NFP store,
@@ -16,11 +16,17 @@
 // committers on a delayed-sync device. B4 runs the Tracing benchmark —
 // the same product with and without span recording at 1/4/16
 // goroutines, closing the loop the other way (the deriver excludes
-// Tracing under a latency or ROM budget).
+// Tracing under a latency or ROM budget). B5 runs the Checksums
+// benchmark — commit/read/recovery cost with and without page
+// trailers at three store sizes, again closing the feedback loop (the
+// deriver prices Checksums out under a latency or ROM budget). CP
+// runs the crash-point recovery harness: the same workload crashed at
+// every write-class op index under both the clean-cut and torn-write
+// models, reopened, and scrubbed.
 //
 // -out names the machine-readable reports with a literal "N" standing
 // for the benchmark number: -out BENCH_N.json writes BENCH_1.json ..
-// BENCH_4.json for whichever of B1..B4 run; -out "" suppresses them.
+// BENCH_5.json for whichever of B1..B5 run; -out "" suppresses them.
 // The former per-benchmark flags -json/-json2/-json3 remain as
 // deprecated aliases and, when set explicitly, override -out for their
 // benchmark. -stats dumps the Prometheus text exposition of a full
@@ -38,7 +44,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -181,6 +187,26 @@ func main() {
 		}
 		fmt.Println(bench.FormatB4(r))
 		writeReport("B4", outPath("B4"), r.WriteJSON)
+	}
+	if want["B5"] {
+		r, err := bench.B5(*ops/4, 23)
+		if err != nil {
+			fail("B5", err)
+		}
+		fmt.Println(bench.FormatB5(r))
+		writeReport("B5", outPath("B5"), r.WriteJSON)
+	}
+	if want["CP"] {
+		for _, torn := range []bool{false, true} {
+			r, err := bench.CrashPoints(bench.CrashPointConfig{Commits: 8, Torn: torn, Seed: 23})
+			if err != nil {
+				fail("CP", err)
+			}
+			fmt.Println(bench.FormatCrashPoints(r))
+			if !r.Ok() {
+				fail("CP", fmt.Errorf("%d crash points violated invariants", len(r.Failures)))
+			}
+		}
 	}
 	if *statsDump {
 		text, err := bench.StatsDump(*ops / 4)

@@ -35,6 +35,7 @@ import (
 	"famedb/internal/osal"
 	"famedb/internal/solver"
 	"famedb/internal/stats"
+	"famedb/internal/storage"
 	"famedb/internal/trace"
 	"famedb/internal/txn"
 	"famedb/internal/types"
@@ -61,6 +62,9 @@ type (
 	NFPStore = nfp.Store
 	// NFProperty names a non-functional property in an NFPStore.
 	NFProperty = nfp.Property
+	// VerifyReport is the outcome of DB.Verify: the page scrub (feature
+	// Checksums) and the journal scrub (feature Transaction).
+	VerifyReport = composer.VerifyReport
 )
 
 // The measurable non-functional properties of the feedback approach.
@@ -80,6 +84,13 @@ var (
 	ErrNotComposed = access.ErrNotComposed
 	// ErrNotFound is returned for missing keys.
 	ErrNotFound = access.ErrNotFound
+	// ErrPageCorrupt is returned when a page's CRC trailer does not
+	// match its contents (feature Checksums): a torn write or bit rot.
+	ErrPageCorrupt = storage.ErrPageCorrupt
+	// ErrDegraded is returned by write operations after the engine has
+	// poisoned into read-only mode: a transient device fault outlived
+	// the retry budget. Reads keep serving.
+	ErrDegraded = storage.ErrDegraded
 )
 
 // FeatureModel returns the FAME-DBMS prototype feature model (paper
@@ -115,6 +126,13 @@ type Options struct {
 	// TraceDisabled composes the Tracing feature with recording off;
 	// enable later with DB.SetTracing(true).
 	TraceDisabled bool
+	// RetryAttempts bounds the total tries per device operation on a
+	// transient fault (including the first); 0 composes the default
+	// policy of 3. After exhaustion the engine degrades to read-only.
+	RetryAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling each
+	// further retry; 0 composes the default of 1ms.
+	RetryBackoff time.Duration
 }
 
 // DB is a derived FAME-DBMS instance.
@@ -144,6 +162,10 @@ func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 		TraceSpans:       opts.TraceSpans,
 		TraceSlowOp:      opts.TraceSlowOp,
 		TraceDisabled:    opts.TraceDisabled,
+		Retry: storage.RetryPolicy{
+			Attempts: opts.RetryAttempts,
+			Backoff:  opts.RetryBackoff,
+		},
 	}
 	if opts.Dir != "" {
 		fs, err := osal.NewDirFS(opts.Dir)
@@ -272,6 +294,17 @@ func (db *DB) ROM() (int, error) { return db.inst.ROM() }
 
 // RAM returns the product's static memory footprint in bytes.
 func (db *DB) RAM() int { return db.inst.RAM() }
+
+// Verify scrubs the product's persistent structures: every allocated
+// page against its CRC trailer (feature Checksums) and every journal
+// frame against its record checksum (feature Transaction). Products
+// with neither feature return ErrNotComposed.
+func (db *DB) Verify() (VerifyReport, error) { return db.inst.Verify() }
+
+// Degraded reports whether the engine has poisoned into read-only mode
+// after a transient device fault outlived the retry budget. A degraded
+// product keeps serving reads; writes return ErrDegraded.
+func (db *DB) Degraded() bool { return db.inst.Degraded() }
 
 // Sync makes all state durable.
 func (db *DB) Sync() error { return db.inst.Sync() }

@@ -288,3 +288,41 @@ func ExampleOpen() {
 	fmt.Println(string(v))
 	// Output: 21.5C
 }
+
+func TestVerifyAndDegradedViaFacade(t *testing.T) {
+	db, err := Open(Options{RetryAttempts: 2},
+		"Linux", "BPlusTree", "Put", "Get", "Checksums",
+		"BufferManager", "LRU", "Transaction", "ForceCommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Degraded() {
+		t.Fatal("fresh product reports degraded")
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Put([]byte("k"), []byte("v"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.Pages == nil || rep.Log == nil {
+		t.Fatalf("facade scrub = %s", rep)
+	}
+
+	// A product without scrubbables refuses.
+	bare, err := Open(Options{}, "Linux", "ListIndex", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.Verify(); !errors.Is(err, ErrNotComposed) {
+		t.Fatalf("bare Verify = %v, want ErrNotComposed", err)
+	}
+}

@@ -1,0 +1,361 @@
+package bench
+
+// Benchmark B5: the Checksums feature's overhead and the cost of
+// surviving a crash, at three database sizes.
+//
+// Two otherwise identical transactional products — with and without the
+// Checksums feature — run the same load over an in-memory device: a
+// committed put phase (every put is a forced commit, so each one pays
+// the trailer seal on its journal pages), a timed read phase over the
+// loaded keys, and for the trailered product a timed verify scrub of
+// every allocated page. Then the instance is crashed (abandoned without
+// Close) and the reopen is timed: redo recovery replays every commit
+// from the journal, re-verifying each page trailer as it goes — the
+// recovery-time numbers are what an embedded node pays at power-on.
+//
+// The feedback loop closes the same way B4's does for Tracing: the
+// measured latency prices Checksums as a pure cost, so the greedy
+// deriver minimizing p50 EXCLUDES it — and under a ROM budget sized
+// between the base product and base+Checksums, requiring the feature is
+// infeasible. Integrity, like observability, is a feature the NFP
+// machinery prices rather than hides.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/osal"
+	"famedb/internal/solver"
+)
+
+// B5Config fixes the scenario.
+type B5Config struct {
+	// Sizes are the three database sizes, in committed records.
+	Sizes      []int
+	Seed       int64
+	ValueBytes int
+}
+
+func defaultB5Config(ops int, seed int64) B5Config {
+	base := ops / 8
+	if base < 256 {
+		base = 256
+	}
+	return B5Config{Sizes: []int{base, base * 4, base * 16}, Seed: seed, ValueBytes: 64}
+}
+
+// B5Point is one measured (checksums, size) cell.
+type B5Point struct {
+	Checksums bool `json:"checksums"`
+	Records   int  `json:"records"`
+	// Load phase: one forced commit per record.
+	LoadSeconds   float64 `json:"load_seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// Read phase: records timed gets over the loaded keys.
+	ReadSeconds float64 `json:"read_seconds"`
+	GetsPerSec  float64 `json:"gets_per_sec"`
+	// Latency quantiles from the Statistics histograms, nanoseconds.
+	GetP50Ns float64 `json:"get_p50_ns"`
+	GetP99Ns float64 `json:"get_p99_ns"`
+	PutP50Ns float64 `json:"put_p50_ns"`
+	PutP99Ns float64 `json:"put_p99_ns"`
+	// Verify scrub of every allocated page; zero without Checksums.
+	VerifySeconds float64 `json:"verify_seconds,omitempty"`
+	ScrubbedPages int     `json:"scrubbed_pages,omitempty"`
+	// Power-on: the reopen replays every commit from the journal.
+	RecoverySeconds   float64 `json:"recovery_seconds"`
+	RecoveredCommits  int     `json:"recovered_commits"`
+	RecoveryPerCommit float64 `json:"recovery_us_per_commit"`
+}
+
+// B5Overhead compares trailered vs plain at one size.
+type B5Overhead struct {
+	Records int `json:"records"`
+	// Throughput cost of the trailer on the commit and read paths,
+	// (plain - checksummed) / plain in percent.
+	CommitOverheadPct float64 `json:"commit_overhead_pct"`
+	ReadOverheadPct   float64 `json:"read_overhead_pct"`
+	// Recovery-time ratio, checksummed / plain.
+	RecoveryRatio float64 `json:"recovery_ratio"`
+}
+
+// B5Feedback is the closed loop: measured latency prices Checksums out,
+// and a tight ROM budget makes requiring it infeasible.
+type B5Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedChecksums reports whether the latency-minimizing greedy
+	// deriver kept Checksums; pure costs get priced out.
+	SelectedChecksums bool `json:"selected_checksums"`
+	// ChecksumLatencyWeightNs is the fitted per-feature contribution of
+	// Checksums to p50 latency.
+	ChecksumLatencyWeightNs float64 `json:"checksum_latency_weight_ns"`
+	BaseROM                 int     `json:"base_rom_bytes"`
+	ChecksumROM             int     `json:"checksum_rom_bytes"`
+	TightROMBudget          int     `json:"tight_rom_budget_bytes"`
+	InfeasibleWithChecksums bool    `json:"infeasible_with_checksums"`
+}
+
+// B5Result is the machine-readable report (BENCH_5.json).
+type B5Result struct {
+	Sizes      []int        `json:"sizes"`
+	Seed       int64        `json:"seed"`
+	ValueBytes int          `json:"value_bytes"`
+	Points     []B5Point    `json:"points"`
+	Overheads  []B5Overhead `json:"overheads"`
+	Feedback   B5Feedback   `json:"feedback"`
+}
+
+// b5Features is the measured product: transactional with Recovery (the
+// reopen must replay) and Statistics for the latency histograms.
+func b5Features(checksums bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Transaction", "ForceCommit", "Recovery", "Statistics",
+	}
+	if checksums {
+		fs = append(fs, "Checksums")
+	}
+	return fs
+}
+
+// b5Run measures one (checksums, size) point.
+func b5Run(cfg B5Config, checksums bool, records int) (B5Point, error) {
+	pt := B5Point{Checksums: checksums, Records: records}
+	fs := osal.NewMemFS()
+	inst, err := composer.ComposeProduct(composer.Options{FS: fs}, b5Features(checksums)...)
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	// Load: one forced commit per record.
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		tx := inst.Txn.Begin()
+		if err := tx.Put([]byte(fmt.Sprintf("k%07d", i)), value); err != nil {
+			inst.Close()
+			return pt, err
+		}
+		if err := tx.Commit(); err != nil {
+			inst.Close()
+			return pt, err
+		}
+	}
+	load := time.Since(start)
+	pt.LoadSeconds = load.Seconds()
+	pt.CommitsPerSec = float64(records) / load.Seconds()
+
+	// Read: every key once, shuffled stride.
+	start = time.Now()
+	for i := 0; i < records; i++ {
+		key := []byte(fmt.Sprintf("k%07d", (i*7919+int(cfg.Seed))%records))
+		if _, err := inst.Store.Get(key); err != nil {
+			inst.Close()
+			return pt, err
+		}
+	}
+	read := time.Since(start)
+	pt.ReadSeconds = read.Seconds()
+	pt.GetsPerSec = float64(records) / read.Seconds()
+
+	snap, err := inst.Stats()
+	if err != nil {
+		inst.Close()
+		return pt, err
+	}
+	pt.GetP50Ns = snap.Access.GetLatency.P50()
+	pt.GetP99Ns = snap.Access.GetLatency.P99()
+	pt.PutP50Ns = snap.Access.PutLatency.P50()
+	pt.PutP99Ns = snap.Access.PutLatency.P99()
+
+	if checksums {
+		start = time.Now()
+		rep, err := inst.Verify()
+		if err != nil {
+			inst.Close()
+			return pt, err
+		}
+		pt.VerifySeconds = time.Since(start).Seconds()
+		if rep.Pages == nil || !rep.Pages.Ok() {
+			inst.Close()
+			return pt, fmt.Errorf("B5: fresh store failed its scrub: %s", rep)
+		}
+		pt.ScrubbedPages = rep.Pages.PagesChecked
+	}
+
+	// Crash: abandon the instance without Close, then time the reopen —
+	// recovery replays every commit from the journal.
+	start = time.Now()
+	inst2, err := composer.ComposeProduct(composer.Options{FS: fs}, b5Features(checksums)...)
+	if err != nil {
+		return pt, fmt.Errorf("B5 recovery: %w", err)
+	}
+	pt.RecoverySeconds = time.Since(start).Seconds()
+	pt.RecoveredCommits = inst2.Txn.Recovered
+	if pt.RecoveredCommits > 0 {
+		pt.RecoveryPerCommit = pt.RecoverySeconds / float64(pt.RecoveredCommits) * 1e6
+	}
+	if pt.RecoveredCommits != records {
+		inst2.Close()
+		return pt, fmt.Errorf("B5: recovered %d commits, want %d", pt.RecoveredCommits, records)
+	}
+	if err := inst2.Close(); err != nil {
+		return pt, err
+	}
+	return pt, nil
+}
+
+// B5 runs the checksum-overhead and recovery-time benchmark and closes
+// the feedback loop.
+func B5(n int, seed int64) (*B5Result, error) {
+	cfg := defaultB5Config(n, seed)
+	res := &B5Result{Sizes: cfg.Sizes, Seed: cfg.Seed, ValueBytes: cfg.ValueBytes}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	largest := cfg.Sizes[len(cfg.Sizes)-1]
+	byRecords := map[int]*B5Overhead{}
+	for _, checksums := range []bool{false, true} {
+		for _, records := range cfg.Sizes {
+			pt, err := b5Run(cfg, checksums, records)
+			if err != nil {
+				return nil, fmt.Errorf("B5 checksums=%v/%d: %w", checksums, records, err)
+			}
+			res.Points = append(res.Points, pt)
+			ov := byRecords[records]
+			if ov == nil {
+				ov = &B5Overhead{Records: records}
+				byRecords[records] = ov
+			}
+			if checksums {
+				if plain := findB5(res.Points, false, records); plain != nil {
+					ov.CommitOverheadPct = (plain.CommitsPerSec - pt.CommitsPerSec) / plain.CommitsPerSec * 100
+					ov.ReadOverheadPct = (plain.GetsPerSec - pt.GetsPerSec) / plain.GetsPerSec * 100
+					if plain.RecoverySeconds > 0 {
+						ov.RecoveryRatio = pt.RecoverySeconds / plain.RecoverySeconds
+					}
+				}
+			}
+			if records == largest {
+				err := nfp.RecordMeasurement(store, b5Features(checksums), map[nfp.Property]float64{
+					nfp.Throughput:       pt.GetsPerSec,
+					nfp.CommitThroughput: pt.CommitsPerSec,
+					nfp.LatencyP50:       (pt.GetP50Ns + pt.PutP50Ns) / 2,
+					nfp.LatencyP99:       (pt.GetP99Ns + pt.PutP99Ns) / 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, records := range cfg.Sizes {
+		res.Overheads = append(res.Overheads, *byRecords[records])
+	}
+
+	// Latency side: greedy over the signed fitted table leaves the pure
+	// cost out.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	cw, _ := store.FeatureWeight(nfp.LatencyP50, "Checksums")
+
+	// ROM side: a budget that fits the base product but not the trailer
+	// pager makes requiring Checksums infeasible.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	checksumROM := rom.Features["Checksums"]
+	budget := base.ROM + checksumROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "Checksums"),
+		MaxROM:   budget,
+	})
+	res.Feedback = B5Feedback{
+		Property:                string(nfp.LatencyP50),
+		MeasuredProducts:        len(store.Measurements()),
+		Required:                required,
+		DerivedFeatures:         derived.Config.SelectedNames(),
+		SelectedChecksums:       derived.Config.Has("Checksums"),
+		ChecksumLatencyWeightNs: cw,
+		BaseROM:                 base.ROM,
+		ChecksumROM:             checksumROM,
+		TightROMBudget:          budget,
+		InfeasibleWithChecksums: errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+func findB5(pts []B5Point, checksums bool, records int) *B5Point {
+	for i := range pts {
+		if pts[i].Checksums == checksums && pts[i].Records == records {
+			return &pts[i]
+		}
+	}
+	return nil
+}
+
+// FormatB5 renders the B5 result as text.
+func FormatB5(r *B5Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "B5 — Checksums: CRC-trailer overhead and crash-recovery time at three DB sizes")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "checksums\trecords\tcommits/s\tgets/s\tget p50 ns\tscrub s\tscrubbed\trecovery s\tus/commit")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%v\t%d\t%.0f\t%.0f\t%.0f\t%.4f\t%d\t%.4f\t%.1f\n",
+			p.Checksums, p.Records, p.CommitsPerSec, p.GetsPerSec, p.GetP50Ns,
+			p.VerifySeconds, p.ScrubbedPages, p.RecoverySeconds, p.RecoveryPerCommit)
+	}
+	w.Flush()
+	for _, ov := range r.Overheads {
+		fmt.Fprintf(&b, "overhead at %6d records: commit %+.1f%%, read %+.1f%%, recovery ×%.2f\n",
+			ov.Records, ov.CommitOverheadPct, ov.ReadOverheadPct, ov.RecoveryRatio)
+	}
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  Checksums selected: %v (latency weight %+.0f ns)\n",
+		r.Feedback.SelectedChecksums, r.Feedback.ChecksumLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, Checksums +%d B; requiring Checksums under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.ChecksumROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithChecksums)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_5.json).
+func (r *B5Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fault-survival harness and B5 run here with small budgets: the
+// crash-point tests sweep every write op of a tiny workload, the B5
+// test asserts the report's shape.
+
+func TestCrashPointsCut(t *testing.T) {
+	r, err := CrashPoints(CrashPointConfig{Commits: 6, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WriteOps < 8 {
+		t.Fatalf("swept only %d crash points", r.WriteOps)
+	}
+	if !r.Ok() {
+		t.Fatalf("invariant violations:\n%s", FormatCrashPoints(r))
+	}
+	if int64(r.Recovered) != r.WriteOps {
+		t.Fatalf("recovered %d of %d points", r.Recovered, r.WriteOps)
+	}
+	if !strings.Contains(FormatCrashPoints(r), "all invariants held") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestCrashPointsTorn(t *testing.T) {
+	r, err := CrashPoints(CrashPointConfig{Commits: 6, Torn: true, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok() {
+		t.Fatalf("invariant violations:\n%s", FormatCrashPoints(r))
+	}
+	// The sweep is only meaningful if tears actually fired.
+	if r.Injected == 0 {
+		t.Fatal("no torn write was ever injected")
+	}
+	if !strings.Contains(FormatCrashPoints(r), "tears fired") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestB5Shape(t *testing.T) {
+	r, err := B5(800, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two products × three sizes.
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.CommitsPerSec <= 0 || p.GetsPerSec <= 0 {
+			t.Errorf("point %+v: no throughput", p)
+		}
+		if p.RecoveredCommits != p.Records {
+			t.Errorf("point checksums=%v/%d: recovered %d commits", p.Checksums, p.Records, p.RecoveredCommits)
+		}
+		if p.Checksums && p.ScrubbedPages == 0 {
+			t.Errorf("trailered point %d scrubbed no pages", p.Records)
+		}
+		if !p.Checksums && p.ScrubbedPages != 0 {
+			t.Errorf("plain point %d claims a scrub", p.Records)
+		}
+	}
+	if len(r.Overheads) != len(r.Sizes) {
+		t.Fatalf("overheads = %d, want %d", len(r.Overheads), len(r.Sizes))
+	}
+	// At these tiny sizes the measured latency delta is noise-bound, so
+	// the fitted weight's SIGN can flip run to run; what must hold is
+	// that the deriver's choice follows the measurement — a feature
+	// priced as a cost gets excluded.
+	if r.Feedback.ChecksumLatencyWeightNs > 0 && r.Feedback.SelectedChecksums {
+		t.Errorf("deriver kept Checksums despite a +%.0f ns fitted weight",
+			r.Feedback.ChecksumLatencyWeightNs)
+	}
+	if r.Feedback.ChecksumLatencyWeightNs < 0 && !r.Feedback.SelectedChecksums {
+		t.Errorf("deriver dropped Checksums despite a %.0f ns fitted weight",
+			r.Feedback.ChecksumLatencyWeightNs)
+	}
+	if !r.Feedback.InfeasibleWithChecksums {
+		t.Errorf("requiring Checksums under budget %d with +%d B should be infeasible",
+			r.Feedback.TightROMBudget, r.Feedback.ChecksumROM)
+	}
+	if r.Feedback.ChecksumROM <= 0 || r.Feedback.BaseROM <= 0 {
+		t.Errorf("ROM table incomplete: %+v", r.Feedback)
+	}
+	if !strings.Contains(FormatB5(r), "Checksums selected:") {
+		t.Fatal("format broken")
+	}
+}

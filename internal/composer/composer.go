@@ -6,6 +6,7 @@
 package composer
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,6 +47,10 @@ type Options struct {
 	// TraceDisabled composes the tracer switched off; recording can be
 	// enabled later with Instance.SetTracing. Ignored without Tracing.
 	TraceDisabled bool
+	// Retry bounds how hard the engine fights transient device faults
+	// before poisoning into degraded read-only mode. The zero value
+	// (Attempts == 0) composes storage.DefaultRetryPolicy.
+	Retry storage.RetryPolicy
 }
 
 // Instance is a derived FAME-DBMS product.
@@ -70,6 +75,12 @@ type Instance struct {
 	cache       buffer.Cache
 	cachePages  int
 	cacheShards int
+	// ck is the Checksums feature's CRC-trailer pager; nil unless the
+	// feature is selected.
+	ck *storage.ChecksumPager
+	// health is the engine-wide degraded-mode latch shared by the page
+	// path and the WAL. Always composed.
+	health *storage.Health
 	// stats is the Statistics feature's registry; nil unless the feature
 	// is selected, in which case every layer records into it.
 	stats *stats.Registry
@@ -84,6 +95,9 @@ type layout struct {
 	StoreMeta uint32 `json:"store_meta"`
 	SQLMeta   uint32 `json:"sql_meta"`
 	Index     string `json:"index"`
+	// Checksums records whether pages carry CRC trailers: a page file
+	// written with trailers is unreadable without them and vice versa.
+	Checksums bool `json:"checksums,omitempty"`
 }
 
 const (
@@ -180,6 +194,45 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 	inst.pf.SetTracer(inst.tracer)
 	inst.pager = inst.pf
 
+	// Checksums feature: a CRC32-trailer pager between the page file and
+	// everything above it, so every read re-verifies the page and torn
+	// writes surface as storage.ErrPageCorrupt instead of garbage keys.
+	if cfg.Has("Checksums") {
+		ck, err := storage.NewChecksumPager(inst.pf)
+		if err != nil {
+			return nil, err
+		}
+		ck.SetMetrics(inst.stats.Fault())
+		inst.ck = ck
+		inst.pager = ck
+	}
+
+	// Retry/degrade is part of every product: transient device faults
+	// are retried under the policy, and exhaustion poisons the shared
+	// health latch — the engine keeps answering reads after its device
+	// stops taking writes. The latch feeds the Statistics fault counters
+	// and emits one trace span the moment it poisons.
+	inst.health = storage.NewHealth()
+	retry := opts.Retry
+	if retry.Attempts == 0 {
+		def := storage.DefaultRetryPolicy()
+		retry.Attempts = def.Attempts
+		if retry.Backoff == 0 {
+			retry.Backoff = def.Backoff
+		}
+	}
+	rp := storage.NewRetryPager(inst.pager, retry, inst.health)
+	rp.SetMetrics(inst.stats.Fault())
+	inst.pager = rp
+	inst.health.OnDegrade(func(reason error) {
+		inst.stats.Fault().Degrade(reason.Error())
+		if inst.tracer != nil {
+			sp := inst.tracer.Start(trace.LayerPager, "degrade")
+			sp.Fail(reason)
+			sp.End()
+		}
+	})
+
 	// Buffer manager feature.
 	if cfg.Has("BufferManager") {
 		capacity := opts.CachePages
@@ -203,8 +256,9 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		}
 		// Per-shard allocator factory: a static product splits one
 		// RAM-budgeted arena figure across the shards, so the aggregate
-		// arena equals the unsharded one.
-		pageSize := inst.Platform.PageSize
+		// arena equals the unsharded one. Frames are logical-page sized:
+		// with Checksums the CRC trailer stays below the cache.
+		pageSize := inst.pager.PageSize()
 		newAlloc := func(frames int) (buffer.Allocator, error) {
 			if cfg.Has("StaticAlloc") {
 				return buffer.NewStaticAllocator(pageSize, frames, 0)
@@ -260,6 +314,14 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			return nil, fmt.Errorf("composer: filesystem holds a %s instance, configuration selects %s",
 				lay.Index, indexName)
 		}
+		if lay.Checksums != cfg.Has("Checksums") {
+			with, without := "with", "without"
+			if !lay.Checksums {
+				with, without = without, with
+			}
+			return nil, fmt.Errorf("composer: filesystem holds an instance %s Checksums, configuration selects %s",
+				with, without)
+		}
 		if indexName == "BPlusTree" {
 			idx, err = index.OpenBTree(inst.pager, storage.PageID(lay.StoreMeta), btOps)
 		} else {
@@ -278,7 +340,7 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
-		lay = layout{StoreMeta: uint32(meta), Index: indexName}
+		lay = layout{StoreMeta: uint32(meta), Index: indexName, Checksums: cfg.Has("Checksums")}
 	}
 
 	if bt, ok := idx.(*index.BTree); ok {
@@ -329,6 +391,12 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			},
 			Metrics: inst.stats.Txn(),
 			Tracer:  inst.tracer,
+			// The WAL shares the page path's retry policy and degraded
+			// latch: a dying log device poisons the same engine-wide
+			// health the pagers consult.
+			Health: inst.health,
+			Retry:  retry,
+			Fault:  inst.stats.Fault(),
 		})
 		if err != nil {
 			return nil, err
@@ -417,12 +485,63 @@ func instrumentFactory(base sql.IndexFactory, reg *stats.Registry, tr *trace.Tra
 }
 
 // writeCheckpoint copies the synced data file to a temporary file and
-// atomically renames it over the checkpoint image.
+// atomically renames it over the checkpoint image. The copy is read
+// back and compared before the rename: a device that silently tears the
+// copy (acknowledging a partial write) must not get its damage adopted
+// as the image every future recovery restores from.
 func writeCheckpoint(fs osal.FS) error {
 	if err := copyFSFile(fs, dataFile, ckptFile+".tmp"); err != nil {
 		return err
 	}
+	if err := compareFSFiles(fs, dataFile, ckptFile+".tmp"); err != nil {
+		return err
+	}
 	return fs.Rename(ckptFile+".tmp", ckptFile)
+}
+
+// compareFSFiles errors unless the two files hold identical bytes.
+func compareFSFiles(fs osal.FS, a, b string) error {
+	fa, err := fs.Open(a)
+	if err != nil {
+		return err
+	}
+	defer fa.Close()
+	fb, err := fs.Open(b)
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+	sa, err := fa.Size()
+	if err != nil {
+		return err
+	}
+	sb, err := fb.Size()
+	if err != nil {
+		return err
+	}
+	if sa != sb {
+		return fmt.Errorf("composer: checkpoint image size %d != data file size %d", sb, sa)
+	}
+	bufA := make([]byte, 64<<10)
+	bufB := make([]byte, 64<<10)
+	var off int64
+	for off < sa {
+		n := len(bufA)
+		if rem := sa - off; rem < int64(n) {
+			n = int(rem)
+		}
+		if _, err := fa.ReadAt(bufA[:n], off); err != nil {
+			return err
+		}
+		if _, err := fb.ReadAt(bufB[:n], off); err != nil {
+			return err
+		}
+		if !bytes.Equal(bufA[:n], bufB[:n]) {
+			return fmt.Errorf("composer: checkpoint image diverges from data file at offset %d (torn copy?)", off)
+		}
+		off += int64(n)
+	}
+	return nil
 }
 
 // restoreCheckpoint replaces the data file with the checkpoint image,
@@ -606,6 +725,85 @@ func (i *Instance) CacheShards() int { return i.cacheShards }
 // FS returns the instance's filesystem.
 func (i *Instance) FS() osal.FS { return i.fs }
 
+// Health returns the engine-wide degraded-mode latch.
+func (i *Instance) Health() *storage.Health { return i.health }
+
+// Degraded reports whether the instance has poisoned into read-only
+// mode after exhausting the retry budget on a transient device fault.
+func (i *Instance) Degraded() bool { return i.health.Degraded() }
+
+// VerifyReport is the outcome of a full-instance scrub.
+type VerifyReport struct {
+	// Pages is the page-file scrub; nil when the product was derived
+	// without the Checksums feature (no trailers to check against).
+	Pages *storage.VerifyReport
+	// Log is the write-ahead-log scrub; nil when the product was derived
+	// without the Transaction feature.
+	Log *txn.LogVerifyReport
+}
+
+// Ok reports whether every scrubbed structure checked out clean.
+func (r VerifyReport) Ok() bool {
+	if r.Pages != nil && !r.Pages.Ok() {
+		return false
+	}
+	if r.Log != nil && !r.Log.Ok() {
+		return false
+	}
+	return true
+}
+
+// String renders the report for human output.
+func (r VerifyReport) String() string {
+	parts := ""
+	if r.Pages != nil {
+		parts += "pages: " + r.Pages.String()
+	}
+	if r.Log != nil {
+		if parts != "" {
+			parts += "\n"
+		}
+		parts += "log: " + r.Log.String()
+	}
+	if parts == "" {
+		return "nothing to verify (no Checksums, no Transaction)"
+	}
+	return parts
+}
+
+// Verify scrubs the instance's persistent structures: every allocated
+// page against its CRC trailer (feature Checksums) and every journal
+// frame against its record checksum (feature Transaction). A healthy
+// instance flushes its cache first so the scrub sees the current image;
+// a degraded one scrubs the last image the device accepted. Products
+// with neither feature return access.ErrNotComposed.
+func (i *Instance) Verify() (VerifyReport, error) {
+	var rep VerifyReport
+	if i.ck == nil && i.Txn == nil {
+		return rep, fmt.Errorf("Verify: %w", access.ErrNotComposed)
+	}
+	if i.ck != nil {
+		if !i.health.Degraded() {
+			if err := i.pager.Sync(); err != nil {
+				return rep, err
+			}
+		}
+		pr, err := i.ck.Verify()
+		if err != nil {
+			return rep, err
+		}
+		rep.Pages = &pr
+	}
+	if i.Txn != nil {
+		lr, err := i.Txn.VerifyLog()
+		if err != nil {
+			return rep, err
+		}
+		rep.Log = &lr
+	}
+	return rep, nil
+}
+
 // Sync makes all state durable.
 func (i *Instance) Sync() error {
 	if i.Txn != nil {
@@ -616,12 +814,19 @@ func (i *Instance) Sync() error {
 	return i.pager.Sync()
 }
 
-// Close flushes and closes the instance.
+// Close flushes and closes the instance. A degraded instance closes
+// without flushing: the device refuses writes, and nothing unflushed
+// was ever acknowledged durable.
 func (i *Instance) Close() error {
 	if i.Txn != nil {
 		if err := i.Txn.Close(); err != nil {
 			return err
 		}
+	}
+	if i.health.Degraded() {
+		// Skip the cache's write-back (it would just bounce off the
+		// degraded gate) and release the file handle directly.
+		return i.pf.Close()
 	}
 	return i.pager.Close()
 }

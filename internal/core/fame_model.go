@@ -37,6 +37,11 @@ func FAMEModel() *Model {
 	li.Description = "unordered list (heap) index for tiny data sets"
 	dt := st.AddChild("DataTypes", Mandatory)
 	dt.Description = "ordered key encodings and value serialization"
+	// Checksums is the storage half of the fault-survival concern: CRC32
+	// page trailers verified on every read and a scrub pass, so torn
+	// writes and bit rot surface as typed corruption instead of garbage.
+	ck := st.AddChild("Checksums", Optional)
+	ck.Description = "CRC32 page trailers verified on read, plus the verify scrub pass"
 
 	// Buffer manager: optional as a whole; when present it has exactly
 	// one replacement policy and exactly one allocation strategy.
@@ -111,6 +116,10 @@ func FAMEModel() *Model {
 	// The span recorder's preallocated ring and goroutine-local parenting
 	// are far beyond a deeply embedded node's RAM and threading model.
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Tracing"))))
+	// NutOS nodes use tiny 512-byte pages where a 4-byte trailer per page
+	// plus a CRC per I/O is disproportionate; their flash controllers do
+	// ECC in hardware.
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Checksums"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -160,7 +169,7 @@ func FAMEProducts() []NamedProduct {
 		{
 			Name: "full",
 			Features: []string{
-				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove", "Checksums",
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking",

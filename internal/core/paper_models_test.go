@@ -72,6 +72,23 @@ func TestFAMEModelDomainConstraints(t *testing.T) {
 	if !c.Has("StaticAlloc") || c.State("DynamicAlloc") != Deselected {
 		t.Errorf("NutOS+BufferManager should force StaticAlloc: %s", c)
 	}
+
+	// A NutOS node never pays for CRC page trailers (hardware ECC), and
+	// conversely asking for both must be rejected, not silently dropped.
+	c = m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("Checksums") != Deselected {
+		t.Error("NutOS should force Checksums off")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("Checksums"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("NutOS"); err == nil {
+		t.Error("Checksums+NutOS should be contradictory")
+	}
 }
 
 func TestFAMEProductsAreValid(t *testing.T) {

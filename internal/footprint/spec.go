@@ -45,6 +45,12 @@ func FAMECore() []SourceSpec {
 		file("internal/storage/pagefile.go"),
 		file("internal/storage/slotted.go"),
 		file("internal/storage/heap.go"),
+		// The error taxonomy and the retry/degraded-mode latch are part of
+		// every product: even the tiniest node wants typed page errors and
+		// the read-only fallback when its flash dies. Only the checksum
+		// trailer is a selectable feature.
+		file("internal/storage/errors.go"),
+		file("internal/storage/retry.go"),
 		funcs("internal/osal/osal.go",
 			"Stats.addRead", "Stats.addWrite", "Stats.addSync", "Stats.Snapshot",
 			"MemFS.Open", "MemFS.Create", "MemFS.Remove", "MemFS.Rename",
@@ -99,6 +105,11 @@ func FAMESources() map[string][]SourceSpec {
 			funcs("internal/btree/btree.go", "Tree.Delete"),
 			funcs("internal/index/index.go", "BTree.Delete"),
 		},
+
+		// The Checksums feature: CRC32 page trailers sealed on write,
+		// verified on read, plus the scrub pass. Lives entirely in one
+		// file, so a product without Checksums carries none of it.
+		"Checksums": {file("internal/storage/checksum.go")},
 
 		"ListIndex": {funcs("internal/index/index.go",
 			"CreateList", "OpenList", "encodeEntry", "decodeEntry",

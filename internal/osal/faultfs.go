@@ -2,25 +2,53 @@ package osal
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
 // ErrInjected is the error returned by FaultFS-triggered failures.
 var ErrInjected = errors.New("osal: injected fault")
 
+// ErrTransient marks injected faults that heal on their own after a few
+// operations (Schedule rules with Heal > 0, and partial writes). Every
+// transient error also matches ErrInjected; callers with retry policies
+// should retry on ErrTransient and treat a bare ErrInjected as terminal.
+var ErrTransient = errors.New("osal: transient injected fault")
+
+// injectedErr builds the error for one scheduled fault. Transient
+// errors match both ErrTransient and ErrInjected under errors.Is.
+func injectedErr(class OpClass, n int64, transient bool) error {
+	if transient {
+		return fmt.Errorf("osal: %s op %d: %w: %w", class, n, ErrTransient, ErrInjected)
+	}
+	return fmt.Errorf("osal: %s op %d: %w", class, n, ErrInjected)
+}
+
 // FaultFS wraps a filesystem and injects failures, for exercising error
-// paths and crash windows in the storage and transaction layers. The
-// countdown counts write-class operations (WriteAt, Sync, Truncate)
-// across all files: when it reaches zero, that operation and every
-// subsequent write-class operation fail until the countdown is reset.
-// Reads always succeed (a crashed write does not damage reads here;
-// torn-write simulation is done by truncating files directly).
+// paths and crash windows in the storage and transaction layers. Two
+// mechanisms coexist:
+//
+// The legacy countdown (FailAfter) counts write-class operations
+// (WriteAt, Sync, Truncate, Remove, Rename) across all files: when it
+// reaches zero, that operation and every subsequent write-class
+// operation fail until the countdown is reset. Under the countdown
+// alone, reads always succeed — its job is clean, terminal device
+// death for crash-window sweeps.
+//
+// A Schedule (SetSchedule) adds programmable faults over every op
+// class including reads: torn and partial writes, single-bit flips on
+// read or at rest, and transient errors that heal. Both mechanisms may
+// be armed at once; the countdown is checked first.
 type FaultFS struct {
 	inner FS
 
 	mu        sync.Mutex
 	countdown int64 // -1 = disarmed
 	tripped   bool
+	// trippedBy remembers the op class of the first fault since the
+	// last arm/disarm (valid while tripped).
+	trippedBy OpClass
+	schedule  *Schedule
 	// WriteOps counts write-class operations observed, for planning
 	// fault points.
 	WriteOps int64
@@ -40,12 +68,31 @@ func (f *FaultFS) FailAfter(n int64) {
 	f.tripped = false
 }
 
-// Disarm stops injecting failures.
+// Disarm stops injecting failures: the countdown is reset and any
+// installed schedule is removed.
 func (f *FaultFS) Disarm() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.countdown = -1
+	f.schedule = nil
 	f.tripped = false
+}
+
+// SetSchedule installs (or, with nil, removes) a programmable fault
+// plan. The schedule's per-class op counters start from their current
+// values, so a fresh schedule should be installed fresh.
+func (f *FaultFS) SetSchedule(s *Schedule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.schedule = s
+	f.tripped = false
+}
+
+// Schedule returns the installed fault plan, or nil.
+func (f *FaultFS) Schedule() *Schedule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.schedule
 }
 
 // Tripped reports whether a fault has fired since the last arm/disarm.
@@ -55,8 +102,34 @@ func (f *FaultFS) Tripped() bool {
 	return f.tripped
 }
 
-// allowWrite consumes one write-class operation.
-func (f *FaultFS) allowWrite() error {
+// TrippedClass reports which op class the first fault since the last
+// arm/disarm fired on. ok is false if nothing has tripped.
+func (f *FaultFS) TrippedClass() (class OpClass, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.trippedBy, f.tripped
+}
+
+// sched returns the installed schedule without consuming anything.
+func (f *FaultFS) sched() *Schedule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.schedule
+}
+
+// trip records the first faulting op class.
+func (f *FaultFS) trip(class OpClass) {
+	f.mu.Lock()
+	if !f.tripped {
+		f.tripped = true
+		f.trippedBy = class
+	}
+	f.mu.Unlock()
+}
+
+// allowWrite consumes one write-class operation against the legacy
+// countdown.
+func (f *FaultFS) allowWrite(class OpClass) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.WriteOps++
@@ -68,8 +141,29 @@ func (f *FaultFS) allowWrite() error {
 		return nil
 	}
 	f.countdown = 1 // stay tripped
-	f.tripped = true
+	if !f.tripped {
+		f.tripped = true
+		f.trippedBy = class
+	}
 	return ErrInjected
+}
+
+// scheduleErr consumes one operation of class against the schedule and
+// returns an error if a FaultError rule fires. Only FaultError rules
+// apply to the metadata classes (sync, truncate, remove, rename); data
+// faults (torn, partial, flips) are handled inline by faultFile.
+func (f *FaultFS) scheduleErr(class OpClass) error {
+	s := f.sched()
+	if s == nil {
+		return nil
+	}
+	r, n, hit := s.step(class)
+	if !hit || r.Kind != FaultError {
+		return nil
+	}
+	f.trip(class)
+	s.record(Injection{OpIndex: n, Class: class, Kind: r.Kind})
+	return injectedErr(class, n, r.Heal > 0)
 }
 
 // Open implements FS.
@@ -78,7 +172,7 @@ func (f *FaultFS) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{f: file, fs: f}, nil
+	return &faultFile{f: file, fs: f, name: name}, nil
 }
 
 // Create implements FS.
@@ -87,12 +181,15 @@ func (f *FaultFS) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{f: file, fs: f}, nil
+	return &faultFile{f: file, fs: f, name: name}, nil
 }
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if err := f.allowWrite(); err != nil {
+	if err := f.allowWrite(OpRemove); err != nil {
+		return err
+	}
+	if err := f.scheduleErr(OpRemove); err != nil {
 		return err
 	}
 	return f.inner.Remove(name)
@@ -100,7 +197,10 @@ func (f *FaultFS) Remove(name string) error {
 
 // Rename implements FS.
 func (f *FaultFS) Rename(oldName, newName string) error {
-	if err := f.allowWrite(); err != nil {
+	if err := f.allowWrite(OpRename); err != nil {
+		return err
+	}
+	if err := f.scheduleErr(OpRename); err != nil {
 		return err
 	}
 	return f.inner.Rename(oldName, newName)
@@ -113,30 +213,121 @@ func (f *FaultFS) List() ([]string, error) { return f.inner.List() }
 func (f *FaultFS) Stats() *Stats { return f.inner.Stats() }
 
 type faultFile struct {
-	f  File
-	fs *FaultFS
+	f    File
+	fs   *FaultFS
+	name string
 }
 
-func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) { return ff.f.ReadAt(p, off) }
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	s := ff.fs.sched()
+	if s == nil {
+		return ff.f.ReadAt(p, off)
+	}
+	r, opIdx, hit := s.step(OpRead)
+	if !hit {
+		return ff.f.ReadAt(p, off)
+	}
+	switch r.Kind {
+	case FaultError:
+		ff.fs.trip(OpRead)
+		s.record(Injection{OpIndex: opIdx, Class: OpRead, Kind: r.Kind, File: ff.name, Off: off, Len: len(p)})
+		return 0, injectedErr(OpRead, opIdx, r.Heal > 0)
+	case FaultFlipRead:
+		n, err := ff.f.ReadAt(p, off)
+		if err != nil || n == 0 {
+			return n, err
+		}
+		bo, bit := s.flipPos(opIdx, n)
+		p[bo] ^= 1 << bit
+		ff.fs.trip(OpRead)
+		s.record(Injection{OpIndex: opIdx, Class: OpRead, Kind: r.Kind, File: ff.name, Off: off + int64(bo), Len: 1, Bit: bit})
+		return n, nil
+	default:
+		// Write-path kinds make no sense on reads; pass through.
+		return ff.f.ReadAt(p, off)
+	}
+}
 
 func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	if err := ff.fs.allowWrite(); err != nil {
+	if err := ff.fs.allowWrite(OpWrite); err != nil {
 		return 0, err
 	}
-	return ff.f.WriteAt(p, off)
+	s := ff.fs.sched()
+	if s == nil {
+		return ff.f.WriteAt(p, off)
+	}
+	r, opIdx, hit := s.step(OpWrite)
+	if !hit {
+		return ff.f.WriteAt(p, off)
+	}
+	switch r.Kind {
+	case FaultError:
+		ff.fs.trip(OpWrite)
+		s.record(Injection{OpIndex: opIdx, Class: OpWrite, Kind: r.Kind, File: ff.name, Off: off, Len: len(p)})
+		return 0, injectedErr(OpWrite, opIdx, r.Heal > 0)
+	case FaultTorn:
+		// Persist a prefix, report complete success: silent corruption.
+		k := s.tornPrefix(opIdx, len(p))
+		if k > 0 {
+			if _, err := ff.f.WriteAt(p[:k], off); err != nil {
+				return 0, err
+			}
+		}
+		ff.fs.trip(OpWrite)
+		s.record(Injection{OpIndex: opIdx, Class: OpWrite, Kind: r.Kind, File: ff.name, Off: off, Len: k})
+		return len(p), nil
+	case FaultPartial:
+		// Persist a prefix, report the short count with a transient
+		// error, like an interrupted write syscall.
+		k := s.tornPrefix(opIdx, len(p))
+		if k > 0 {
+			if _, err := ff.f.WriteAt(p[:k], off); err != nil {
+				return 0, err
+			}
+		}
+		ff.fs.trip(OpWrite)
+		s.record(Injection{OpIndex: opIdx, Class: OpWrite, Kind: r.Kind, File: ff.name, Off: off, Len: k})
+		return k, injectedErr(OpWrite, opIdx, true)
+	case FaultFlipAtRest:
+		// The write succeeds, then one stored bit rots.
+		n, err := ff.f.WriteAt(p, off)
+		if err != nil {
+			return n, err
+		}
+		bo, bit := s.flipPos(opIdx, len(p))
+		var b [1]byte
+		if _, err := ff.f.ReadAt(b[:], off+int64(bo)); err != nil {
+			return n, nil
+		}
+		b[0] ^= 1 << bit
+		if _, err := ff.f.WriteAt(b[:], off+int64(bo)); err != nil {
+			return n, nil
+		}
+		ff.fs.trip(OpWrite)
+		s.record(Injection{OpIndex: opIdx, Class: OpWrite, Kind: r.Kind, File: ff.name, Off: off + int64(bo), Len: 1, Bit: bit})
+		return n, nil
+	default:
+		return ff.f.WriteAt(p, off)
+	}
 }
 
 func (ff *faultFile) Size() (int64, error) { return ff.f.Size() }
 
 func (ff *faultFile) Truncate(size int64) error {
-	if err := ff.fs.allowWrite(); err != nil {
+	if err := ff.fs.allowWrite(OpTruncate); err != nil {
+		return err
+	}
+	if err := ff.fs.scheduleErr(OpTruncate); err != nil {
 		return err
 	}
 	return ff.f.Truncate(size)
 }
 
 func (ff *faultFile) Sync() error {
-	if err := ff.fs.allowWrite(); err != nil {
+	if err := ff.fs.allowWrite(OpSync); err != nil {
+		return err
+	}
+	if err := ff.fs.scheduleErr(OpSync); err != nil {
 		return err
 	}
 	return ff.f.Sync()

@@ -59,6 +59,7 @@ func init() {
 		{".stats", "[prom|json]", "dump runtime metrics (feature Statistics)", (*Shell).cmdStats},
 		{".trace", "on|off|dump|slow", "control span recording (feature Tracing)", (*Shell).cmdTrace},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
+		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
 		{".quit", "", "exit", (*Shell).cmdQuit},
 	}
@@ -203,6 +204,28 @@ func (s *Shell) cmdFlush(fields []string) bool {
 		return false
 	}
 	fmt.Fprintln(s.out, "flushed")
+	return false
+}
+
+func (s *Shell) cmdVerify(fields []string) bool {
+	rep, err := s.db.Verify()
+	if err != nil {
+		if errors.Is(err, fame.ErrNotComposed) {
+			s.featureErr("Checksums or Transaction", ".verify", err)
+		} else {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+		return false
+	}
+	fmt.Fprintln(s.out, rep.String())
+	if s.db.Degraded() {
+		fmt.Fprintln(s.out, "warning: engine is degraded (read-only)")
+	}
+	if rep.Ok() {
+		fmt.Fprintln(s.out, "ok")
+	} else {
+		fmt.Fprintln(s.out, "CORRUPTION FOUND")
+	}
 	return false
 }
 

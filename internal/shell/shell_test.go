@@ -172,3 +172,29 @@ func TestShellTraceNotComposed(t *testing.T) {
 		}
 	}
 }
+
+func TestShellVerify(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU",
+		"Put", "Get", "Checksums",
+		"Transaction", "ForceCommit")
+	s.Execute("put a 1")
+	s.Execute(".flush")
+	out.Reset()
+	s.Execute(".verify")
+	got := out.String()
+	if !strings.Contains(got, "pages: ") || !strings.Contains(got, "log: ") {
+		t.Errorf(".verify transcript %q missing scrub sections", got)
+	}
+	if !strings.Contains(got, "ok\n") || strings.Contains(got, "CORRUPTION") {
+		t.Errorf(".verify transcript %q not clean", got)
+	}
+}
+
+func TestShellVerifyNotComposed(t *testing.T) {
+	s, out := newShell(t, "Linux", "ListIndex", "Put", "Get")
+	s.Execute(".verify")
+	if !strings.Contains(out.String(), "not composed") {
+		t.Errorf(".verify on a bare product = %q", out.String())
+	}
+}

@@ -18,6 +18,7 @@ type Snapshot struct {
 	SQL    SQLSnapshot    `json:"sql"`
 	Access AccessSnapshot `json:"access"`
 	Trace  TraceSnapshot  `json:"trace"`
+	Fault  FaultSnapshot  `json:"fault"`
 }
 
 // BufferSnapshot copies the buffer-manager counters.
@@ -94,6 +95,18 @@ type TraceSnapshot struct {
 	SlowEvicted   int64 `json:"slow_evicted"`
 }
 
+// FaultSnapshot copies the fault-survival counters.
+type FaultSnapshot struct {
+	Transients       int64 `json:"transients"`
+	Retries          int64 `json:"retries"`
+	ChecksumFailures int64 `json:"checksum_failures"`
+	ScrubbedPages    int64 `json:"scrubbed_pages"`
+	// Degraded reports whether the engine poisoned into read-only mode;
+	// DegradedReason carries the first poisoning cause.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+}
+
 // Snapshot copies every metric. Safe on a nil registry (zero snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -151,6 +164,15 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Trace.DroppedSpans = load(&r.trace.droppedSpans)
 	s.Trace.SlowOps = load(&r.trace.slowOps)
 	s.Trace.SlowEvicted = load(&r.trace.slowEvicted)
+
+	s.Fault.Transients = load(&r.fault.transients)
+	s.Fault.Retries = load(&r.fault.retries)
+	s.Fault.ChecksumFailures = load(&r.fault.checksumFailures)
+	s.Fault.ScrubbedPages = load(&r.fault.scrubbedPages)
+	s.Fault.Degraded = load(&r.fault.degraded) != 0
+	if reason, ok := r.fault.reason.Load().(string); ok {
+		s.Fault.DegradedReason = reason
+	}
 	return s
 }
 
@@ -243,6 +265,16 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		counter("famedb_trace_slow_evicted_total", "Slow-op trees evicted by worse ones.", s.Trace.SlowEvicted, "")
 	}
 
+	counter("famedb_fault_transients_total", "Transient storage faults observed.", s.Fault.Transients, "")
+	counter("famedb_fault_retries_total", "Retries spent on transient faults.", s.Fault.Retries, "")
+	counter("famedb_fault_checksum_failures_total", "Pages failing CRC verification.", s.Fault.ChecksumFailures, "")
+	counter("famedb_fault_scrubbed_pages_total", "Pages checked by verify passes.", s.Fault.ScrubbedPages, "")
+	degraded := int64(0)
+	if s.Fault.Degraded {
+		degraded = 1
+	}
+	gauge("famedb_degraded", "1 when the engine is in degraded read-only mode.", degraded)
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -329,6 +361,16 @@ func (s Snapshot) Format() string {
 		row("recorded spans", s.Trace.RecordedSpans)
 		row("dropped spans", s.Trace.DroppedSpans)
 		row("slow ops kept", s.Trace.SlowOps)
+	}
+	if s.Fault.Transients+s.Fault.Retries+s.Fault.ChecksumFailures+s.Fault.ScrubbedPages > 0 || s.Fault.Degraded {
+		b.WriteString("fault\n")
+		row("transient faults", s.Fault.Transients)
+		row("retries", s.Fault.Retries)
+		row("checksum failures", s.Fault.ChecksumFailures)
+		row("scrubbed pages", s.Fault.ScrubbedPages)
+		if s.Fault.Degraded {
+			fmt.Fprintf(&b, "  %-24s %12s   %s\n", "degraded", "yes", s.Fault.DegradedReason)
+		}
 	}
 	if b.Len() == 0 {
 		return "(no recorded activity)\n"

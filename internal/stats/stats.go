@@ -30,6 +30,7 @@ type Registry struct {
 	sql    SQL
 	access Access
 	trace  Trace
+	fault  Fault
 }
 
 // New creates a registry with all histograms initialized.
@@ -100,6 +101,69 @@ func (r *Registry) Trace() *Trace {
 		return nil
 	}
 	return &r.trace
+}
+
+// Fault returns the fault-survival counters (nil on a nil registry).
+func (r *Registry) Fault() *Fault {
+	if r == nil {
+		return nil
+	}
+	return &r.fault
+}
+
+// --- Fault survival ---
+
+// Fault counts the storage-fault survival layer's activity: transient
+// errors seen, retries spent on them, checksum verification failures,
+// and whether the engine has poisoned into degraded read-only mode
+// (with the reason, so an operator scraping stats learns why writes
+// started returning ErrDegraded).
+type Fault struct {
+	transients       int64
+	retries          int64
+	checksumFailures int64
+	scrubbedPages    int64
+	degraded         int64        // gauge: 0 healthy, 1 degraded
+	reason           atomic.Value // string
+}
+
+// Transient records one transient fault observed by the retry layer.
+func (f *Fault) Transient() {
+	if f != nil {
+		atomic.AddInt64(&f.transients, 1)
+	}
+}
+
+// Retry records one retry attempt spent on a transient fault.
+func (f *Fault) Retry() {
+	if f != nil {
+		atomic.AddInt64(&f.retries, 1)
+	}
+}
+
+// ChecksumFailure records one page whose CRC trailer did not match.
+func (f *Fault) ChecksumFailure() {
+	if f != nil {
+		atomic.AddInt64(&f.checksumFailures, 1)
+	}
+}
+
+// Scrubbed records pages checked by a verify pass.
+func (f *Fault) Scrubbed(pages int64) {
+	if f != nil {
+		atomic.AddInt64(&f.scrubbedPages, pages)
+	}
+}
+
+// Degrade latches the degraded gauge with the poisoning reason. The
+// first reason wins.
+func (f *Fault) Degrade(reason string) {
+	if f == nil {
+		return
+	}
+	if atomic.CompareAndSwapInt64(&f.degraded, 0, 1) {
+		f.reason.Store(reason)
+	}
 }
 
 // --- Trace recorder (the stats/trace bridge) ---

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"famedb/internal/osal"
+)
+
+func newChecksumPager(t *testing.T) (*ChecksumPager, *osal.FaultFS) {
+	t.Helper()
+	ffs := osal.NewFaultFS(osal.NewMemFS())
+	f, err := ffs.Create("test.db")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	pf, err := CreatePageFile(f, 256)
+	if err != nil {
+		t.Fatalf("CreatePageFile: %v", err)
+	}
+	cp, err := NewChecksumPager(pf)
+	if err != nil {
+		t.Fatalf("NewChecksumPager: %v", err)
+	}
+	return cp, ffs
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	cp, _ := newChecksumPager(t)
+	defer cp.Close()
+	if got, want := cp.PageSize(), 256-ChecksumSize; got != want {
+		t.Fatalf("PageSize = %d, want %d", got, want)
+	}
+	id, err := cp.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	page := bytes.Repeat([]byte{0x3C}, cp.PageSize())
+	if err := cp.WritePage(id, page); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, cp.PageSize())
+	if err := cp.ReadPage(id, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatalf("round trip corrupted the payload")
+	}
+}
+
+// TestChecksumFreshPageReads: an Alloc'd page that was never written is
+// all zeros with no trailer, and must still read cleanly.
+func TestChecksumFreshPageReads(t *testing.T) {
+	cp, _ := newChecksumPager(t)
+	defer cp.Close()
+	id, err := cp.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	buf := make([]byte, cp.PageSize())
+	if err := cp.ReadPage(id, buf); err != nil {
+		t.Fatalf("fresh page must verify: %v", err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh page not zeroed")
+		}
+	}
+}
+
+// TestChecksumDetectsBitFlip: a schedule-injected at-rest flip must
+// surface as ErrPageCorrupt with the page ID.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	cp, ffs := newChecksumPager(t)
+	defer cp.Close()
+	id, err := cp.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	page := bytes.Repeat([]byte{0x77}, cp.PageSize())
+	// Flip one stored bit of the next write.
+	s := osal.NewSchedule(42)
+	s.Add(osal.Rule{Class: osal.OpWrite, At: 1, Kind: osal.FaultFlipAtRest})
+	ffs.SetSchedule(s)
+	if err := cp.WritePage(id, page); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	ffs.SetSchedule(nil)
+	buf := make([]byte, cp.PageSize())
+	err = cp.ReadPage(id, buf)
+	if !errors.Is(err, ErrPageCorrupt) {
+		t.Fatalf("ReadPage after flip = %v, want ErrPageCorrupt", err)
+	}
+	var pe *PageError
+	if !errors.As(err, &pe) || pe.Page != id {
+		t.Fatalf("corruption error lost the page ID: %v", err)
+	}
+}
+
+// TestChecksumDetectsTornWrite: prefix-only persistence of a sealed
+// page must fail verification.
+func TestChecksumDetectsTornWrite(t *testing.T) {
+	cp, ffs := newChecksumPager(t)
+	defer cp.Close()
+	id, err := cp.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	page := bytes.Repeat([]byte{0xD1}, cp.PageSize())
+	s := osal.NewSchedule(43)
+	s.Add(osal.Rule{Class: osal.OpWrite, At: 1, Kind: osal.FaultTorn})
+	ffs.SetSchedule(s)
+	if err := cp.WritePage(id, page); err != nil {
+		t.Fatalf("torn write reports success: %v", err)
+	}
+	ffs.SetSchedule(nil)
+	buf := make([]byte, cp.PageSize())
+	if err := cp.ReadPage(id, buf); !errors.Is(err, ErrPageCorrupt) {
+		t.Fatalf("ReadPage after torn write = %v, want ErrPageCorrupt", err)
+	}
+}
+
+// TestChecksumVerifySkipsFreeList: Verify must skip free pages (raw
+// next-pointers) and find exactly the corrupted data pages.
+func TestChecksumVerifySkipsFreeList(t *testing.T) {
+	cp, ffs := newChecksumPager(t)
+	defer cp.Close()
+	page := bytes.Repeat([]byte{0x2B}, cp.PageSize())
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := cp.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := cp.WritePage(id, page); err != nil {
+			t.Fatalf("WritePage: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	// Free two: their contents become raw free-list pointers.
+	if err := cp.Free(ids[1]); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := cp.Free(ids[4]); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	rep, err := cp.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !rep.Ok() || rep.FreeSkipped != 2 || rep.PagesChecked != 4 {
+		t.Fatalf("clean verify = %+v", rep)
+	}
+	// Corrupt one live page at rest and scrub again.
+	s := osal.NewSchedule(44)
+	s.Add(osal.Rule{Class: osal.OpWrite, At: 1, Kind: osal.FaultFlipAtRest})
+	ffs.SetSchedule(s)
+	if err := cp.WritePage(ids[2], page); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	ffs.SetSchedule(nil)
+	rep, err = cp.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != ids[2] {
+		t.Fatalf("verify after flip = %+v, want corrupt [%d]", rep, ids[2])
+	}
+}
+
+// TestFreePagesWalk pins the free-list walk order and cycle guard.
+func TestFreePagesWalk(t *testing.T) {
+	ffs := osal.NewMemFS()
+	f, err := ffs.Create("test.db")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	pf, err := CreatePageFile(f, 128)
+	if err != nil {
+		t.Fatalf("CreatePageFile: %v", err)
+	}
+	defer pf.Close()
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := pf.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	free, err := pf.FreePages()
+	if err != nil || len(free) != 0 {
+		t.Fatalf("FreePages on full file = %v, %v", free, err)
+	}
+	pf.Free(ids[0])
+	pf.Free(ids[2])
+	free, err = pf.FreePages()
+	if err != nil {
+		t.Fatalf("FreePages: %v", err)
+	}
+	// LIFO: last freed is the head.
+	if len(free) != 2 || free[0] != ids[2] || free[1] != ids[0] {
+		t.Fatalf("FreePages = %v, want [%d %d]", free, ids[2], ids[0])
+	}
+}
+
+// TestPageErrorContext: Alloc/Free/check failures carry the op and page
+// ID and stay errors.Is-transparent.
+func TestPageErrorContext(t *testing.T) {
+	ffs := osal.NewMemFS()
+	f, _ := ffs.Create("test.db")
+	pf, err := CreatePageFile(f, 128)
+	if err != nil {
+		t.Fatalf("CreatePageFile: %v", err)
+	}
+	defer pf.Close()
+	id, _ := pf.Alloc()
+
+	err = pf.Free(id + 7)
+	var pe *PageError
+	if !errors.As(err, &pe) || pe.Op != "free" || pe.Page != id+7 {
+		t.Fatalf("Free error context = %v", err)
+	}
+	if !errors.Is(err, ErrBadPage) {
+		t.Fatalf("Free out-of-range must match ErrBadPage: %v", err)
+	}
+
+	buf := make([]byte, 128)
+	err = pf.ReadPage(id+7, buf)
+	if !errors.As(err, &pe) || pe.Op != "read" || pe.Page != id+7 || !errors.Is(err, ErrBadPage) {
+		t.Fatalf("ReadPage past NumPages = %v", err)
+	}
+}

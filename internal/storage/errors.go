@@ -1,0 +1,64 @@
+package storage
+
+// Typed error taxonomy of the fault-survival layer. Three sentinels
+// span the spectrum a caller must distinguish:
+//
+//   - osal.ErrInjected / osal.ErrTransient — the device failed the
+//     operation (transient faults heal; RetryPager retries them).
+//   - ErrPageCorrupt — the device lied: the operation "succeeded" but
+//     the bytes are wrong (checksum trailer mismatch). Never retried;
+//     retrying re-reads the same rot.
+//   - ErrDegraded — the database itself refused: a transient fault
+//     outlived the retry budget and the engine poisoned into read-only
+//     mode to stop compounding damage.
+//
+// PageError wraps any of them with the page ID and operation so error
+// chains stay inspectable with errors.Is while logs carry the context.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPageCorrupt is returned when a page's checksum trailer does not
+// match its contents (the Checksums feature). It always arrives wrapped
+// in a *PageError carrying the page ID.
+var ErrPageCorrupt = errors.New("storage: page checksum mismatch")
+
+// ErrDegraded is returned for write-class operations after the engine
+// poisoned into degraded read-only mode. Reads keep serving.
+var ErrDegraded = errors.New("storage: degraded read-only mode")
+
+// PageError wraps a page-granular failure with the operation and page
+// ID. Unwrap exposes the cause, so errors.Is(err, ErrBadPage) and
+// friends see through it.
+type PageError struct {
+	// Op is the failing operation: "alloc", "free", "read", "write",
+	// "verify", "free-list".
+	Op string
+	// Page is the page the operation addressed.
+	Page PageID
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *PageError) Error() string {
+	return fmt.Sprintf("storage: %s page %d: %v", e.Op, e.Page, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *PageError) Unwrap() error { return e.Err }
+
+// pageErr wraps err with op and page context unless it is nil or
+// already a *PageError for the same page.
+func pageErr(op string, id PageID, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PageError
+	if errors.As(err, &pe) && pe.Page == id {
+		return err
+	}
+	return &PageError{Op: op, Page: id, Err: err}
+}

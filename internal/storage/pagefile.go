@@ -152,7 +152,8 @@ func (pf *PageFile) NumPages() uint32 {
 
 func (pf *PageFile) offset(id PageID) int64 { return int64(id) * int64(pf.pageSize) }
 
-// Alloc implements Pager.
+// Alloc implements Pager. Errors are wrapped in *PageError carrying
+// the page ID being allocated and the "alloc" operation.
 func (pf *PageFile) Alloc() (PageID, error) {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
@@ -164,7 +165,7 @@ func (pf *PageFile) Alloc() (PageID, error) {
 		id := pf.freeHead
 		var next [4]byte
 		if _, err := pf.f.ReadAt(next[:], pf.offset(id)); err != nil {
-			return 0, fmt.Errorf("storage: read free list: %w", err)
+			return 0, pageErr("alloc", id, fmt.Errorf("read free list: %w", err))
 		}
 		pf.freeHead = PageID(binary.LittleEndian.Uint32(next[:]))
 		pf.dirtyHdr = true
@@ -173,7 +174,7 @@ func (pf *PageFile) Alloc() (PageID, error) {
 			pf.scratch[i] = 0
 		}
 		if _, err := pf.f.WriteAt(pf.scratch, pf.offset(id)); err != nil {
-			return 0, err
+			return 0, pageErr("alloc", id, err)
 		}
 		return id, nil
 	}
@@ -184,45 +185,75 @@ func (pf *PageFile) Alloc() (PageID, error) {
 		pf.scratch[i] = 0
 	}
 	if _, err := pf.f.WriteAt(pf.scratch, pf.offset(id)); err != nil {
-		return 0, err
+		return 0, pageErr("alloc", id, err)
 	}
 	return id, nil
 }
 
 // Free implements Pager. The page joins the free list and may be handed
-// out again by Alloc.
+// out again by Alloc. Errors are wrapped in *PageError carrying the
+// page ID and the "free" operation.
 func (pf *PageFile) Free(id PageID) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
-	if err := pf.check(id); err != nil {
+	if err := pf.check("free", id); err != nil {
 		return err
 	}
 	pf.metrics.Free()
 	var next [4]byte
 	binary.LittleEndian.PutUint32(next[:], uint32(pf.freeHead))
 	if _, err := pf.f.WriteAt(next[:], pf.offset(id)); err != nil {
-		return err
+		return pageErr("free", id, err)
 	}
 	pf.freeHead = id
 	pf.dirtyHdr = true
 	return nil
 }
 
-func (pf *PageFile) check(id PageID) error {
+// check rejects accesses to page 0 and to pages past NumPages with a
+// *PageError wrapping ErrBadPage.
+func (pf *PageFile) check(op string, id PageID) error {
 	if pf.closed {
 		return errors.New("storage: page file is closed")
 	}
 	if id == InvalidPage || uint32(id) >= pf.pageCount {
-		return fmt.Errorf("storage: page %d out of range [1,%d): %w", id, pf.pageCount, ErrBadPage)
+		return pageErr(op, id, fmt.Errorf("out of range [1,%d): %w", pf.pageCount, ErrBadPage))
 	}
 	return nil
+}
+
+// FreePages walks the free list and returns the IDs on it, in list
+// order. A cycle or out-of-range link is reported as a *PageError
+// wrapping ErrBadPage — a corrupt free list must not loop a scrub pass
+// forever.
+func (pf *PageFile) FreePages() ([]PageID, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, errors.New("storage: page file is closed")
+	}
+	var out []PageID
+	seen := make(map[PageID]bool)
+	for id := pf.freeHead; id != InvalidPage; {
+		if seen[id] || uint32(id) >= pf.pageCount {
+			return nil, pageErr("free-list", id, fmt.Errorf("corrupt free list link: %w", ErrBadPage))
+		}
+		seen[id] = true
+		out = append(out, id)
+		var next [4]byte
+		if _, err := pf.f.ReadAt(next[:], pf.offset(id)); err != nil {
+			return nil, pageErr("free-list", id, err)
+		}
+		id = PageID(binary.LittleEndian.Uint32(next[:]))
+	}
+	return out, nil
 }
 
 // ReadPage implements Pager.
 func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
-	if err := pf.check(id); err != nil {
+	if err := pf.check("read", id); err != nil {
 		return err
 	}
 	if len(buf) != pf.pageSize {
@@ -234,7 +265,7 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 	if _, err := pf.f.ReadAt(buf, pf.offset(id)); err != nil {
 		sp.Fail(err)
 		sp.End()
-		return fmt.Errorf("storage: read page %d: %w", id, err)
+		return pageErr("read", id, err)
 	}
 	sp.End()
 	return nil
@@ -244,7 +275,7 @@ func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
 func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
-	if err := pf.check(id); err != nil {
+	if err := pf.check("write", id); err != nil {
 		return err
 	}
 	if len(buf) != pf.pageSize {
@@ -256,7 +287,7 @@ func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 	if _, err := pf.f.WriteAt(buf, pf.offset(id)); err != nil {
 		sp.Fail(err)
 		sp.End()
-		return fmt.Errorf("storage: write page %d: %w", id, err)
+		return pageErr("write", id, err)
 	}
 	sp.End()
 	return nil

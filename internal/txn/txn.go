@@ -9,6 +9,7 @@ import (
 	"famedb/internal/access"
 	"famedb/internal/osal"
 	"famedb/internal/stats"
+	"famedb/internal/storage"
 	"famedb/internal/trace"
 )
 
@@ -126,6 +127,17 @@ type Options struct {
 	// Tracer records commit, WAL and group-commit handoff spans when
 	// the Tracing feature is composed; nil otherwise.
 	Tracer *trace.Tracer
+	// Health is the engine-wide degraded-mode latch shared with the
+	// page path. Once poisoned, commits, flushes and checkpoints return
+	// storage.ErrDegraded while reads keep serving. Nil disables the
+	// gate.
+	Health *storage.Health
+	// Retry bounds WAL append/sync retries on transient device errors
+	// (osal.ErrTransient); the zero value means single attempts.
+	Retry storage.RetryPolicy
+	// Fault receives retry/degraded counters when the Statistics
+	// feature is composed; nil otherwise.
+	Fault *stats.Fault
 }
 
 // Manager coordinates transactions over a store.
@@ -180,6 +192,9 @@ func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manag
 	m := &Manager{store: store, wal: w, opts: opts}
 	w.metrics = opts.Metrics
 	w.tracer = opts.Tracer
+	w.retry = opts.Retry
+	w.health = opts.Health
+	w.fault = opts.Fault
 	if opts.Locking {
 		m.mu = &sync.RWMutex{}
 		m.gc = newGroupCommit(m, opts.Protocol.BatchLimit())
@@ -430,6 +445,11 @@ func (t *Txn) Commit() error {
 	sp := m.opts.Tracer.Start(trace.LayerTxn, "commit")
 	sp.Txn(t.id)
 	defer sp.End()
+	// Degraded read-only mode refuses the commit before any log I/O.
+	if err := m.opts.Health.Err(); err != nil {
+		sp.Fail(err)
+		return err
+	}
 	if m.gc != nil {
 		err := m.gc.commit(t)
 		if err == nil {
@@ -491,6 +511,9 @@ func (m *Manager) quiesce() func() {
 // Flush forces durability of all committed transactions (relevant under
 // GroupCommit).
 func (m *Manager) Flush() error {
+	if err := m.opts.Health.Err(); err != nil {
+		return err
+	}
 	defer m.quiesce()()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -504,6 +527,9 @@ func (m *Manager) Flush() error {
 // Checkpoint makes the store durable and truncates the log. Requires
 // Options.SyncStore.
 func (m *Manager) Checkpoint() error {
+	if err := m.opts.Health.Err(); err != nil {
+		return err
+	}
 	defer m.quiesce()()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -524,6 +550,16 @@ func (m *Manager) Checkpoint() error {
 	return nil
 }
 
+// VerifyLog re-walks the whole WAL verifying every frame checksum —
+// the log half of the engine's scrub pass (DB.Verify / shell .verify).
+// The pipeline is quiesced so the scan sees a stable log.
+func (m *Manager) VerifyLog() (LogVerifyReport, error) {
+	defer m.quiesce()()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.wal.verify()
+}
+
 // LogSyncs returns how many durable log syncs have happened — the
 // metric the commit-protocol ablation compares.
 func (m *Manager) LogSyncs() int64 { return m.wal.SyncCount() }
@@ -541,6 +577,13 @@ func (m *Manager) Close() error {
 		return errors.New("txn: manager already closed")
 	}
 	m.closed = true
+	if m.opts.Health.Degraded() {
+		// A degraded engine cannot make its tail durable — the device
+		// is refusing writes. Release the handle without failing the
+		// shutdown; everything unsynced was never acknowledged as
+		// durable.
+		return m.wal.close()
+	}
 	if err := m.opts.Protocol.Flush(m.wal); err != nil {
 		return err
 	}

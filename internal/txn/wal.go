@@ -21,6 +21,7 @@ import (
 
 	"famedb/internal/osal"
 	"famedb/internal/stats"
+	"famedb/internal/storage"
 	"famedb/internal/trace"
 )
 
@@ -61,6 +62,12 @@ type WAL struct {
 	// commitsSince counts commit records appended since the last durable
 	// sync — the group-commit batch size observed at the next Sync.
 	commitsSince int
+	// retry/health/fault make the append and sync paths survive
+	// transient device errors with the same bounded policy as the page
+	// path; zero/nil values mean single attempts and no degraded latch.
+	retry  storage.RetryPolicy
+	health *storage.Health
+	fault  *stats.Fault
 }
 
 // logRecord is the in-memory form of a WAL record.
@@ -163,7 +170,10 @@ func (w *WAL) appendEncoded(buf []byte, records, commits int) error {
 	end := w.end
 	w.mu.Unlock()
 	sp := w.tracer.Start(trace.LayerWAL, "append")
-	if _, err := w.f.WriteAt(buf, end); err != nil {
+	if err := storage.Retry(w.retry, w.health, w.fault, "wal-append", func() error {
+		_, err := w.f.WriteAt(buf, end)
+		return err
+	}); err != nil {
 		sp.Fail(err)
 		sp.End()
 		return err
@@ -259,7 +269,9 @@ func (w *WAL) Sync() error {
 	batch := w.commitsSince
 	w.mu.Unlock()
 	sp := w.tracer.Start(trace.LayerWAL, "sync")
-	if err := w.f.Sync(); err != nil {
+	if err := storage.Retry(w.retry, w.health, w.fault, "wal-sync", func() error {
+		return w.f.Sync()
+	}); err != nil {
 		sp.Fail(err)
 		sp.End()
 		return err
@@ -336,6 +348,60 @@ func (w *WAL) reset() error {
 	w.mu.Unlock()
 	w.metrics.WalSync(batch)
 	return nil
+}
+
+// LogVerifyReport summarizes a WAL scrub: every frame of the valid
+// prefix re-verified its CRC; TornBytes counts trailing bytes past the
+// last valid frame (0 on a healthy log — corruption at rest or a torn
+// append that was never truncated shows up here).
+type LogVerifyReport struct {
+	// Records is the number of valid frames.
+	Records int
+	// Commits is how many of them are commit records.
+	Commits int
+	// ValidBytes is the length of the verified prefix (incl. magic).
+	ValidBytes int64
+	// TornBytes counts bytes past the valid prefix.
+	TornBytes int64
+}
+
+// Ok reports whether the log had no torn or corrupt tail.
+func (r LogVerifyReport) Ok() bool { return r.TornBytes == 0 }
+
+// String renders the report for logs and the shell.
+func (r LogVerifyReport) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("wal: %d records (%d commits), %d bytes ok", r.Records, r.Commits, r.ValidBytes)
+	}
+	return fmt.Sprintf("wal: %d records (%d commits), %d bytes ok, %d bytes TORN",
+		r.Records, r.Commits, r.ValidBytes, r.TornBytes)
+}
+
+// verify re-walks the log from the start, checking every frame CRC.
+func (w *WAL) verify() (LogVerifyReport, error) {
+	w.mu.Lock()
+	end := w.end
+	w.mu.Unlock()
+	var rep LogVerifyReport
+	off := int64(len(walMagic))
+	for off < end {
+		r, next, err := w.readRecordAt(off)
+		if err != nil {
+			if errors.Is(err, ErrLogCorrupt) || err == io.EOF {
+				rep.ValidBytes = off
+				rep.TornBytes = end - off
+				return rep, nil
+			}
+			return rep, err
+		}
+		rep.Records++
+		if r.typ == recCommit {
+			rep.Commits++
+		}
+		off = next
+	}
+	rep.ValidBytes = off
+	return rep, nil
 }
 
 // SyncCount returns how many durable flushes the log has performed.
