@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,CP] [-ops N]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,CP] [-ops N]
 //	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
@@ -19,10 +19,13 @@
 // Tracing under a latency or ROM budget). B5 runs the Checksums
 // benchmark — commit/read/recovery cost with and without page
 // trailers at three store sizes, again closing the feedback loop (the
-// deriver prices Checksums out under a latency or ROM budget). CP
-// runs the crash-point recovery harness: the same workload crashed at
-// every write-class op index under both the clean-cut and torn-write
-// models, reopened, and scrubbed.
+// deriver prices Checksums out under a latency or ROM budget). B6 runs
+// the Monitor benchmark — a group-commit mixed load with the live
+// sampler off, at 1s, and at 100ms, quantifying the monitoring
+// subsystem's overhead and pricing the Monitor feature through the
+// same feedback loop. CP runs the crash-point recovery harness: the
+// same workload crashed at every write-class op index under both the
+// clean-cut and torn-write models, reopened, and scrubbed.
 //
 // -out names the machine-readable reports with a literal "N" standing
 // for the benchmark number: -out BENCH_N.json writes BENCH_1.json ..
@@ -44,7 +47,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,CP", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -195,6 +198,14 @@ func main() {
 		}
 		fmt.Println(bench.FormatB5(r))
 		writeReport("B5", outPath("B5"), r.WriteJSON)
+	}
+	if want["B6"] {
+		r, err := bench.B6(*ops/4, 23)
+		if err != nil {
+			fail("B6", err)
+		}
+		fmt.Println(bench.FormatB6(r))
+		writeReport("B6", outPath("B6"), r.WriteJSON)
 	}
 	if want["CP"] {
 		for _, torn := range []bool{false, true} {

@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	fame-repl [-features Linux,BPlusTree,...] [-dir path]
+//	fame-repl [-features Linux,BPlusTree,...] [-dir path] [-monitor addr]
 //
-// The default selection includes the Statistics and Tracing features;
-// use the .stats command to inspect counters and latency histograms,
-// .trace dump|slow to inspect span trees, .help for the full command
-// list.
+// The default selection includes the Statistics, Tracing, and Monitor
+// features; use the .stats command to inspect counters and latency
+// histograms, .trace dump|slow to inspect span trees, .monitor for
+// windowed rates and watchdog events, .help for the full command list.
+// With -monitor the telemetry endpoint (/metrics, /healthz, /varz,
+// /events, /trace, /debug/pprof/) serves on the given address for the
+// life of the console.
 package main
 
 import (
@@ -25,9 +28,11 @@ import (
 
 func main() {
 	features := flag.String("features",
-		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,Statistics,Tracing",
+		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,Statistics,Tracing,Monitor",
 		"comma-separated feature selection to compose")
 	dir := flag.String("dir", "", "persist the instance in a directory (default: in memory)")
+	monitorAddr := flag.String("monitor", "",
+		`serve the Monitor feature's telemetry endpoint on this address (e.g. "127.0.0.1:8080"; feature Monitor)`)
 	flag.Parse()
 
 	var names []string
@@ -44,6 +49,16 @@ func main() {
 	defer db.Close()
 	fmt.Printf("FAME-DBMS product: %s\n.help lists commands\n",
 		strings.Join(db.Features(), " "))
+	if *monitorAddr != "" {
+		srv, err := db.ServeMonitor(*monitorAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fame-repl:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on %s (/metrics /healthz /varz /events /trace /debug/pprof/)\n",
+			srv.URL())
+	}
 	if err := shell.New(db, os.Stdout).Run(os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "fame-repl:", err)
 		os.Exit(1)

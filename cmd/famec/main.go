@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	modelFlag := flag.String("model", "fame", `feature model: "fame", "bdb", or a DSL file path`)
+	modelFlag := flag.String("model", "fame", `feature model: "fame", "bdb", "embedded-os", "embedded-system", or a DSL file path`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -89,6 +89,10 @@ func loadModel(name string) (*core.Model, *footprint.Table, error) {
 			return nil, nil, err
 		}
 		return core.BDBModel(), t, nil
+	case "embedded-os":
+		return core.EmbeddedOSModel(), nil, nil
+	case "embedded-system":
+		return core.EmbeddedSystemModel(), nil, nil
 	default:
 		src, err := os.ReadFile(name)
 		if err != nil {

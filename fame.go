@@ -31,6 +31,7 @@ import (
 	"famedb/internal/composer"
 	"famedb/internal/core"
 	"famedb/internal/footprint"
+	"famedb/internal/monitor"
 	"famedb/internal/nfp"
 	"famedb/internal/osal"
 	"famedb/internal/solver"
@@ -65,6 +66,19 @@ type (
 	// VerifyReport is the outcome of DB.Verify: the page scrub (feature
 	// Checksums) and the journal scrub (feature Transaction).
 	VerifyReport = composer.VerifyReport
+	// MonitorWindow is one windowed reading of the Monitor feature's
+	// sampler: rates and latency quantiles over the retained history
+	// (see DB.MonitorWindow).
+	MonitorWindow = monitor.Window
+	// MonitorEvent is one entry in the Monitor feature's bounded
+	// operational event log: a watchdog rule firing or clearing.
+	MonitorEvent = monitor.Event
+	// MonitorThresholds are the Monitor feature's declarative watchdog
+	// rules (see Options.MonitorRules).
+	MonitorThresholds = monitor.Thresholds
+	// MonitorServer is a running telemetry listener returned by
+	// DB.ServeMonitor.
+	MonitorServer = monitor.Server
 )
 
 // The measurable non-functional properties of the feedback approach.
@@ -133,6 +147,20 @@ type Options struct {
 	// RetryBackoff is the sleep before the first retry, doubling each
 	// further retry; 0 composes the default of 1ms.
 	RetryBackoff time.Duration
+	// MonitorInterval is the Monitor feature's sampler period (default
+	// 1s); ignored unless Monitor is selected.
+	MonitorInterval time.Duration
+	// MonitorWindow is how much history the Monitor feature's sample
+	// ring spans (default 60 intervals); ignored unless Monitor is
+	// selected.
+	MonitorWindow time.Duration
+	// MonitorRules are the Monitor feature's watchdog thresholds; the
+	// zero value watches only the degraded health latch. Ignored unless
+	// Monitor is selected.
+	MonitorRules MonitorThresholds
+	// MonitorOnAlert, when set, receives every watchdog event (alerts
+	// and clears) as the Monitor feature emits it.
+	MonitorOnAlert func(MonitorEvent)
 }
 
 // DB is a derived FAME-DBMS instance.
@@ -166,6 +194,10 @@ func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 			Attempts: opts.RetryAttempts,
 			Backoff:  opts.RetryBackoff,
 		},
+		MonitorInterval: opts.MonitorInterval,
+		MonitorWindow:   opts.MonitorWindow,
+		MonitorRules:    opts.MonitorRules,
+		MonitorOnAlert:  opts.MonitorOnAlert,
 	}
 	if opts.Dir != "" {
 		fs, err := osal.NewDirFS(opts.Dir)
@@ -287,6 +319,27 @@ func (db *DB) Trace() (TraceSnapshot, error) { return db.inst.Trace() }
 // SetTracing turns span recording on or off at runtime (feature
 // Tracing). Products derived without Tracing return ErrNotComposed.
 func (db *DB) SetTracing(on bool) error { return db.inst.SetTracing(on) }
+
+// MonitorWindow returns the Monitor feature's current windowed reading
+// — operation rates, buffer hit rate, and latency quantiles over the
+// sampler's retained history — taking a fresh sample first. Products
+// derived without Monitor return ErrNotComposed.
+func (db *DB) MonitorWindow() (MonitorWindow, error) { return db.inst.MonitorWindow() }
+
+// MonitorEvents returns the Monitor feature's retained operational
+// events (watchdog alerts and clears, oldest first) plus how many older
+// events its bounded log dropped. Products derived without Monitor
+// return ErrNotComposed.
+func (db *DB) MonitorEvents() ([]MonitorEvent, uint64, error) { return db.inst.MonitorEvents() }
+
+// ServeMonitor binds addr (e.g. "127.0.0.1:8080", or ":0" for an
+// ephemeral port) and serves the Monitor feature's telemetry endpoint:
+// /metrics (Prometheus exposition), /healthz (503 once the engine
+// degrades), /varz (JSON snapshot + windowed rates), /events, /trace
+// (Chrome trace export, feature Tracing), and /debug/pprof/. Close the
+// returned server to stop serving. Products derived without Monitor
+// return ErrNotComposed.
+func (db *DB) ServeMonitor(addr string) (*MonitorServer, error) { return db.inst.ServeMonitor(addr) }
 
 // ROM returns the product's code footprint in bytes (the paper's
 // binary-size NFP).

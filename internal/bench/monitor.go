@@ -1,0 +1,387 @@
+package bench
+
+// Benchmark B6: the Monitor feature's overhead and its NFP feedback.
+//
+// Three otherwise identical group-commit products — Monitor off,
+// Monitor sampling at 1s, Monitor sampling at 100ms — run the same
+// mixed workload at 1, 4 and 16 goroutines over an in-memory device:
+// each worker interleaves transactional puts (the group-commit write
+// path needs Locking, which the product composes) with reads, while
+// the sampler goroutine ticks concurrently and every read of the
+// Statistics registry it takes contends with the workload's own
+// recording. The monitored points also report the sampler's tick count
+// and the watchdog's alert count, so the report shows the subsystem
+// actually ran.
+//
+// The 16-goroutine measurements close the paper's feedback loop the
+// same unflattering way as B4: Monitor's fitted latency weight is
+// whatever the measurements say (usually a small positive cost), so
+// the greedy deriver minimizing measured latency prices it in or out —
+// and under a ROM budget tight enough for the base product alone,
+// requiring Monitor makes derivation infeasible. Live observability is
+// a feature with a price, and the NFP machinery quotes it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/monitor"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+)
+
+// B6Config fixes the scenario.
+type B6Config struct {
+	Ops        int   // operations per measured point (1/4 txn puts, 3/4 gets)
+	Seed       int64 // reserved for workload shuffling
+	ValueBytes int   // payload per put
+}
+
+func defaultB6Config(ops int, seed int64) B6Config {
+	if ops < 2048 {
+		ops = 2048
+	}
+	return B6Config{Ops: ops, Seed: seed, ValueBytes: 64}
+}
+
+// b6Intervals are the measured sampler periods: 0 composes the product
+// without the Monitor feature.
+var b6Intervals = []time.Duration{0, time.Second, 100 * time.Millisecond}
+
+// B6Point is one measured (interval, goroutines) cell.
+type B6Point struct {
+	Monitor    bool    `json:"monitor"`
+	IntervalMs float64 `json:"interval_ms"` // 0 when Monitor is off
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Latency quantiles from the Statistics feature's histograms,
+	// nanoseconds, over the timed mixed phase.
+	GetP50Ns    float64 `json:"get_p50_ns"`
+	GetP99Ns    float64 `json:"get_p99_ns"`
+	CommitP50Ns float64 `json:"commit_p50_ns"`
+	CommitP99Ns float64 `json:"commit_p99_ns"`
+	// Sampler activity during the timed phase; zero when Monitor is off.
+	MonitorTicks  uint64 `json:"monitor_ticks"`
+	MonitorAlerts uint64 `json:"monitor_alerts"`
+}
+
+// B6Overhead compares monitored vs unmonitored throughput at one
+// concurrency.
+type B6Overhead struct {
+	Goroutines int     `json:"goroutines"`
+	OffOpsSec  float64 `json:"off_ops_per_sec"`
+	On1sOpsSec float64 `json:"on_1s_ops_per_sec"`
+	On100msSec float64 `json:"on_100ms_ops_per_sec"`
+	Pct1s      float64 `json:"overhead_1s_pct"`
+	Pct100ms   float64 `json:"overhead_100ms_pct"`
+}
+
+// B6Feedback is the closed loop: measured latency prices Monitor in or
+// out, and a tight ROM budget makes a Monitor-required derivation
+// infeasible.
+type B6Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedMonitor reports whether the latency-minimizing greedy
+	// deriver kept Monitor.
+	SelectedMonitor bool `json:"selected_monitor"`
+	// MonitorLatencyWeightNs is the fitted per-feature contribution of
+	// Monitor to p50 latency.
+	MonitorLatencyWeightNs float64 `json:"monitor_latency_weight_ns"`
+	// The ROM side: the base product's footprint, Monitor's footprint
+	// delta, and the budget under which requiring Monitor fails.
+	BaseROM               int  `json:"base_rom_bytes"`
+	MonitorROM            int  `json:"monitor_rom_bytes"`
+	TightROMBudget        int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithMonitor bool `json:"infeasible_with_monitor"`
+}
+
+// B6Result is the machine-readable report (BENCH_6.json).
+type B6Result struct {
+	Ops        int          `json:"ops_per_point"`
+	Seed       int64        `json:"seed"`
+	ValueBytes int          `json:"value_bytes"`
+	Points     []B6Point    `json:"points"`
+	Overheads  []B6Overhead `json:"overheads"`
+	Feedback   B6Feedback   `json:"feedback"`
+}
+
+// b6Features is the measured product: the thread-safe group-commit
+// write path plus concurrent reads, with Statistics for the latency
+// histograms and Monitor for the monitored variants.
+func b6Features(monitored bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get",
+		"Transaction", "GroupCommit", "Locking", "Statistics",
+	}
+	if monitored {
+		fs = append(fs, "Monitor")
+	}
+	return fs
+}
+
+// b6Run measures one (interval, goroutines) point: a sequential load
+// phase, then g workers sharing cfg.Ops timed operations — every 4th a
+// transactional put through the group-commit pipeline, the rest gets —
+// with the sampler (when composed) ticking concurrently throughout.
+func b6Run(cfg B6Config, interval time.Duration, g int) (B6Point, error) {
+	monitored := interval > 0
+	pt := B6Point{
+		Monitor:    monitored,
+		Goroutines: g,
+		Ops:        cfg.Ops,
+	}
+	if monitored {
+		pt.IntervalMs = float64(interval) / float64(time.Millisecond)
+	}
+
+	inst, err := composer.ComposeProduct(composer.Options{
+		MonitorInterval: interval,
+		// Watch the pipeline with a deliberately reachable stall rule so
+		// the watchdog does real comparisons per tick, like a deployment
+		// would.
+		MonitorRules: monitor.Thresholds{CommitStallP99: 2 * time.Millisecond},
+	}, b6Features(monitored)...)
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keys := cfg.Ops / 8
+	if keys < 256 {
+		keys = 256
+	}
+	for i := 0; i < keys; i++ {
+		if err := inst.Store.Put([]byte(fmt.Sprintf("k%07d", i)), value); err != nil {
+			inst.Close()
+			return pt, err
+		}
+	}
+
+	errs := make(chan error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		n := cfg.Ops / g
+		if w < cfg.Ops%g {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if i%4 == 0 {
+					// Each writer owns a disjoint key space, so reads of
+					// the preloaded keys never race an in-place rewrite.
+					tx := inst.Txn.Begin()
+					if err := tx.Put([]byte(fmt.Sprintf("w%02d-%07d", w, i)), value); err != nil {
+						errs <- err
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, err := inst.Store.Get(
+					[]byte(fmt.Sprintf("k%07d", (w*7919+i)%keys))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		inst.Close()
+		return pt, err
+	}
+
+	snap, err := inst.Stats()
+	if err != nil {
+		inst.Close()
+		return pt, err
+	}
+	if m := inst.Monitor(); m != nil {
+		// One on-demand sample after the timed phase (short runs can end
+		// before the first periodic tick), so the watchdog evaluated the
+		// workload at least once and the tick count proves the subsystem
+		// ran.
+		m.Tick()
+		pt.MonitorTicks = m.Ticks()
+		pt.MonitorAlerts = m.Alerts()
+	}
+	if err := inst.Close(); err != nil {
+		return pt, err
+	}
+
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	pt.GetP50Ns = snap.Access.GetLatency.P50()
+	pt.GetP99Ns = snap.Access.GetLatency.P99()
+	pt.CommitP50Ns = snap.Txn.CommitLatency.P50()
+	pt.CommitP99Ns = snap.Txn.CommitLatency.P99()
+	return pt, nil
+}
+
+// B6 runs the monitoring-overhead benchmark and closes the feedback
+// loop: the sampler's cost is measured at three periods and the NFP
+// machinery prices the Monitor feature under latency and ROM
+// objectives.
+func B6(n int, seed int64) (*B6Result, error) {
+	cfg := defaultB6Config(n, seed)
+	res := &B6Result{Ops: cfg.Ops, Seed: cfg.Seed, ValueBytes: cfg.ValueBytes}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	byG := map[int]*B6Overhead{}
+	gs := []int{1, 4, 16}
+	for _, interval := range b6Intervals {
+		for _, g := range gs {
+			pt, err := b6Run(cfg, interval, g)
+			if err != nil {
+				return nil, fmt.Errorf("B6 interval=%v/%d: %w", interval, g, err)
+			}
+			res.Points = append(res.Points, pt)
+			ov := byG[g]
+			if ov == nil {
+				ov = &B6Overhead{Goroutines: g}
+				byG[g] = ov
+			}
+			switch interval {
+			case 0:
+				ov.OffOpsSec = pt.OpsPerSec
+			case time.Second:
+				ov.On1sOpsSec = pt.OpsPerSec
+			default:
+				ov.On100msSec = pt.OpsPerSec
+			}
+			// Feed the loop at the highest concurrency: one measurement
+			// without Monitor, one with it sampling at full tilt. The two
+			// monitored variants share a feature set, so only the faster-
+			// sampling one (the worst case) is recorded.
+			if g == 16 && interval != time.Second {
+				err := nfp.RecordMeasurement(store, b6Features(interval > 0), map[nfp.Property]float64{
+					nfp.Throughput: pt.OpsPerSec,
+					nfp.LatencyP50: pt.GetP50Ns,
+					nfp.LatencyP99: pt.GetP99Ns,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, g := range gs {
+		ov := byG[g]
+		if ov.OffOpsSec > 0 {
+			ov.Pct1s = (ov.OffOpsSec - ov.On1sOpsSec) / ov.OffOpsSec * 100
+			ov.Pct100ms = (ov.OffOpsSec - ov.On100msSec) / ov.OffOpsSec * 100
+		}
+		res.Overheads = append(res.Overheads, *ov)
+	}
+
+	// Latency side: greedy over the signed fitted table decides whether
+	// the measured sampler cost justifies carrying Monitor.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "Monitor")
+
+	// ROM side: size a budget that fits the minimal base product but not
+	// the monitoring subsystem, then require Monitor under it.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	monROM := rom.Features["Monitor"]
+	budget := base.ROM + monROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "Monitor"),
+		MaxROM:   budget,
+	})
+
+	res.Feedback = B6Feedback{
+		Property:               string(nfp.LatencyP50),
+		MeasuredProducts:       len(store.Measurements()),
+		Required:               required,
+		DerivedFeatures:        derived.Config.SelectedNames(),
+		SelectedMonitor:        derived.Config.Has("Monitor"),
+		MonitorLatencyWeightNs: lw,
+		BaseROM:                base.ROM,
+		MonitorROM:             monROM,
+		TightROMBudget:         budget,
+		InfeasibleWithMonitor:  errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+// FormatB6 renders the B6 result as text.
+func FormatB6(r *B6Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "B6 — Monitor: live-sampling overhead, group-commit mixed load (1 put : 3 gets)")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "monitor\tinterval\tgoroutines\tops/s\tget p50 ns\tcommit p50 ns\tticks\talerts")
+	for _, p := range r.Points {
+		interval := "-"
+		if p.Monitor {
+			interval = fmt.Sprintf("%.0fms", p.IntervalMs)
+		}
+		fmt.Fprintf(w, "%v\t%s\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			p.Monitor, interval, p.Goroutines, p.OpsPerSec, p.GetP50Ns, p.CommitP50Ns,
+			p.MonitorTicks, p.MonitorAlerts)
+	}
+	w.Flush()
+	for _, ov := range r.Overheads {
+		fmt.Fprintf(&b, "overhead at %2d goroutines: 1s sampling %+.1f%%, 100ms sampling %+.1f%%\n",
+			ov.Goroutines, ov.Pct1s, ov.Pct100ms)
+	}
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  Monitor selected: %v (latency weight %+.0f ns)\n",
+		r.Feedback.SelectedMonitor, r.Feedback.MonitorLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, Monitor +%d B; requiring Monitor under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.MonitorROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithMonitor)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_6.json).
+func (r *B6Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

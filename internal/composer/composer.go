@@ -17,6 +17,7 @@ import (
 	"famedb/internal/core"
 	"famedb/internal/footprint"
 	"famedb/internal/index"
+	"famedb/internal/monitor"
 	"famedb/internal/osal"
 	"famedb/internal/sql"
 	"famedb/internal/stats"
@@ -51,6 +52,18 @@ type Options struct {
 	// before poisoning into degraded read-only mode. The zero value
 	// (Attempts == 0) composes storage.DefaultRetryPolicy.
 	Retry storage.RetryPolicy
+	// MonitorInterval is the Monitor feature's sampler period (default
+	// 1s). Ignored without Monitor.
+	MonitorInterval time.Duration
+	// MonitorWindow is how much history the monitor's sample ring spans
+	// (default 60 intervals). Ignored without Monitor.
+	MonitorWindow time.Duration
+	// MonitorRules are the watchdog thresholds; the zero value watches
+	// only the degraded latch. Ignored without Monitor.
+	MonitorRules monitor.Thresholds
+	// MonitorOnAlert, when set, receives every watchdog event (alerts
+	// and clears) as it is emitted. Ignored without Monitor.
+	MonitorOnAlert func(monitor.Event)
 }
 
 // Instance is a derived FAME-DBMS product.
@@ -87,6 +100,9 @@ type Instance struct {
 	// tracer is the Tracing feature's span recorder; nil unless the
 	// feature is selected, in which case every layer records into it.
 	tracer *trace.Tracer
+	// mon is the Monitor feature's live-observation subsystem (sampler,
+	// watchdog, telemetry handler); nil unless the feature is selected.
+	mon *monitor.Monitor
 }
 
 // layout records where the persistent structures live, so an instance
@@ -435,6 +451,38 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		}
 	}
 
+	// Monitor feature: the live-observation subsystem over everything
+	// composed above. Its source closures read the Statistics registry
+	// (model constraint: Monitor => Statistics), the health latch, the
+	// WAL size, and — when Tracing is composed — the span ring, so the
+	// monitor itself stays decoupled from the layers it watches. The
+	// sampler goroutine starts immediately and Close stops it.
+	if cfg.Has("Monitor") {
+		src := monitor.Source{
+			Snapshot: func() stats.Snapshot {
+				s, _ := inst.Stats() // refreshes the trace-ring gauges
+				return s
+			},
+			Health: inst.health,
+		}
+		if inst.Txn != nil {
+			src.LogSize = inst.Txn.LogSize
+		}
+		if inst.tracer != nil {
+			src.Trace = inst.Trace
+		}
+		for _, f := range cfg.SelectedFeatures() {
+			src.Features = append(src.Features, f.Name)
+		}
+		inst.mon = monitor.New(monitor.Config{
+			Interval: opts.MonitorInterval,
+			Window:   opts.MonitorWindow,
+			Rules:    opts.MonitorRules,
+			OnAlert:  opts.MonitorOnAlert,
+		}, src)
+		inst.mon.Start()
+	}
+
 	if !existing {
 		if err := writeLayout(inst.fs, lay); err != nil {
 			return nil, err
@@ -703,6 +751,43 @@ func (i *Instance) SetTracing(on bool) error {
 	return nil
 }
 
+// Monitor returns the live Monitor subsystem, or nil when the feature
+// is not composed.
+func (i *Instance) Monitor() *monitor.Monitor { return i.mon }
+
+// MonitorWindow ticks the monitor's sampler and returns the current
+// windowed reading, or access.ErrNotComposed when the product was
+// derived without the Monitor feature.
+func (i *Instance) MonitorWindow() (monitor.Window, error) {
+	if i.mon == nil {
+		return monitor.Window{}, fmt.Errorf("MonitorWindow: %w", access.ErrNotComposed)
+	}
+	i.mon.Tick()
+	return i.mon.Window(), nil
+}
+
+// MonitorEvents returns the monitor's retained operational events
+// (oldest first) and how many older ones its bounded log dropped, or
+// access.ErrNotComposed without the Monitor feature.
+func (i *Instance) MonitorEvents() ([]monitor.Event, uint64, error) {
+	if i.mon == nil {
+		return nil, 0, fmt.Errorf("MonitorEvents: %w", access.ErrNotComposed)
+	}
+	events, dropped := i.mon.Events()
+	return events, dropped, nil
+}
+
+// ServeMonitor binds addr and serves the Monitor feature's telemetry
+// endpoint (/metrics, /healthz, /varz, /events, /trace, /debug/pprof/)
+// until the returned server is closed. Fails with access.ErrNotComposed
+// when the product was derived without the Monitor feature.
+func (i *Instance) ServeMonitor(addr string) (*monitor.Server, error) {
+	if i.mon == nil {
+		return nil, fmt.Errorf("ServeMonitor: %w", access.ErrNotComposed)
+	}
+	return i.mon.Serve(addr)
+}
+
 // StatsRegistry returns the live Statistics registry, or nil when the
 // feature is not composed. Benchmark harnesses use it to read
 // histograms without going through snapshots.
@@ -818,6 +903,10 @@ func (i *Instance) Sync() error {
 // without flushing: the device refuses writes, and nothing unflushed
 // was ever acknowledged durable.
 func (i *Instance) Close() error {
+	if i.mon != nil {
+		// Stop the sampler before tearing down the layers it reads.
+		i.mon.Stop()
+	}
 	if i.Txn != nil {
 		if err := i.Txn.Close(); err != nil {
 			return err

@@ -92,6 +92,13 @@ func FAMEModel() *Model {
 	// when deselected.
 	tr := root.AddChild("Tracing", Optional)
 	tr.Description = "per-operation spans: ring-buffer recorder and slow-op log across all layers"
+	// Monitor is the live-observation feature: a sampler goroutine over
+	// the Statistics registry (windowed rates and quantiles from
+	// snapshot deltas), a threshold watchdog with a bounded event log,
+	// and an HTTP telemetry endpoint. It observes; it never measures on
+	// its own — hence the Statistics requirement below.
+	mon := root.AddChild("Monitor", Optional)
+	mon.Description = "live monitoring: windowed sampler, health watchdog, and HTTP telemetry endpoint"
 	api := root.AddAbstract("API", Mandatory)
 	sql := api.AddChild("SQLEngine", Optional)
 	sql.Description = "declarative query interface"
@@ -116,6 +123,12 @@ func FAMEModel() *Model {
 	// The span recorder's preallocated ring and goroutine-local parenting
 	// are far beyond a deeply embedded node's RAM and threading model.
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Tracing"))))
+	// The monitor samples the Statistics registry: without the counters
+	// there is nothing to window or watch.
+	m.Require("Monitor", "Statistics")
+	// A sampler goroutine, an HTTP server, and a sample ring have no
+	// place on a deeply embedded NutOS node.
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Monitor"))))
 	// NutOS nodes use tiny 512-byte pages where a 4-byte trailer per page
 	// plus a CRC per I/O is disproportionate; their flash controllers do
 	// ECC in hardware.
@@ -173,7 +186,7 @@ func FAMEProducts() []NamedProduct {
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking",
-				"Optimizer", "SQLEngine", "Statistics", "Tracing",
+				"Optimizer", "SQLEngine", "Statistics", "Tracing", "Monitor",
 			},
 			Note: "everything selected: the largest product",
 		},

@@ -89,6 +89,31 @@ func TestFAMEModelDomainConstraints(t *testing.T) {
 	if err := c.Select("NutOS"); err == nil {
 		t.Error("Checksums+NutOS should be contradictory")
 	}
+
+	// Monitor samples the Statistics registry, so selecting it pulls
+	// Statistics in; a NutOS node must never select Monitor (a sampler
+	// goroutine and HTTP server are out of the question there).
+	c = m.NewConfiguration()
+	if err := c.Select("Monitor"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Statistics") {
+		t.Error("Monitor should force Statistics on")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("Monitor") != Deselected {
+		t.Error("NutOS should force Monitor off")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("Monitor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("NutOS"); err == nil {
+		t.Error("Monitor+NutOS should be contradictory")
+	}
 }
 
 func TestFAMEProductsAreValid(t *testing.T) {

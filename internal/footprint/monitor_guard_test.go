@@ -1,0 +1,36 @@
+package footprint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOnlyMonitorMapsMonitorSources guards the Monitor feature's
+// zero-cost contract on the ROM side: a product derived without Monitor
+// must carry none of internal/monitor — no sampler, no watchdog, no
+// HTTP server — so no other feature and not the core may claim those
+// sources.
+func TestOnlyMonitorMapsMonitorSources(t *testing.T) {
+	for _, spec := range FAMECore() {
+		if strings.HasPrefix(spec.File, "internal/monitor/") {
+			t.Errorf("core claims monitor source %s", spec.File)
+		}
+	}
+	for feat, specs := range FAMESources() {
+		for _, spec := range specs {
+			if strings.HasPrefix(spec.File, "internal/monitor/") && feat != "Monitor" {
+				t.Errorf("feature %q claims monitor source %s", feat, spec.File)
+			}
+		}
+	}
+	// And Monitor claims the whole package, so its ROM cost is real.
+	var mapped int
+	for _, spec := range FAMESources()["Monitor"] {
+		if strings.HasPrefix(spec.File, "internal/monitor/") {
+			mapped++
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("Monitor feature maps no internal/monitor sources")
+	}
+}

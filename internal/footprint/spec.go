@@ -205,6 +205,7 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/stats/stats.go"),
 			file("internal/stats/histogram.go"),
 			file("internal/stats/encode.go"),
+			file("internal/stats/delta.go"),
 		},
 
 		// The Tracing feature: the span recorder with its ring buffer,
@@ -216,6 +217,17 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/trace/ring.go"),
 			file("internal/trace/slow.go"),
 			file("internal/trace/export.go"),
+		},
+
+		// The Monitor feature: the windowed sampler, the threshold
+		// watchdog with its bounded event log, and the HTTP telemetry
+		// endpoint. Only Monitor maps this package (CI guards that), so
+		// a product derived without it carries no sampler goroutine, no
+		// rule engine, and no HTTP server.
+		"Monitor": {
+			file("internal/monitor/monitor.go"),
+			file("internal/monitor/watchdog.go"),
+			file("internal/monitor/http.go"),
 		},
 	}
 }

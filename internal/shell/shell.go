@@ -3,7 +3,8 @@
 // products with the SQLEngine feature, and dot-commands for
 // introspection — .stats dumps the Statistics feature's counters and
 // latency histograms, .trace the Tracing feature's span ring and
-// slow-op log.
+// slow-op log, .monitor the Monitor feature's windowed rates and
+// watchdog events.
 //
 // The console operates strictly on the public facade, so it can only do
 // what the derived product composed: absent features answer with
@@ -17,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	fame "famedb"
 )
@@ -58,6 +60,7 @@ func init() {
 		{".features", "", "show the product's selected features", (*Shell).cmdFeatures},
 		{".stats", "[prom|json]", "dump runtime metrics (feature Statistics)", (*Shell).cmdStats},
 		{".trace", "on|off|dump|slow", "control span recording (feature Tracing)", (*Shell).cmdTrace},
+		{".monitor", "[events [n]]", "show windowed rates and watchdog state (feature Monitor)", (*Shell).cmdMonitor},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
 		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
@@ -297,6 +300,84 @@ func (s *Shell) cmdTrace(fields []string) bool {
 		fmt.Fprintln(s.out, "usage: .trace on|off|dump [chrome|json]|slow")
 	}
 	return false
+}
+
+// cmdMonitor prints the Monitor feature's live picture: one windowed
+// reading (rates, hit rate, latency quantiles), the currently-firing
+// watchdog rules, and the tail of the operational event log.
+// ".monitor events [n]" lists just the last n events (default 10).
+func (s *Shell) cmdMonitor(fields []string) bool {
+	w, err := s.db.MonitorWindow()
+	if err != nil {
+		s.featureErr("Monitor", ".monitor", err)
+		return false
+	}
+	events, dropped, err := s.db.MonitorEvents()
+	if err != nil {
+		s.featureErr("Monitor", ".monitor", err)
+		return false
+	}
+
+	if len(fields) > 1 && fields[1] == "events" {
+		n := 10
+		if len(fields) > 2 {
+			fmt.Sscanf(fields[2], "%d", &n)
+		}
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		if dropped > 0 {
+			fmt.Fprintf(s.out, "(%d older events dropped)\n", dropped)
+		}
+		if len(events) == 0 {
+			fmt.Fprintln(s.out, "no operational events")
+		}
+		for _, e := range events {
+			fmt.Fprintln(s.out, e)
+		}
+		return false
+	}
+
+	fmt.Fprintf(s.out, "window   %.1fs over %d samples\n", w.Seconds, w.Samples)
+	health := "ok"
+	if w.Degraded {
+		health = "DEGRADED: " + w.DegradedReason
+	}
+	fmt.Fprintf(s.out, "health   %s\n", health)
+	fmt.Fprintf(s.out, "rates    get %.1f/s  put %.1f/s  commit %.1f/s  stmt %.1f/s\n",
+		w.GetsPerSec, w.PutsPerSec, w.CommitsPerSec, w.StmtsPerSec)
+	if w.HitRate >= 0 {
+		fmt.Fprintf(s.out, "cache    hit rate %.3f\n", w.HitRate)
+	} else {
+		fmt.Fprintln(s.out, "cache    no traffic in window")
+	}
+	fmt.Fprintf(s.out, "latency  get p50/p99 %s/%s  put p50/p99 %s/%s\n",
+		fmtNs(w.GetP50Ns), fmtNs(w.GetP99Ns), fmtNs(w.PutP50Ns), fmtNs(w.PutP99Ns))
+	if w.CommitsPerSec > 0 || w.CommitP99Ns > 0 {
+		fmt.Fprintf(s.out, "commit   p99 %s  stall p50/p99 %s/%s  wal growth %d bytes\n",
+			fmtNs(w.CommitP99Ns), fmtNs(w.StallP50Ns), fmtNs(w.StallP99Ns), w.WALGrowthBytes)
+	}
+	alerts := 0
+	for _, e := range events {
+		if e.Alert() {
+			alerts++
+		}
+	}
+	fmt.Fprintf(s.out, "watchdog %d events retained (%d alerts, %d dropped)\n",
+		len(events)+int(dropped), alerts, dropped)
+	if n := len(events); n > 0 {
+		fmt.Fprintln(s.out, "last:   ", events[n-1])
+	}
+	return false
+}
+
+// fmtNs renders a nanosecond quantity with time.Duration's formatting,
+// "-" when the window saw no observations.
+func fmtNs(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(int64(ns)).String()
 }
 
 // featureErr prints a one-line explanation when an introspection

@@ -198,3 +198,43 @@ func TestShellVerifyNotComposed(t *testing.T) {
 		t.Errorf(".verify on a bare product = %q", out.String())
 	}
 }
+
+func TestShellMonitor(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU",
+		"Put", "Get", "Statistics", "Monitor")
+
+	for _, line := range []string{"put a 1", "put b 2", "get a", "get b"} {
+		s.Execute(line)
+	}
+	out.Reset()
+	s.Execute(".monitor")
+	got := out.String()
+	for _, want := range []string{"window", "health   ok", "rates", "watchdog"} {
+		if !strings.Contains(got, want) {
+			t.Errorf(".monitor output %q missing %q", got, want)
+		}
+	}
+
+	out.Reset()
+	s.Execute(".monitor events")
+	if !strings.Contains(out.String(), "no operational events") {
+		t.Errorf(".monitor events on a quiet product printed %q", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".help")
+	if !strings.Contains(out.String(), ".monitor") {
+		t.Errorf(".help output %q missing .monitor", out.String())
+	}
+}
+
+func TestShellMonitorNotComposed(t *testing.T) {
+	s, out := newShell(t, "Linux", "BPlusTree", "Put", "Get", "Statistics")
+	s.Execute(".monitor")
+	if !strings.Contains(out.String(), "not composed") ||
+		!strings.Contains(out.String(), "Monitor") {
+		t.Errorf(".monitor on a product without Monitor printed %q, want not-composed guidance",
+			out.String())
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+// Snapshot deltas: the windowed-observation API of the Monitor feature.
+// A snapshot is cumulative since composition; the sampler takes one
+// every tick and differences consecutive (or window-spanning) pairs to
+// derive rates and per-window latency quantiles. Counters and histogram
+// buckets are monotonic, so the difference is exact: a histogram delta
+// holds precisely the observations that landed between the two
+// snapshots, and Quantile/P50/P99 on it are the *windowed* quantiles.
+//
+// Underflow guard: counters only move backwards when the process (and
+// registry) restarted between the two snapshots. Like Prometheus rate(),
+// Sub then treats the current value as the whole delta instead of
+// producing a negative count.
+
+// subCounter differences one monotonic counter with the restart guard:
+// cur - prev when non-negative, else cur (counter reset).
+func subCounter(cur, prev int64) int64 {
+	if d := cur - prev; d >= 0 {
+		return d
+	}
+	return cur
+}
+
+// Sub returns the histogram activity between prev and s: per-bucket
+// count differences with the underflow guard applied bucket-wise. A
+// zero-value prev (nil slices — e.g. the feature owning the histogram
+// was not composed when prev was taken) or a prev with different bucket
+// bounds yields s unchanged. The result shares s's Bounds slice; the
+// quantile and mean helpers work on it like on any snapshot.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(s.Counts) == 0 ||
+		len(prev.Counts) != len(s.Counts) || len(prev.Bounds) != len(s.Bounds) {
+		return s
+	}
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    subCounter(s.Sum, prev.Sum),
+	}
+	for i := range s.Counts {
+		c := subCounter(s.Counts[i], prev.Counts[i])
+		d.Counts[i] = c
+		d.Count += c
+	}
+	return d
+}
+
+// Sub returns the activity between prev and s: every counter and
+// histogram is differenced with the monotonic underflow guard, while
+// gauges (buffer policy and shard count, tree height, trace-ring
+// capacity/occupancy, slow-op log size, the degraded latch) keep s's
+// current value — a gauge difference has no meaning in a window.
+// Sub(Snapshot{}) is s itself, so a zero-value baseline reads as
+// "everything since composition".
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := s // gauges (and slice-free fields) start as the current values
+
+	d.Buffer.Hits = subCounter(s.Buffer.Hits, prev.Buffer.Hits)
+	d.Buffer.Misses = subCounter(s.Buffer.Misses, prev.Buffer.Misses)
+	d.Buffer.Evictions = subCounter(s.Buffer.Evictions, prev.Buffer.Evictions)
+	d.Buffer.WriteBacks = subCounter(s.Buffer.WriteBacks, prev.Buffer.WriteBacks)
+
+	d.Pager.Reads = subCounter(s.Pager.Reads, prev.Pager.Reads)
+	d.Pager.Writes = subCounter(s.Pager.Writes, prev.Pager.Writes)
+	d.Pager.Allocs = subCounter(s.Pager.Allocs, prev.Pager.Allocs)
+	d.Pager.Frees = subCounter(s.Pager.Frees, prev.Pager.Frees)
+	d.Pager.Syncs = subCounter(s.Pager.Syncs, prev.Pager.Syncs)
+
+	d.BTree.LeafSplits = subCounter(s.BTree.LeafSplits, prev.BTree.LeafSplits)
+	d.BTree.InnerSplits = subCounter(s.BTree.InnerSplits, prev.BTree.InnerSplits)
+	d.BTree.RootSplits = subCounter(s.BTree.RootSplits, prev.BTree.RootSplits)
+	d.BTree.Compactions = subCounter(s.BTree.Compactions, prev.BTree.Compactions)
+	d.BTree.PagesFreed = subCounter(s.BTree.PagesFreed, prev.BTree.PagesFreed)
+	// Height is a gauge: keep s's value.
+
+	d.Txn.Begins = subCounter(s.Txn.Begins, prev.Txn.Begins)
+	d.Txn.Commits = subCounter(s.Txn.Commits, prev.Txn.Commits)
+	d.Txn.Aborts = subCounter(s.Txn.Aborts, prev.Txn.Aborts)
+	d.Txn.Checkpoints = subCounter(s.Txn.Checkpoints, prev.Txn.Checkpoints)
+	d.Txn.WalAppends = subCounter(s.Txn.WalAppends, prev.Txn.WalAppends)
+	d.Txn.WalSyncs = subCounter(s.Txn.WalSyncs, prev.Txn.WalSyncs)
+	d.Txn.CommitLatency = s.Txn.CommitLatency.Sub(prev.Txn.CommitLatency)
+	d.Txn.CommitBatch = s.Txn.CommitBatch.Sub(prev.Txn.CommitBatch)
+	d.Txn.CommitStall = s.Txn.CommitStall.Sub(prev.Txn.CommitStall)
+
+	d.SQL.Creates = subCounter(s.SQL.Creates, prev.SQL.Creates)
+	d.SQL.Drops = subCounter(s.SQL.Drops, prev.SQL.Drops)
+	d.SQL.Inserts = subCounter(s.SQL.Inserts, prev.SQL.Inserts)
+	d.SQL.Selects = subCounter(s.SQL.Selects, prev.SQL.Selects)
+	d.SQL.Updates = subCounter(s.SQL.Updates, prev.SQL.Updates)
+	d.SQL.Deletes = subCounter(s.SQL.Deletes, prev.SQL.Deletes)
+	d.SQL.IndexScans = subCounter(s.SQL.IndexScans, prev.SQL.IndexScans)
+	d.SQL.FullScans = subCounter(s.SQL.FullScans, prev.SQL.FullScans)
+	d.SQL.StmtLatency = s.SQL.StmtLatency.Sub(prev.SQL.StmtLatency)
+
+	d.Access.GetLatency = s.Access.GetLatency.Sub(prev.Access.GetLatency)
+	d.Access.PutLatency = s.Access.PutLatency.Sub(prev.Access.PutLatency)
+
+	// Trace: RecordedSpans/DroppedSpans/SlowEvicted grow monotonically;
+	// capacity, occupancy and the slow-op log size are gauges.
+	d.Trace.RecordedSpans = subCounter(s.Trace.RecordedSpans, prev.Trace.RecordedSpans)
+	d.Trace.DroppedSpans = subCounter(s.Trace.DroppedSpans, prev.Trace.DroppedSpans)
+	d.Trace.SlowEvicted = subCounter(s.Trace.SlowEvicted, prev.Trace.SlowEvicted)
+
+	d.Fault.Transients = subCounter(s.Fault.Transients, prev.Fault.Transients)
+	d.Fault.Retries = subCounter(s.Fault.Retries, prev.Fault.Retries)
+	d.Fault.ChecksumFailures = subCounter(s.Fault.ChecksumFailures, prev.Fault.ChecksumFailures)
+	d.Fault.ScrubbedPages = subCounter(s.Fault.ScrubbedPages, prev.Fault.ScrubbedPages)
+	// Degraded/DegradedReason are the latch's current state.
+
+	return d
+}
