@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,CP] [-ops N]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,CP] [-ops N]
 //	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
@@ -23,7 +23,12 @@
 // the Monitor benchmark — a group-commit mixed load with the live
 // sampler off, at 1s, and at 100ms, quantifying the monitoring
 // subsystem's overhead and pricing the Monitor feature through the
-// same feedback loop. CP runs the crash-point recovery harness: the
+// same feedback loop. B7 runs the MVCC benchmark — snapshot reads vs
+// latched reads across a reader/writer sweep while group-commit
+// writers rewrite the scanned keys, closing the loop both ways (the
+// deriver selects MVCC under a read-latency objective and prices it
+// out under a tight ROM budget). CP runs the crash-point recovery
+// harness: the
 // same workload crashed at every write-class op index under both the
 // clean-cut and torn-write models, reopened, and scrubbed.
 //
@@ -47,7 +52,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,CP", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -206,6 +211,14 @@ func main() {
 		}
 		fmt.Println(bench.FormatB6(r))
 		writeReport("B6", outPath("B6"), r.WriteJSON)
+	}
+	if want["B7"] {
+		r, err := bench.B7(*ops/4, 23)
+		if err != nil {
+			fail("B7", err)
+		}
+		fmt.Println(bench.FormatB7(r))
+		writeReport("B7", outPath("B7"), r.WriteJSON)
 	}
 	if want["CP"] {
 		for _, torn := range []bool{false, true} {

@@ -254,6 +254,22 @@ func (db *DB) Begin() (*Tx, error) {
 	return &Tx{t: db.inst.Txn.Begin()}, nil
 }
 
+// BeginSnapshot starts a read-only snapshot transaction pinned to the
+// newest committed version (feature MVCC): its Get/Scan run against
+// the pinned copy-on-write root without taking any lock and keep
+// seeing the begin-time state regardless of concurrent commits.
+// Release it with Commit or Abort so its version's pages can reclaim.
+func (db *DB) BeginSnapshot() (*Tx, error) {
+	if db.inst.Txn == nil {
+		return nil, fmt.Errorf("Transaction: %w", ErrNotComposed)
+	}
+	t, err := db.inst.BeginSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{t: t}, nil
+}
+
 // Put buffers a write.
 func (tx *Tx) Put(key, value []byte) error { return tx.t.Put(key, value) }
 
@@ -265,6 +281,22 @@ func (tx *Tx) Remove(key []byte) error { return tx.t.Remove(key) }
 
 // Update buffers a replacement of an existing key.
 func (tx *Tx) Update(key, value []byte) error { return tx.t.Update(key, value) }
+
+// Scan visits entries with from <= key < to in key order, merging
+// committed state (the pinned version under MVCC) with the
+// transaction's own buffered writes. Returning false from fn stops the
+// scan.
+func (tx *Tx) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	return tx.t.Scan(from, to, fn)
+}
+
+// Len returns the number of committed entries the transaction sees —
+// the pinned version's count on a snapshot transaction.
+func (tx *Tx) Len() (uint64, error) { return tx.t.Len() }
+
+// SnapshotSeq returns the commit sequence number of the version this
+// transaction reads and whether it is pinned to one (feature MVCC).
+func (tx *Tx) SnapshotSeq() (uint64, bool) { return tx.t.SnapshotSeq() }
 
 // Commit makes the transaction durable per the product's commit
 // protocol.

@@ -1,0 +1,431 @@
+package bench
+
+// Benchmark B7: the MVCC feature's read concurrency and its NFP
+// feedback.
+//
+// Two otherwise identical group-commit products — one latching reads
+// through Manager.mu, one composing MVCC — run the same mixed
+// reader/writer workload: each reader performs bounded range scans
+// inside read transactions (re-begun every few dozen scans so the
+// pinned version stays fresh), while writers overwrite keys in the
+// scanned range through the group-commit pipeline for the whole
+// measured phase. Under the latch every scan holds the manager's
+// read lock and convoys behind the writer's exclusive apply; under
+// MVCC the scan descends from a pinned copy-on-write root and takes
+// no lock at all, so readers never block and never wake the futex.
+// The reader/writer mix is swept: 1, 16 and 64 readers against one
+// writer, plus 16 readers against 4 writers.
+//
+// The MVCC points also report the version table's activity — versions
+// installed, pages reclaimed, versions live after the run — so the
+// report shows epoch reclamation kept the superseded pages bounded
+// while readers pinned old roots.
+//
+// The 16-reader/1-writer measurements close the paper's feedback loop:
+// both variants' read throughput and latency feed the NFP store, the
+// signed fitted table gives MVCC a negative read-latency weight, and
+// the greedy deriver minimizing measured read latency selects MVCC on
+// its own. The ROM side prices it right back out: under a budget that
+// fits the transactional base product but not the copy-on-write and
+// version-table code, requiring MVCC makes derivation infeasible.
+// Snapshot reads are a feature with a price, and the NFP machinery
+// quotes both sides of it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+	"famedb/internal/stats"
+)
+
+// B7Config fixes the scenario.
+type B7Config struct {
+	ReadOps    int   // scan operations per measured point, across readers
+	Seed       int64 // reserved for workload shuffling
+	Keys       int   // preloaded keys the readers scan and writers rewrite
+	ScanSpan   int   // keys visited per scan operation
+	ValueBytes int   // payload per key
+	TxnScans   int   // scans per read transaction before re-pinning
+	WriterPuts int   // puts per writer transaction
+}
+
+func defaultB7Config(readOps int, seed int64) B7Config {
+	if readOps < 4096 {
+		readOps = 4096
+	}
+	return B7Config{
+		ReadOps:    readOps,
+		Seed:       seed,
+		Keys:       4096,
+		ScanSpan:   64,
+		ValueBytes: 64,
+		TxnScans:   64,
+		// Batched writer transactions: the whole batch applies under the
+		// manager's exclusive lock, which is exactly the window latched
+		// readers convoy behind and snapshot readers sail through.
+		WriterPuts: 64,
+	}
+}
+
+// b7Mixes are the swept reader/writer populations.
+var b7Mixes = [][2]int{{1, 1}, {16, 1}, {64, 1}, {16, 4}}
+
+// B7Point is one measured (variant, readers, writers) cell.
+type B7Point struct {
+	Mvcc    bool `json:"mvcc"`
+	Readers int  `json:"readers"`
+	Writers int  `json:"writers"`
+	ReadOps int  `json:"read_ops"`
+	// Seconds times the reader phase; writers run throughout.
+	Seconds      float64 `json:"seconds"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"` // committed writer txns
+	// Per-scan wall-time quantiles, nanoseconds.
+	ReadP50Ns float64 `json:"read_p50_ns"`
+	ReadP99Ns float64 `json:"read_p99_ns"`
+	// Version-table activity; zero for the latch variant.
+	VersionsInstalled int64 `json:"versions_installed"`
+	PagesReclaimed    int64 `json:"pages_reclaimed"`
+	VersionsLive      int64 `json:"versions_live"`
+}
+
+// B7Speedup compares MVCC vs latched read throughput at one mix.
+type B7Speedup struct {
+	Readers       int     `json:"readers"`
+	Writers       int     `json:"writers"`
+	LatchReadsSec float64 `json:"latch_reads_per_sec"`
+	MvccReadsSec  float64 `json:"mvcc_reads_per_sec"`
+	Ratio         float64 `json:"ratio"`
+}
+
+// B7Feedback is the closed loop: measured read latency derives MVCC,
+// and a tight ROM budget prices it back out.
+type B7Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedMVCC reports whether the read-latency-minimizing greedy
+	// deriver picked MVCC from its negative fitted weight.
+	SelectedMVCC bool `json:"selected_mvcc"`
+	// MVCCLatencyWeightNs is the fitted per-feature contribution of
+	// MVCC to read p50 latency (negative: it helps).
+	MVCCLatencyWeightNs float64 `json:"mvcc_latency_weight_ns"`
+	// The ROM side: the transactional base product's footprint, MVCC's
+	// footprint delta, and the budget under which requiring it fails.
+	BaseROM            int  `json:"base_rom_bytes"`
+	MVCCROM            int  `json:"mvcc_rom_bytes"`
+	TightROMBudget     int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithMVCC bool `json:"infeasible_with_mvcc"`
+}
+
+// B7Result is the machine-readable report (BENCH_7.json).
+type B7Result struct {
+	ReadOps    int         `json:"read_ops_per_point"`
+	Seed       int64       `json:"seed"`
+	Keys       int         `json:"keys"`
+	ScanSpan   int         `json:"scan_span"`
+	ValueBytes int         `json:"value_bytes"`
+	Points     []B7Point   `json:"points"`
+	Speedups   []B7Speedup `json:"speedups"`
+	Feedback   B7Feedback  `json:"feedback"`
+}
+
+// b7Features is the measured product: the thread-safe group-commit
+// write path under concurrent read transactions, with Statistics for
+// the version-table gauges; the MVCC variant adds snapshot reads.
+func b7Features(mvcc bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get",
+		"Transaction", "GroupCommit", "Locking", "Statistics",
+	}
+	if mvcc {
+		fs = append(fs, "MVCC")
+	}
+	return fs
+}
+
+// b7Run measures one (mvcc, readers, writers) point: a sequential load
+// phase, then the reader population draining cfg.ReadOps timed scans
+// while the writers rewrite scanned keys through the group-commit
+// pipeline until the last reader finishes.
+func b7Run(cfg B7Config, mvcc bool, readers, writers int) (B7Point, error) {
+	pt := B7Point{Mvcc: mvcc, Readers: readers, Writers: writers, ReadOps: cfg.ReadOps}
+
+	// Both variants get the same generous cache so the comparison is
+	// about locking, not about copy-on-write churn evicting hot pages.
+	inst, err := composer.ComposeProduct(composer.Options{CachePages: 4096, CacheShards: 64}, b7Features(mvcc)...)
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%07d", i)) }
+	for i := 0; i < cfg.Keys; i++ {
+		if err := inst.Store.Put(key(i), value); err != nil {
+			inst.Close()
+			return pt, err
+		}
+	}
+
+	hist := stats.NewHistogram(stats.LatencyBounds())
+	errs := make(chan error, readers+writers)
+	var stop atomic.Bool
+	var commits atomic.Int64
+	var wwg, rwg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; !stop.Load(); i += cfg.WriterPuts {
+				tx := inst.Txn.Begin()
+				for p := 0; p < cfg.WriterPuts; p++ {
+					// Rewrite keys inside the scanned range so every commit
+					// supersedes pages the readers' pinned versions still
+					// reference.
+					if err := tx.Put(key((w*7919+i+p*131)%cfg.Keys), value); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		n := cfg.ReadOps / readers
+		if r < cfg.ReadOps%readers {
+			n++
+		}
+		rwg.Add(1)
+		go func(r, n int) {
+			defer rwg.Done()
+			span := cfg.ScanSpan
+			for done := 0; done < n; {
+				// One read transaction per batch of scans: under MVCC the
+				// Begin pins the current version once and every scan inside
+				// descends lock-free; under the latch every scan takes the
+				// manager's read lock.
+				tx := inst.Txn.Begin()
+				for b := 0; b < cfg.TxnScans && done < n; b++ {
+					lo := (r*2654435761 + done*97) % (cfg.Keys - span)
+					got := 0
+					t0 := time.Now()
+					err := tx.Scan(key(lo), key(lo+span), func(_, _ []byte) bool {
+						got++
+						return true
+					})
+					hist.Observe(time.Since(t0).Nanoseconds())
+					if err != nil {
+						tx.Abort()
+						errs <- err
+						return
+					}
+					if got != span {
+						tx.Abort()
+						errs <- fmt.Errorf("scan [%d,%d) saw %d keys, want %d", lo, lo+span, got, span)
+						return
+					}
+					done++
+				}
+				tx.Abort()
+			}
+		}(r, n)
+	}
+	rwg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wwg.Wait()
+	close(errs)
+	for err := range errs {
+		inst.Close()
+		return pt, err
+	}
+
+	snap, err := inst.Stats()
+	if err != nil {
+		inst.Close()
+		return pt, err
+	}
+	if err := inst.Close(); err != nil {
+		return pt, err
+	}
+
+	h := hist.Snapshot()
+	pt.Seconds = elapsed.Seconds()
+	pt.ReadsPerSec = float64(cfg.ReadOps) / elapsed.Seconds()
+	pt.WritesPerSec = float64(commits.Load()) / elapsed.Seconds()
+	pt.ReadP50Ns = h.P50()
+	pt.ReadP99Ns = h.P99()
+	pt.VersionsInstalled = snap.MVCC.VersionsInstalled
+	pt.PagesReclaimed = snap.MVCC.PagesReclaimed
+	pt.VersionsLive = snap.MVCC.VersionsLive
+	return pt, nil
+}
+
+// B7 runs the MVCC read-concurrency benchmark and closes the feedback
+// loop: snapshot reads are measured against latched reads across the
+// reader/writer sweep, and the NFP machinery prices the MVCC feature
+// under read-latency and ROM objectives.
+func B7(n int, seed int64) (*B7Result, error) {
+	cfg := defaultB7Config(n, seed)
+	res := &B7Result{
+		ReadOps: cfg.ReadOps, Seed: cfg.Seed, Keys: cfg.Keys,
+		ScanSpan: cfg.ScanSpan, ValueBytes: cfg.ValueBytes,
+	}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	type mixKey [2]int
+	byMix := map[mixKey]*B7Speedup{}
+	for _, mvcc := range []bool{false, true} {
+		for _, mix := range b7Mixes {
+			readers, writers := mix[0], mix[1]
+			pt, err := b7Run(cfg, mvcc, readers, writers)
+			if err != nil {
+				return nil, fmt.Errorf("B7 mvcc=%v/%dr%dw: %w", mvcc, readers, writers, err)
+			}
+			res.Points = append(res.Points, pt)
+			sp := byMix[mixKey(mix)]
+			if sp == nil {
+				sp = &B7Speedup{Readers: readers, Writers: writers}
+				byMix[mixKey(mix)] = sp
+			}
+			if mvcc {
+				sp.MvccReadsSec = pt.ReadsPerSec
+			} else {
+				sp.LatchReadsSec = pt.ReadsPerSec
+			}
+			// Feed the loop at the acceptance mix: one measurement per
+			// variant, differing only in the MVCC feature, so the fitted
+			// weight is exactly the measured read-latency delta.
+			if readers == 16 && writers == 1 {
+				err := nfp.RecordMeasurement(store, b7Features(mvcc), map[nfp.Property]float64{
+					nfp.Throughput: pt.ReadsPerSec,
+					nfp.LatencyP50: pt.ReadP50Ns,
+					nfp.LatencyP99: pt.ReadP99Ns,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, mix := range b7Mixes {
+		sp := byMix[mixKey(mix)]
+		if sp.LatchReadsSec > 0 {
+			sp.Ratio = sp.MvccReadsSec / sp.LatchReadsSec
+		}
+		res.Speedups = append(res.Speedups, *sp)
+	}
+
+	// Latency side: the stakeholder's functional requirements are the
+	// transactional stack the workload exercises; the open question is
+	// whether MVCC rides along. Greedy over the signed fitted table
+	// selects it on its measured (negative) read-latency weight.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{
+		"Linux", "BPlusTree", "Put", "Get",
+		"Transaction", "GroupCommit", "Locking",
+	}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "MVCC")
+
+	// ROM side: size a budget that fits the transactional base product
+	// but not the copy-on-write and version-table code, then require
+	// MVCC under it.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	mvccROM := rom.Features["MVCC"]
+	budget := base.ROM + mvccROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "MVCC"),
+		MaxROM:   budget,
+	})
+
+	res.Feedback = B7Feedback{
+		Property:            string(nfp.LatencyP50),
+		MeasuredProducts:    len(store.Measurements()),
+		Required:            required,
+		DerivedFeatures:     derived.Config.SelectedNames(),
+		SelectedMVCC:        derived.Config.Has("MVCC"),
+		MVCCLatencyWeightNs: lw,
+		BaseROM:             base.ROM,
+		MVCCROM:             mvccROM,
+		TightROMBudget:      budget,
+		InfeasibleWithMVCC:  errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+// FormatB7 renders the B7 result as text.
+func FormatB7(r *B7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B7 — MVCC: snapshot vs latched reads, %d-key scans against group-commit writers\n", r.ScanSpan)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mvcc\treaders\twriters\treads/s\tread p50 ns\tread p99 ns\tcommits/s\tversions\treclaimed\tlive")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			p.Mvcc, p.Readers, p.Writers, p.ReadsPerSec, p.ReadP50Ns, p.ReadP99Ns,
+			p.WritesPerSec, p.VersionsInstalled, p.PagesReclaimed, p.VersionsLive)
+	}
+	w.Flush()
+	for _, sp := range r.Speedups {
+		fmt.Fprintf(&b, "read throughput at %2d readers / %d writers: %.2fx (latch %.0f/s, mvcc %.0f/s)\n",
+			sp.Readers, sp.Writers, sp.Ratio, sp.LatchReadsSec, sp.MvccReadsSec)
+	}
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  MVCC selected: %v (read-latency weight %+.0f ns)\n",
+		r.Feedback.SelectedMVCC, r.Feedback.MVCCLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, MVCC +%d B; requiring MVCC under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.MVCCROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithMVCC)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_7.json).
+func (r *B7Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

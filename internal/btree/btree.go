@@ -34,6 +34,12 @@ type Tree struct {
 	// tracer records tree operations as spans when the Tracing feature
 	// is composed; nil otherwise.
 	tracer *trace.Tracer
+	// cow switches mutations to copy-on-write path-copying (the MVCC
+	// feature): dirtied nodes are cloned into fresh pages and the pages
+	// they replace accumulate in superseded until the version table
+	// collects them with TakeSuperseded.
+	cow        bool
+	superseded []storage.PageID
 }
 
 // SetTracer attaches the Tracing feature's span recorder.
@@ -170,7 +176,13 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 
 // descendToLeaf walks from the root to the leaf covering key.
 func (t *Tree) descendToLeaf(key []byte) (node, error) {
-	id := t.root
+	return t.descendFrom(t.root, key)
+}
+
+// descendFrom walks from an arbitrary root (a pinned version's root in
+// copy-on-write mode) to the leaf covering key.
+func (t *Tree) descendFrom(root storage.PageID, key []byte) (node, error) {
+	id := root
 	for {
 		n, err := t.readNode(id)
 		if err != nil {
@@ -254,11 +266,12 @@ func (t *Tree) Insert(key, value []byte) error {
 	}
 	sp := t.tracer.Start(trace.LayerBTree, "insert")
 	defer sp.End()
-	split, added, err := t.insertAt(t.root, key, value)
+	newRoot, split, added, err := t.insertAt(t.root, key, value)
 	if err != nil {
 		sp.Fail(err)
 		return err
 	}
+	t.root = newRoot
 	if split != nil {
 		// Grow a new root.
 		newRootID, err := t.pager.Alloc()
@@ -285,28 +298,53 @@ func (t *Tree) Insert(key, value []byte) error {
 	return t.writeMeta()
 }
 
-func (t *Tree) insertAt(id storage.PageID, key, value []byte) (*splitResult, bool, error) {
+// insertAt inserts into the subtree rooted at id and returns the
+// subtree's (possibly new) root page: in copy-on-write mode every
+// modified node is shadowed into a fresh page, so the parent must
+// re-point its child entry. Without copy-on-write the returned ID is
+// always id.
+func (t *Tree) insertAt(id storage.PageID, key, value []byte) (storage.PageID, *splitResult, bool, error) {
 	n, err := t.readNode(id)
 	if err != nil {
-		return nil, false, err
+		return id, nil, false, err
 	}
 	if n.isLeaf() {
 		return t.insertLeaf(n, key, value)
 	}
-	childID := n.childFor(key)
-	split, added, err := t.insertAt(childID, key, value)
-	if err != nil || split == nil {
-		return nil, added, err
+	ci := n.childIndexFor(key)
+	childID := n.leftChild()
+	if ci >= 0 {
+		childID = n.childAt(ci)
+	}
+	newChild, split, added, err := t.insertAt(childID, key, value)
+	if err != nil {
+		return id, nil, false, err
+	}
+	if newChild == childID && split == nil {
+		return id, nil, added, nil
+	}
+	if n, err = t.shadow(n); err != nil {
+		return id, nil, false, err
+	}
+	if newChild != childID {
+		if ci < 0 {
+			n.setLeftChild(newChild)
+		} else {
+			n.setChildAt(ci, newChild)
+		}
+	}
+	if split == nil {
+		return n.id, nil, added, t.writeNode(n)
 	}
 	// Insert the separator for the new right child.
 	idx, found := n.search(split.sep)
 	if found {
-		return nil, false, fmt.Errorf("btree: separator %q already in inner node %d: %w",
+		return id, nil, false, fmt.Errorf("btree: separator %q already in inner node %d: %w",
 			split.sep, n.id, ErrCorrupt)
 	}
 	if n.makeRoom(innerCellSize(split.sep)) {
 		n.insertInnerCell(idx, split.sep, split.right)
-		return nil, added, t.writeNode(n)
+		return n.id, nil, added, t.writeNode(n)
 	}
 	// Inner split: rebuild both halves from the combined entry list.
 	t.metrics.InnerSplit()
@@ -316,29 +354,33 @@ func (t *Tree) insertAt(id storage.PageID, key, value []byte) (*splitResult, boo
 	promoted := es[mid]
 	rightID, err := t.pager.Alloc()
 	if err != nil {
-		return nil, false, err
+		return id, nil, false, err
 	}
 	right := node{buf: make([]byte, t.pager.PageSize()), id: rightID}
 	rewriteInner(right, promoted.child, es[mid+1:])
 	rewriteInner(n, n.leftChild(), es[:mid])
 	if err := t.writeNode(n); err != nil {
-		return nil, false, err
+		return id, nil, false, err
 	}
 	if err := t.writeNode(right); err != nil {
-		return nil, false, err
+		return id, nil, false, err
 	}
-	return &splitResult{sep: promoted.key, right: rightID}, added, nil
+	return n.id, &splitResult{sep: promoted.key, right: rightID}, added, nil
 }
 
-func (t *Tree) insertLeaf(n node, key, value []byte) (*splitResult, bool, error) {
+func (t *Tree) insertLeaf(n node, key, value []byte) (storage.PageID, *splitResult, bool, error) {
 	idx, found := n.search(key)
 	added := !found
+	var err error
+	if n, err = t.shadow(n); err != nil {
+		return n.id, nil, false, err
+	}
 	if found {
 		n.removeCell(idx)
 	}
 	if n.makeRoom(leafCellSize(key, value)) {
 		n.insertLeafCell(idx, key, value)
-		return nil, added, t.writeNode(n)
+		return n.id, nil, added, t.writeNode(n)
 	}
 	// Leaf split.
 	t.metrics.LeafSplit()
@@ -347,22 +389,29 @@ func (t *Tree) insertLeaf(n node, key, value []byte) (*splitResult, bool, error)
 	mid := splitPoint(es, leafCellSize2)
 	rightID, err := t.pager.Alloc()
 	if err != nil {
-		return nil, false, err
+		return n.id, nil, false, err
 	}
 	right := node{buf: make([]byte, t.pager.PageSize()), id: rightID}
 	initNode(right.buf, leafType)
-	right.setNextLeaf(n.nextLeaf())
+	if !t.cow {
+		// Copy-on-write trees keep no leaf chain: a shadowed leaf would
+		// leave its left sibling's pointer stale, so scans descend from
+		// the root instead.
+		right.setNextLeaf(n.nextLeaf())
+	}
 	rewriteLeaf(right, es[mid:])
 	rewriteLeaf(n, es[:mid])
-	n.setNextLeaf(rightID)
+	if !t.cow {
+		n.setNextLeaf(rightID)
+	}
 	if err := t.writeNode(n); err != nil {
-		return nil, false, err
+		return n.id, nil, false, err
 	}
 	if err := t.writeNode(right); err != nil {
-		return nil, false, err
+		return n.id, nil, false, err
 	}
 	sep := append([]byte(nil), es[mid].key...)
-	return &splitResult{sep: sep, right: rightID}, added, nil
+	return n.id, &splitResult{sep: sep, right: rightID}, added, nil
 }
 
 func leafCellSize2(e entry) int  { return leafCellSize(e.key, e.val) }
@@ -402,21 +451,59 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	}
 	sp := t.tracer.Start(trace.LayerBTree, "delete")
 	defer sp.End()
-	n, err := t.descendToLeaf(key)
+	newRoot, deleted, err := t.deleteAt(t.root, key)
 	if err != nil {
 		sp.Fail(err)
 		return false, err
 	}
-	idx, found := n.search(key)
-	if !found {
+	if !deleted {
 		return false, nil
 	}
-	n.removeCell(idx)
-	if err := t.writeNode(n); err != nil {
-		return false, err
-	}
+	t.root = newRoot
 	t.count--
 	return true, t.writeMeta()
+}
+
+// deleteAt removes key from the subtree rooted at id and returns the
+// subtree's (possibly new) root page — fresh when copy-on-write
+// shadowed the path, id itself otherwise.
+func (t *Tree) deleteAt(id storage.PageID, key []byte) (storage.PageID, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return id, false, err
+	}
+	if n.isLeaf() {
+		idx, found := n.search(key)
+		if !found {
+			return id, false, nil
+		}
+		if n, err = t.shadow(n); err != nil {
+			return id, false, err
+		}
+		n.removeCell(idx)
+		return n.id, true, t.writeNode(n)
+	}
+	ci := n.childIndexFor(key)
+	childID := n.leftChild()
+	if ci >= 0 {
+		childID = n.childAt(ci)
+	}
+	if childID == storage.InvalidPage {
+		return id, false, fmt.Errorf("btree: nil child in page %d: %w", n.id, ErrCorrupt)
+	}
+	newChild, deleted, err := t.deleteAt(childID, key)
+	if err != nil || !deleted || newChild == childID {
+		return id, deleted, err
+	}
+	if n, err = t.shadow(n); err != nil {
+		return id, false, err
+	}
+	if ci < 0 {
+		n.setLeftChild(newChild)
+	} else {
+		n.setChildAt(ci, newChild)
+	}
+	return n.id, true, t.writeNode(n)
 }
 
 // Scan calls fn for each entry with from <= key < to, in key order.
@@ -426,6 +513,10 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
 	sp := t.tracer.Start(trace.LayerBTree, "scan")
 	defer sp.End()
+	if t.cow {
+		// No leaf chain to follow in copy-on-write mode; descend instead.
+		return t.scanFrom(t.root, from, to, fn)
+	}
 	var n node
 	var err error
 	if from == nil {
@@ -510,9 +601,15 @@ func (t *Tree) Compact() error {
 			return err
 		}
 	}
-	for _, id := range old {
-		if err := t.pager.Free(id); err != nil {
-			return err
+	if t.cow {
+		// Snapshots may still pin the old tree: its pages reclaim
+		// through the version table once the last pin releases.
+		t.superseded = append(t.superseded, old...)
+	} else {
+		for _, id := range old {
+			if err := t.pager.Free(id); err != nil {
+				return err
+			}
 		}
 	}
 	t.metrics.Compaction(len(old))
@@ -603,6 +700,21 @@ func (t *Tree) Verify() error {
 	}
 	if counted != t.count {
 		return fmt.Errorf("count mismatch: meta %d, found %d: %w", t.count, counted, ErrCorrupt)
+	}
+	if t.cow {
+		// Copy-on-write trees keep no leaf chain (a shadowed leaf would
+		// leave its left sibling's pointer stale): every leaf must carry
+		// an invalid next pointer instead.
+		for _, id := range leaves {
+			n, err := t.readNode(id)
+			if err != nil {
+				return err
+			}
+			if n.nextLeaf() != storage.InvalidPage {
+				return fmt.Errorf("page %d: leaf chain link in copy-on-write tree: %w", id, ErrCorrupt)
+			}
+		}
+		return nil
 	}
 	// The leaf chain must visit exactly the tree's leaves in order.
 	n, err := t.leftmostLeaf()

@@ -1,0 +1,246 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newCowTree(t *testing.T, pageSize int) (*Tree, *VersionTable) {
+	t.Helper()
+	tr := newTree(t, pageSize)
+	return tr, NewVersionTable(tr)
+}
+
+func install(t *testing.T, vt *VersionTable) {
+	t.Helper()
+	if err := vt.Install(); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+}
+
+func TestCowSnapshotIsolation(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	for i := 0; i < 50; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v1")
+	}
+	install(t, vt)
+	old := vt.Pin()
+	defer old.Release()
+
+	// Overwrite half, delete a quarter, add new keys, then install.
+	for i := 0; i < 25; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v2")
+	}
+	for i := 25; i < 37; i++ {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 50; i < 60; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v2")
+	}
+	install(t, vt)
+
+	// The old snapshot still sees exactly its begin-time state.
+	if got := old.Len(); got != 50 {
+		t.Fatalf("old snapshot Len = %d, want 50", got)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok, err := old.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || !ok {
+			t.Fatalf("old snapshot key-%03d: ok=%v err=%v", i, ok, err)
+		}
+		if string(v) != "v1" {
+			t.Fatalf("old snapshot key-%03d = %q, want v1", i, v)
+		}
+	}
+	if _, ok, _ := old.Get([]byte("key-055")); ok {
+		t.Fatal("old snapshot sees a key inserted after it was pinned")
+	}
+	var oldKeys int
+	if err := old.Scan(nil, nil, func(k, v []byte) bool {
+		if string(v) != "v1" {
+			t.Fatalf("old snapshot scan saw %q=%q", k, v)
+		}
+		oldKeys++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if oldKeys != 50 {
+		t.Fatalf("old snapshot scan visited %d keys, want 50", oldKeys)
+	}
+
+	// A fresh snapshot sees the new state.
+	cur := vt.Pin()
+	defer cur.Release()
+	if got := cur.Len(); got != 48 {
+		t.Fatalf("new snapshot Len = %d, want 48", got)
+	}
+	v, ok, err := cur.Get([]byte("key-010"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("new snapshot key-010 = %q ok=%v err=%v, want v2", v, ok, err)
+	}
+	if _, ok, _ := cur.Get([]byte("key-030")); ok {
+		t.Fatal("new snapshot sees a deleted key")
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestCowScanOrderAndBounds(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	for i := 0; i < 200; i++ {
+		mustInsert(t, tr, fmt.Sprintf("k%04d", i*2), "v")
+	}
+	install(t, vt)
+	s := vt.Pin()
+	defer s.Release()
+	var prev []byte
+	n := 0
+	if err := s.Scan([]byte("k0100"), []byte("k0300"), func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("bounded scan visited %d keys, want 100", n)
+	}
+	// Early stop.
+	n = 0
+	if err := s.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("early-stop scan visited %d keys, want 7", n)
+	}
+	// Tree.Scan in cow mode matches the snapshot.
+	n = 0
+	if err := tr.Scan(nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("tree scan visited %d keys, want 200", n)
+	}
+}
+
+func TestCowEpochReclamation(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v1")
+	}
+	install(t, vt)
+	s1 := vt.Pin()
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v2")
+	}
+	install(t, vt)
+	s2 := vt.Pin()
+
+	// s1 pins the old version: nothing superseded after it may reclaim.
+	if got := vt.VersionsLive(); got < 2 {
+		t.Fatalf("versions live = %d with an old pin held, want >= 2", got)
+	}
+	before := vt.Reclaimed()
+	s1.Release()
+	if got := vt.Reclaimed(); got <= before {
+		t.Fatalf("reclaimed %d -> %d after releasing the old pin, want growth", before, got)
+	}
+	if got := vt.VersionsLive(); got != 2 {
+		// s2's version plus current (same version: s2 pinned current).
+		t.Logf("versions live after release = %d", got)
+	}
+	s2.Release()
+	if got := vt.VersionsLive(); got != 1 {
+		t.Fatalf("versions live = %d after all releases, want 1", got)
+	}
+
+	// Reclaimed pages recycle: further mutations reuse the free list
+	// rather than growing the file without bound.
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("verify after reclamation: %v", err)
+	}
+}
+
+func TestCowPageRecycling(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	for i := 0; i < 50; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v0")
+	}
+	install(t, vt)
+	// With no pins, every overwrite round should recycle the pages the
+	// previous round superseded, so the reclaim counter tracks the
+	// superseded flow.
+	for round := 1; round <= 10; round++ {
+		for i := 0; i < 50; i++ {
+			mustInsert(t, tr, fmt.Sprintf("key-%03d", i), fmt.Sprintf("v%d", round))
+		}
+		install(t, vt)
+	}
+	if vt.Reclaimed() == 0 {
+		t.Fatal("no pages reclaimed across 10 unpinned overwrite rounds")
+	}
+	if got := vt.VersionsLive(); got != 1 {
+		t.Fatalf("versions live = %d with no pins, want 1", got)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSnapshotReleasedErrors(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	mustInsert(t, tr, "a", "1")
+	install(t, vt)
+	s := vt.Pin()
+	s.Release()
+	s.Release() // idempotent
+	if _, _, err := s.Get([]byte("a")); !errors.Is(err, ErrSnapshotReleased) {
+		t.Fatalf("Get on released snapshot: %v", err)
+	}
+	if err := s.Scan(nil, nil, func(k, v []byte) bool { return true }); !errors.Is(err, ErrSnapshotReleased) {
+		t.Fatalf("Scan on released snapshot: %v", err)
+	}
+}
+
+func TestCowCompactRoutesThroughVersionTable(t *testing.T) {
+	tr, vt := newCowTree(t, 256)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%03d", i), "v")
+	}
+	for i := 0; i < 90; i++ {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	install(t, vt)
+	s := vt.Pin()
+	if err := tr.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	install(t, vt)
+	// The pre-compaction snapshot still reads its full state.
+	if got := s.Len(); got != 10 {
+		t.Fatalf("snapshot Len = %d, want 10", got)
+	}
+	for i := 90; i < 100; i++ {
+		if _, ok, err := s.Get([]byte(fmt.Sprintf("key-%03d", i))); !ok || err != nil {
+			t.Fatalf("snapshot key-%03d after compact: ok=%v err=%v", i, ok, err)
+		}
+	}
+	s.Release()
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("verify after compact: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"famedb/internal/access"
+	"famedb/internal/btree"
 	"famedb/internal/buffer"
 	"famedb/internal/core"
 	"famedb/internal/footprint"
@@ -103,7 +104,17 @@ type Instance struct {
 	// mon is the Monitor feature's live-observation subsystem (sampler,
 	// watchdog, telemetry handler); nil unless the feature is selected.
 	mon *monitor.Monitor
+	// versions is the MVCC feature's table of committed copy-on-write
+	// roots; nil unless the feature is selected.
+	versions *btree.VersionTable
 }
+
+// mvccSource adapts the version table to the transaction manager's
+// narrow interface, keeping the txn package decoupled from the tree.
+type mvccSource struct{ vt *btree.VersionTable }
+
+func (s mvccSource) Pin() txn.SnapshotReader { return s.vt.Pin() }
+func (s mvccSource) Install() error          { return s.vt.Install() }
 
 // layout records where the persistent structures live, so an instance
 // can be recomposed over an existing filesystem.
@@ -114,6 +125,12 @@ type layout struct {
 	// Checksums records whether pages carry CRC trailers: a page file
 	// written with trailers is unreadable without them and vice versa.
 	Checksums bool `json:"checksums,omitempty"`
+	// Mvcc records whether the tree mutates copy-on-write: such a tree
+	// keeps no leaf chain, so it cannot be reopened by a configuration
+	// without MVCC (and an in-place tree cannot gain snapshots
+	// retroactively — its chain pointers would be stale the moment a
+	// leaf is shadowed).
+	Mvcc bool `json:"mvcc,omitempty"`
 }
 
 const (
@@ -338,6 +355,14 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			return nil, fmt.Errorf("composer: filesystem holds an instance %s Checksums, configuration selects %s",
 				with, without)
 		}
+		if lay.Mvcc != cfg.Has("MVCC") {
+			with, without := "with", "without"
+			if !lay.Mvcc {
+				with, without = without, with
+			}
+			return nil, fmt.Errorf("composer: filesystem holds an instance %s MVCC, configuration selects %s",
+				with, without)
+		}
 		if indexName == "BPlusTree" {
 			idx, err = index.OpenBTree(inst.pager, storage.PageID(lay.StoreMeta), btOps)
 		} else {
@@ -356,7 +381,8 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
-		lay = layout{StoreMeta: uint32(meta), Index: indexName, Checksums: cfg.Has("Checksums")}
+		lay = layout{StoreMeta: uint32(meta), Index: indexName,
+			Checksums: cfg.Has("Checksums"), Mvcc: cfg.Has("MVCC")}
 	}
 
 	if bt, ok := idx.(*index.BTree); ok {
@@ -364,6 +390,20 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			bt.Tree().SetMetrics(inst.stats.BTree())
 		}
 		bt.Tree().SetTracer(inst.tracer)
+	}
+
+	// MVCC feature: switch the tree to copy-on-write mutations and seed
+	// the version table with the opening root — before the transaction
+	// manager opens, so a recovery replay already shadows and its
+	// superseded pages reclaim through the table. The model guarantees
+	// MVCC => BPlusTree.
+	if cfg.Has("MVCC") {
+		bt, ok := idx.(*index.BTree)
+		if !ok {
+			return nil, fmt.Errorf("composer: MVCC requires the BPlusTree index")
+		}
+		inst.versions = btree.NewVersionTable(bt.Tree())
+		inst.versions.SetMetrics(inst.stats.MVCC())
 	}
 
 	// Access feature: exactly the selected operations.
@@ -379,6 +419,10 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 
 	// Transaction feature.
 	if cfg.Has("Transaction") {
+		var versions txn.VersionSource
+		if inst.versions != nil {
+			versions = mvccSource{vt: inst.versions}
+		}
 		var proto txn.Protocol = txn.Force{}
 		if cfg.Has("GroupCommit") {
 			batch := opts.GroupCommitBatch
@@ -413,6 +457,9 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			Health: inst.health,
 			Retry:  retry,
 			Fault:  inst.stats.Fault(),
+			// MVCC feature: Begin pins the newest committed version and
+			// every commit batch installs the next one.
+			Versions: versions,
 		})
 		if err != nil {
 			return nil, err
@@ -754,6 +801,21 @@ func (i *Instance) SetTracing(on bool) error {
 // Monitor returns the live Monitor subsystem, or nil when the feature
 // is not composed.
 func (i *Instance) Monitor() *monitor.Monitor { return i.mon }
+
+// Versions returns the MVCC feature's version table; nil unless the
+// feature is selected.
+func (i *Instance) Versions() *btree.VersionTable { return i.versions }
+
+// BeginSnapshot starts a read-only snapshot transaction pinned to the
+// newest committed version; its reads take no locks and keep seeing
+// the begin-time state. It fails with ErrNotComposed unless both the
+// Transaction and MVCC features are selected.
+func (i *Instance) BeginSnapshot() (*txn.Txn, error) {
+	if i.Txn == nil {
+		return nil, fmt.Errorf("BeginSnapshot: %w", access.ErrNotComposed)
+	}
+	return i.Txn.BeginSnapshot()
+}
 
 // MonitorWindow ticks the monitor's sampler and returns the current
 // windowed reading, or access.ErrNotComposed when the product was

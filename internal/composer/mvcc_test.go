@@ -1,0 +1,288 @@
+package composer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"famedb/internal/access"
+	"famedb/internal/osal"
+)
+
+// mvccFeatures is the canonical MVCC product: the concurrent
+// transactional stack plus version history. MVCC is last so tests can
+// slice it off for the plain variant.
+var mvccFeatures = []string{
+	"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+	"Put", "Get", "Update", "Remove",
+	"Transaction", "GroupCommit", "Locking", "Recovery",
+	"Statistics", "MVCC",
+}
+
+func TestComposeMvccSnapshots(t *testing.T) {
+	inst, err := ComposeProduct(Options{}, mvccFeatures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Versions() == nil {
+		t.Fatal("MVCC product has no version table")
+	}
+
+	tx := inst.Txn.Begin()
+	tx.Put([]byte("k"), []byte("v1"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := inst.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Abort()
+	w := inst.Txn.Begin()
+	w.Update([]byte("k"), []byte("v2"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := snap.Get([]byte("k")); err != nil || string(v) != "v1" {
+		t.Fatalf("snapshot Get = %q, %v, want begin-time v1", v, err)
+	}
+	if v, err := inst.Store.Get([]byte("k")); err != nil || string(v) != "v2" {
+		t.Fatalf("live Get = %q, %v, want v2", v, err)
+	}
+
+	s, err := inst.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MVCC.VersionsInstalled == 0 {
+		t.Error("stats report no versions installed")
+	}
+	if s.MVCC.SnapshotsOpen != 1 {
+		t.Errorf("SnapshotsOpen = %d, want 1", s.MVCC.SnapshotsOpen)
+	}
+}
+
+func TestBeginSnapshotRequiresMvcc(t *testing.T) {
+	plain := mvccFeatures[:len(mvccFeatures)-1]
+	inst, err := ComposeProduct(Options{}, plain...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if _, err := inst.BeginSnapshot(); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("BeginSnapshot without MVCC: err = %v, want ErrNotComposed", err)
+	}
+	// And without Transaction at all.
+	inst2, err := ComposeProduct(Options{}, "Linux", "BPlusTree", "Put", "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	if _, err := inst2.BeginSnapshot(); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("BeginSnapshot without Transaction: err = %v, want ErrNotComposed", err)
+	}
+}
+
+func TestComposeMvccLayoutMismatch(t *testing.T) {
+	fs := osal.NewMemFS()
+	inst, err := ComposeProduct(Options{FS: fs}, mvccFeatures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Store.Put([]byte("k"), []byte("v"))
+	inst.Close()
+
+	// A copy-on-write store holds superseded page chains a plain product
+	// would never reclaim; reopening without MVCC must refuse.
+	plain := mvccFeatures[:len(mvccFeatures)-1]
+	if _, err := ComposeProduct(Options{FS: fs}, plain...); err == nil {
+		t.Fatal("recompose without MVCC over a versioned store must fail")
+	}
+
+	// Converse: an in-place store reopened with MVCC must refuse too.
+	fs2 := osal.NewMemFS()
+	inst2, err := ComposeProduct(Options{FS: fs2}, plain...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2.Store.Put([]byte("k"), []byte("v"))
+	inst2.Close()
+	if _, err := ComposeProduct(Options{FS: fs2}, mvccFeatures...); err == nil {
+		t.Fatal("recompose with MVCC over an in-place store must fail")
+	}
+}
+
+// TestMvccCrashRecoverySnapshot crashes an MVCC product (no Close, the
+// cache never synced) and recomposes over the same filesystem: recovery
+// replays the WAL copy-on-write, installs the recovered state as a
+// version, and the first snapshot pins exactly that state.
+func TestMvccCrashRecoverySnapshot(t *testing.T) {
+	fs := osal.NewMemFS()
+	features := append([]string(nil), mvccFeatures...)
+	for i, f := range features {
+		if f == "GroupCommit" {
+			features[i] = "ForceCommit" // every commit durable before the crash
+		}
+	}
+	inst, err := ComposeProduct(Options{FS: fs}, features...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tx := inst.Txn.Begin()
+		tx.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close.
+	inst2, err := ComposeProduct(Options{FS: fs}, features...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	if inst2.Txn.Recovered == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	if inst2.Versions().Current().Seq() == 0 {
+		t.Fatal("recovery did not install a version")
+	}
+	snap, err := inst2.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Abort()
+	if n, _ := snap.Len(); n != 20 {
+		t.Fatalf("recovered snapshot Len = %d, want 20", n)
+	}
+	got := 0
+	if err := snap.Scan(nil, nil, func(k, v []byte) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("recovered snapshot scan saw %d keys, want 20", got)
+	}
+}
+
+// TestMvccSnapshotStress is the -race stress of the MVCC feature: 16
+// snapshot readers full-range-scan while group-commit batches land.
+// Each writer transaction commits a PAIR of keys (a<id> and b<id>), so
+// every snapshot must observe both or neither — a half pair means a
+// reader saw a mid-batch root. Repeating the scan on the same snapshot
+// must return the identical result, and Len must match the scan.
+func TestMvccSnapshotStress(t *testing.T) {
+	inst, err := ComposeProduct(Options{GroupCommitBatch: 8}, mvccFeatures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	const (
+		writers      = 2
+		txnsPerWrite = 120
+		readers      = 16
+	)
+	var nextID atomic.Int64
+	var done atomic.Bool
+	var wg, writersWg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writersWg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writersWg.Done()
+			for i := 0; i < txnsPerWrite; i++ {
+				id := nextID.Add(1)
+				tx := inst.Txn.Begin()
+				tx.Put([]byte(fmt.Sprintf("a%06d", id)), []byte("1"))
+				tx.Put([]byte(fmt.Sprintf("b%06d", id)), []byte("1"))
+				if err := tx.Commit(); err != nil {
+					errs <- fmt.Errorf("commit %d: %w", id, err)
+					return
+				}
+			}
+		}()
+	}
+
+	readSnapshot := func(r int) error {
+		snap, err := inst.BeginSnapshot()
+		if err != nil {
+			return err
+		}
+		defer snap.Abort()
+		scan := func() (map[string]bool, error) {
+			seen := map[string]bool{}
+			err := snap.Scan(nil, nil, func(k, v []byte) bool {
+				seen[string(k)] = true
+				return true
+			})
+			return seen, err
+		}
+		first, err := scan()
+		if err != nil {
+			return err
+		}
+		for k := range first {
+			pair := "b" + k[1:]
+			if k[0] == 'b' {
+				pair = "a" + k[1:]
+			}
+			if !first[pair] {
+				return fmt.Errorf("reader %d: snapshot has %s without its pair %s", r, k, pair)
+			}
+		}
+		if n, _ := snap.Len(); int(n) != len(first) {
+			return fmt.Errorf("reader %d: Len = %d but scan saw %d", r, n, len(first))
+		}
+		second, err := scan()
+		if err != nil {
+			return err
+		}
+		if len(second) != len(first) {
+			return fmt.Errorf("reader %d: repeated scan saw %d keys, first saw %d",
+				r, len(second), len(first))
+		}
+		return nil
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !done.Load() {
+				if err := readSnapshot(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Stop the readers once every writer transaction has committed.
+	go func() {
+		writersWg.Wait()
+		done.Store(true)
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Everything committed must now be visible to a fresh snapshot.
+	snap, err := inst.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Abort()
+	if n, _ := snap.Len(); int(n) != 2*writers*txnsPerWrite {
+		t.Fatalf("final snapshot Len = %d, want %d", n, 2*writers*txnsPerWrite)
+	}
+}

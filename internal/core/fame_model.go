@@ -75,6 +75,11 @@ func FAMEModel() *Model {
 	rc.Description = "redo recovery from the write-ahead log after a crash"
 	lk := tx.AddChild("Locking", Optional)
 	lk.Description = "thread-safe transactions and the group-commit pipeline"
+	// MVCC trades space for read concurrency: copy-on-write B+-tree
+	// mutations, a version table of committed roots, and snapshot
+	// transactions that read a pinned root without any locking.
+	mv := tx.AddChild("MVCC", Optional)
+	mv.Description = "snapshot reads over copy-on-write roots with epoch reclamation"
 
 	// Optimizer and query API.
 	opt := root.AddChild("Optimizer", Optional)
@@ -113,6 +118,13 @@ func FAMEModel() *Model {
 	// Sharing one sync across committers only makes sense when several
 	// threads commit at once: the pipeline needs the Locking feature.
 	m.AddConstraint(Implies(Ref("GroupCommit"), Ref("Locking")))
+	// Snapshot reads pay off only against concurrent committers, and the
+	// root install happens inside the commit pipeline's apply step, so
+	// MVCC needs the Locking feature. It also needs the paged B+-tree:
+	// only a page-structured index can shadow its mutation path (the
+	// heap-backed ListIndex updates records in place).
+	m.AddConstraint(Implies(Ref("MVCC"), Ref("Locking")))
+	m.AddConstraint(Implies(Ref("MVCC"), Ref("BPlusTree")))
 	// Deeply embedded NutOS nodes: no dynamic allocation, no SQL, and —
 	// being single-threaded — no lock-striped buffer pool, no commit
 	// pipeline (they keep ForceCommit).
@@ -133,6 +145,10 @@ func FAMEModel() *Model {
 	// plus a CRC per I/O is disproportionate; their flash controllers do
 	// ECC in hardware.
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Checksums"))))
+	// Retaining whole superseded tree versions for concurrent readers is
+	// a multi-core, memory-rich trade — a single-threaded NutOS node has
+	// neither the readers nor the pages to spare.
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("MVCC"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -185,7 +201,7 @@ func FAMEProducts() []NamedProduct {
 				"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove", "Checksums",
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
-				"Transaction", "GroupCommit", "Recovery", "Locking",
+				"Transaction", "GroupCommit", "Recovery", "Locking", "MVCC",
 				"Optimizer", "SQLEngine", "Statistics", "Tracing", "Monitor",
 			},
 			Note: "everything selected: the largest product",

@@ -15,7 +15,7 @@ func TestFAMEModelStructure(t *testing.T) {
 		"MemoryAlloc", "DynamicAlloc", "StaticAlloc",
 		"Access", "Put", "Get", "Remove", "Update",
 		"Transaction", "CommitProtocol", "ForceCommit", "GroupCommit",
-		"Recovery", "Optimizer", "API", "SQLEngine",
+		"Recovery", "Locking", "MVCC", "Optimizer", "API", "SQLEngine",
 	} {
 		if m.Feature(name) == nil {
 			t.Errorf("FAME model missing feature %q", name)
@@ -113,6 +113,33 @@ func TestFAMEModelDomainConstraints(t *testing.T) {
 	}
 	if err := c.Select("NutOS"); err == nil {
 		t.Error("Monitor+NutOS should be contradictory")
+	}
+
+	// MVCC needs the locked commit pipeline and a page-structured index,
+	// and a deeply embedded NutOS node never retains version history.
+	c = m.NewConfiguration()
+	if err := c.Select("MVCC"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Locking") || !c.Has("BPlusTree") {
+		t.Errorf("MVCC should force Locking and BPlusTree: %s", c)
+	}
+	if c.State("ListIndex") != Deselected {
+		t.Error("MVCC should force ListIndex off (alternative to BPlusTree)")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("MVCC") != Deselected {
+		t.Error("NutOS should force MVCC off")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("MVCC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("NutOS"); err == nil {
+		t.Error("MVCC+NutOS should be contradictory")
 	}
 }
 

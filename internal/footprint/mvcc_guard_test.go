@@ -1,0 +1,89 @@
+package footprint
+
+import (
+	"testing"
+)
+
+// mvccSources are the files dedicated to the MVCC feature: the
+// copy-on-write machinery and the version table. The snapshot
+// transaction surface in internal/txn/snapshot.go is shared at file
+// granularity (its visibility and scan-merge functions serve every
+// transactional product), so it is guarded at function granularity
+// below instead.
+var mvccSources = map[string]bool{
+	"internal/btree/cow.go":      true,
+	"internal/btree/versions.go": true,
+}
+
+// TestOnlyMvccMapsMvccSources guards the MVCC feature's zero-cost
+// contract on the ROM side: a product derived without MVCC must carry
+// no copy-on-write shadowing and no version table, so no other feature
+// and not the core may claim those sources.
+func TestOnlyMvccMapsMvccSources(t *testing.T) {
+	for _, spec := range FAMECore() {
+		if mvccSources[spec.File] {
+			t.Errorf("core claims MVCC source %s", spec.File)
+		}
+	}
+	for feat, specs := range FAMESources() {
+		for _, spec := range specs {
+			if mvccSources[spec.File] && feat != "MVCC" {
+				t.Errorf("feature %q claims MVCC source %s", feat, spec.File)
+			}
+		}
+	}
+	// And MVCC claims them whole-file, so its ROM cost is real.
+	mapped := map[string]bool{}
+	for _, spec := range FAMESources()["MVCC"] {
+		if mvccSources[spec.File] {
+			if len(spec.Funcs) != 0 {
+				t.Errorf("MVCC maps %s partially; want whole file", spec.File)
+			}
+			mapped[spec.File] = true
+		}
+	}
+	for f := range mvccSources {
+		if !mapped[f] {
+			t.Errorf("MVCC feature does not map %s", f)
+		}
+	}
+}
+
+// TestMvccSnapshotFuncsSplit guards the function-granularity split of
+// internal/txn/snapshot.go: the MVCC-only entry points must map to
+// MVCC, the shared visibility/scan surface to Transaction, and the two
+// sets must not overlap — otherwise a product without MVCC is billed
+// for version pinning (or an MVCC product gets it free).
+func TestMvccSnapshotFuncsSplit(t *testing.T) {
+	const file = "internal/txn/snapshot.go"
+	collect := func(feat string) map[string]bool {
+		out := map[string]bool{}
+		for _, spec := range FAMESources()[feat] {
+			if spec.File != file {
+				continue
+			}
+			if len(spec.Funcs) == 0 {
+				t.Fatalf("%s maps %s whole-file; want a function subset", feat, file)
+			}
+			for _, fn := range spec.Funcs {
+				out[fn] = true
+			}
+		}
+		return out
+	}
+	mvcc := collect("MVCC")
+	txn := collect("Transaction")
+	if len(mvcc) == 0 || len(txn) == 0 {
+		t.Fatalf("snapshot.go split missing: MVCC=%d funcs, Transaction=%d funcs", len(mvcc), len(txn))
+	}
+	for fn := range mvcc {
+		if txn[fn] {
+			t.Errorf("function %s of %s mapped by both MVCC and Transaction", fn, file)
+		}
+	}
+	for _, want := range []string{"Manager.BeginSnapshot", "Manager.pinVersion", "Manager.installVersion"} {
+		if !mvcc[want] {
+			t.Errorf("MVCC does not map %s of %s", want, file)
+		}
+	}
+}

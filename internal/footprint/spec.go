@@ -94,7 +94,8 @@ func FAMESources() map[string][]SourceSpec {
 		},
 		"BTreeSearch": {
 			funcs("internal/btree/btree.go",
-				"Tree.Get", "Tree.descendToLeaf", "Tree.Scan", "Tree.leftmostLeaf"),
+				"Tree.Get", "Tree.descendToLeaf", "Tree.descendFrom",
+				"Tree.Scan", "Tree.leftmostLeaf"),
 			funcs("internal/index/index.go", "BTree.Get", "BTree.Scan"),
 		},
 		"BTreeUpdate": {
@@ -102,7 +103,7 @@ func FAMESources() map[string][]SourceSpec {
 			funcs("internal/index/index.go", "BTree.Update"),
 		},
 		"BTreeRemove": {
-			funcs("internal/btree/btree.go", "Tree.Delete"),
+			funcs("internal/btree/btree.go", "Tree.Delete", "Tree.deleteAt"),
 			funcs("internal/index/index.go", "BTree.Delete"),
 		},
 
@@ -175,6 +176,12 @@ func FAMESources() map[string][]SourceSpec {
 				"Manager.quiesce", "Manager.Close",
 				"nullLocker.Lock", "nullLocker.Unlock", "nullLocker.RLock",
 				"nullLocker.RUnlock"),
+			// The shared read surface of snapshot.go: every transactional
+			// product resolves visibility and merges the write-set overlay
+			// through these, with or without a pinned version underneath.
+			funcs("internal/txn/snapshot.go",
+				"notFound", "Txn.visible", "Txn.Len", "Txn.Scan",
+				"Txn.overlayRange"),
 		},
 		"ForceCommit": {funcs("internal/txn/txn.go",
 			"Force.Name", "Force.OnCommit", "Force.Flush", "Force.BatchLimit")},
@@ -217,6 +224,19 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/trace/ring.go"),
 			file("internal/trace/slow.go"),
 			file("internal/trace/export.go"),
+		},
+
+		// The MVCC feature: copy-on-write shadowing, the version table
+		// with epoch reclamation, and the snapshot transaction surface.
+		// Only MVCC maps the cow/version files (CI guards that), so a
+		// product derived without it shadows no pages, keeps no version
+		// list, and exposes no snapshot API.
+		"MVCC": {
+			file("internal/btree/cow.go"),
+			file("internal/btree/versions.go"),
+			funcs("internal/txn/snapshot.go",
+				"Manager.BeginSnapshot", "Txn.SnapshotSeq", "Txn.releaseSnap",
+				"Manager.pinVersion", "Manager.installVersion"),
 		},
 
 		// The Monitor feature: the windowed sampler, the threshold

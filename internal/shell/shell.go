@@ -27,6 +27,11 @@ import (
 type Shell struct {
 	db  *fame.DB
 	out io.Writer
+	// snap is the console's open snapshot transaction (feature MVCC):
+	// .snapshot begin pins the newest committed version, reads via
+	// .snapshot get/scan keep seeing exactly that state no matter what
+	// the put/del commands change, and .snapshot end releases the pin.
+	snap *fame.Tx
 }
 
 // New creates a shell over an open product, writing output to out.
@@ -61,6 +66,7 @@ func init() {
 		{".stats", "[prom|json]", "dump runtime metrics (feature Statistics)", (*Shell).cmdStats},
 		{".trace", "on|off|dump|slow", "control span recording (feature Tracing)", (*Shell).cmdTrace},
 		{".monitor", "[events [n]]", "show windowed rates and watchdog state (feature Monitor)", (*Shell).cmdMonitor},
+		{".snapshot", "[begin|get <key>|scan [from [to]]|end]", "read a pinned committed version (feature MVCC)", (*Shell).cmdSnapshot},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
 		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
@@ -134,7 +140,13 @@ func (s *Shell) cmdHelp(fields []string) bool {
 	return false
 }
 
-func (s *Shell) cmdQuit([]string) bool { return true }
+func (s *Shell) cmdQuit([]string) bool {
+	if s.snap != nil {
+		s.snap.Abort()
+		s.snap = nil
+	}
+	return true
+}
 
 func (s *Shell) cmdPut(fields []string) bool {
 	if len(fields) != 3 {
@@ -197,6 +209,97 @@ func (s *Shell) cmdScan(fields []string) bool {
 	}
 	fmt.Fprintf(s.out, "(%d rows)\n", n)
 	return false
+}
+
+// cmdSnapshot drives the MVCC feature's snapshot API from the console.
+// "begin" pins the newest committed version; "get" and "scan" then read
+// against that pin — lock-free and isolated from every later commit —
+// until "end" releases it. Bare ".snapshot" reports the open pin.
+func (s *Shell) cmdSnapshot(fields []string) bool {
+	sub := ""
+	if len(fields) > 1 {
+		sub = fields[1]
+	}
+	switch sub {
+	case "begin":
+		if s.snap != nil {
+			s.snap.Abort()
+			s.snap = nil
+		}
+		tx, err := s.db.BeginSnapshot()
+		if err != nil {
+			s.featureErr("MVCC", ".snapshot", err)
+			return false
+		}
+		s.snap = tx
+		s.printSnapStatus("pinned")
+	case "get":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.out, "usage: .snapshot get <key>")
+			return false
+		}
+		if s.snap == nil {
+			fmt.Fprintln(s.out, "no snapshot open (try .snapshot begin)")
+			return false
+		}
+		v, err := s.snap.Get([]byte(fields[2]))
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(s.out, string(v))
+	case "scan":
+		if s.snap == nil {
+			fmt.Fprintln(s.out, "no snapshot open (try .snapshot begin)")
+			return false
+		}
+		var from, to []byte
+		if len(fields) > 2 {
+			from = []byte(fields[2])
+		}
+		if len(fields) > 3 {
+			to = []byte(fields[3])
+		}
+		n := 0
+		err := s.snap.Scan(from, to, func(k, v []byte) bool {
+			fmt.Fprintf(s.out, "%s = %s\n", k, v)
+			n++
+			return true
+		})
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(s.out, "(%d rows)\n", n)
+	case "end":
+		if s.snap == nil {
+			fmt.Fprintln(s.out, "no snapshot open")
+			return false
+		}
+		seq, _ := s.snap.SnapshotSeq()
+		s.snap.Abort()
+		s.snap = nil
+		fmt.Fprintf(s.out, "snapshot v%d released\n", seq)
+	case "":
+		if s.snap == nil {
+			fmt.Fprintln(s.out, "no snapshot open (try .snapshot begin)")
+			return false
+		}
+		s.printSnapStatus("open")
+	default:
+		fmt.Fprintln(s.out, "usage: .snapshot [begin|get <key>|scan [from [to]]|end]")
+	}
+	return false
+}
+
+// printSnapStatus prints the open snapshot's version and entry count.
+func (s *Shell) printSnapStatus(verb string) {
+	seq, _ := s.snap.SnapshotSeq()
+	if n, err := s.snap.Len(); err == nil {
+		fmt.Fprintf(s.out, "snapshot v%d %s (%d entries)\n", seq, verb, n)
+	} else {
+		fmt.Fprintf(s.out, "snapshot v%d %s\n", seq, verb)
+	}
 }
 
 func (s *Shell) cmdFlush(fields []string) bool {

@@ -238,3 +238,62 @@ func TestShellMonitorNotComposed(t *testing.T) {
 			out.String())
 	}
 }
+
+func TestShellSnapshot(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Update", "Transaction", "GroupCommit", "Locking", "MVCC")
+
+	s.Execute("put k old")
+	out.Reset()
+	s.Execute(".snapshot begin")
+	if got := out.String(); !strings.Contains(got, "pinned") || !strings.Contains(got, "1 entries") {
+		t.Fatalf(".snapshot begin output = %q", got)
+	}
+
+	// The live store moves on; the snapshot must not.
+	s.Execute("update k new")
+	out.Reset()
+	s.Execute(".snapshot get k")
+	if got := out.String(); !strings.Contains(got, "old") {
+		t.Errorf("snapshot get after update = %q, want begin-time old", got)
+	}
+	out.Reset()
+	s.Execute("get k")
+	if got := out.String(); !strings.Contains(got, "new") {
+		t.Errorf("live get = %q, want new", got)
+	}
+
+	out.Reset()
+	s.Execute(".snapshot scan")
+	if got := out.String(); !strings.Contains(got, "k = old") || !strings.Contains(got, "(1 rows)") {
+		t.Errorf(".snapshot scan output = %q", got)
+	}
+
+	out.Reset()
+	s.Execute(".snapshot")
+	if got := out.String(); !strings.Contains(got, "open") {
+		t.Errorf("bare .snapshot output = %q", got)
+	}
+
+	out.Reset()
+	s.Execute(".snapshot end")
+	if got := out.String(); !strings.Contains(got, "released") {
+		t.Errorf(".snapshot end output = %q", got)
+	}
+	out.Reset()
+	s.Execute(".snapshot get k")
+	if got := out.String(); !strings.Contains(got, "no snapshot open") {
+		t.Errorf("read after end = %q", got)
+	}
+}
+
+func TestShellSnapshotNotComposed(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Transaction", "ForceCommit")
+	s.Execute(".snapshot begin")
+	if got := out.String(); !strings.Contains(got, "MVCC feature not composed") {
+		t.Errorf(".snapshot without MVCC = %q", got)
+	}
+}

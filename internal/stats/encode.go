@@ -19,6 +19,7 @@ type Snapshot struct {
 	Access AccessSnapshot `json:"access"`
 	Trace  TraceSnapshot  `json:"trace"`
 	Fault  FaultSnapshot  `json:"fault"`
+	MVCC   MVCCSnapshot   `json:"mvcc"`
 }
 
 // BufferSnapshot copies the buffer-manager counters.
@@ -107,6 +108,19 @@ type FaultSnapshot struct {
 	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
+// MVCCSnapshot copies the version-table metrics; all zero unless the
+// MVCC feature is composed.
+type MVCCSnapshot struct {
+	VersionsInstalled int64 `json:"versions_installed"`
+	PagesReclaimed    int64 `json:"pages_reclaimed"`
+	// VersionsLive retains superseded roots for pinned readers;
+	// SnapshotAge is how many versions the oldest pinned snapshot lags
+	// the current root.
+	VersionsLive  int64 `json:"versions_live"`
+	SnapshotsOpen int64 `json:"snapshots_open"`
+	SnapshotAge   int64 `json:"snapshot_age"`
+}
+
 // Snapshot copies every metric. Safe on a nil registry (zero snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -173,6 +187,12 @@ func (r *Registry) Snapshot() Snapshot {
 	if reason, ok := r.fault.reason.Load().(string); ok {
 		s.Fault.DegradedReason = reason
 	}
+
+	s.MVCC.VersionsInstalled = load(&r.mvcc.versionsInstalled)
+	s.MVCC.PagesReclaimed = load(&r.mvcc.pagesReclaimed)
+	s.MVCC.VersionsLive = load(&r.mvcc.versionsLive)
+	s.MVCC.SnapshotsOpen = load(&r.mvcc.snapshotsOpen)
+	s.MVCC.SnapshotAge = load(&r.mvcc.snapshotAge)
 	return s
 }
 
@@ -275,6 +295,14 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	gauge("famedb_degraded", "1 when the engine is in degraded read-only mode.", degraded)
 
+	if s.MVCC.VersionsInstalled > 0 {
+		counter("famedb_mvcc_versions_installed_total", "Committed roots installed in the version table.", s.MVCC.VersionsInstalled, "")
+		counter("famedb_mvcc_pages_reclaimed_total", "Superseded pages returned to the free list.", s.MVCC.PagesReclaimed, "")
+		gauge("famedb_mvcc_versions_live", "Versions retained for pinned readers.", s.MVCC.VersionsLive)
+		gauge("famedb_mvcc_snapshots_open", "Snapshots currently pinned.", s.MVCC.SnapshotsOpen)
+		gauge("famedb_mvcc_snapshot_age", "Versions the oldest pinned snapshot lags the current root.", s.MVCC.SnapshotAge)
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -371,6 +399,14 @@ func (s Snapshot) Format() string {
 		if s.Fault.Degraded {
 			fmt.Fprintf(&b, "  %-24s %12s   %s\n", "degraded", "yes", s.Fault.DegradedReason)
 		}
+	}
+	if s.MVCC.VersionsInstalled > 0 {
+		b.WriteString("mvcc\n")
+		row("versions installed", s.MVCC.VersionsInstalled)
+		row("pages reclaimed", s.MVCC.PagesReclaimed)
+		row("versions live", s.MVCC.VersionsLive)
+		row("snapshots open", s.MVCC.SnapshotsOpen)
+		row("snapshot age", s.MVCC.SnapshotAge)
 	}
 	if b.Len() == 0 {
 		return "(no recorded activity)\n"

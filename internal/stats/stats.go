@@ -31,6 +31,7 @@ type Registry struct {
 	access Access
 	trace  Trace
 	fault  Fault
+	mvcc   MVCC
 }
 
 // New creates a registry with all histograms initialized.
@@ -109,6 +110,55 @@ func (r *Registry) Fault() *Fault {
 		return nil
 	}
 	return &r.fault
+}
+
+// MVCC returns the version-table metrics (nil on a nil registry). They
+// are populated only when the MVCC feature is also composed.
+func (r *Registry) MVCC() *MVCC {
+	if r == nil {
+		return nil
+	}
+	return &r.mvcc
+}
+
+// --- MVCC version table ---
+
+// MVCC observes the copy-on-write version table: how many versions were
+// installed and are still live (retained for pinned readers), how many
+// superseded pages epoch reclamation returned to the free list, how
+// many snapshots are open, and how far (in versions) the oldest pinned
+// snapshot lags the current root.
+type MVCC struct {
+	versionsInstalled int64
+	pagesReclaimed    int64
+	versionsLive      int64 // gauge
+	snapshotsOpen     int64 // gauge
+	snapshotAge       int64 // gauge: current seq - oldest pinned seq
+}
+
+// Install records one version installed.
+func (m *MVCC) Install() {
+	if m != nil {
+		atomic.AddInt64(&m.versionsInstalled, 1)
+	}
+}
+
+// Reclaimed records superseded pages returned to the free list.
+func (m *MVCC) Reclaimed(pages int) {
+	if m != nil {
+		atomic.AddInt64(&m.pagesReclaimed, int64(pages))
+	}
+}
+
+// Gauges replaces the version-table gauges: live versions, open
+// snapshots, and the oldest pinned snapshot's age in versions.
+func (m *MVCC) Gauges(live, open, age int64) {
+	if m == nil {
+		return
+	}
+	atomic.StoreInt64(&m.versionsLive, live)
+	atomic.StoreInt64(&m.snapshotsOpen, open)
+	atomic.StoreInt64(&m.snapshotAge, age)
 }
 
 // --- Fault survival ---

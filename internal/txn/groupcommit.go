@@ -205,6 +205,11 @@ func (g *groupCommit) drain(b *gcBatch, leaderID uint64) {
 		for i, t := range b.txns {
 			b.errs[i] = m.applyLocked(t)
 		}
+		// One version per batch: the leader publishes the batch's final
+		// root with a single atomic swap while still holding m.mu, so
+		// readers pin either the whole batch or none of it. A failure is
+		// only a reclamation failure and retries on the next install.
+		_ = m.installVersion()
 	}
 	m.mu.Unlock()
 	close(b.done)

@@ -138,6 +138,11 @@ type Options struct {
 	// Fault receives retry/degraded counters when the Statistics
 	// feature is composed; nil otherwise.
 	Fault *stats.Fault
+	// Versions is the MVCC version table when that feature is composed;
+	// nil otherwise. With it set, Begin pins the newest committed
+	// version so transactional reads never take the manager lock, and
+	// every commit batch publishes a new version after it applies.
+	Versions VersionSource
 }
 
 // Manager coordinates transactions over a store.
@@ -251,6 +256,12 @@ func (m *Manager) recover() error {
 			}
 		}
 	}
+	// With MVCC composed the replay mutated copy-on-write: publish the
+	// recovered state as one version so the first snapshot pins it and
+	// the replay's superseded pages reclaim.
+	if err := m.installVersion(); err != nil {
+		return fmt.Errorf("txn: recovery version install: %w", err)
+	}
 	return nil
 }
 
@@ -271,14 +282,26 @@ type Txn struct {
 	// read-your-writes lookups stay O(1) for large write sets.
 	widx map[string]int
 	done bool
+	// snap is the pinned committed version all reads resolve against
+	// when MVCC is composed; nil otherwise (reads then lock).
+	snap SnapshotReader
+	// readOnly marks snapshot transactions: mutations are refused.
+	readOnly bool
 }
 
 // Begin starts a transaction. Allocating the ID is a single atomic, so
-// concurrent Begins never contend on the commit lock.
+// concurrent Begins never contend on the commit lock. With MVCC
+// composed the transaction pins the newest committed version: reads
+// are then lock-free and see the begin-time state plus the
+// transaction's own writes.
 func (m *Manager) Begin() *Txn {
 	id := m.nextTxn.Add(1)
 	m.opts.Metrics.Begin()
-	return &Txn{m: m, id: id}
+	t := &Txn{m: m, id: id}
+	if m.opts.Versions != nil {
+		t.snap = m.pinVersion()
+	}
+	return t
 }
 
 // ID returns the transaction's identifier — the value trace spans and
@@ -303,26 +326,29 @@ func (t *Txn) record(w writeOp) {
 }
 
 // Get reads a key: the transaction's own writes win over committed
-// state.
+// state. Missing keys — whether hidden by a buffered remove or absent
+// from the committed state — satisfy errors.Is(err, ErrNotFound).
 func (t *Txn) Get(key []byte) ([]byte, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
-	if w, ok := t.lookupWriteSet(key); ok {
-		if w.remove {
-			return nil, fmt.Errorf("txn: %q: %w", key, ErrNotFound)
-		}
-		return append([]byte(nil), w.value...), nil
+	v, ok, err := t.visible(key)
+	if err != nil {
+		return nil, err
 	}
-	t.m.mu.RLock()
-	defer t.m.mu.RUnlock()
-	return t.m.store.Get(key)
+	if !ok {
+		return nil, notFound(key)
+	}
+	return append([]byte(nil), v...), nil
 }
 
 // Put buffers a write of value under key.
 func (t *Txn) Put(key, value []byte) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.readOnly {
+		return ErrReadOnly
 	}
 	if !t.m.store.Ops().Put {
 		return fmt.Errorf("Put: %w", access.ErrNotComposed)
@@ -334,21 +360,21 @@ func (t *Txn) Put(key, value []byte) error {
 	return nil
 }
 
-// exists reports whether key is visible to the transaction.
+// exists reports whether key is visible to the transaction. It shares
+// the single visibility check with Get, so Update/Remove cost one lock
+// acquisition at most (and none with MVCC composed).
 func (t *Txn) exists(key []byte) (bool, error) {
-	if w, ok := t.lookupWriteSet(key); ok {
-		return !w.remove, nil
-	}
-	t.m.mu.RLock()
-	defer t.m.mu.RUnlock()
-	_, found, err := t.m.store.Index().Get(key)
-	return found, err
+	_, ok, err := t.visible(key)
+	return ok, err
 }
 
 // Update buffers a replacement of an existing key's value.
 func (t *Txn) Update(key, value []byte) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.readOnly {
+		return ErrReadOnly
 	}
 	if !t.m.store.Ops().Update {
 		return fmt.Errorf("Update: %w", access.ErrNotComposed)
@@ -371,6 +397,9 @@ func (t *Txn) Update(key, value []byte) error {
 func (t *Txn) Remove(key []byte) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.readOnly {
+		return ErrReadOnly
 	}
 	if !t.m.store.Ops().Remove {
 		return fmt.Errorf("Remove: %w", access.ErrNotComposed)
@@ -435,6 +464,7 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	t.done = true
+	t.releaseSnap()
 	m := t.m
 	start := m.opts.Metrics.StartCommit()
 	if len(t.writes) == 0 {
@@ -483,6 +513,10 @@ func (t *Txn) Commit() error {
 		sp.Fail(err)
 		return err
 	}
+	// Publish the new root; a failure here is only a reclamation
+	// failure (the pages retry on the next install), never a commit
+	// failure — the write set is durable and applied.
+	_ = m.installVersion()
 	m.opts.Metrics.DoneCommit(start)
 	return nil
 }
@@ -493,6 +527,7 @@ func (t *Txn) Abort() {
 		t.m.opts.Metrics.Abort()
 	}
 	t.done = true
+	t.releaseSnap()
 	t.writes = nil
 }
 
