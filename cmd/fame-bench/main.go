@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,CP] [-ops N]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,B8,CP] [-ops N]
 //	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
@@ -27,7 +27,12 @@
 // latched reads across a reader/writer sweep while group-commit
 // writers rewrite the scanned keys, closing the loop both ways (the
 // deriver selects MVCC under a read-latency objective and prices it
-// out under a tight ROM budget). CP runs the crash-point recovery
+// out under a tight ROM budget). B8 runs the CompiledQueries benchmark
+// — interpreted vs plan-cached vs prepared execution of point lookups,
+// range scans and filtered scans at 1/4/16 goroutines, closing the
+// loop both ways (the deriver selects CompiledQueries under a
+// statement-latency objective and prices it out under a tight ROM
+// budget). CP runs the crash-point recovery
 // harness: the
 // same workload crashed at every write-class op index under both the
 // clean-cut and torn-write models, reopened, and scrubbed.
@@ -52,7 +57,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,CP", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,B8,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -219,6 +224,14 @@ func main() {
 		}
 		fmt.Println(bench.FormatB7(r))
 		writeReport("B7", outPath("B7"), r.WriteJSON)
+	}
+	if want["B8"] {
+		r, err := bench.B8(*ops/4, 23)
+		if err != nil {
+			fail("B8", err)
+		}
+		fmt.Println(bench.FormatB8(r))
+		writeReport("B8", outPath("B8"), r.WriteJSON)
 	}
 	if want["CP"] {
 		for _, torn := range []bool{false, true} {

@@ -8,10 +8,11 @@
 //	fame-repl [-features Linux,BPlusTree,...] [-dir path] [-monitor addr]
 //
 // The default selection includes the Statistics, Tracing, Monitor,
-// and MVCC features; use the .stats command to inspect counters and
-// latency histograms, .trace dump|slow to inspect span trees,
-// .monitor for windowed rates and watchdog events, .snapshot to read
-// a pinned committed version, .help for the full command list.
+// MVCC and CompiledQueries features; use the .stats command to inspect
+// counters and latency histograms, .trace dump|slow to inspect span
+// trees, .monitor for windowed rates and watchdog events, .snapshot to
+// read a pinned committed version, .prepare/.exec to compile and run
+// prepared statements, .help for the full command list.
 // With -monitor the telemetry endpoint (/metrics, /healthz, /varz,
 // /events, /trace, /debug/pprof/) serves on the given address for the
 // life of the console.
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	features := flag.String("features",
-		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,Statistics,Tracing,Monitor,Transaction,GroupCommit,Locking,MVCC",
+		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,CompiledQueries,Statistics,Tracing,Monitor,Transaction,GroupCommit,Locking,MVCC",
 		"comma-separated feature selection to compose")
 	dir := flag.String("dir", "", "persist the instance in a directory (default: in memory)")
 	monitorAddr := flag.String("monitor", "",

@@ -35,6 +35,7 @@ import (
 	"famedb/internal/nfp"
 	"famedb/internal/osal"
 	"famedb/internal/solver"
+	"famedb/internal/sql"
 	"famedb/internal/stats"
 	"famedb/internal/storage"
 	"famedb/internal/trace"
@@ -50,7 +51,9 @@ type (
 	Model = core.Model
 	// Configuration is a (partial) feature selection over a Model.
 	Configuration = core.Configuration
-	// Value is a typed SQL value.
+	// Value is a typed SQL value. Construct bound-parameter values with
+	// IntValue, FloatValue, StringValue and BoolValue (internal/types is
+	// not importable from outside this module).
 	Value = types.Value
 	// Snapshot is a point-in-time copy of the Statistics feature's
 	// metrics (see DB.Stats).
@@ -161,6 +164,9 @@ type Options struct {
 	// MonitorOnAlert, when set, receives every watchdog event (alerts
 	// and clears) as the Monitor feature emits it.
 	MonitorOnAlert func(MonitorEvent)
+	// PlanCacheSize bounds the CompiledQueries feature's plan cache in
+	// entries (default 256); ignored unless CompiledQueries is selected.
+	PlanCacheSize int
 }
 
 // DB is a derived FAME-DBMS instance.
@@ -198,6 +204,7 @@ func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 		MonitorWindow:   opts.MonitorWindow,
 		MonitorRules:    opts.MonitorRules,
 		MonitorOnAlert:  opts.MonitorOnAlert,
+		PlanCacheSize:   opts.PlanCacheSize,
 	}
 	if opts.Dir != "" {
 		fs, err := osal.NewDirFS(opts.Dir)
@@ -319,11 +326,18 @@ type Result struct {
 	Columns  []string
 	Rows     [][]Value
 	Affected int
-	// Plan is "index-scan" or "full-scan" for SELECTs.
+	// Plan is "point-lookup", "index-scan" or "full-scan" for SELECTs.
 	Plan string
 }
 
+func wrapResult(r *sql.Result) *Result {
+	return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected, Plan: r.Plan}
+}
+
 // Exec parses and executes one SQL statement (feature SQLEngine).
+// On products with the CompiledQueries feature, statements whose shape
+// (literals replaced by placeholders) was executed before reuse a
+// cached compiled plan and skip parsing and planning.
 func (db *DB) Exec(query string) (*Result, error) {
 	if db.inst.SQL == nil {
 		return nil, fmt.Errorf("SQLEngine: %w", ErrNotComposed)
@@ -332,8 +346,60 @@ func (db *DB) Exec(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: r.Columns, Rows: r.Rows, Affected: r.Affected, Plan: r.Plan}, nil
+	return wrapResult(r), nil
 }
+
+// IntValue makes a Value carrying an INT, for binding to a `?`
+// placeholder in Stmt.Exec.
+func IntValue(v int64) Value { return types.Int(v) }
+
+// FloatValue makes a Value carrying a FLOAT.
+func FloatValue(v float64) Value { return types.Float(v) }
+
+// StringValue makes a Value carrying a TEXT string.
+func StringValue(v string) Value { return types.Str(v) }
+
+// BoolValue makes a Value carrying a BOOL.
+func BoolValue(v bool) Value { return types.Bool(v) }
+
+// Stmt is a prepared statement (feature CompiledQueries): parsed,
+// planned and closure-compiled once by DB.Prepare, executed many times
+// with positionally bound arguments. One Stmt is safe for concurrent
+// Exec from multiple goroutines; DDL on the same database transparently
+// recompiles it.
+type Stmt struct {
+	s *sql.Stmt
+}
+
+// Prepare parses, plans and compiles one SQL statement with optional
+// `?` placeholders (feature CompiledQueries; products without it return
+// ErrNotComposed).
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	if db.inst.SQL == nil {
+		return nil, fmt.Errorf("SQLEngine: %w", ErrNotComposed)
+	}
+	s, err := db.inst.SQL.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{s: s}, nil
+}
+
+// Exec runs the compiled plan with args bound to the placeholders in
+// order — zero parsing, zero planning.
+func (st *Stmt) Exec(args ...Value) (*Result, error) {
+	r, err := st.s.Exec(args...)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(r), nil
+}
+
+// NumParams returns the number of `?` placeholders in the statement.
+func (st *Stmt) NumParams() int { return st.s.NumParams() }
+
+// Close retires the prepared statement.
+func (st *Stmt) Close() error { return st.s.Close() }
 
 // Stats returns a snapshot of the product's runtime metrics (feature
 // Statistics): per-layer counters plus latency histograms. Products

@@ -119,6 +119,12 @@ func FAMEQueries() []Query {
 		// optimizer only pays off then.
 		{Feature: "Optimizer", Detectable: true,
 			Match: func(m *AppModel) bool { return m.StringContains(" where ") }},
+		// Prepared statements (and `?` placeholders in SQL text) need the
+		// closure compiler and plan cache.
+		{Feature: "CompiledQueries", Detectable: true,
+			Match: func(m *AppModel) bool {
+				return m.CallsReachable("Prepare") || m.StringContains("= ?")
+			}},
 		// Scans over key ranges need an ordered index.
 		{Feature: "BPlusTree", Detectable: true,
 			Match: func(m *AppModel) bool {

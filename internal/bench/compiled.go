@@ -1,0 +1,475 @@
+package bench
+
+// Benchmark B8: the CompiledQueries feature's statement latency and its
+// NFP feedback.
+//
+// Two otherwise identical SQL products — one interpreting every
+// statement (parse, plan, execute), one composing CompiledQueries — run
+// the same read workloads over a preloaded table: point lookups by
+// primary key, bounded range scans, and filtered full scans over a
+// non-indexed column. The compiled product is measured twice: on the
+// unprepared Exec path, where the shape-keyed plan cache normalizes
+// each statement's literals away and reuses a compiled plan (clients
+// still pay for building the SQL string), and on the prepared path,
+// where one shared *Stmt executes closure-compiled plans with bound
+// arguments — zero parsing, zero planning, and for the pk-equality
+// shape a fused point lookup. Each (workload, mode) cell is swept at
+// 1, 4 and 16 goroutines; the prepared cells share a single *Stmt
+// across all goroutines, exercising the statement latch.
+//
+// The 16-goroutine point-lookup measurements close the paper's feedback
+// loop: both variants' throughput and statement latency feed the NFP
+// store, the signed fitted table gives CompiledQueries a negative
+// statement-latency weight, and the greedy deriver minimizing measured
+// statement latency selects CompiledQueries on its own. The ROM side
+// prices it right back out: under a budget that fits the SQL base
+// product but not the closure compiler and plan cache, requiring
+// CompiledQueries makes derivation infeasible.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+	"famedb/internal/sql"
+	"famedb/internal/stats"
+	"famedb/internal/types"
+)
+
+// B8Config fixes the scenario.
+type B8Config struct {
+	Ops      int   // statements per measured point, across goroutines
+	Seed     int64 // reserved for workload shuffling
+	Rows     int   // preloaded table rows
+	Span     int   // pk width of one range scan
+	ScoreMod int   // score column values are i % ScoreMod
+	ScoreMin int   // filtered scans select score > ScoreMin
+}
+
+func defaultB8Config(ops int, seed int64) B8Config {
+	if ops < 2048 {
+		ops = 2048
+	}
+	return B8Config{
+		Ops:      ops,
+		Seed:     seed,
+		Rows:     2048,
+		Span:     32,
+		ScoreMod: 100,
+		ScoreMin: 89, // ~10% of rows survive the filter
+	}
+}
+
+// The three execution modes of the sweep.
+const (
+	b8Interpreted = "interpreted" // no CompiledQueries: parse+plan every Exec
+	b8Cached      = "cached"      // CompiledQueries, unprepared Exec: plan-cache hits
+	b8Prepared    = "prepared"    // CompiledQueries, shared Stmt.Exec: zero-parse
+)
+
+// The three read workloads.
+const (
+	b8Point    = "point"    // SELECT by pk equality
+	b8Range    = "range"    // bounded pk range scan
+	b8Filtered = "filtered" // full scan with a non-indexed predicate
+)
+
+var b8Goroutines = []int{1, 4, 16}
+
+// B8Point is one measured (workload, mode, goroutines) cell.
+type B8Point struct {
+	Workload   string  `json:"workload"`
+	Mode       string  `json:"mode"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Per-statement wall-time quantiles, nanoseconds.
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	// Plan-cache traffic of the run; zero outside cached mode.
+	PlanHits   int64 `json:"plan_cache_hits,omitempty"`
+	PlanMisses int64 `json:"plan_cache_misses,omitempty"`
+	// Access paths taken, from the Statistics registry.
+	PointLookups int64 `json:"point_lookups,omitempty"`
+	IndexScans   int64 `json:"index_scans,omitempty"`
+	FullScans    int64 `json:"full_scans,omitempty"`
+}
+
+// B8Speedup compares the compiled modes against interpreted execution
+// at one (workload, goroutines) cell.
+type B8Speedup struct {
+	Workload       string  `json:"workload"`
+	Goroutines     int     `json:"goroutines"`
+	InterpretedSec float64 `json:"interpreted_ops_per_sec"`
+	CachedSec      float64 `json:"cached_ops_per_sec"`
+	PreparedSec    float64 `json:"prepared_ops_per_sec"`
+	CachedRatio    float64 `json:"cached_ratio"`
+	PreparedRatio  float64 `json:"prepared_ratio"`
+}
+
+// B8Feedback is the closed loop: measured statement latency derives
+// CompiledQueries, and a tight ROM budget prices it back out.
+type B8Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedCompiled reports whether the latency-minimizing greedy
+	// deriver picked CompiledQueries from its negative fitted weight.
+	SelectedCompiled bool `json:"selected_compiled_queries"`
+	// CompiledLatencyWeightNs is the fitted per-feature contribution of
+	// CompiledQueries to statement p50 latency (negative: it helps).
+	CompiledLatencyWeightNs float64 `json:"compiled_latency_weight_ns"`
+	// The ROM side: the SQL base product's footprint, the feature's
+	// footprint delta, and the budget under which requiring it fails.
+	BaseROM                int  `json:"base_rom_bytes"`
+	CompiledROM            int  `json:"compiled_queries_rom_bytes"`
+	TightROMBudget         int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithCompiled bool `json:"infeasible_with_compiled_queries"`
+}
+
+// B8Result is the machine-readable report (BENCH_8.json).
+type B8Result struct {
+	Ops      int         `json:"ops_per_point"`
+	Seed     int64       `json:"seed"`
+	Rows     int         `json:"rows"`
+	Span     int         `json:"range_span"`
+	Points   []B8Point   `json:"points"`
+	Speedups []B8Speedup `json:"speedups"`
+	Feedback B8Feedback  `json:"feedback"`
+}
+
+// b8Features is the measured product: the optimized SQL stack with
+// Statistics for the plan counters; the compiled variant adds
+// CompiledQueries.
+func b8Features(compiled bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get",
+		"Optimizer", "SQLEngine", "Statistics",
+	}
+	if compiled {
+		fs = append(fs, "CompiledQueries")
+	}
+	return fs
+}
+
+// b8Load composes one product and preloads the benchmark table.
+func b8Load(cfg B8Config, compiled bool) (*composer.Instance, error) {
+	inst, err := composer.ComposeProduct(
+		composer.Options{CachePages: 4096, CacheShards: 64}, b8Features(compiled)...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inst.SQL.Exec("CREATE TABLE bench (id INT PRIMARY KEY, v TEXT, score INT)"); err != nil {
+		inst.Close()
+		return nil, err
+	}
+	const batch = 64
+	for lo := 0; lo < cfg.Rows; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO bench VALUES ")
+		for i := lo; i < lo+batch && i < cfg.Rows; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'row-%07d', %d)", i, i, i%cfg.ScoreMod)
+		}
+		if _, err := inst.SQL.Exec(sb.String()); err != nil {
+			inst.Close()
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// b8QueryText builds the i-th statement of one workload as SQL text
+// with literals — what the interpreted and plan-cached modes execute.
+func b8QueryText(cfg B8Config, workload string, g, i int) string {
+	k := (g*2654435761 + i*97) % cfg.Rows
+	switch workload {
+	case b8Point:
+		return fmt.Sprintf("SELECT v FROM bench WHERE id = %d", k)
+	case b8Range:
+		lo := k % (cfg.Rows - cfg.Span)
+		return fmt.Sprintf("SELECT v FROM bench WHERE id >= %d AND id < %d", lo, lo+cfg.Span)
+	default:
+		return fmt.Sprintf("SELECT id FROM bench WHERE score > %d", cfg.ScoreMin)
+	}
+}
+
+// b8PreparedText is the placeholder form of a workload's statement.
+func b8PreparedText(workload string) string {
+	switch workload {
+	case b8Point:
+		return "SELECT v FROM bench WHERE id = ?"
+	case b8Range:
+		return "SELECT v FROM bench WHERE id >= ? AND id < ?"
+	default:
+		return "SELECT id FROM bench WHERE score > ?"
+	}
+}
+
+// b8Args builds the same i-th statement as bound arguments for the
+// shared prepared statement.
+func b8Args(cfg B8Config, workload string, g, i int) []types.Value {
+	k := (g*2654435761 + i*97) % cfg.Rows
+	switch workload {
+	case b8Point:
+		return []types.Value{types.Int(int64(k))}
+	case b8Range:
+		lo := k % (cfg.Rows - cfg.Span)
+		return []types.Value{types.Int(int64(lo)), types.Int(int64(lo + cfg.Span))}
+	default:
+		return []types.Value{types.Int(int64(cfg.ScoreMin))}
+	}
+}
+
+// b8Run measures one (workload, mode, goroutines) point on a fresh
+// product. In prepared mode all goroutines share one *Stmt.
+func b8Run(cfg B8Config, workload, mode string, goroutines int) (B8Point, error) {
+	pt := B8Point{Workload: workload, Mode: mode, Goroutines: goroutines, Ops: cfg.Ops}
+	inst, err := b8Load(cfg, mode != b8Interpreted)
+	if err != nil {
+		return pt, err
+	}
+	defer inst.Close()
+
+	var stmt *sql.Stmt
+	if mode == b8Prepared {
+		stmt, err = inst.SQL.Prepare(b8PreparedText(workload))
+		if err != nil {
+			return pt, err
+		}
+		defer stmt.Close()
+	}
+
+	before, err := inst.Stats()
+	if err != nil {
+		return pt, err
+	}
+	hist := stats.NewHistogram(stats.LatencyBounds())
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		n := cfg.Ops / goroutines
+		if g < cfg.Ops%goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				var res *sql.Result
+				var err error
+				if stmt != nil {
+					// All goroutines share this one statement: the compiled
+					// plan runs with bound arguments, no parsing, no planning.
+					res, err = stmt.Exec(b8Args(cfg, workload, g, i)...)
+				} else {
+					res, err = inst.SQL.Exec(b8QueryText(cfg, workload, g, i))
+				}
+				hist.Observe(time.Since(t0).Nanoseconds())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if workload != b8Filtered && len(res.Rows) == 0 {
+					errs <- fmt.Errorf("%s/%s: empty result", workload, mode)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return pt, err
+	}
+
+	after, err := inst.Stats()
+	if err != nil {
+		return pt, err
+	}
+	d := after.Sub(before)
+	h := hist.Snapshot()
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	pt.P50Ns = h.P50()
+	pt.P99Ns = h.P99()
+	pt.PlanHits = d.SQL.PlanHits
+	pt.PlanMisses = d.SQL.PlanMisses
+	pt.PointLookups = d.SQL.PointLookups
+	pt.IndexScans = d.SQL.IndexScans
+	pt.FullScans = d.SQL.FullScans
+	return pt, nil
+}
+
+// B8 runs the CompiledQueries benchmark and closes the feedback loop:
+// prepared and plan-cached execution are measured against interpreted
+// execution across workloads and goroutine counts, and the NFP
+// machinery prices the CompiledQueries feature under statement-latency
+// and ROM objectives.
+func B8(n int, seed int64) (*B8Result, error) {
+	cfg := defaultB8Config(n, seed)
+	res := &B8Result{Ops: cfg.Ops, Seed: cfg.Seed, Rows: cfg.Rows, Span: cfg.Span}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	type cell struct {
+		workload   string
+		goroutines int
+	}
+	byCell := map[cell]*B8Speedup{}
+	for _, workload := range []string{b8Point, b8Range, b8Filtered} {
+		for _, mode := range []string{b8Interpreted, b8Cached, b8Prepared} {
+			for _, g := range b8Goroutines {
+				pt, err := b8Run(cfg, workload, mode, g)
+				if err != nil {
+					return nil, fmt.Errorf("B8 %s/%s/%dg: %w", workload, mode, g, err)
+				}
+				res.Points = append(res.Points, pt)
+				c := cell{workload, g}
+				sp := byCell[c]
+				if sp == nil {
+					sp = &B8Speedup{Workload: workload, Goroutines: g}
+					byCell[c] = sp
+				}
+				switch mode {
+				case b8Interpreted:
+					sp.InterpretedSec = pt.OpsPerSec
+				case b8Cached:
+					sp.CachedSec = pt.OpsPerSec
+				case b8Prepared:
+					sp.PreparedSec = pt.OpsPerSec
+				}
+				// Feed the loop at the acceptance cell: point lookups at 16
+				// goroutines, one measurement per variant, differing only in
+				// the CompiledQueries feature — interpreted execution for
+				// the base product, prepared execution for the compiled one.
+				if workload == b8Point && g == 16 &&
+					(mode == b8Interpreted || mode == b8Prepared) {
+					err := nfp.RecordMeasurement(store, b8Features(mode == b8Prepared),
+						map[nfp.Property]float64{
+							nfp.Throughput: pt.OpsPerSec,
+							nfp.LatencyP50: pt.P50Ns,
+							nfp.LatencyP99: pt.P99Ns,
+						})
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for _, workload := range []string{b8Point, b8Range, b8Filtered} {
+		for _, g := range b8Goroutines {
+			sp := byCell[cell{workload, g}]
+			if sp.InterpretedSec > 0 {
+				sp.CachedRatio = sp.CachedSec / sp.InterpretedSec
+				sp.PreparedRatio = sp.PreparedSec / sp.InterpretedSec
+			}
+			res.Speedups = append(res.Speedups, *sp)
+		}
+	}
+
+	// Latency side: the stakeholder's functional requirements are the
+	// optimized SQL stack the workload exercises; the open question is
+	// whether CompiledQueries rides along. Greedy over the signed fitted
+	// table selects it on its measured (negative) latency weight.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get", "Optimizer", "SQLEngine"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "CompiledQueries")
+
+	// ROM side: size a budget that fits the SQL base product but not the
+	// closure compiler and plan cache, then require CompiledQueries
+	// under it.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	cqROM := rom.Features["CompiledQueries"]
+	budget := base.ROM + cqROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "CompiledQueries"),
+		MaxROM:   budget,
+	})
+
+	res.Feedback = B8Feedback{
+		Property:                string(nfp.LatencyP50),
+		MeasuredProducts:        len(store.Measurements()),
+		Required:                required,
+		DerivedFeatures:         derived.Config.SelectedNames(),
+		SelectedCompiled:        derived.Config.Has("CompiledQueries"),
+		CompiledLatencyWeightNs: lw,
+		BaseROM:                 base.ROM,
+		CompiledROM:             cqROM,
+		TightROMBudget:          budget,
+		InfeasibleWithCompiled:  errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+// FormatB8 renders the B8 result as text.
+func FormatB8(r *B8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B8 — CompiledQueries: interpreted vs plan-cached vs prepared execution, %d-row table\n", r.Rows)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tmode\tgoroutines\tops/s\tp50 ns\tp99 ns\tcache hit/miss\tpoint\tindex\tfull")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f\t%.0f\t%.0f\t%d/%d\t%d\t%d\t%d\n",
+			p.Workload, p.Mode, p.Goroutines, p.OpsPerSec, p.P50Ns, p.P99Ns,
+			p.PlanHits, p.PlanMisses, p.PointLookups, p.IndexScans, p.FullScans)
+	}
+	w.Flush()
+	for _, sp := range r.Speedups {
+		fmt.Fprintf(&b, "%8s at %2d goroutines: prepared %.2fx, cached %.2fx (interpreted %.0f/s)\n",
+			sp.Workload, sp.Goroutines, sp.PreparedRatio, sp.CachedRatio, sp.InterpretedSec)
+	}
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  CompiledQueries selected: %v (stmt-latency weight %+.0f ns)\n",
+		r.Feedback.SelectedCompiled, r.Feedback.CompiledLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, CompiledQueries +%d B; requiring it under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.CompiledROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithCompiled)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_8.json).
+func (r *B8Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
@@ -40,6 +41,29 @@ type Tree struct {
 	// collects them with TakeSuperseded.
 	cow        bool
 	superseded []storage.PageID
+	// bufs recycles page buffers across read descents. A point lookup
+	// or scan reads height-many nodes and needs each only until it has
+	// picked the child (or copied the value out), so the read paths
+	// return buffers here instead of leaving one garbage page per level
+	// for the collector. Mutating paths keep nodes alive across splits
+	// and recursion and never recycle.
+	bufs sync.Pool
+}
+
+// getBuf returns a page buffer, recycled when one is pooled.
+func (t *Tree) getBuf() []byte {
+	if v := t.bufs.Get(); v != nil {
+		return v.([]byte)
+	}
+	return make([]byte, t.pager.PageSize())
+}
+
+// release returns a node's buffer to the pool. Only read paths call it,
+// and only once the node's cells can no longer be referenced.
+func (t *Tree) release(n node) {
+	if n.buf != nil {
+		t.bufs.Put(n.buf) //nolint:staticcheck // page buffers are pointer-free
+	}
 }
 
 // SetTracer attaches the Tracing feature's span recorder.
@@ -68,10 +92,12 @@ func (t *Tree) height() (int, error) {
 			return 0, err
 		}
 		if n.isLeaf() {
+			t.release(n)
 			return h, nil
 		}
 		h++
 		id = n.leftChild()
+		t.release(n)
 	}
 }
 
@@ -145,8 +171,9 @@ func (t *Tree) Len() uint64 { return t.count }
 func (t *Tree) MetaPage() storage.PageID { return t.metaPage }
 
 func (t *Tree) readNode(id storage.PageID) (node, error) {
-	buf := make([]byte, t.pager.PageSize())
+	buf := t.getBuf()
 	if err := t.pager.ReadPage(id, buf); err != nil {
+		t.bufs.Put(buf) //nolint:staticcheck
 		return node{}, err
 	}
 	n := node{buf: buf, id: id}
@@ -169,9 +196,12 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	}
 	idx, found := n.search(key)
 	if !found {
+		t.release(n)
 		return nil, false, nil
 	}
-	return append([]byte(nil), n.leafValue(idx)...), true, nil
+	val := append([]byte(nil), n.leafValue(idx)...)
+	t.release(n)
+	return val, true, nil
 }
 
 // descendToLeaf walks from the root to the leaf covering key.
@@ -195,6 +225,7 @@ func (t *Tree) descendFrom(root storage.PageID, key []byte) (node, error) {
 		if id == storage.InvalidPage {
 			return node{}, fmt.Errorf("btree: nil child in page %d: %w", n.id, ErrCorrupt)
 		}
+		t.release(n)
 	}
 }
 
@@ -534,13 +565,16 @@ func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
 				continue
 			}
 			if to != nil && bytes.Compare(k, to) >= 0 {
+				t.release(n)
 				return nil
 			}
 			if !fn(k, n.leafValue(i)) {
+				t.release(n)
 				return nil
 			}
 		}
 		next := n.nextLeaf()
+		t.release(n)
 		if next == storage.InvalidPage {
 			return nil
 		}
@@ -562,6 +596,7 @@ func (t *Tree) leftmostLeaf() (node, error) {
 			return n, nil
 		}
 		id = n.leftChild()
+		t.release(n)
 	}
 }
 

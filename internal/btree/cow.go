@@ -79,9 +79,12 @@ func (t *Tree) getFrom(root storage.PageID, key []byte) ([]byte, bool, error) {
 	}
 	idx, found := n.search(key)
 	if !found {
+		t.release(n)
 		return nil, false, nil
 	}
-	return append([]byte(nil), n.leafValue(idx)...), true, nil
+	val := append([]byte(nil), n.leafValue(idx)...)
+	t.release(n)
+	return val, true, nil
 }
 
 // errScanStop threads early termination (fn returned false or the to
@@ -104,6 +107,9 @@ func (t *Tree) scanSubtree(id storage.PageID, from, to []byte, fn func(key, valu
 	if err != nil {
 		return err
 	}
+	// The node is only read within this frame (child recursion reads its
+	// own pages), so the buffer recycles on every way out.
+	defer t.release(n)
 	if n.isLeaf() {
 		for i := 0; i < n.numKeys(); i++ {
 			k := n.key(i)

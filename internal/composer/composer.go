@@ -65,6 +65,9 @@ type Options struct {
 	// MonitorOnAlert, when set, receives every watchdog event (alerts
 	// and clears) as it is emitted. Ignored without Monitor.
 	MonitorOnAlert func(monitor.Event)
+	// PlanCacheSize bounds the CompiledQueries feature's plan cache in
+	// entries (default 256). Ignored without CompiledQueries.
+	PlanCacheSize int
 }
 
 // Instance is a derived FAME-DBMS product.
@@ -483,8 +486,12 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			Factory:   factory,
 			Ops:       ops,
 			Optimizer: cfg.Has("Optimizer"),
-			Metrics:   inst.stats.SQL(),
-			Tracer:    inst.tracer,
+			// CompiledQueries feature: Prepare/Stmt plus the shape-keyed
+			// plan cache on the unprepared Exec path.
+			Compiled:      cfg.Has("CompiledQueries"),
+			PlanCacheSize: opts.PlanCacheSize,
+			Metrics:       inst.stats.SQL(),
+			Tracer:        inst.tracer,
 		}
 		if existing {
 			inst.SQL, err = sql.Open(sqlCfg, storage.PageID(lay.SQLMeta))

@@ -107,6 +107,12 @@ func FAMEModel() *Model {
 	api := root.AddAbstract("API", Mandatory)
 	sql := api.AddChild("SQLEngine", Optional)
 	sql.Description = "declarative query interface"
+	// CompiledQueries trades ROM for statement latency: prepared
+	// statements whose plans compile once into chained closures
+	// (predicates, projection, access path fused per table schema), plus
+	// a bounded shape-keyed plan cache for the unprepared Exec path.
+	cq := sql.AddChild("CompiledQueries", Optional)
+	cq.Description = "prepared statements, closure-compiled plans, and a bounded plan cache"
 
 	// Cross-tree constraints. These encode domain knowledge and drive
 	// decision propagation (Sec. 3.1).
@@ -149,6 +155,11 @@ func FAMEModel() *Model {
 	// a multi-core, memory-rich trade — a single-threaded NutOS node has
 	// neither the readers nor the pages to spare.
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("MVCC"))))
+	// Closure-compiled plans and a resident plan cache are pure
+	// ROM-and-RAM-for-latency trades; a NutOS node has no room for either
+	// (and no SQL engine to compile for — stated explicitly so the
+	// contradiction surfaces directly, not only via the parent).
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("CompiledQueries"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -202,7 +213,7 @@ func FAMEProducts() []NamedProduct {
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking", "MVCC",
-				"Optimizer", "SQLEngine", "Statistics", "Tracing", "Monitor",
+				"Optimizer", "SQLEngine", "CompiledQueries", "Statistics", "Tracing", "Monitor",
 			},
 			Note: "everything selected: the largest product",
 		},

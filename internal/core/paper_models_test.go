@@ -16,6 +16,7 @@ func TestFAMEModelStructure(t *testing.T) {
 		"Access", "Put", "Get", "Remove", "Update",
 		"Transaction", "CommitProtocol", "ForceCommit", "GroupCommit",
 		"Recovery", "Locking", "MVCC", "Optimizer", "API", "SQLEngine",
+		"CompiledQueries",
 	} {
 		if m.Feature(name) == nil {
 			t.Errorf("FAME model missing feature %q", name)
@@ -140,6 +141,31 @@ func TestFAMEModelDomainConstraints(t *testing.T) {
 	}
 	if err := c.Select("NutOS"); err == nil {
 		t.Error("MVCC+NutOS should be contradictory")
+	}
+
+	// CompiledQueries is a child of SQLEngine: selecting it pulls the
+	// engine in, and a NutOS node (which excludes SQL entirely) must
+	// reject it both by propagation and as a direct contradiction.
+	c = m.NewConfiguration()
+	if err := c.Select("CompiledQueries"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("SQLEngine") {
+		t.Error("CompiledQueries should force SQLEngine on")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("CompiledQueries") != Deselected {
+		t.Error("NutOS should force CompiledQueries off")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("CompiledQueries"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("NutOS"); err == nil {
+		t.Error("CompiledQueries+NutOS should be contradictory")
 	}
 }
 

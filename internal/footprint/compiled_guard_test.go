@@ -1,0 +1,59 @@
+package footprint
+
+import (
+	"testing"
+)
+
+// compiledSources are the files dedicated to the CompiledQueries
+// feature: the closure compiler with the prepared-statement surface,
+// and the shape-keyed plan cache.
+var compiledSources = map[string]bool{
+	"internal/sql/compile.go": true,
+	"internal/sql/cache.go":   true,
+}
+
+// TestOnlyCompiledQueriesMapsCompiledSources guards the feature's
+// zero-cost contract on the ROM side: a product derived without
+// CompiledQueries must carry no closure compiler and no plan cache, so
+// no other feature and not the core may claim those sources.
+func TestOnlyCompiledQueriesMapsCompiledSources(t *testing.T) {
+	for _, spec := range FAMECore() {
+		if compiledSources[spec.File] {
+			t.Errorf("core claims CompiledQueries source %s", spec.File)
+		}
+	}
+	for feat, specs := range FAMESources() {
+		for _, spec := range specs {
+			if compiledSources[spec.File] && feat != "CompiledQueries" {
+				t.Errorf("feature %q claims CompiledQueries source %s", feat, spec.File)
+			}
+		}
+	}
+	// And CompiledQueries claims them whole-file, so its ROM cost is
+	// real.
+	mapped := map[string]bool{}
+	for _, spec := range FAMESources()["CompiledQueries"] {
+		if compiledSources[spec.File] {
+			if len(spec.Funcs) != 0 {
+				t.Errorf("CompiledQueries maps %s partially; want whole file", spec.File)
+			}
+			mapped[spec.File] = true
+		}
+	}
+	for f := range compiledSources {
+		if !mapped[f] {
+			t.Errorf("CompiledQueries feature does not map %s", f)
+		}
+	}
+}
+
+// TestCompiledQueriesOnlyMapsCompiledSources is the inverse guard: the
+// feature must not reach into the shared interpreted executor — the
+// one-semantics-two-drivers split keeps engine.go billed to SQLEngine.
+func TestCompiledQueriesOnlyMapsCompiledSources(t *testing.T) {
+	for _, spec := range FAMESources()["CompiledQueries"] {
+		if !compiledSources[spec.File] {
+			t.Errorf("CompiledQueries claims shared source %s", spec.File)
+		}
+	}
+}

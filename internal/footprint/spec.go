@@ -196,15 +196,30 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/sql/ast.go"),
 			file("internal/sql/parser.go"),
 			funcs("internal/sql/engine.go",
-				"Create", "Open", "Engine.Meta", "Engine.Exec", "catalogKey",
-				"encodeTableMeta", "decodeTableMeta", "Engine.saveTableMeta",
-				"Engine.openTable", "Engine.Tables", "Engine.execCreate",
-				"Engine.execDrop", "coerce", "Engine.execInsert",
-				"Engine.scanMatching", "Engine.execSelect", "Engine.execUpdate",
-				"Engine.execDelete", "BTreeFactory", "ListFactory"),
+				"Create", "Open", "initEngine", "Engine.Meta", "Engine.Exec",
+				"Engine.execStmt", "Engine.lockFor", "Engine.dispatch",
+				"catalogKey", "encodeTableMeta", "decodeTableMeta",
+				"Engine.saveTableMeta", "Engine.openTable", "Engine.Tables",
+				"Engine.execCreate", "Engine.execDrop", "coerce", "table.rowKey",
+				"resolveInsert", "Engine.insertRow", "Engine.execInsert",
+				"scanWhere", "Engine.scanMatching", "Engine.execSelect",
+				"resolveProjection", "projectRow", "sortRows",
+				"Engine.execAggregates", "aggRow", "Engine.applyUpdate",
+				"Engine.execUpdate", "Engine.execDelete",
+				"BTreeFactory", "ListFactory"),
 		},
 		"Optimizer": {funcs("internal/sql/engine.go",
 			"Engine.planScan", "bytesCompare")},
+
+		// The CompiledQueries feature: prepared statements, the closure
+		// compiler, and the shape-keyed plan cache. Only CompiledQueries
+		// maps these two files (CI guards that), so a product derived
+		// without it parses and plans every statement and carries neither
+		// the compiler nor the cache.
+		"CompiledQueries": {
+			file("internal/sql/compile.go"),
+			file("internal/sql/cache.go"),
+		},
 
 		// The Statistics feature: the cross-cutting metrics registry with
 		// its histograms and encoders.

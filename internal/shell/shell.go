@@ -4,7 +4,8 @@
 // introspection — .stats dumps the Statistics feature's counters and
 // latency histograms, .trace the Tracing feature's span ring and
 // slow-op log, .monitor the Monitor feature's windowed rates and
-// watchdog events.
+// watchdog events, .prepare/.exec drive the CompiledQueries feature's
+// prepared statements.
 //
 // The console operates strictly on the public facade, so it can only do
 // what the derived product composed: absent features answer with
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +34,9 @@ type Shell struct {
 	// .snapshot get/scan keep seeing exactly that state no matter what
 	// the put/del commands change, and .snapshot end releases the pin.
 	snap *fame.Tx
+	// stmts holds the console's named prepared statements (feature
+	// CompiledQueries): .prepare compiles once, .exec binds and runs.
+	stmts map[string]*fame.Stmt
 }
 
 // New creates a shell over an open product, writing output to out.
@@ -67,6 +72,8 @@ func init() {
 		{".trace", "on|off|dump|slow", "control span recording (feature Tracing)", (*Shell).cmdTrace},
 		{".monitor", "[events [n]]", "show windowed rates and watchdog state (feature Monitor)", (*Shell).cmdMonitor},
 		{".snapshot", "[begin|get <key>|scan [from [to]]|end]", "read a pinned committed version (feature MVCC)", (*Shell).cmdSnapshot},
+		{".prepare", "[<name> <sql with ?>|close <name>]", "compile a named statement (feature CompiledQueries)", (*Shell).cmdPrepare},
+		{".exec", "<name> [arg...]", "run a prepared statement with bound args", (*Shell).cmdExec},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
 		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
@@ -145,7 +152,107 @@ func (s *Shell) cmdQuit([]string) bool {
 		s.snap.Abort()
 		s.snap = nil
 	}
+	for name, st := range s.stmts {
+		st.Close()
+		delete(s.stmts, name)
+	}
 	return true
+}
+
+// cmdPrepare compiles one SQL statement (with optional `?`
+// placeholders) under a console-local name. Bare ".prepare" lists the
+// open statements; "close <name>" retires one.
+func (s *Shell) cmdPrepare(fields []string) bool {
+	switch {
+	case len(fields) == 1:
+		if len(s.stmts) == 0 {
+			fmt.Fprintln(s.out, "no prepared statements (try .prepare <name> <sql>)")
+			return false
+		}
+		names := make([]string, 0, len(s.stmts))
+		for name := range s.stmts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(s.out, "%s (%d params)\n", name, s.stmts[name].NumParams())
+		}
+	case fields[1] == "close":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.out, "usage: .prepare close <name>")
+			return false
+		}
+		st, ok := s.stmts[fields[2]]
+		if !ok {
+			fmt.Fprintf(s.out, "no prepared statement %q\n", fields[2])
+			return false
+		}
+		st.Close()
+		delete(s.stmts, fields[2])
+		fmt.Fprintln(s.out, "closed")
+	case len(fields) >= 3:
+		name := fields[1]
+		st, err := s.db.Prepare(strings.Join(fields[2:], " "))
+		if err != nil {
+			s.featureErr("CompiledQueries", ".prepare", err)
+			return false
+		}
+		if old, ok := s.stmts[name]; ok {
+			old.Close()
+		}
+		if s.stmts == nil {
+			s.stmts = make(map[string]*fame.Stmt)
+		}
+		s.stmts[name] = st
+		fmt.Fprintf(s.out, "prepared %s (%d params)\n", name, st.NumParams())
+	default:
+		fmt.Fprintln(s.out, "usage: .prepare [<name> <sql with ?>|close <name>]")
+	}
+	return false
+}
+
+// cmdExec binds positional arguments to a statement prepared with
+// .prepare and runs its compiled plan — no parsing, no planning.
+// Arguments parse as int, then float, then true/false, else text;
+// quote with '...' to force text.
+func (s *Shell) cmdExec(fields []string) bool {
+	if len(fields) < 2 {
+		fmt.Fprintln(s.out, "usage: .exec <name> [arg...]")
+		return false
+	}
+	st, ok := s.stmts[fields[1]]
+	if !ok {
+		fmt.Fprintf(s.out, "no prepared statement %q (try .prepare)\n", fields[1])
+		return false
+	}
+	args := make([]fame.Value, len(fields)-2)
+	for i, f := range fields[2:] {
+		args[i] = parseArg(f)
+	}
+	res, err := st.Exec(args...)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return false
+	}
+	s.printResult(res)
+	return false
+}
+
+// parseArg converts one console token into a typed SQL value.
+func parseArg(tok string) fame.Value {
+	if strings.HasPrefix(tok, "'") && strings.HasSuffix(tok, "'") && len(tok) >= 2 {
+		return fame.StringValue(tok[1 : len(tok)-1])
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return fame.IntValue(n)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return fame.FloatValue(f)
+	}
+	if b, err := strconv.ParseBool(tok); err == nil {
+		return fame.BoolValue(b)
+	}
+	return fame.StringValue(tok)
 }
 
 func (s *Shell) cmdPut(fields []string) bool {

@@ -297,3 +297,62 @@ func TestShellSnapshotNotComposed(t *testing.T) {
 		t.Errorf(".snapshot without MVCC = %q", got)
 	}
 }
+
+func TestShellPrepareExec(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+		"Put", "Get", "Remove", "Update", "SQLEngine", "Optimizer", "CompiledQueries")
+
+	s.Execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+	s.Execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+
+	out.Reset()
+	s.Execute(".prepare byid SELECT name FROM t WHERE id = ?")
+	if !strings.Contains(out.String(), "prepared byid (1 params)") {
+		t.Errorf(".prepare output = %q", out.String())
+	}
+
+	out.Reset()
+	s.Execute(".exec byid 2")
+	if got := out.String(); !strings.Contains(got, "two") || !strings.Contains(got, "point-lookup") {
+		t.Errorf(".exec output = %q", got)
+	}
+
+	// String args: quoted and bare both reach the engine as text.
+	out.Reset()
+	s.Execute(".prepare ins INSERT INTO t VALUES (?, ?)")
+	s.Execute(".exec ins 3 'three'")
+	s.Execute(".exec byid 3")
+	if !strings.Contains(out.String(), "three") {
+		t.Errorf("insert-then-select transcript = %q", out.String())
+	}
+
+	// Bare .prepare lists, close retires.
+	out.Reset()
+	s.Execute(".prepare")
+	if got := out.String(); !strings.Contains(got, "byid") || !strings.Contains(got, "ins") {
+		t.Errorf(".prepare listing = %q", got)
+	}
+	out.Reset()
+	s.Execute(".prepare close ins")
+	s.Execute(".exec ins 4 'four'")
+	if got := out.String(); !strings.Contains(got, "closed") || !strings.Contains(got, `no prepared statement "ins"`) {
+		t.Errorf("close transcript = %q", got)
+	}
+
+	out.Reset()
+	s.Execute(".exec nope 1")
+	if !strings.Contains(out.String(), `no prepared statement "nope"`) {
+		t.Errorf(".exec unknown = %q", out.String())
+	}
+}
+
+func TestShellPrepareNotComposed(t *testing.T) {
+	s, out := newShell(t,
+		"Linux", "BPlusTree", "BTreeUpdate", "BTreeRemove",
+		"Put", "Get", "Remove", "Update", "SQLEngine", "Optimizer")
+	s.Execute(".prepare q SELECT 1")
+	if !strings.Contains(out.String(), "CompiledQueries feature not composed") {
+		t.Errorf(".prepare without feature = %q", out.String())
+	}
+}

@@ -1,9 +1,13 @@
 package sql
 
-import "famedb/internal/types"
+import (
+	"fmt"
 
-// Stmt is a parsed SQL statement.
-type Stmt interface{ stmt() }
+	"famedb/internal/types"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
 
 // ColumnDef defines one column in CREATE TABLE.
 type ColumnDef struct {
@@ -21,11 +25,30 @@ type CreateTable struct {
 // DropTable is DROP TABLE.
 type DropTable struct{ Table string }
 
+// Operand is a value position in a statement: either a literal or a
+// `?` placeholder. Param is the placeholder's 1-based ordinal in the
+// statement (lexical order); 0 means Value holds a literal.
+type Operand struct {
+	Value types.Value
+	Param int
+}
+
+// lit wraps a literal value as an operand.
+func lit(v types.Value) Operand { return Operand{Value: v} }
+
+// resolve returns the operand's value given the bound arguments.
+func (o Operand) resolve(args []types.Value) types.Value {
+	if o.Param > 0 {
+		return args[o.Param-1]
+	}
+	return o.Value
+}
+
 // Insert is INSERT INTO ... VALUES ....
 type Insert struct {
 	Table   string
 	Columns []string // empty = all columns in schema order
-	Rows    [][]types.Value
+	Rows    [][]Operand
 }
 
 // CompareOp is a comparison operator in a predicate.
@@ -41,12 +64,35 @@ const (
 	OpGe CompareOp = ">="
 )
 
-// Condition is one "col op literal" term; predicates are conjunctions
-// of conditions.
+// Condition is one "col op operand" term; predicates are conjunctions
+// of conditions. Param > 0 marks the right-hand side as the statement's
+// Param-th placeholder; Value is then unset until binding.
 type Condition struct {
 	Column string
 	Op     CompareOp
 	Value  types.Value
+	Param  int
+}
+
+// rhs returns the condition's right-hand side given bound arguments.
+func (c Condition) rhs(args []types.Value) types.Value {
+	if c.Param > 0 {
+		return args[c.Param-1]
+	}
+	return c.Value
+}
+
+// bindConds resolves placeholder conditions against bound arguments,
+// returning a literal-only predicate for the interpreted executor.
+func bindConds(conds []Condition, args []types.Value) []Condition {
+	if len(args) == 0 {
+		return conds
+	}
+	out := make([]Condition, len(conds))
+	for i, c := range conds {
+		out[i] = Condition{Column: c.Column, Op: c.Op, Value: c.rhs(args)}
+	}
+	return out
 }
 
 // AggFunc is an aggregate function name.
@@ -80,12 +126,15 @@ type Select struct {
 	OrderBy string
 	Desc    bool
 	Limit   int // -1 = no limit
+	// LimitParam marks LIMIT ? (1-based placeholder ordinal; 0 = the
+	// literal Limit applies).
+	LimitParam int
 }
 
 // Update is UPDATE ... SET ....
 type Update struct {
 	Table string
-	Set   map[string]types.Value
+	Set   map[string]Operand
 	Where []Condition
 }
 
@@ -102,34 +151,57 @@ func (Select) stmt()      {}
 func (Update) stmt()      {}
 func (Delete) stmt()      {}
 
-// matches evaluates a conjunction of conditions against a row.
+// stmtVerb names a statement for metrics, tracing and latching.
+func stmtVerb(s Statement) (string, error) {
+	switch s.(type) {
+	case CreateTable:
+		return "create", nil
+	case DropTable:
+		return "drop", nil
+	case Insert:
+		return "insert", nil
+	case Select:
+		return "select", nil
+	case Update:
+		return "update", nil
+	case Delete:
+		return "delete", nil
+	}
+	return "", fmt.Errorf("sql: unhandled statement %T", s)
+}
+
+// matches evaluates a conjunction of literal-only conditions against a
+// row. Placeholder conditions must be bound (bindConds) first.
 func matches(conds []Condition, schema []ColumnDef, row []types.Value) bool {
 	for _, c := range conds {
 		idx := columnIndex(schema, c.Column)
 		if idx < 0 {
 			return false
 		}
-		cmp := types.Compare(row[idx], c.Value)
-		ok := false
-		switch c.Op {
-		case OpEq:
-			ok = cmp == 0
-		case OpNe:
-			ok = cmp != 0
-		case OpLt:
-			ok = cmp < 0
-		case OpLe:
-			ok = cmp <= 0
-		case OpGt:
-			ok = cmp > 0
-		case OpGe:
-			ok = cmp >= 0
-		}
-		if !ok {
+		if !opHolds(c.Op, types.Compare(row[idx], c.Value)) {
 			return false
 		}
 	}
 	return true
+}
+
+// opHolds applies a comparison operator to a three-way compare result.
+func opHolds(op CompareOp, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
 }
 
 func columnIndex(schema []ColumnDef, name string) int {

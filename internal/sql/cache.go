@@ -1,0 +1,235 @@
+// The plan cache of the CompiledQueries feature: unprepared Exec calls
+// reuse compiled plans keyed on the statement's normalized shape.
+//
+// Normalization is lex-only — literals become `?` placeholders and the
+// literal values become the bound arguments — so "SELECT * FROM t WHERE
+// id = 7" and "... id = 9" share one cached plan. The cache is bounded
+// (LRU per shard) and striped eight ways so concurrent Execs on
+// different shapes do not contend on one lock. DDL does not flush the
+// cache eagerly: compiled plans pin the engine's DDL epoch and
+// recompile lazily on their next execution (see compile.go).
+package sql
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"famedb/internal/types"
+)
+
+// cacheShards stripes the plan cache; shard = FNV-1a(shape) % shards.
+const cacheShards = 8
+
+// defaultPlanCacheEntries bounds the cache when the product does not
+// configure a size.
+const defaultPlanCacheEntries = 256
+
+// normalize rewrites a statement into its shape — literals replaced by
+// `?`, tokens joined canonically — plus the extracted literals in
+// binding order. ok is false when the statement should bypass the
+// cache: DDL (CREATE/DROP change the catalog, caching buys nothing),
+// statements that already contain placeholders, and anything that does
+// not lex (let the parser produce the real error on the original text).
+func normalize(query string) (shape string, args []types.Value, ok bool) {
+	toks, err := lex(query)
+	if err != nil {
+		return "", nil, false
+	}
+	if len(toks) == 0 || toks[0].kind != tokKeyword {
+		return "", nil, false
+	}
+	switch toks[0].text {
+	case "SELECT", "INSERT", "UPDATE", "DELETE":
+	default:
+		return "", nil, false
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokNumber:
+			// Same conversion the parser applies to literals.
+			v, err := parseNumber(t.text)
+			if err != nil {
+				return "", nil, false
+			}
+			args = append(args, v)
+			sb.WriteByte('?')
+		case tokString:
+			args = append(args, types.Str(t.text))
+			sb.WriteByte('?')
+		case tokSymbol:
+			if t.text == "?" {
+				// Explicit placeholders belong to Prepare, not the cache.
+				return "", nil, false
+			}
+			sb.WriteString(t.text)
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String(), args, true
+}
+
+// cacheEntry is one cached compiled plan.
+type cacheEntry struct {
+	shape string
+	plan  *compiled
+}
+
+// cacheShard is one stripe: one lock, one bounded LRU of shape →
+// compiled plan.
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List // front = most recent; values are *cacheEntry
+	byS map[string]*list.Element
+	cap int
+}
+
+// planCache is the bounded, lock-striped plan cache.
+type planCache struct {
+	shards [cacheShards]cacheShard
+}
+
+func newPlanCache(size int) *planCache {
+	if size <= 0 {
+		size = defaultPlanCacheEntries
+	}
+	per := size / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	pc := &planCache{}
+	for i := range pc.shards {
+		pc.shards[i] = cacheShard{lru: list.New(), byS: map[string]*list.Element{}, cap: per}
+	}
+	return pc
+}
+
+// shardFor picks the stripe for a shape (FNV-1a).
+func (pc *planCache) shardFor(shape string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(shape); i++ {
+		h ^= uint32(shape[i])
+		h *= 16777619
+	}
+	return &pc.shards[h%cacheShards]
+}
+
+// get returns the cached plan for a shape and marks it most recent.
+func (pc *planCache) get(shape string) *compiled {
+	s := pc.shardFor(shape)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byS[shape]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan
+}
+
+// put inserts or refreshes a plan, evicting the least recently used
+// entry of the stripe when full. Returns how many entries were evicted.
+func (pc *planCache) put(shape string, c *compiled) (evicted int) {
+	s := pc.shardFor(shape)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byS[shape]; ok {
+		el.Value.(*cacheEntry).plan = c
+		s.lru.MoveToFront(el)
+		return 0
+	}
+	s.byS[shape] = s.lru.PushFront(&cacheEntry{shape: shape, plan: c})
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.byS, back.Value.(*cacheEntry).shape)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the number of cached plans (for tests).
+func (pc *planCache) len() int {
+	n := 0
+	for i := range pc.shards {
+		s := &pc.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// execCached tries to run a statement through the plan cache. handled
+// is false when the statement bypassed the cache (DDL, lex error,
+// explicit placeholders, or a shape that failed to compile cleanly) and
+// the caller should fall through to the interpreted path.
+func (e *Engine) execCached(query string) (res *Result, handled bool, err error) {
+	shape, args, ok := normalize(query)
+	if !ok {
+		return nil, false, nil
+	}
+	m := e.cfg.Metrics
+	if c := e.cache.get(shape); c != nil {
+		m.CacheHit()
+		res, err = e.runCompiled(c, args, func(nc *compiled) {
+			e.recordEvicts(e.cache.put(shape, nc))
+		})
+		return res, true, err
+	}
+	m.CacheMiss()
+	stmt, _, perr := parse(shape)
+	if perr != nil {
+		// The shape does not parse (so the original cannot either); let
+		// the interpreted path report the error against the user's text.
+		return nil, false, nil
+	}
+	if _, verr := stmtVerb(stmt); verr != nil {
+		return nil, false, nil
+	}
+	// Compile under the read latch (compilation resolves the catalog),
+	// then publish and run. Compile errors (unknown table/column, type
+	// conflicts) are real statement errors — report them.
+	e.latch.RLock()
+	c, cerr := e.compile(stmt)
+	e.latch.RUnlock()
+	if cerr != nil {
+		return nil, true, cerr
+	}
+	e.recordEvicts(e.cache.put(shape, c))
+	res, err = e.runCompiled(c, args, func(nc *compiled) {
+		e.recordEvicts(e.cache.put(shape, nc))
+	})
+	return res, true, err
+}
+
+// recordEvicts feeds cache evictions into the statistics feature.
+func (e *Engine) recordEvicts(n int) {
+	for i := 0; i < n; i++ {
+		e.cfg.Metrics.CacheEvict()
+	}
+}
+
+// CacheLen reports the number of cached plans; 0 without the
+// CompiledQueries feature. Exposed for tests and the shell.
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// parseNumber converts a numeric token to a Value with the parser's
+// literal rules (a '.', 'e' or 'E' makes it a float).
+func parseNumber(text string) (types.Value, error) {
+	p := &parser{toks: []token{{kind: tokNumber, text: text}, {kind: tokEOF}}}
+	return p.literal()
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"famedb/internal/access"
 	"famedb/internal/index"
@@ -76,6 +78,13 @@ type Config struct {
 	// Optimizer enables index access-path selection (the Optimizer
 	// feature). Without it, every query is a full scan.
 	Optimizer bool
+	// Compiled enables the CompiledQueries feature: Prepare/Stmt with
+	// closure-compiled plans, and the shape-keyed plan cache that lets
+	// even the unprepared Exec path reuse compiled plans.
+	Compiled bool
+	// PlanCacheSize bounds the plan cache in entries; 0 composes the
+	// default of 256. Ignored without the CompiledQueries feature.
+	PlanCacheSize int
 	// Metrics receives statement and plan counters when the Statistics
 	// feature is composed; nil otherwise (recording is then a no-op).
 	Metrics *stats.SQL
@@ -89,7 +98,23 @@ type Engine struct {
 	cfg     Config
 	catalog index.Index
 	meta    storage.PageID
-	tables  map[string]*table
+
+	// latch is the statement-level lock: SELECTs (and compilation)
+	// share it, DML and DDL take it exclusively. It makes one *Stmt
+	// safe to share across goroutines.
+	latch sync.RWMutex
+	// tmu guards the tables map alone, so concurrent SELECTs under the
+	// read latch can fault tables in without racing each other.
+	tmu    sync.Mutex
+	tables map[string]*table
+
+	// epoch counts DDL statements. Compiled plans pin the epoch they
+	// were built under and recompile when it moves — the plan-cache
+	// invalidation protocol for DROP/CREATE TABLE.
+	epoch atomic.Uint64
+	// cache is the shape-keyed plan cache (CompiledQueries feature);
+	// nil on products without it.
+	cache *planCache
 }
 
 type table struct {
@@ -108,7 +133,7 @@ func Create(cfg Config) (*Engine, storage.PageID, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return &Engine{cfg: cfg, catalog: cat, meta: meta, tables: map[string]*table{}}, meta, nil
+	return initEngine(cfg, cat, meta), meta, nil
 }
 
 // Open loads an engine from its catalog meta page.
@@ -117,7 +142,15 @@ func Open(cfg Config, meta storage.PageID) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, catalog: cat, meta: meta, tables: map[string]*table{}}, nil
+	return initEngine(cfg, cat, meta), nil
+}
+
+func initEngine(cfg Config, cat index.Index, meta storage.PageID) *Engine {
+	e := &Engine{cfg: cfg, catalog: cat, meta: meta, tables: map[string]*table{}}
+	if cfg.Compiled {
+		e.cache = newPlanCache(cfg.PlanCacheSize)
+	}
+	return e
 }
 
 // Meta returns the catalog meta page.
@@ -131,57 +164,86 @@ type Result struct {
 	Rows [][]types.Value
 	// Affected counts rows changed by INSERT/UPDATE/DELETE.
 	Affected int
-	// Plan describes the chosen access path of a SELECT ("index-scan"
-	// or "full-scan"), for tests and the optimizer ablation.
+	// Plan describes the chosen access path of a SELECT ("point-lookup",
+	// "index-scan" or "full-scan"), for tests and the optimizer
+	// ablation.
 	Plan string
 }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement. On products with the
+// CompiledQueries feature it first normalizes the statement's shape
+// (literals become placeholders) and executes a cached compiled plan,
+// so repeated statement shapes skip parsing and planning entirely.
 func (e *Engine) Exec(query string) (*Result, error) {
-	stmt, err := Parse(query)
+	if e.cache != nil {
+		if res, handled, err := e.execCached(query); handled {
+			return res, err
+		}
+	}
+	stmt, nparams, err := parse(query)
 	if err != nil {
 		return nil, err
 	}
-	var verb string
-	switch stmt.(type) {
-	case CreateTable:
-		verb = "create"
-	case DropTable:
-		verb = "drop"
-	case Insert:
-		verb = "insert"
-	case Select:
-		verb = "select"
-	case Update:
-		verb = "update"
-	case Delete:
-		verb = "delete"
-	default:
-		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	if nparams > 0 {
+		if !e.cfg.Compiled {
+			return nil, fmt.Errorf("sql: placeholders need the CompiledQueries feature: %w",
+				access.ErrNotComposed)
+		}
+		return nil, errors.New("sql: statement has placeholders; use Prepare")
 	}
+	verb, err := stmtVerb(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt, verb)
+}
+
+// execStmt runs one parsed, literal-only statement through the
+// interpreted executor, with the metrics/trace wrapper and the
+// statement latch.
+func (e *Engine) execStmt(stmt Statement, verb string) (*Result, error) {
 	m := e.cfg.Metrics
 	m.Statement(verb)
 	sp := e.cfg.Tracer.Start(trace.LayerSQL, verb)
 	start := m.Start()
-	var res *Result
-	switch s := stmt.(type) {
-	case CreateTable:
-		res, err = e.execCreate(s)
-	case DropTable:
-		res, err = e.execDrop(s)
-	case Insert:
-		res, err = e.execInsert(s)
-	case Select:
-		res, err = e.execSelect(s)
-	case Update:
-		res, err = e.execUpdate(s)
-	case Delete:
-		res, err = e.execDelete(s)
-	}
+	unlock := e.lockFor(verb)
+	res, err := e.dispatch(stmt)
+	unlock()
 	m.Done(start)
 	sp.Fail(err)
 	sp.End()
 	return res, err
+}
+
+// lockFor takes the statement latch in the mode the verb needs and
+// returns the matching unlock. SELECTs share the engine; everything
+// else (DML mutates trees, DDL mutates the catalog) is exclusive.
+func (e *Engine) lockFor(verb string) func() {
+	if verb == "select" {
+		e.latch.RLock()
+		return e.latch.RUnlock
+	}
+	e.latch.Lock()
+	return e.latch.Unlock
+}
+
+// dispatch executes a statement with the latch already held.
+func (e *Engine) dispatch(stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case CreateTable:
+		return e.execCreate(s)
+	case DropTable:
+		return e.execDrop(s)
+	case Insert:
+		return e.execInsert(s)
+	case Select:
+		return e.execSelect(s)
+	case Update:
+		return e.execUpdate(s)
+	case Delete:
+		return e.execDelete(s)
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 }
 
 // --- catalog ---
@@ -231,8 +293,14 @@ func (e *Engine) saveTableMeta(t *table) error {
 	return e.catalog.Insert(catalogKey(t.name), encodeTableMeta(t))
 }
 
+// openTable resolves a table, faulting it in from the catalog on first
+// use. Callers hold the statement latch (either mode); the tables map
+// itself is guarded by tmu so concurrent readers stay safe.
 func (e *Engine) openTable(name string) (*table, error) {
-	if t, ok := e.tables[name]; ok {
+	e.tmu.Lock()
+	t, ok := e.tables[name]
+	e.tmu.Unlock()
+	if ok {
 		return t, nil
 	}
 	rec, found, err := e.catalog.Get(catalogKey(name))
@@ -242,7 +310,7 @@ func (e *Engine) openTable(name string) (*table, error) {
 	if !found {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
-	t, err := decodeTableMeta(rec)
+	t, err = decodeTableMeta(rec)
 	if err != nil {
 		return nil, err
 	}
@@ -252,12 +320,20 @@ func (e *Engine) openTable(name string) (*table, error) {
 	}
 	t.store = access.New(idx, e.cfg.Ops)
 	t.store.SetTracer(e.cfg.Tracer)
-	e.tables[name] = t
+	e.tmu.Lock()
+	if prior, ok := e.tables[name]; ok {
+		t = prior // another reader faulted it in first
+	} else {
+		e.tables[name] = t
+	}
+	e.tmu.Unlock()
 	return t, nil
 }
 
 // Tables lists the table names in the catalog.
 func (e *Engine) Tables() ([]string, error) {
+	e.latch.RLock()
+	defer e.latch.RUnlock()
 	var names []string
 	err := e.catalog.Scan(nil, nil, func(k, v []byte) bool {
 		t, derr := decodeTableMeta(v)
@@ -294,7 +370,10 @@ func (e *Engine) execCreate(s CreateTable) (*Result, error) {
 	if err := e.saveTableMeta(t); err != nil {
 		return nil, err
 	}
+	e.tmu.Lock()
 	e.tables[s.Table] = t
+	e.tmu.Unlock()
+	e.epoch.Add(1) // invalidate compiled plans: schemas changed
 	return &Result{}, nil
 }
 
@@ -305,7 +384,10 @@ func (e *Engine) execDrop(s DropTable) (*Result, error) {
 	if _, err := e.catalog.Delete(catalogKey(s.Table)); err != nil {
 		return nil, err
 	}
+	e.tmu.Lock()
 	delete(e.tables, s.Table)
+	e.tmu.Unlock()
+	e.epoch.Add(1) // invalidate compiled plans over the dropped table
 	return &Result{Affected: 1}, nil
 }
 
@@ -331,33 +413,66 @@ func (t *table) rowKey(row []types.Value, rowid int64) []byte {
 	return types.EncodeKey(types.Int(rowid))
 }
 
-func (e *Engine) execInsert(s Insert) (*Result, error) {
-	t, err := e.openTable(s.Table)
-	if err != nil {
-		return nil, err
-	}
-	cols := s.Columns
+// resolveInsert checks an INSERT's column list against the schema,
+// returning for each value position its target column index. An empty
+// list means schema order.
+func resolveInsert(t *table, s Insert) (cols []string, colIdx []int, err error) {
+	cols = s.Columns
 	if len(cols) == 0 {
 		for _, c := range t.schema {
 			cols = append(cols, c.Name)
 		}
 	}
-	colIdx := make([]int, len(cols))
+	colIdx = make([]int, len(cols))
 	for i, c := range cols {
 		colIdx[i] = columnIndex(t.schema, c)
 		if colIdx[i] < 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
 		}
 	}
+	return cols, colIdx, nil
+}
+
+// insertRow stores one fully assigned row, enforcing primary-key
+// uniqueness and advancing the hidden rowid for tables without one.
+func (e *Engine) insertRow(t *table, row []types.Value) error {
+	key := t.rowKey(row, t.nextRow)
+	if t.pk >= 0 {
+		// Primary keys must be unique.
+		if _, found, err := t.store.Index().Get(key); err != nil {
+			return err
+		} else if found {
+			return fmt.Errorf("%w: %s", ErrDuplicateKey, row[t.pk])
+		}
+	}
+	if err := t.store.Put(key, types.EncodeRow(row)); err != nil {
+		return err
+	}
+	if t.pk < 0 {
+		t.nextRow++
+		return e.saveTableMeta(t)
+	}
+	return nil
+}
+
+func (e *Engine) execInsert(s Insert) (*Result, error) {
+	t, err := e.openTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols, colIdx, err := resolveInsert(t, s)
+	if err != nil {
+		return nil, err
+	}
 	affected := 0
-	for _, literals := range s.Rows {
-		if len(literals) != len(cols) {
-			return nil, fmt.Errorf("sql: %d values for %d columns", len(literals), len(cols))
+	for _, operands := range s.Rows {
+		if len(operands) != len(cols) {
+			return nil, fmt.Errorf("sql: %d values for %d columns", len(operands), len(cols))
 		}
 		row := make([]types.Value, len(t.schema))
 		assigned := make([]bool, len(t.schema))
-		for i, v := range literals {
-			cv, err := coerce(v, t.schema[colIdx[i]].Kind)
+		for i, o := range operands {
+			cv, err := coerce(o.Value, t.schema[colIdx[i]].Kind)
 			if err != nil {
 				return nil, fmt.Errorf("column %s: %w", cols[i], err)
 			}
@@ -370,23 +485,8 @@ func (e *Engine) execInsert(s Insert) (*Result, error) {
 					t.schema[i].Name)
 			}
 		}
-		key := t.rowKey(row, t.nextRow)
-		if t.pk >= 0 {
-			// Primary keys must be unique.
-			if _, found, err := t.store.Index().Get(key); err != nil {
-				return nil, err
-			} else if found {
-				return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, row[t.pk])
-			}
-		}
-		if err := t.store.Put(key, types.EncodeRow(row)); err != nil {
+		if err := e.insertRow(t, row); err != nil {
 			return nil, err
-		}
-		if t.pk < 0 {
-			t.nextRow++
-			if err := e.saveTableMeta(t); err != nil {
-				return nil, err
-			}
 		}
 		affected++
 	}
@@ -396,6 +496,7 @@ func (e *Engine) execInsert(s Insert) (*Result, error) {
 // planScan decides the access path for a predicate over t, returning
 // the scan bounds and a plan label. Only the Optimizer feature plans
 // index ranges, and only over ordered indexes and primary-key columns.
+// Conditions must be literal-only (bound).
 func (e *Engine) planScan(t *table, where []Condition) (lo, hi []byte, plan string) {
 	plan = "full-scan"
 	if !e.cfg.Optimizer || !e.cfg.Factory.Ordered || t.pk < 0 {
@@ -450,7 +551,41 @@ func bytesCompare(a, b []byte) int {
 	}
 }
 
-// scanMatching collects rows matching the predicate, with their keys.
+// scanWhere is the streaming row pipeline shared by the interpreted and
+// compiled executors ("one semantics, two drivers"): it walks [lo, hi)
+// of t's store, decodes each record once, drops rows the predicate
+// rejects, and hands survivors to visit without materializing an
+// intermediate row set. visit returning false stops the scan; the key
+// is only valid during the callback.
+//
+// mask selects the columns to materialize (nil = all). The interpreted
+// executor always passes nil — it resolves the projection against
+// generic rows after the scan. Compiled plans know the needed column
+// set at compile time and pass it here so unreferenced string columns
+// are never copied out of the page.
+func scanWhere(t *table, lo, hi []byte, mask []bool, pred func(row []types.Value) bool,
+	visit func(key []byte, row []types.Value) bool) error {
+	var rowErr error
+	err := t.store.Scan(lo, hi, func(k, v []byte) bool {
+		row, derr := types.DecodeRowMask(v, mask)
+		if derr != nil {
+			rowErr = derr
+			return false
+		}
+		if pred != nil && !pred(row) {
+			return true
+		}
+		return visit(k, row)
+	})
+	if err == nil {
+		err = rowErr
+	}
+	return err
+}
+
+// scanMatching collects matching rows with copies of their keys, for
+// the mutating statements that must finish the scan before touching the
+// tree. SELECTs stream through scanWhere instead.
 func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows [][]types.Value, plan string, err error) {
 	for _, c := range where {
 		if columnIndex(t.schema, c.Column) < 0 {
@@ -459,22 +594,13 @@ func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows 
 	}
 	lo, hi, plan := e.planScan(t, where)
 	e.cfg.Metrics.Plan(plan)
-	var scanErr error
-	err = t.store.Scan(lo, hi, func(k, v []byte) bool {
-		row, derr := types.DecodeRow(v)
-		if derr != nil {
-			scanErr = derr
-			return false
-		}
-		if matches(where, t.schema, row) {
+	err = scanWhere(t, lo, hi, nil,
+		func(row []types.Value) bool { return matches(where, t.schema, row) },
+		func(k []byte, row []types.Value) bool {
 			keys = append(keys, append([]byte(nil), k...))
 			rows = append(rows, row)
-		}
-		return true
-	})
-	if err == nil {
-		err = scanErr
-	}
+			return true
+		})
 	return keys, rows, plan, err
 }
 
@@ -486,48 +612,95 @@ func (e *Engine) execSelect(s Select) (*Result, error) {
 	if len(s.Aggregates) > 0 {
 		return e.execAggregates(t, s)
 	}
-	outCols := s.Columns
-	if len(outCols) == 0 {
-		for _, c := range t.schema {
-			outCols = append(outCols, c.Name)
-		}
-	}
-	proj := make([]int, len(outCols))
-	for i, c := range outCols {
-		proj[i] = columnIndex(t.schema, c)
-		if proj[i] < 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
-		}
-	}
-	_, rows, plan, err := e.scanMatching(t, s.Where)
+	outCols, proj, err := resolveProjection(t, s.Columns)
 	if err != nil {
 		return nil, err
 	}
-	if s.OrderBy != "" {
-		oi := columnIndex(t.schema, s.OrderBy)
-		if oi < 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, s.OrderBy)
+	for _, c := range s.Where {
+		if columnIndex(t.schema, c.Column) < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, c.Column)
 		}
-		sort.SliceStable(rows, func(a, b int) bool {
-			cmp := types.Compare(rows[a][oi], rows[b][oi])
-			if s.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		})
 	}
+	lo, hi, plan := e.planScan(t, s.Where)
+	e.cfg.Metrics.Plan(plan)
+	pred := func(row []types.Value) bool { return matches(s.Where, t.schema, row) }
+	if s.OrderBy == "" {
+		// Stream: project each matching row as it arrives and stop the
+		// scan as soon as LIMIT is satisfied.
+		var out [][]types.Value
+		err := scanWhere(t, lo, hi, nil, pred, func(_ []byte, row []types.Value) bool {
+			if s.Limit >= 0 && len(out) >= s.Limit {
+				return false
+			}
+			out = append(out, projectRow(row, proj))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: outCols, Rows: out, Plan: plan}, nil
+	}
+	oi := columnIndex(t.schema, s.OrderBy)
+	if oi < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoColumn, s.OrderBy)
+	}
+	// ORDER BY materializes only the matching rows, then sorts.
+	var rows [][]types.Value
+	err = scanWhere(t, lo, hi, nil, pred, func(_ []byte, row []types.Value) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows, oi, s.Desc)
 	if s.Limit >= 0 && len(rows) > s.Limit {
 		rows = rows[:s.Limit]
 	}
 	out := make([][]types.Value, len(rows))
 	for i, row := range rows {
-		pr := make([]types.Value, len(proj))
-		for j, pi := range proj {
-			pr[j] = row[pi]
-		}
-		out[i] = pr
+		out[i] = projectRow(row, proj)
 	}
 	return &Result{Columns: outCols, Rows: out, Plan: plan}, nil
+}
+
+// resolveProjection maps a select list (empty = *) to output column
+// names and schema indexes.
+func resolveProjection(t *table, selCols []string) (outCols []string, proj []int, err error) {
+	outCols = selCols
+	if len(outCols) == 0 {
+		for _, c := range t.schema {
+			outCols = append(outCols, c.Name)
+		}
+	}
+	proj = make([]int, len(outCols))
+	for i, c := range outCols {
+		proj[i] = columnIndex(t.schema, c)
+		if proj[i] < 0 {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoColumn, c)
+		}
+	}
+	return outCols, proj, nil
+}
+
+// projectRow narrows a row to the projected columns.
+func projectRow(row []types.Value, proj []int) []types.Value {
+	pr := make([]types.Value, len(proj))
+	for j, pi := range proj {
+		pr[j] = row[pi]
+	}
+	return pr
+}
+
+// sortRows orders rows by one column, stably.
+func sortRows(rows [][]types.Value, oi int, desc bool) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		cmp := types.Compare(rows[a][oi], rows[b][oi])
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
 }
 
 // ErrEmptyAggregate is returned by MIN/MAX/SUM/AVG over zero rows
@@ -669,18 +842,41 @@ func aggRow(t *table, aggs []Aggregate, rows [][]types.Value) ([]types.Value, er
 	return out, nil
 }
 
+// applyUpdate rewrites one matched row with the assignments, moving the
+// record when the primary key changed.
+func (e *Engine) applyUpdate(t *table, key []byte, row []types.Value, setIdx map[int]types.Value) error {
+	newRow := append([]types.Value(nil), row...)
+	for ci, v := range setIdx {
+		newRow[ci] = v
+	}
+	pkChanged := t.pk >= 0 && types.Compare(row[t.pk], newRow[t.pk]) != 0
+	if pkChanged {
+		newKey := types.EncodeKey(newRow[t.pk])
+		if _, found, err := t.store.Index().Get(newKey); err != nil {
+			return err
+		} else if found {
+			return fmt.Errorf("%w: %s", ErrDuplicateKey, newRow[t.pk])
+		}
+		if err := t.store.Remove(key); err != nil {
+			return err
+		}
+		return t.store.Put(newKey, types.EncodeRow(newRow))
+	}
+	return t.store.Update(key, types.EncodeRow(newRow))
+}
+
 func (e *Engine) execUpdate(s Update) (*Result, error) {
 	t, err := e.openTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
 	setIdx := map[int]types.Value{}
-	for col, v := range s.Set {
+	for col, o := range s.Set {
 		i := columnIndex(t.schema, col)
 		if i < 0 {
 			return nil, fmt.Errorf("%w: %s", ErrNoColumn, col)
 		}
-		cv, err := coerce(v, t.schema[i].Kind)
+		cv, err := coerce(o.Value, t.schema[i].Kind)
 		if err != nil {
 			return nil, fmt.Errorf("column %s: %w", col, err)
 		}
@@ -692,28 +888,8 @@ func (e *Engine) execUpdate(s Update) (*Result, error) {
 	}
 	affected := 0
 	for i, row := range rows {
-		newRow := append([]types.Value(nil), row...)
-		for ci, v := range setIdx {
-			newRow[ci] = v
-		}
-		pkChanged := t.pk >= 0 && types.Compare(row[t.pk], newRow[t.pk]) != 0
-		if pkChanged {
-			newKey := types.EncodeKey(newRow[t.pk])
-			if _, found, err := t.store.Index().Get(newKey); err != nil {
-				return nil, err
-			} else if found {
-				return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, newRow[t.pk])
-			}
-			if err := t.store.Remove(keys[i]); err != nil {
-				return nil, err
-			}
-			if err := t.store.Put(newKey, types.EncodeRow(newRow)); err != nil {
-				return nil, err
-			}
-		} else {
-			if err := t.store.Update(keys[i], types.EncodeRow(newRow)); err != nil {
-				return nil, err
-			}
+		if err := e.applyUpdate(t, keys[i], row, setIdx); err != nil {
+			return nil, err
 		}
 		affected++
 	}

@@ -15,6 +15,10 @@
 //
 //	pred := col op lit [AND col op lit]...   op ∈ {=, !=, <, <=, >, >=}
 //	aggs := COUNT(*|col) | MIN(col) | MAX(col) | SUM(col) | AVG(col), ...
+//
+// Every literal position (and LIMIT) also accepts a `?` placeholder,
+// bound positionally at execution time — the CompiledQueries feature's
+// prepared-statement surface (Engine.Prepare / Stmt.Exec).
 package sql
 
 import (
@@ -31,7 +35,7 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokSymbol // ( ) , ; * =  != < <= > >=
+	tokSymbol // ( ) , ; * = ? != < <= > >=
 )
 
 type token struct {
@@ -65,7 +69,7 @@ func lex(input string) ([]token, error) {
 			for i < len(rs) && rs[i] != '\n' {
 				i++
 			}
-		case r == '(' || r == ')' || r == ',' || r == ';' || r == '*' || r == '=':
+		case r == '(' || r == ')' || r == ',' || r == ';' || r == '*' || r == '=' || r == '?':
 			toks = append(toks, token{tokSymbol, string(r), i})
 			i++
 		case r == '!' && i+1 < len(rs) && rs[i+1] == '=':

@@ -9,29 +9,38 @@ import (
 )
 
 // Parse parses one SQL statement.
-func Parse(input string) (Stmt, error) {
+func Parse(input string) (Statement, error) {
+	stmt, _, err := parse(input)
+	return stmt, err
+}
+
+// parse parses one SQL statement and counts its `?` placeholders.
+func parse(input string) (Statement, int, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	stmt, err := p.parseStmt()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Optional trailing semicolon, then EOF.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+		return nil, 0, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 type parser struct {
 	toks []token
 	pos  int
+	// params counts `?` placeholders seen so far; operands record their
+	// 1-based ordinal, which is also the binding position of Exec args.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -68,7 +77,7 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
-func (p *parser) parseStmt() (Stmt, error) {
+func (p *parser) parseStmt() (Statement, error) {
 	t := p.peek()
 	if t.kind != tokKeyword {
 		return nil, fmt.Errorf("sql: expected a statement, found %q", t.text)
@@ -91,7 +100,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 	}
 }
 
-func (p *parser) parseCreate() (Stmt, error) {
+func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -154,7 +163,7 @@ func (p *parser) parseCreate() (Stmt, error) {
 	return CreateTable{Table: name, Columns: cols}, nil
 }
 
-func (p *parser) parseDrop() (Stmt, error) {
+func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -166,7 +175,7 @@ func (p *parser) parseDrop() (Stmt, error) {
 	return DropTable{Table: name}, nil
 }
 
-func (p *parser) parseInsert() (Stmt, error) {
+func (p *parser) parseInsert() (Statement, error) {
 	p.next() // INSERT
 	if err := p.expectKeyword("INTO"); err != nil {
 		return nil, err
@@ -200,9 +209,9 @@ func (p *parser) parseInsert() (Stmt, error) {
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		var row []types.Value
+		var row []Operand
 		for {
-			v, err := p.literal()
+			v, err := p.operand()
 			if err != nil {
 				return nil, err
 			}
@@ -225,7 +234,7 @@ func (p *parser) parseInsert() (Stmt, error) {
 	return ins, nil
 }
 
-func (p *parser) parseSelect() (Stmt, error) {
+func (p *parser) parseSelect() (Statement, error) {
 	p.next() // SELECT
 	sel := Select{Limit: -1}
 	if p.peek().kind == tokSymbol && p.peek().text == "*" {
@@ -296,6 +305,11 @@ func (p *parser) parseSelect() (Stmt, error) {
 	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
 		p.next()
 		t := p.next()
+		if t.kind == tokSymbol && t.text == "?" {
+			p.params++
+			sel.LimitParam = p.params
+			return sel, nil
+		}
 		if t.kind != tokNumber {
 			return nil, fmt.Errorf("sql: LIMIT needs a number, found %q", t.text)
 		}
@@ -308,7 +322,7 @@ func (p *parser) parseSelect() (Stmt, error) {
 	return sel, nil
 }
 
-func (p *parser) parseUpdate() (Stmt, error) {
+func (p *parser) parseUpdate() (Statement, error) {
 	p.next() // UPDATE
 	name, err := p.ident()
 	if err != nil {
@@ -317,7 +331,7 @@ func (p *parser) parseUpdate() (Stmt, error) {
 	if err := p.expectKeyword("SET"); err != nil {
 		return nil, err
 	}
-	upd := Update{Table: name, Set: map[string]types.Value{}}
+	upd := Update{Table: name, Set: map[string]Operand{}}
 	for {
 		col, err := p.ident()
 		if err != nil {
@@ -326,7 +340,7 @@ func (p *parser) parseUpdate() (Stmt, error) {
 		if err := p.expectSymbol("="); err != nil {
 			return nil, err
 		}
-		v, err := p.literal()
+		v, err := p.operand()
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +357,7 @@ func (p *parser) parseUpdate() (Stmt, error) {
 	return upd, nil
 }
 
-func (p *parser) parseDelete() (Stmt, error) {
+func (p *parser) parseDelete() (Statement, error) {
 	p.next() // DELETE
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
@@ -424,11 +438,11 @@ func (p *parser) parseOptionalWhere() ([]Condition, error) {
 		default:
 			return nil, fmt.Errorf("sql: unsupported operator %q", opTok.text)
 		}
-		v, err := p.literal()
+		v, err := p.operand()
 		if err != nil {
 			return nil, err
 		}
-		conds = append(conds, Condition{Column: col, Op: op, Value: v})
+		conds = append(conds, Condition{Column: col, Op: op, Value: v.Value, Param: v.Param})
 		if p.peek().kind == tokKeyword && p.peek().text == "AND" {
 			p.next()
 			continue
@@ -436,6 +450,21 @@ func (p *parser) parseOptionalWhere() ([]Condition, error) {
 		break
 	}
 	return conds, nil
+}
+
+// operand parses a literal or a `?` placeholder, assigning placeholders
+// their 1-based lexical ordinal.
+func (p *parser) operand() (Operand, error) {
+	if t := p.peek(); t.kind == tokSymbol && t.text == "?" {
+		p.next()
+		p.params++
+		return Operand{Param: p.params}, nil
+	}
+	v, err := p.literal()
+	if err != nil {
+		return Operand{}, err
+	}
+	return lit(v), nil
 }
 
 func (p *parser) literal() (types.Value, error) {

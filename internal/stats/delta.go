@@ -92,6 +92,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.SQL.Deletes = subCounter(s.SQL.Deletes, prev.SQL.Deletes)
 	d.SQL.IndexScans = subCounter(s.SQL.IndexScans, prev.SQL.IndexScans)
 	d.SQL.FullScans = subCounter(s.SQL.FullScans, prev.SQL.FullScans)
+	d.SQL.PointLookups = subCounter(s.SQL.PointLookups, prev.SQL.PointLookups)
+	d.SQL.Prepares = subCounter(s.SQL.Prepares, prev.SQL.Prepares)
+	d.SQL.Compiles = subCounter(s.SQL.Compiles, prev.SQL.Compiles)
+	d.SQL.PlanHits = subCounter(s.SQL.PlanHits, prev.SQL.PlanHits)
+	d.SQL.PlanMisses = subCounter(s.SQL.PlanMisses, prev.SQL.PlanMisses)
+	d.SQL.PlanEvictions = subCounter(s.SQL.PlanEvictions, prev.SQL.PlanEvictions)
+	d.SQL.PlanInvalidated = subCounter(s.SQL.PlanInvalidated, prev.SQL.PlanInvalidated)
 	d.SQL.StmtLatency = s.SQL.StmtLatency.Sub(prev.SQL.StmtLatency)
 
 	d.Access.GetLatency = s.Access.GetLatency.Sub(prev.Access.GetLatency)

@@ -68,15 +68,24 @@ type TxnSnapshot struct {
 
 // SQLSnapshot copies the query-engine counters.
 type SQLSnapshot struct {
-	Creates     int64             `json:"creates"`
-	Drops       int64             `json:"drops"`
-	Inserts     int64             `json:"inserts"`
-	Selects     int64             `json:"selects"`
-	Updates     int64             `json:"updates"`
-	Deletes     int64             `json:"deletes"`
-	IndexScans  int64             `json:"index_scans"`
-	FullScans   int64             `json:"full_scans"`
-	StmtLatency HistogramSnapshot `json:"stmt_latency_ns"`
+	Creates      int64 `json:"creates"`
+	Drops        int64 `json:"drops"`
+	Inserts      int64 `json:"inserts"`
+	Selects      int64 `json:"selects"`
+	Updates      int64 `json:"updates"`
+	Deletes      int64 `json:"deletes"`
+	IndexScans   int64 `json:"index_scans"`
+	FullScans    int64 `json:"full_scans"`
+	PointLookups int64 `json:"point_lookups"`
+	// CompiledQueries feature: prepared statements, compilations and the
+	// shape-keyed plan cache. All zero on products without the feature.
+	Prepares        int64             `json:"prepares"`
+	Compiles        int64             `json:"compiles"`
+	PlanHits        int64             `json:"plan_cache_hits"`
+	PlanMisses      int64             `json:"plan_cache_misses"`
+	PlanEvictions   int64             `json:"plan_cache_evictions"`
+	PlanInvalidated int64             `json:"plans_invalidated"`
+	StmtLatency     HistogramSnapshot `json:"stmt_latency_ns"`
 }
 
 // AccessSnapshot copies the record-access latency histograms.
@@ -167,6 +176,13 @@ func (r *Registry) Snapshot() Snapshot {
 	s.SQL.Deletes = load(&r.sql.deletes)
 	s.SQL.IndexScans = load(&r.sql.indexScans)
 	s.SQL.FullScans = load(&r.sql.fullScans)
+	s.SQL.PointLookups = load(&r.sql.pointLookups)
+	s.SQL.Prepares = load(&r.sql.prepares)
+	s.SQL.Compiles = load(&r.sql.compiles)
+	s.SQL.PlanHits = load(&r.sql.planHits)
+	s.SQL.PlanMisses = load(&r.sql.planMisses)
+	s.SQL.PlanEvictions = load(&r.sql.planEvicts)
+	s.SQL.PlanInvalidated = load(&r.sql.planInvalid)
 	s.SQL.StmtLatency = r.sql.StmtLatency.Snapshot()
 
 	s.Access.GetLatency = r.access.GetLatency.Snapshot()
@@ -271,6 +287,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("famedb_sql_statements_total", "SQL statements by verb.", s.SQL.Deletes, `{verb="delete"}`)
 	counter("famedb_sql_plans_total", "Chosen access paths.", s.SQL.IndexScans, `{plan="index-scan"}`)
 	counter("famedb_sql_plans_total", "Chosen access paths.", s.SQL.FullScans, `{plan="full-scan"}`)
+	counter("famedb_sql_plans_total", "Chosen access paths.", s.SQL.PointLookups, `{plan="point-lookup"}`)
+	if s.SQL.Prepares > 0 || s.SQL.Compiles > 0 || s.SQL.PlanHits > 0 || s.SQL.PlanMisses > 0 {
+		counter("famedb_sql_prepares_total", "Prepared statements created.", s.SQL.Prepares, "")
+		counter("famedb_sql_compiles_total", "Plan compilations (initial and after invalidation).", s.SQL.Compiles, "")
+		counter("famedb_sql_plan_cache_total", "Plan-cache lookups by outcome.", s.SQL.PlanHits, `{outcome="hit"}`)
+		counter("famedb_sql_plan_cache_total", "Plan-cache lookups by outcome.", s.SQL.PlanMisses, `{outcome="miss"}`)
+		counter("famedb_sql_plan_cache_evictions_total", "Plans evicted from the bounded cache.", s.SQL.PlanEvictions, "")
+		counter("famedb_sql_plans_invalidated_total", "Stale compiled plans recompiled after DDL.", s.SQL.PlanInvalidated, "")
+	}
 	hist("famedb_sql_stmt_latency_ns", "Statement latency in nanoseconds.", s.SQL.StmtLatency)
 
 	hist("famedb_access_get_latency_ns", "Get latency in nanoseconds.", s.Access.GetLatency)
@@ -375,6 +400,15 @@ func (s Snapshot) Format() string {
 		row("delete", s.SQL.Deletes)
 		row("index scans", s.SQL.IndexScans)
 		row("full scans", s.SQL.FullScans)
+		row("point lookups", s.SQL.PointLookups)
+		if s.SQL.Prepares+s.SQL.Compiles+s.SQL.PlanHits+s.SQL.PlanMisses > 0 {
+			row("prepares", s.SQL.Prepares)
+			row("compiles", s.SQL.Compiles)
+			row("plan cache hits", s.SQL.PlanHits)
+			row("plan cache misses", s.SQL.PlanMisses)
+			row("plan cache evictions", s.SQL.PlanEvictions)
+			row("plans invalidated", s.SQL.PlanInvalidated)
+		}
 		lat("stmt latency", s.SQL.StmtLatency)
 	}
 	if s.Access.GetLatency.Count+s.Access.PutLatency.Count > 0 {

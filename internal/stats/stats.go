@@ -522,8 +522,18 @@ type SQL struct {
 	updates int64
 	deletes int64
 
-	indexScans int64
-	fullScans  int64
+	indexScans   int64
+	fullScans    int64
+	pointLookups int64
+
+	// CompiledQueries feature: prepared statements, plan compilations,
+	// and the shape-keyed plan cache.
+	prepares    int64
+	compiles    int64
+	planHits    int64
+	planMisses  int64
+	planEvicts  int64
+	planInvalid int64
 
 	// StmtLatency observes wall time per executed statement.
 	StmtLatency *Histogram
@@ -551,17 +561,70 @@ func (s *SQL) Statement(verb string) {
 	}
 }
 
-// Plan records the access path of one table scan ("index-scan" or
-// "full-scan").
+// Plan records the access path of one table scan ("point-lookup",
+// "index-scan" or "full-scan").
 func (s *SQL) Plan(plan string) {
 	if s == nil {
 		return
 	}
-	if plan == "index-scan" {
+	switch plan {
+	case "point-lookup":
+		atomic.AddInt64(&s.pointLookups, 1)
+	case "index-scan":
 		atomic.AddInt64(&s.indexScans, 1)
-	} else {
+	default:
 		atomic.AddInt64(&s.fullScans, 1)
 	}
+}
+
+// Prepare records one Engine.Prepare call (CompiledQueries feature).
+func (s *SQL) Prepare() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.prepares, 1)
+}
+
+// Compile records one plan compilation — initial or after a DDL
+// invalidation (CompiledQueries feature).
+func (s *SQL) Compile() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.compiles, 1)
+}
+
+// CacheHit records a plan-cache hit on the unprepared Exec path.
+func (s *SQL) CacheHit() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.planHits, 1)
+}
+
+// CacheMiss records a plan-cache miss on the unprepared Exec path.
+func (s *SQL) CacheMiss() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.planMisses, 1)
+}
+
+// CacheEvict records one plan evicted from the bounded plan cache.
+func (s *SQL) CacheEvict() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.planEvicts, 1)
+}
+
+// PlanInvalidate records a compiled plan found stale (DDL moved the
+// engine epoch) and recompiled before execution.
+func (s *SQL) PlanInvalidate() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.planInvalid, 1)
 }
 
 // Start begins timing a statement; pass the result to Done.

@@ -389,6 +389,15 @@ func EncodeRow(vs []Value) []byte {
 
 // DecodeRow reverses EncodeRow.
 func DecodeRow(b []byte) ([]Value, error) {
+	return DecodeRowMask(b, nil)
+}
+
+// DecodeRowMask decodes a row materializing only the columns whose
+// mask entry is true; the rest stay zero Values (their bytes are still
+// walked and validated, but string and byte columns skip the copy).
+// A nil mask materializes every column. Columns beyond the mask's
+// length are materialized — a short mask only elides its false entries.
+func DecodeRowMask(b []byte, mask []bool) ([]Value, error) {
 	if len(b) == 0 {
 		return nil, errors.New("types: empty row")
 	}
@@ -420,11 +429,13 @@ func DecodeRow(b []byte) ([]Value, error) {
 			if sz <= 0 || uint64(len(b)-sz) < l {
 				return nil, errors.New("types: truncated string in row")
 			}
-			data := b[sz : sz+int(l)]
-			if kind == KindString {
-				out = append(out, Str(string(data)))
-			} else {
-				out = append(out, Bytes(append([]byte(nil), data...)))
+			switch {
+			case mask != nil && i < len(mask) && !mask[i]:
+				out = append(out, Value{}) // elided: walked, not copied
+			case kind == KindString:
+				out = append(out, Str(string(b[sz:sz+int(l)])))
+			default:
+				out = append(out, Bytes(append([]byte(nil), b[sz:sz+int(l)]...)))
 			}
 			b = b[sz+int(l):]
 		case KindBool:
