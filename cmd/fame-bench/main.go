@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,B8,CP] [-ops N]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,CP] [-ops N]
 //	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
@@ -32,7 +32,12 @@
 // range scans and filtered scans at 1/4/16 goroutines, closing the
 // loop both ways (the deriver selects CompiledQueries under a
 // statement-latency objective and prices it out under a tight ROM
-// budget). CP runs the crash-point recovery
+// budget). B9 runs the QueryStats benchmark — the same mixed
+// point/range/filtered load with and without per-statement
+// observation at 1/4/16 goroutines, quantifying the profile
+// registry's overhead and closing the loop both ways (the deriver
+// selects QueryStats under an observability objective and prices it
+// out under a tight ROM budget). CP runs the crash-point recovery
 // harness: the
 // same workload crashed at every write-class op index under both the
 // clean-cut and torn-write models, reopened, and scrubbed.
@@ -57,7 +62,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,B8,CP", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -232,6 +237,14 @@ func main() {
 		}
 		fmt.Println(bench.FormatB8(r))
 		writeReport("B8", outPath("B8"), r.WriteJSON)
+	}
+	if want["B9"] {
+		r, err := bench.B9(*ops/4, 23)
+		if err != nil {
+			fail("B9", err)
+		}
+		fmt.Println(bench.FormatB9(r))
+		writeReport("B9", outPath("B9"), r.WriteJSON)
 	}
 	if want["CP"] {
 		for _, torn := range []bool{false, true} {

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	features := flag.String("features",
-		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,CompiledQueries,Statistics,Tracing,Monitor,Transaction,GroupCommit,Locking,MVCC",
+		"Linux,BPlusTree,BufferManager,LRU,Put,Get,Remove,Update,SQLEngine,Optimizer,CompiledQueries,Statistics,QueryStats,Tracing,Monitor,Transaction,GroupCommit,Locking,MVCC",
 		"comma-separated feature selection to compose")
 	dir := flag.String("dir", "", "persist the instance in a directory (default: in memory)")
 	monitorAddr := flag.String("monitor", "",

@@ -82,6 +82,14 @@ type (
 	// MonitorServer is a running telemetry listener returned by
 	// DB.ServeMonitor.
 	MonitorServer = monitor.Server
+	// QuerySnapshot is a point-in-time copy of the QueryStats feature's
+	// per-shape statement profiles and slow-query ring (Snapshot.Queries).
+	QuerySnapshot = stats.QuerySnapshot
+	// QueryShapeSnapshot is one statement shape's profile inside a
+	// QuerySnapshot.
+	QueryShapeSnapshot = stats.QueryShapeSnapshot
+	// SlowQuery is one slow-query ring entry (see DB.SlowQueries).
+	SlowQuery = stats.SlowQuery
 )
 
 // The measurable non-functional properties of the feedback approach.
@@ -92,6 +100,8 @@ const (
 	PropLatencyP50       = nfp.LatencyP50
 	PropLatencyP99       = nfp.LatencyP99
 	PropCommitThroughput = nfp.CommitThroughput
+	PropQueryP99         = nfp.QueryP99
+	PropUnprofiledStmts  = nfp.UnprofiledStmts
 )
 
 // Errors surfaced by the facade.
@@ -167,6 +177,16 @@ type Options struct {
 	// PlanCacheSize bounds the CompiledQueries feature's plan cache in
 	// entries (default 256); ignored unless CompiledQueries is selected.
 	PlanCacheSize int
+	// QueryStatsShapes bounds the QueryStats feature's per-shape profile
+	// registry (default 128); ignored unless QueryStats is selected.
+	QueryStatsShapes int
+	// SlowQueryThreshold is the statement latency at which the QueryStats
+	// feature records an execution into the slow-query ring (default
+	// 1ms); ignored unless QueryStats is selected.
+	SlowQueryThreshold time.Duration
+	// SlowQueryCap bounds the slow-query ring in entries (default 32);
+	// ignored unless QueryStats is selected.
+	SlowQueryCap int
 }
 
 // DB is a derived FAME-DBMS instance.
@@ -200,11 +220,14 @@ func OpenConfig(cfg *Configuration, opts Options) (*DB, error) {
 			Attempts: opts.RetryAttempts,
 			Backoff:  opts.RetryBackoff,
 		},
-		MonitorInterval: opts.MonitorInterval,
-		MonitorWindow:   opts.MonitorWindow,
-		MonitorRules:    opts.MonitorRules,
-		MonitorOnAlert:  opts.MonitorOnAlert,
-		PlanCacheSize:   opts.PlanCacheSize,
+		MonitorInterval:    opts.MonitorInterval,
+		MonitorWindow:      opts.MonitorWindow,
+		MonitorRules:       opts.MonitorRules,
+		MonitorOnAlert:     opts.MonitorOnAlert,
+		PlanCacheSize:      opts.PlanCacheSize,
+		QueryStatsShapes:   opts.QueryStatsShapes,
+		SlowQueryThreshold: opts.SlowQueryThreshold,
+		SlowQueryCap:       opts.SlowQueryCap,
 	}
 	if opts.Dir != "" {
 		fs, err := osal.NewDirFS(opts.Dir)
@@ -413,6 +436,29 @@ func (db *DB) Stats() (Snapshot, error) { return db.inst.Stats() }
 // Tracing return ErrNotComposed. Use TraceSnapshot.WriteChrome for a
 // chrome://tracing file, WriteText / WriteSlow for human output.
 func (db *DB) Trace() (TraceSnapshot, error) { return db.inst.Trace() }
+
+// SlowQueries returns the QueryStats feature's slow-query ring, oldest
+// first, plus how many entries the bounded ring has dropped. The ring
+// is left intact — use DrainSlowQueries to consume it.
+func (db *DB) SlowQueries() ([]SlowQuery, uint64, error) {
+	q := db.inst.StatsRegistry().Query()
+	if q == nil {
+		return nil, 0, fmt.Errorf("QueryStats: %w", ErrNotComposed)
+	}
+	slow, dropped := q.SlowQueries()
+	return slow, dropped, nil
+}
+
+// DrainSlowQueries returns the slow-query ring oldest first and clears
+// it, so a log shipper can consume each entry exactly once.
+func (db *DB) DrainSlowQueries() ([]SlowQuery, uint64, error) {
+	q := db.inst.StatsRegistry().Query()
+	if q == nil {
+		return nil, 0, fmt.Errorf("QueryStats: %w", ErrNotComposed)
+	}
+	slow, dropped := q.DrainSlowQueries()
+	return slow, dropped, nil
+}
 
 // SetTracing turns span recording on or off at runtime (feature
 // Tracing). Products derived without Tracing return ErrNotComposed.

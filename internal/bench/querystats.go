@@ -1,0 +1,461 @@
+package bench
+
+// Benchmark B9: the QueryStats feature's observation overhead and its
+// NFP feedback.
+//
+// Two otherwise identical SQL products — one bare, one composing
+// QueryStats — run the same mixed read workload over a preloaded
+// table: each goroutine rotates through point lookups by primary key,
+// bounded range scans, and filtered full scans over a non-indexed
+// column. The instrumented product pays the full observation path on
+// every statement: shape normalization, the striped profile registry
+// (count, latency histogram, rows scanned/returned, pages visited),
+// and the slow-query threshold check. Each mode is swept at 1, 4 and
+// 16 goroutines; the 16-goroutine cell is the acceptance gate — the
+// paper's zero-cost claim survives only if always-on statement
+// profiling stays within a few percent of the bare product.
+//
+// The feedback loop closes both ways. Observability side: both
+// variants' measurements feed the NFP store, with the unprofiled-
+// statement count as the objective — the bare product leaves every
+// statement unprofiled, the instrumented one none — so the signed
+// fitted table gives QueryStats a negative weight and the greedy
+// deriver minimizing unprofiled statements selects it on its own; the
+// instrumented run also records the point-lookup shape's measured p99
+// as the query_p99_ns NFP. ROM side: under a budget that fits the SQL
+// base product but not the plan renderer and profile registry,
+// requiring QueryStats makes derivation infeasible.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/solver"
+	"famedb/internal/stats"
+)
+
+// B9Config fixes the scenario; the table layout matches B8 so the two
+// benchmarks stress the same plans.
+type B9Config struct {
+	Ops      int   // statements per measured point, across goroutines
+	Seed     int64 // reserved for workload shuffling
+	Rows     int   // preloaded table rows
+	Span     int   // pk width of one range scan
+	ScoreMod int   // score column values are i % ScoreMod
+	ScoreMin int   // filtered scans select score > ScoreMin
+}
+
+func defaultB9Config(ops int, seed int64) B9Config {
+	if ops < 2048 {
+		ops = 2048
+	}
+	return B9Config{
+		Ops:      ops,
+		Seed:     seed,
+		Rows:     2048,
+		Span:     32,
+		ScoreMod: 100,
+		ScoreMin: 89, // ~10% of rows survive the filter
+	}
+}
+
+// The two products of the sweep.
+const (
+	b9Off = "off" // no QueryStats: bare execution
+	b9On  = "on"  // QueryStats: every statement observed
+)
+
+var b9Goroutines = []int{1, 4, 16}
+
+// B9Point is one measured (mode, goroutines) cell of the mixed load.
+type B9Point struct {
+	Mode       string  `json:"mode"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Per-statement wall-time quantiles, nanoseconds, measured by the
+	// harness (not by the feature under test).
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+// B9Shape echoes one statement shape's profile from the instrumented
+// 16-goroutine run, proving the registry attributed the whole load.
+type B9Shape struct {
+	Shape        string  `json:"shape"`
+	Count        int64   `json:"count"`
+	P99Ns        float64 `json:"p99_ns"`
+	RowsScanned  int64   `json:"rows_scanned"`
+	RowsReturned int64   `json:"rows_returned"`
+	PagesVisited int64   `json:"pages_visited"`
+}
+
+// B9Overhead compares on vs off at one goroutine count.
+type B9Overhead struct {
+	Goroutines int     `json:"goroutines"`
+	OffSec     float64 `json:"off_ops_per_sec"`
+	OnSec      float64 `json:"on_ops_per_sec"`
+	// Ratio is on/off throughput: 1.0 means free, 0.95 means the
+	// observation path costs 5%.
+	Ratio float64 `json:"ratio"`
+}
+
+// B9Feedback is the closed loop: the observability objective derives
+// QueryStats, and a tight ROM budget prices it back out.
+type B9Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedQueryStats reports whether the greedy deriver minimizing
+	// unprofiled statements picked QueryStats from its fitted weight.
+	SelectedQueryStats bool `json:"selected_query_stats"`
+	// UnprofiledWeight is the fitted per-feature contribution of
+	// QueryStats to the unprofiled-statement count (negative: with the
+	// feature, nothing goes unprofiled).
+	UnprofiledWeight float64 `json:"unprofiled_weight"`
+	// QueryP99Ns is the point-lookup shape's p99 as measured by the
+	// feature itself — the registry as an NFP sensor.
+	QueryP99Ns float64 `json:"query_p99_ns"`
+	// The ROM side: the SQL base product's footprint, the feature's
+	// footprint delta, and the budget under which requiring it fails.
+	BaseROM                  int  `json:"base_rom_bytes"`
+	QueryStatsROM            int  `json:"query_stats_rom_bytes"`
+	TightROMBudget           int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithQueryStats bool `json:"infeasible_with_query_stats"`
+}
+
+// B9Result is the machine-readable report (BENCH_9.json).
+type B9Result struct {
+	Ops       int          `json:"ops_per_point"`
+	Seed      int64        `json:"seed"`
+	Rows      int          `json:"rows"`
+	Span      int          `json:"range_span"`
+	Points    []B9Point    `json:"points"`
+	Overheads []B9Overhead `json:"overheads"`
+	// Shapes is the per-shape attribution of the instrumented
+	// 16-goroutine run, hottest first.
+	Shapes   []B9Shape  `json:"shapes"`
+	Slow     int        `json:"slow_queries_retained"`
+	Feedback B9Feedback `json:"feedback"`
+}
+
+// b9Features is the measured product: the optimized SQL stack with
+// Statistics; the instrumented variant adds QueryStats.
+func b9Features(observed bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"ShardedBuffer", "Put", "Get",
+		"Optimizer", "SQLEngine", "Statistics",
+	}
+	if observed {
+		fs = append(fs, "QueryStats")
+	}
+	return fs
+}
+
+// b9Load composes one product and preloads the benchmark table (same
+// layout as B8).
+func b9Load(cfg B9Config, observed bool) (*composer.Instance, error) {
+	inst, err := composer.ComposeProduct(
+		composer.Options{CachePages: 4096, CacheShards: 64}, b9Features(observed)...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inst.SQL.Exec("CREATE TABLE bench (id INT PRIMARY KEY, v TEXT, score INT)"); err != nil {
+		inst.Close()
+		return nil, err
+	}
+	const batch = 64
+	for lo := 0; lo < cfg.Rows; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO bench VALUES ")
+		for i := lo; i < lo+batch && i < cfg.Rows; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'row-%07d', %d)", i, i, i%cfg.ScoreMod)
+		}
+		if _, err := inst.SQL.Exec(sb.String()); err != nil {
+			inst.Close()
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// b9QueryText builds the i-th statement of the mixed load: each
+// goroutine rotates point → range → filtered so every cell carries
+// the same statement mix regardless of goroutine count.
+func b9QueryText(cfg B9Config, g, i int) string {
+	k := (g*2654435761 + i*97) % cfg.Rows
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf("SELECT v FROM bench WHERE id = %d", k)
+	case 1:
+		lo := k % (cfg.Rows - cfg.Span)
+		return fmt.Sprintf("SELECT v FROM bench WHERE id >= %d AND id < %d", lo, lo+cfg.Span)
+	default:
+		return fmt.Sprintf("SELECT id FROM bench WHERE score > %d", cfg.ScoreMin)
+	}
+}
+
+// b9PointShape is the normalized shape the point lookups collapse to
+// in the profile registry.
+const b9PointShape = "SELECT v FROM bench WHERE id = ?"
+
+// b9Run measures one (mode, goroutines) point on a fresh product and,
+// for the instrumented product, returns its query snapshot.
+func b9Run(cfg B9Config, observed bool, goroutines int) (B9Point, *stats.QuerySnapshot, error) {
+	mode := b9Off
+	if observed {
+		mode = b9On
+	}
+	pt := B9Point{Mode: mode, Goroutines: goroutines, Ops: cfg.Ops}
+	inst, err := b9Load(cfg, observed)
+	if err != nil {
+		return pt, nil, err
+	}
+	defer inst.Close()
+
+	hist := stats.NewHistogram(stats.LatencyBounds())
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		n := cfg.Ops / goroutines
+		if g < cfg.Ops%goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				res, err := inst.SQL.Exec(b9QueryText(cfg, g, i))
+				hist.Observe(time.Since(t0).Nanoseconds())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%3 != 2 && len(res.Rows) == 0 {
+					errs <- fmt.Errorf("B9 %s/%dg: empty result", mode, goroutines)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return pt, nil, err
+	}
+
+	h := hist.Snapshot()
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	pt.P50Ns = h.P50()
+	pt.P99Ns = h.P99()
+
+	var qs *stats.QuerySnapshot
+	if observed {
+		snap, err := inst.Stats()
+		if err != nil {
+			return pt, nil, err
+		}
+		qs = snap.Queries
+		if qs == nil {
+			return pt, nil, fmt.Errorf("B9: instrumented product has no query snapshot")
+		}
+	}
+	return pt, qs, nil
+}
+
+// B9 runs the QueryStats benchmark and closes the feedback loop: the
+// same mixed load with and without statement observation across
+// goroutine counts, the per-shape attribution of the instrumented
+// run, and the NFP machinery pricing the QueryStats feature under
+// observability and ROM objectives.
+func B9(n int, seed int64) (*B9Result, error) {
+	cfg := defaultB9Config(n, seed)
+	res := &B9Result{Ops: cfg.Ops, Seed: cfg.Seed, Rows: cfg.Rows, Span: cfg.Span}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	var queryP99 float64
+	byG := map[int]*B9Overhead{}
+	for _, observed := range []bool{false, true} {
+		for _, g := range b9Goroutines {
+			pt, qs, err := b9Run(cfg, observed, g)
+			if err != nil {
+				return nil, fmt.Errorf("B9 %s/%dg: %w", pt.Mode, g, err)
+			}
+			res.Points = append(res.Points, pt)
+			ov := byG[g]
+			if ov == nil {
+				ov = &B9Overhead{Goroutines: g}
+				byG[g] = ov
+			}
+			if observed {
+				ov.OnSec = pt.OpsPerSec
+			} else {
+				ov.OffSec = pt.OpsPerSec
+			}
+			if observed && g == 16 {
+				// Echo the registry's own attribution of the run, and read
+				// the point shape's p99 off it — the feature as NFP sensor.
+				for _, sh := range qs.Shapes {
+					res.Shapes = append(res.Shapes, B9Shape{
+						Shape:        sh.Shape,
+						Count:        sh.Count,
+						P99Ns:        sh.Latency.P99(),
+						RowsScanned:  sh.RowsScanned,
+						RowsReturned: sh.RowsReturned,
+						PagesVisited: sh.PagesVisited,
+					})
+					if sh.Shape == b9PointShape {
+						queryP99 = sh.Latency.P99()
+					}
+				}
+				res.Slow = len(qs.Slow)
+			}
+			// Feed the loop at the acceptance cell: the mixed load at 16
+			// goroutines, one measurement per variant, differing only in
+			// QueryStats. The bare product leaves every statement
+			// unprofiled; the instrumented one, none.
+			if g == 16 {
+				values := map[nfp.Property]float64{
+					nfp.Throughput:      pt.OpsPerSec,
+					nfp.LatencyP99:      pt.P99Ns,
+					nfp.UnprofiledStmts: float64(cfg.Ops),
+				}
+				if observed {
+					values[nfp.UnprofiledStmts] = 0
+					values[nfp.QueryP99] = queryP99
+				}
+				if err := nfp.RecordMeasurement(store, b9Features(observed), values); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, g := range b9Goroutines {
+		ov := byG[g]
+		if ov.OffSec > 0 {
+			ov.Ratio = ov.OnSec / ov.OffSec
+		}
+		res.Overheads = append(res.Overheads, *ov)
+	}
+
+	// Observability side: the stakeholder requires the instrumented SQL
+	// stack (both measured variants compose Statistics; the open
+	// question is QueryStats alone) and asks the deriver to minimize
+	// unprofiled statements. Greedy over the signed fitted table
+	// selects QueryStats on its negative weight.
+	tab, err := store.SignedTable(nfp.UnprofiledStmts)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get", "Optimizer", "SQLEngine", "Statistics"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	uw, _ := store.FeatureWeight(nfp.UnprofiledStmts, "QueryStats")
+
+	// ROM side: size a budget that fits the SQL base product but not
+	// the plan renderer and profile registry, then require QueryStats
+	// under it.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	qsROM := rom.Features["QueryStats"]
+	budget := base.ROM + qsROM/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model:    m,
+		Table:    rom,
+		Required: append(append([]string{}, required...), "QueryStats"),
+		MaxROM:   budget,
+	})
+
+	res.Feedback = B9Feedback{
+		Property:                 string(nfp.UnprofiledStmts),
+		MeasuredProducts:         len(store.Measurements()),
+		Required:                 required,
+		DerivedFeatures:          derived.Config.SelectedNames(),
+		SelectedQueryStats:       derived.Config.Has("QueryStats"),
+		UnprofiledWeight:         uw,
+		QueryP99Ns:               queryP99,
+		BaseROM:                  base.ROM,
+		QueryStatsROM:            qsROM,
+		TightROMBudget:           budget,
+		InfeasibleWithQueryStats: errors.Is(infErr, solver.ErrInfeasible),
+	}
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	return res, nil
+}
+
+// FormatB9 renders the B9 result as text.
+func FormatB9(r *B9Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B9 — QueryStats: mixed point/range/filtered load with and without statement observation, %d-row table\n", r.Rows)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tgoroutines\tops/s\tp50 ns\tp99 ns")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\n",
+			p.Mode, p.Goroutines, p.OpsPerSec, p.P50Ns, p.P99Ns)
+	}
+	w.Flush()
+	for _, ov := range r.Overheads {
+		fmt.Fprintf(&b, "observation at %2d goroutines: %.3fx of bare throughput (%.0f vs %.0f ops/s)\n",
+			ov.Goroutines, ov.Ratio, ov.OnSec, ov.OffSec)
+	}
+	fmt.Fprintf(&b, "per-shape attribution of the instrumented 16-goroutine run (%d slow retained):\n", r.Slow)
+	sw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(sw, "  count\tp99 ns\tscanned\treturned\tpages\tshape")
+	for _, sh := range r.Shapes {
+		// The preload's wide INSERT shape would blow the table apart.
+		shape := sh.Shape
+		if len(shape) > 60 {
+			shape = shape[:57] + "..."
+		}
+		fmt.Fprintf(sw, "  %d\t%.0f\t%d\t%d\t%d\t%s\n",
+			sh.Count, sh.P99Ns, sh.RowsScanned, sh.RowsReturned, sh.PagesVisited, shape)
+	}
+	sw.Flush()
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  QueryStats selected: %v (unprofiled weight %+.0f, measured point p99 %.0f ns)\n",
+		r.Feedback.SelectedQueryStats, r.Feedback.UnprofiledWeight, r.Feedback.QueryP99Ns)
+	fmt.Fprintf(&b, "  ROM: base %d B, QueryStats +%d B; requiring it under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.QueryStatsROM, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithQueryStats)
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_9.json).
+func (r *B9Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

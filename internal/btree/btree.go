@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"famedb/internal/stats"
 	"famedb/internal/storage"
@@ -48,7 +49,24 @@ type Tree struct {
 	// for the collector. Mutating paths keep nodes alive across splits
 	// and recursion and never recycle.
 	bufs sync.Pool
+	// visits counts pages materialized by readNode for the QueryStats
+	// feature's EXPLAIN ANALYZE descent accounting. countVisits gates
+	// it: the counter stays off (one predictable branch per node read)
+	// unless a product with QueryStats enables it, and the gate is
+	// atomic because MVCC snapshot readers descend concurrently with
+	// the enabling engine.
+	visits      atomic.Int64
+	countVisits atomic.Bool
 }
+
+// EnableVisitCounter switches on per-node-read accounting (feature
+// QueryStats). It stays off by default so uninstrumented products pay
+// no atomic traffic on descents.
+func (t *Tree) EnableVisitCounter() { t.countVisits.Store(true) }
+
+// PageVisits returns the number of tree pages materialized by reads
+// since the counter was enabled. Monotonic; readers take deltas.
+func (t *Tree) PageVisits() int64 { return t.visits.Load() }
 
 // getBuf returns a page buffer, recycled when one is pooled.
 func (t *Tree) getBuf() []byte {
@@ -171,6 +189,9 @@ func (t *Tree) Len() uint64 { return t.count }
 func (t *Tree) MetaPage() storage.PageID { return t.metaPage }
 
 func (t *Tree) readNode(id storage.PageID) (node, error) {
+	if t.countVisits.Load() {
+		t.visits.Add(1)
+	}
 	buf := t.getBuf()
 	if err := t.pager.ReadPage(id, buf); err != nil {
 		t.bufs.Put(buf) //nolint:staticcheck

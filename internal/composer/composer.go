@@ -68,6 +68,17 @@ type Options struct {
 	// PlanCacheSize bounds the CompiledQueries feature's plan cache in
 	// entries (default 256). Ignored without CompiledQueries.
 	PlanCacheSize int
+	// QueryStatsShapes bounds the QueryStats feature's per-shape profile
+	// registry (default 128); excess shapes collapse into the overflow
+	// pseudo-shape. Ignored without QueryStats.
+	QueryStatsShapes int
+	// SlowQueryThreshold is the statement latency at which QueryStats
+	// records an execution into the slow-query ring (default 1ms).
+	// Ignored without QueryStats.
+	SlowQueryThreshold time.Duration
+	// SlowQueryCap bounds the slow-query ring in entries (default 32).
+	// Ignored without QueryStats.
+	SlowQueryCap int
 }
 
 // Instance is a derived FAME-DBMS product.
@@ -492,6 +503,19 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 			PlanCacheSize: opts.PlanCacheSize,
 			Metrics:       inst.stats.SQL(),
 			Tracer:        inst.tracer,
+		}
+		// QueryStats feature: the per-shape statement profile registry,
+		// the slow-query ring and EXPLAIN support. The model requires
+		// Statistics alongside it, so inst.stats is non-nil here and the
+		// registry rides on its snapshot/encoding surfaces.
+		if cfg.Has("QueryStats") {
+			qs := stats.NewQueryStats(stats.QueryStatsConfig{
+				MaxShapes:     opts.QueryStatsShapes,
+				SlowThreshold: opts.SlowQueryThreshold,
+				SlowCap:       opts.SlowQueryCap,
+			})
+			inst.stats.SetQueryStats(qs)
+			sqlCfg.Query = qs
 		}
 		if existing {
 			inst.SQL, err = sql.Open(sqlCfg, storage.PageID(lay.SQLMeta))

@@ -113,6 +113,12 @@ func FAMEModel() *Model {
 	// a bounded shape-keyed plan cache for the unprepared Exec path.
 	cq := sql.AddChild("CompiledQueries", Optional)
 	cq.Description = "prepared statements, closure-compiled plans, and a bounded plan cache"
+	// QueryStats makes execution observable per statement shape:
+	// EXPLAIN/EXPLAIN ANALYZE, a bounded per-shape profile registry and
+	// a slow-query ring. It accumulates into the Statistics registry —
+	// hence the requirement below.
+	qs := sql.AddChild("QueryStats", Optional)
+	qs.Description = "EXPLAIN/ANALYZE, per-shape statement profiles, and a slow-query log"
 
 	// Cross-tree constraints. These encode domain knowledge and drive
 	// decision propagation (Sec. 3.1).
@@ -144,6 +150,9 @@ func FAMEModel() *Model {
 	// The monitor samples the Statistics registry: without the counters
 	// there is nothing to window or watch.
 	m.Require("Monitor", "Statistics")
+	// Query profiles are histograms and counters; they live in the
+	// Statistics registry and are exported through its snapshots.
+	m.Require("QueryStats", "Statistics")
 	// A sampler goroutine, an HTTP server, and a sample ring have no
 	// place on a deeply embedded NutOS node.
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Monitor"))))
@@ -160,6 +169,11 @@ func FAMEModel() *Model {
 	// (and no SQL engine to compile for — stated explicitly so the
 	// contradiction surfaces directly, not only via the parent).
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("CompiledQueries"))))
+	// Per-shape profile maps, latency histograms and a slow-query ring
+	// are RAM-resident observability — nothing a NutOS node can afford
+	// (and it has no SQL engine to observe; stated explicitly like
+	// CompiledQueries above).
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("QueryStats"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -213,7 +227,8 @@ func FAMEProducts() []NamedProduct {
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking", "MVCC",
-				"Optimizer", "SQLEngine", "CompiledQueries", "Statistics", "Tracing", "Monitor",
+				"Optimizer", "SQLEngine", "CompiledQueries", "QueryStats",
+				"Statistics", "Tracing", "Monitor",
 			},
 			Note: "everything selected: the largest product",
 		},

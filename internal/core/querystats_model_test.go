@@ -1,0 +1,63 @@
+package core
+
+// Domain-constraint tests for the QueryStats feature: a child of
+// SQLEngine that requires Statistics and is excluded on NutOS nodes.
+
+import "testing"
+
+func TestQueryStatsConstraints(t *testing.T) {
+	m := FAMEModel()
+
+	// Selecting QueryStats pulls in its parent SQLEngine and, through
+	// the cross-tree Require, the Statistics feature.
+	c := m.NewConfiguration()
+	if err := c.Select("QueryStats"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("SQLEngine") {
+		t.Error("QueryStats should force SQLEngine on")
+	}
+	if !c.Has("Statistics") {
+		t.Error("QueryStats should force Statistics on")
+	}
+
+	// Deselecting Statistics first makes QueryStats contradictory.
+	c = m.NewConfiguration()
+	if err := c.Deselect("Statistics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("QueryStats"); err == nil {
+		t.Error("QueryStats without Statistics should be contradictory")
+	}
+
+	// NutOS excludes the profiling surface both by propagation and as
+	// a direct contradiction.
+	c = m.NewConfiguration()
+	if err := c.Select("NutOS"); err != nil {
+		t.Fatal(err)
+	}
+	if c.State("QueryStats") != Deselected {
+		t.Error("NutOS should force QueryStats off")
+	}
+	c = m.NewConfiguration()
+	if err := c.Select("QueryStats"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Select("NutOS"); err == nil {
+		t.Error("QueryStats+NutOS should be contradictory")
+	}
+
+	// The "full" paper product composes it.
+	for _, p := range FAMEProducts() {
+		if p.Name != "full" {
+			continue
+		}
+		cfg, err := m.Product(p.Features...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Has("QueryStats") {
+			t.Error("full product should compose QueryStats")
+		}
+	}
+}

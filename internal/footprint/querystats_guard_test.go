@@ -1,0 +1,61 @@
+package footprint
+
+import (
+	"testing"
+)
+
+// querystatsSources are the files dedicated to the QueryStats feature:
+// the EXPLAIN/ANALYZE plan renderer and the per-shape profile registry
+// with the slow-query ring.
+var querystatsSources = map[string]bool{
+	"internal/sql/explain.go":      true,
+	"internal/stats/querystats.go": true,
+}
+
+// TestOnlyQueryStatsMapsQuerystatsSources guards the feature's
+// zero-cost contract on the ROM side: a product derived without
+// QueryStats must carry no plan renderer and no profile registry, so
+// no other feature and not the core may claim those sources. In
+// particular Statistics — which QueryStats requires — must not absorb
+// querystats.go into its own footprint.
+func TestOnlyQueryStatsMapsQuerystatsSources(t *testing.T) {
+	for _, spec := range FAMECore() {
+		if querystatsSources[spec.File] {
+			t.Errorf("core claims QueryStats source %s", spec.File)
+		}
+	}
+	for feat, specs := range FAMESources() {
+		for _, spec := range specs {
+			if querystatsSources[spec.File] && feat != "QueryStats" {
+				t.Errorf("feature %q claims QueryStats source %s", feat, spec.File)
+			}
+		}
+	}
+	// And QueryStats claims them whole-file, so its ROM cost is real.
+	mapped := map[string]bool{}
+	for _, spec := range FAMESources()["QueryStats"] {
+		if querystatsSources[spec.File] {
+			if len(spec.Funcs) != 0 {
+				t.Errorf("QueryStats maps %s partially; want whole file", spec.File)
+			}
+			mapped[spec.File] = true
+		}
+	}
+	for f := range querystatsSources {
+		if !mapped[f] {
+			t.Errorf("QueryStats feature does not map %s", f)
+		}
+	}
+}
+
+// TestQueryStatsOnlyMapsQuerystatsSources is the inverse guard: the
+// counter plumbing woven through engine.go and compile.go stays billed
+// to SQLEngine and CompiledQueries — QueryStats claims only its own
+// dedicated files.
+func TestQueryStatsOnlyMapsQuerystatsSources(t *testing.T) {
+	for _, spec := range FAMESources()["QueryStats"] {
+		if !querystatsSources[spec.File] {
+			t.Errorf("QueryStats claims shared source %s", spec.File)
+		}
+	}
+}

@@ -221,6 +221,15 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/sql/cache.go"),
 		},
 
+		// The QueryStats feature: EXPLAIN/ANALYZE plan rendering and the
+		// per-shape profile registry with the slow-query ring. Only
+		// QueryStats maps these two files (CI guards that) — Statistics
+		// alone ships without per-statement observability.
+		"QueryStats": {
+			file("internal/sql/explain.go"),
+			file("internal/stats/querystats.go"),
+		},
+
 		// The Statistics feature: the cross-cutting metrics registry with
 		// its histograms and encoders.
 		"Statistics": {

@@ -88,6 +88,16 @@ func OpenBTree(p storage.Pager, meta storage.PageID, ops BTreeOps) (*BTree, erro
 // Tree exposes the underlying tree (for Verify and Compact features).
 func (b *BTree) Tree() *btree.Tree { return b.tree }
 
+// EnableVisitCounter switches on the tree's page-visit accounting
+// (feature QueryStats); the SQL engine discovers it by interface
+// assertion, so the List index — with no pages to count — simply
+// does not implement it.
+func (b *BTree) EnableVisitCounter() { b.tree.EnableVisitCounter() }
+
+// PageVisits returns the tree pages materialized by reads since the
+// counter was enabled.
+func (b *BTree) PageVisits() int64 { return b.tree.PageVisits() }
+
 // Name implements Index.
 func (b *BTree) Name() string { return "BPlusTree" }
 

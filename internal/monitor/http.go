@@ -20,6 +20,8 @@ import (
 //	/events         JSON: the bounded operational event log
 //	/trace          Chrome trace-event export of the span ring (404
 //	                without the Tracing feature)
+//	/querystats     JSON: per-shape statement profiles and the
+//	                slow-query ring (404 without the QueryStats feature)
 //	/debug/pprof/   the standard Go profiler
 //
 // The handler is safe for concurrent use alongside the sampler.
@@ -30,6 +32,7 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/varz", m.handleVarz)
 	mux.HandleFunc("/events", m.handleEvents)
 	mux.HandleFunc("/trace", m.handleTrace)
+	mux.HandleFunc("/querystats", m.handleQueryStats)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -136,6 +139,22 @@ func (m *Monitor) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	snap.WriteChrome(w)
+}
+
+// handleQueryStats serves the QueryStats registry's current snapshot:
+// per-shape profiles (sorted by cumulative time) and the slow-query
+// ring. Reading does not drain the ring — scrapes must not race each
+// other for the slow entries.
+func (m *Monitor) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	snap := m.src.Snapshot()
+	if snap.Queries == nil {
+		http.Error(w, "querystats not composed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap.Queries)
 }
 
 // Server is a running telemetry listener, returned by Serve.

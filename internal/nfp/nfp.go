@@ -38,6 +38,15 @@ const (
 	// concurrent commit workload — the property the B3 benchmark
 	// measures to justify the GroupCommit feature.
 	CommitThroughput Property = "commit_throughput"
+	// QueryP99 is the worst per-shape p99 statement latency observed by
+	// the QueryStats feature's profiles (nanoseconds) — the measured
+	// NFP the B9 benchmark records for the observability objective.
+	QueryP99 Property = "query_p99_ns"
+	// UnprofiledStmts counts statements executed without per-shape
+	// attribution. Products with QueryStats drive it to zero; the
+	// signed-greedy deriver minimizes it when observability is the
+	// objective.
+	UnprofiledStmts Property = "unprofiled_stmts"
 )
 
 // Measurement is one measured product.

@@ -74,6 +74,8 @@ func init() {
 		{".snapshot", "[begin|get <key>|scan [from [to]]|end]", "read a pinned committed version (feature MVCC)", (*Shell).cmdSnapshot},
 		{".prepare", "[<name> <sql with ?>|close <name>]", "compile a named statement (feature CompiledQueries)", (*Shell).cmdPrepare},
 		{".exec", "<name> [arg...]", "run a prepared statement with bound args", (*Shell).cmdExec},
+		{".explain", "[analyze] <sql>", "show a statement's plan tree (feature QueryStats)", (*Shell).cmdExplain},
+		{".queries", "[top <n>|slow]", "per-shape statement profiles and the slow-query log (feature QueryStats)", (*Shell).cmdQueries},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
 		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
@@ -509,6 +511,90 @@ func (s *Shell) cmdTrace(fields []string) bool {
 	default:
 		fmt.Fprintln(s.out, "usage: .trace on|off|dump [chrome|json]|slow")
 	}
+	return false
+}
+
+// cmdExplain prepends EXPLAIN to the rest of the line and runs it, so
+// ".explain SELECT ..." shows the plan tree without executing and
+// ".explain analyze SELECT ..." executes and appends true counters.
+func (s *Shell) cmdExplain(fields []string) bool {
+	if len(fields) < 2 {
+		fmt.Fprintln(s.out, "usage: .explain [analyze] <sql statement>")
+		return false
+	}
+	res, err := s.db.Exec("EXPLAIN " + strings.Join(fields[1:], " "))
+	if err != nil {
+		s.featureErr("QueryStats", ".explain", err)
+		return false
+	}
+	for _, row := range res.Rows {
+		for _, v := range row {
+			fmt.Fprintln(s.out, v.String())
+		}
+	}
+	return false
+}
+
+// cmdQueries prints the QueryStats feature's per-shape statement
+// profiles, hottest (by cumulative time) first. ".queries top <n>"
+// bounds the listing, ".queries slow" prints the slow-query ring
+// without draining it.
+func (s *Shell) cmdQueries(fields []string) bool {
+	snap, err := s.db.Stats()
+	if err != nil {
+		s.featureErr("Statistics", ".queries", err)
+		return false
+	}
+	q := snap.Queries
+	if q == nil {
+		s.featureErr("QueryStats", ".queries", fmt.Errorf("query profiles: %w", fame.ErrNotComposed))
+		return false
+	}
+	if len(fields) > 1 && fields[1] == "slow" {
+		if q.SlowDropped > 0 {
+			fmt.Fprintf(s.out, "(%d older slow queries dropped)\n", q.SlowDropped)
+		}
+		if len(q.Slow) == 0 {
+			fmt.Fprintf(s.out, "no statements over %s\n", fmtNs(float64(q.SlowThresholdNs)))
+			return false
+		}
+		for _, e := range q.Slow {
+			line := fmt.Sprintf("%-9s %s  scanned=%d returned=%d", fmtNs(float64(e.DurNs)), e.Shape, e.RowsScanned, e.RowsReturned)
+			if e.TraceRoot != 0 {
+				line += fmt.Sprintf("  trace=%d", e.TraceRoot)
+			}
+			if e.Err != "" {
+				line += "  error=" + e.Err
+			}
+			fmt.Fprintln(s.out, line)
+		}
+		return false
+	}
+	n := len(q.Shapes)
+	if len(fields) > 2 && fields[1] == "top" {
+		if v, err := strconv.Atoi(fields[2]); err == nil && v < n {
+			n = v
+		}
+	}
+	if n == 0 {
+		fmt.Fprintln(s.out, "no statements profiled yet")
+		return false
+	}
+	fmt.Fprintf(s.out, "%-7s %-9s %-9s %-8s %-8s %-5s %s\n",
+		"count", "total", "p99", "scanned", "returned", "hits", "shape")
+	for _, sh := range q.Shapes[:n] {
+		fmt.Fprintf(s.out, "%-7d %-9s %-9s %-8d %-8d %-5d %s\n",
+			sh.Count, fmtNs(float64(sh.TotalNs)), fmtNs(sh.Latency.P99()),
+			sh.RowsScanned, sh.RowsReturned, sh.PlanHits, sh.Shape)
+		if sh.LastError != "" {
+			fmt.Fprintf(s.out, "        last error: %s\n", sh.LastError)
+		}
+	}
+	if dropped := len(q.Shapes) - n; dropped > 0 {
+		fmt.Fprintf(s.out, "(%d more shapes; .queries top %d to widen)\n", dropped, len(q.Shapes))
+	}
+	fmt.Fprintf(s.out, "slow ring: %d retained over %s (.queries slow)\n",
+		len(q.Slow), fmtNs(float64(q.SlowThresholdNs)))
 	return false
 }
 

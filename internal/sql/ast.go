@@ -144,12 +144,21 @@ type Delete struct {
 	Where []Condition
 }
 
+// Explain is EXPLAIN [ANALYZE] stmt (feature QueryStats): it renders
+// the inner statement's plan, and with Analyze also executes it and
+// reports the observed counters.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
+
 func (CreateTable) stmt() {}
 func (DropTable) stmt()   {}
 func (Insert) stmt()      {}
 func (Select) stmt()      {}
 func (Update) stmt()      {}
 func (Delete) stmt()      {}
+func (Explain) stmt()     {}
 
 // stmtVerb names a statement for metrics, tracing and latching.
 func stmtVerb(s Statement) (string, error) {
@@ -166,6 +175,10 @@ func stmtVerb(s Statement) (string, error) {
 		return "update", nil
 	case Delete:
 		return "delete", nil
+	case Explain:
+		// EXPLAIN latches exclusively: ANALYZE executes the inner
+		// statement, which may be DML.
+		return "explain", nil
 	}
 	return "", fmt.Errorf("sql: unhandled statement %T", s)
 }

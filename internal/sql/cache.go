@@ -77,6 +77,35 @@ func normalize(query string) (shape string, args []types.Value, ok bool) {
 	return sb.String(), args, true
 }
 
+// shapeOf normalizes a statement for the QueryStats profile registry:
+// literals become `?` and tokens join canonically, like normalize, but
+// every verb qualifies (DDL and EXPLAIN too) and existing placeholders
+// pass through — a profile key, not a plan-cache key. ok is false only
+// when the text does not lex; such statements fail before execution and
+// are never profiled.
+func shapeOf(query string) (shape string, ok bool) {
+	toks, err := lex(query)
+	if err != nil {
+		return "", false
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokNumber, tokString:
+			sb.WriteByte('?')
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String(), true
+}
+
 // cacheEntry is one cached compiled plan.
 type cacheEntry struct {
 	shape string
@@ -136,24 +165,36 @@ func (pc *planCache) get(shape string) *compiled {
 }
 
 // put inserts or refreshes a plan, evicting the least recently used
-// entry of the stripe when full. Returns how many entries were evicted.
-func (pc *planCache) put(shape string, c *compiled) (evicted int) {
+// entry of the stripe when full. Returns the evicted shapes so the
+// caller can attribute each eviction to its shape's profile.
+func (pc *planCache) put(shape string, c *compiled) (evicted []string) {
 	s := pc.shardFor(shape)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.byS[shape]; ok {
 		el.Value.(*cacheEntry).plan = c
 		s.lru.MoveToFront(el)
-		return 0
+		return nil
 	}
 	s.byS[shape] = s.lru.PushFront(&cacheEntry{shape: shape, plan: c})
 	for s.lru.Len() > s.cap {
 		back := s.lru.Back()
 		s.lru.Remove(back)
-		delete(s.byS, back.Value.(*cacheEntry).shape)
-		evicted++
+		victim := back.Value.(*cacheEntry).shape
+		delete(s.byS, victim)
+		evicted = append(evicted, victim)
 	}
 	return evicted
+}
+
+// peek reports whether a shape is cached, without touching LRU order or
+// the hit/miss counters (EXPLAIN provenance).
+func (pc *planCache) peek(shape string) bool {
+	s := pc.shardFor(shape)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byS[shape]
+	return ok
 }
 
 // len reports the number of cached plans (for tests).
@@ -178,14 +219,17 @@ func (e *Engine) execCached(query string) (res *Result, handled bool, err error)
 		return nil, false, nil
 	}
 	m := e.cfg.Metrics
+	q := e.cfg.Query
 	if c := e.cache.get(shape); c != nil {
 		m.CacheHit()
+		q.CacheHit(shape)
 		res, err = e.runCompiled(c, args, func(nc *compiled) {
 			e.recordEvicts(e.cache.put(shape, nc))
 		})
 		return res, true, err
 	}
 	m.CacheMiss()
+	q.CacheMiss(shape)
 	stmt, _, perr := parse(shape)
 	if perr != nil {
 		// The shape does not parse (so the original cannot either); let
@@ -204,6 +248,7 @@ func (e *Engine) execCached(query string) (res *Result, handled bool, err error)
 	if cerr != nil {
 		return nil, true, cerr
 	}
+	c.shape = shape
 	e.recordEvicts(e.cache.put(shape, c))
 	res, err = e.runCompiled(c, args, func(nc *compiled) {
 		e.recordEvicts(e.cache.put(shape, nc))
@@ -211,10 +256,13 @@ func (e *Engine) execCached(query string) (res *Result, handled bool, err error)
 	return res, true, err
 }
 
-// recordEvicts feeds cache evictions into the statistics feature.
-func (e *Engine) recordEvicts(n int) {
-	for i := 0; i < n; i++ {
+// recordEvicts feeds cache evictions into the statistics feature —
+// both the global counter and each victim shape's profile, so the
+// global total always equals the per-shape sum.
+func (e *Engine) recordEvicts(shapes []string) {
+	for _, sh := range shapes {
 		e.cfg.Metrics.CacheEvict()
+		e.cfg.Query.CacheEvict(sh)
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"famedb/internal/access"
+	"famedb/internal/stats"
 	"famedb/internal/trace"
 	"famedb/internal/types"
 )
@@ -38,12 +40,17 @@ const epochAlways = ^uint64(0)
 type compiled struct {
 	verb string
 	ast  Statement // kept for transparent recompilation
+	// shape is the statement's normalized profile key (QueryStats
+	// feature); empty when profiling is off, which also disables the
+	// per-execution counters.
+	shape string
 	// epoch is the engine DDL epoch the plan was compiled under; the
 	// plan is stale (and recompiles) once the engine's moves.
 	epoch uint64
 	// run executes the closures with bound arguments. The caller holds
-	// the statement latch in the verb's mode.
-	run func(args []types.Value) (*Result, error)
+	// the statement latch in the verb's mode. ctr collects execution
+	// counters for QueryStats; nil disables counting.
+	run func(args []types.Value, ctr *execCounters) (*Result, error)
 }
 
 // Stmt is a prepared statement: parse and compile once, execute many.
@@ -73,6 +80,9 @@ func (e *Engine) Prepare(query string) (*Stmt, error) {
 	e.latch.RUnlock()
 	if err != nil {
 		return nil, err
+	}
+	if e.cfg.Query != nil {
+		c.shape, _ = shapeOf(query)
 	}
 	e.cfg.Metrics.Prepare()
 	s := &Stmt{e: e, query: query, nparams: nparams}
@@ -123,6 +133,13 @@ func (e *Engine) compile(stmt Statement) (*compiled, error) {
 // epoch; onSwap publishes the fresh plan (into the Stmt or the cache).
 func (e *Engine) runCompiled(c *compiled, args []types.Value, onSwap func(*compiled)) (*Result, error) {
 	m := e.cfg.Metrics
+	q := e.cfg.Query
+	var ctr *execCounters
+	var t0 int64
+	if q != nil && c.shape != "" {
+		ctr = &execCounters{shape: c.shape}
+		t0 = time.Now().UnixNano()
+	}
 	m.Statement(c.verb)
 	sp := e.cfg.Tracer.Start(trace.LayerSQL, c.verb)
 	start := m.Start()
@@ -137,6 +154,7 @@ func (e *Engine) runCompiled(c *compiled, args []types.Value, onSwap func(*compi
 		var nc *compiled
 		nc, err = e.compile(c.ast)
 		if err == nil {
+			nc.shape = c.shape // the profile key survives recompilation
 			c = nc
 			if onSwap != nil {
 				onSwap(nc)
@@ -144,12 +162,26 @@ func (e *Engine) runCompiled(c *compiled, args []types.Value, onSwap func(*compi
 		}
 	}
 	if err == nil {
-		res, err = c.run(args)
+		res, err = c.run(args, ctr)
 	}
 	unlock()
 	m.Done(start)
 	sp.Fail(err)
+	spanID := sp.ID() // must precede End: span handles are pooled
 	sp.End()
+	if ctr != nil {
+		q.Observe(stats.QueryExec{
+			Shape:        c.shape,
+			Verb:         c.verb,
+			Plan:         ctr.plan,
+			DurNs:        time.Now().UnixNano() - t0,
+			RowsScanned:  ctr.rowsScanned,
+			RowsReturned: rowsOut(res),
+			PagesVisited: ctr.pagesVisited,
+			TraceRoot:    spanID,
+			Err:          err,
+		})
+	}
 	return res, err
 }
 
@@ -165,6 +197,8 @@ func (e *Engine) compileStmt(stmt Statement) (*compiled, error) {
 		return e.compileUpdate(s)
 	case Delete:
 		return e.compileDelete(s)
+	case Explain:
+		return e.compileExplain(s)
 	case CreateTable, DropTable:
 		// DDL "compiles" to the interpreted executor: re-execution
 		// still skips the parser, and DDL can never go stale (it IS
@@ -174,7 +208,9 @@ func (e *Engine) compileStmt(stmt Statement) (*compiled, error) {
 			return nil, err
 		}
 		return &compiled{verb: verb, ast: stmt, epoch: epochAlways,
-			run: func([]types.Value) (*Result, error) { return e.dispatch(stmt) }}, nil
+			run: func(_ []types.Value, ctr *execCounters) (*Result, error) {
+				return e.dispatch(stmt, ctr)
+			}}, nil
 	}
 	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 }
@@ -371,37 +407,45 @@ func (e *Engine) compileSelect(s Select) (*compiled, error) {
 
 	// scan is the general driver: bounded or full scan, streaming
 	// through the fused predicate and projection.
-	scan := func(args []types.Value) (*Result, error) {
+	scan := func(args []types.Value, ctr *execCounters) (*Result, error) {
 		n, err := limit(args)
 		if err != nil {
 			return nil, err
 		}
+		defer ctr.trackPages(t)()
 		lo, hi, plan := bounds(args)
 		m.Plan(plan)
+		ctr.setPlan(plan)
 		wrap := func(row []types.Value) bool { return pred == nil || pred(row, args) }
 		if oi < 0 {
 			var out [][]types.Value
-			err := scanWhere(t, lo, hi, mask, wrap, func(_ []byte, row []types.Value) bool {
+			t0 := ctr.now()
+			err := scanWhere(t, lo, hi, mask, ctr, wrap, func(_ []byte, row []types.Value) bool {
 				if n >= 0 && len(out) >= n {
 					return false
 				}
 				out = append(out, project(row, proj))
 				return true
 			})
+			ctr.addScan(t0)
 			if err != nil {
 				return nil, err
 			}
 			return &Result{Columns: outCols, Rows: out, Plan: plan}, nil
 		}
 		var rows [][]types.Value
-		err = scanWhere(t, lo, hi, mask, wrap, func(_ []byte, row []types.Value) bool {
+		t0 := ctr.now()
+		err = scanWhere(t, lo, hi, mask, ctr, wrap, func(_ []byte, row []types.Value) bool {
 			rows = append(rows, row)
 			return true
 		})
+		ctr.addScan(t0)
 		if err != nil {
 			return nil, err
 		}
+		t1 := ctr.now()
 		sortRows(rows, oi, s.Desc)
+		ctr.addSort(t1)
 		if n >= 0 && len(rows) > n {
 			rows = rows[:n]
 		}
@@ -422,18 +466,20 @@ func (e *Engine) compileSelect(s Select) (*compiled, error) {
 		s.Where[0].Column == t.schema[t.pk].Name {
 		keyOf := compileOperand(Operand{Value: s.Where[0].Value, Param: s.Where[0].Param})
 		pkKind := t.schema[t.pk].Kind
-		run = func(args []types.Value) (*Result, error) {
+		run = func(args []types.Value, ctr *execCounters) (*Result, error) {
 			v, cerr := coerce(keyOf(args), pkKind)
 			if cerr != nil {
 				// Un-coercible key (e.g. a float bound on an int key):
 				// fall back to the scan driver, same as the planner.
-				return scan(args)
+				return scan(args, ctr)
 			}
 			n, err := limit(args)
 			if err != nil {
 				return nil, err
 			}
+			defer ctr.trackPages(t)()
 			m.Plan("point-lookup")
+			ctr.setPlan("point-lookup")
 			rec, err := t.store.Get(types.EncodeKey(v))
 			if errors.Is(err, access.ErrNotFound) {
 				return &Result{Columns: outCols, Plan: "point-lookup"}, nil
@@ -441,12 +487,14 @@ func (e *Engine) compileSelect(s Select) (*compiled, error) {
 			if err != nil {
 				return nil, err
 			}
+			ctr.scanned()
 			row, err := types.DecodeRow(rec)
 			if err != nil {
 				return nil, err
 			}
 			res := &Result{Columns: outCols, Plan: "point-lookup"}
 			if n != 0 && (pred == nil || pred(row, args)) {
+				ctr.matched()
 				res.Rows = [][]types.Value{project(row, proj)}
 			}
 			return res, nil
@@ -460,7 +508,7 @@ func (e *Engine) compileSelect(s Select) (*compiled, error) {
 // aggregate evaluator (still zero-parse, zero table resolution).
 func (e *Engine) compileAggregates(t *table, s Select) (*compiled, error) {
 	limit := compileLimit(s)
-	run := func(args []types.Value) (*Result, error) {
+	run := func(args []types.Value, ctr *execCounters) (*Result, error) {
 		bs := s
 		bs.Where = bindConds(s.Where, args)
 		n, err := limit(args)
@@ -468,7 +516,8 @@ func (e *Engine) compileAggregates(t *table, s Select) (*compiled, error) {
 			return nil, err
 		}
 		bs.Limit, bs.LimitParam = n, 0
-		return e.execAggregates(t, bs)
+		defer ctr.trackPages(t)()
+		return e.execAggregates(t, bs, ctr)
 	}
 	return &compiled{verb: "select", ast: s, epoch: e.epoch.Load(), run: run}, nil
 }
@@ -513,7 +562,8 @@ func (e *Engine) compileInsert(s Insert) (*compiled, error) {
 				name: cols[i], get: compileOperand(o)}
 		}
 	}
-	run := func(args []types.Value) (*Result, error) {
+	run := func(args []types.Value, ctr *execCounters) (*Result, error) {
+		defer ctr.trackPages(t)()
 		affected := 0
 		for _, slots := range rows {
 			row := make([]types.Value, len(t.schema))
@@ -562,7 +612,7 @@ func (e *Engine) compileUpdate(s Update) (*compiled, error) {
 	}
 	bounds := e.compileBounds(t, s.Where)
 	m := e.cfg.Metrics
-	run := func(args []types.Value) (*Result, error) {
+	run := func(args []types.Value, ctr *execCounters) (*Result, error) {
 		setIdx := make(map[int]types.Value, len(assigns))
 		for _, a := range assigns {
 			cv, err := coerce(a.get(args), a.kind)
@@ -571,9 +621,11 @@ func (e *Engine) compileUpdate(s Update) (*compiled, error) {
 			}
 			setIdx[a.dst] = cv
 		}
+		defer ctr.trackPages(t)()
 		lo, hi, plan := bounds(args)
 		m.Plan(plan)
-		keys, rows, err := collectMatching(t, lo, hi, pred, args)
+		ctr.setPlan(plan)
+		keys, rows, err := collectMatching(t, lo, hi, pred, args, ctr)
 		if err != nil {
 			return nil, err
 		}
@@ -602,10 +654,12 @@ func (e *Engine) compileDelete(s Delete) (*compiled, error) {
 	}
 	bounds := e.compileBounds(t, s.Where)
 	m := e.cfg.Metrics
-	run := func(args []types.Value) (*Result, error) {
+	run := func(args []types.Value, ctr *execCounters) (*Result, error) {
+		defer ctr.trackPages(t)()
 		lo, hi, plan := bounds(args)
 		m.Plan(plan)
-		keys, _, err := collectMatching(t, lo, hi, pred, args)
+		ctr.setPlan(plan)
+		keys, _, err := collectMatching(t, lo, hi, pred, args, ctr)
 		if err != nil {
 			return nil, err
 		}
@@ -621,14 +675,16 @@ func (e *Engine) compileDelete(s Delete) (*compiled, error) {
 
 // collectMatching materializes matching keys and rows through the
 // shared streaming pipeline, for the mutating compiled plans.
-func collectMatching(t *table, lo, hi []byte, pred rowPred, args []types.Value) (keys [][]byte, rows [][]types.Value, err error) {
+func collectMatching(t *table, lo, hi []byte, pred rowPred, args []types.Value, ctr *execCounters) (keys [][]byte, rows [][]types.Value, err error) {
 	// No mask: UPDATE rewrites whole rows and DELETE is key-driven, so
 	// every column must materialize.
 	wrap := func(row []types.Value) bool { return pred == nil || pred(row, args) }
-	err = scanWhere(t, lo, hi, nil, wrap, func(k []byte, row []types.Value) bool {
+	t0 := ctr.now()
+	err = scanWhere(t, lo, hi, nil, ctr, wrap, func(k []byte, row []types.Value) bool {
 		keys = append(keys, append([]byte(nil), k...))
 		rows = append(rows, row)
 		return true
 	})
+	ctr.addScan(t0)
 	return keys, rows, err
 }

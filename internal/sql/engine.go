@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"famedb/internal/access"
 	"famedb/internal/index"
@@ -91,6 +92,10 @@ type Config struct {
 	// Tracer records statements as root spans when the Tracing feature
 	// is composed; nil otherwise.
 	Tracer *trace.Tracer
+	// Query receives per-shape execution profiles when the QueryStats
+	// feature is composed; nil otherwise. It also gates EXPLAIN and the
+	// per-statement counter plumbing (execCounters stays nil without it).
+	Query *stats.QueryStats
 }
 
 // Engine executes SQL statements.
@@ -124,6 +129,10 @@ type table struct {
 	store   *access.Store
 	idxMeta storage.PageID
 	nextRow int64
+	// visits reads the index's page-visit counter (QueryStats feature);
+	// nil when the feature is off or the index has no pages to count
+	// (ListIndex). Set once at open/create, before any concurrent use.
+	visits func() int64
 }
 
 // Create initializes a fresh engine; the returned meta page (the
@@ -195,23 +204,142 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.execStmt(stmt, verb)
+	shape := ""
+	if e.cfg.Query != nil {
+		shape, _ = shapeOf(query)
+	}
+	return e.execStmt(stmt, verb, shape)
+}
+
+// execCounters accumulates one statement's execution counters for the
+// QueryStats feature: the chosen plan, the row flow through the scan
+// pipeline, page visits and per-operator time. A nil *execCounters is
+// inert — every method no-ops — so products without QueryStats pay
+// only a nil check per call site.
+type execCounters struct {
+	// shape is the executing statement's own profile key; EXPLAIN
+	// derives the inner statement's plan-cache shape from it.
+	shape        string
+	plan         string
+	rowsScanned  int64
+	rowsMatched  int64
+	rowsReturned int64
+	pagesVisited int64
+	scanNs       int64
+	sortNs       int64
+}
+
+// absorb folds another counter set into c — EXPLAIN ANALYZE charges the
+// inner statement's work to the EXPLAIN's own profile.
+func (c *execCounters) absorb(o *execCounters) {
+	if c == nil || o == nil {
+		return
+	}
+	c.plan = o.plan
+	c.rowsScanned += o.rowsScanned
+	c.rowsMatched += o.rowsMatched
+	c.pagesVisited += o.pagesVisited
+	c.scanNs += o.scanNs
+	c.sortNs += o.sortNs
+}
+
+func (c *execCounters) setPlan(plan string) {
+	if c != nil {
+		c.plan = plan
+	}
+}
+
+func (c *execCounters) scanned() {
+	if c != nil {
+		c.rowsScanned++
+	}
+}
+
+func (c *execCounters) matched() {
+	if c != nil {
+		c.rowsMatched++
+	}
+}
+
+// now returns a wall-clock sample, or 0 when counting is off — the
+// per-operator timers never call time.Now on uninstrumented products.
+func (c *execCounters) now() int64 {
+	if c == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+func (c *execCounters) addScan(start int64) {
+	if c != nil {
+		c.scanNs += time.Now().UnixNano() - start
+	}
+}
+
+func (c *execCounters) addSort(start int64) {
+	if c != nil {
+		c.sortNs += time.Now().UnixNano() - start
+	}
+}
+
+// trackPages snapshots t's page-visit counter and returns a closure
+// that accumulates the delta; call it when the table work is done. The
+// counter is tree-wide, so under concurrent shared-latch SELECTs the
+// attribution is approximate — a statement may absorb a few of its
+// neighbors' visits — but totals across statements stay exact.
+func (c *execCounters) trackPages(t *table) func() {
+	if c == nil || t.visits == nil {
+		return func() {}
+	}
+	start := t.visits()
+	return func() { c.pagesVisited += t.visits() - start }
+}
+
+// rowsOut counts a result's visible rows: result rows for SELECT,
+// affected rows for DML.
+func rowsOut(res *Result) int64 {
+	if res == nil {
+		return 0
+	}
+	return int64(len(res.Rows) + res.Affected)
 }
 
 // execStmt runs one parsed, literal-only statement through the
 // interpreted executor, with the metrics/trace wrapper and the
-// statement latch.
-func (e *Engine) execStmt(stmt Statement, verb string) (*Result, error) {
+// statement latch. shape is the statement's normalized profile key;
+// empty when QueryStats is off (execution is then not observed).
+func (e *Engine) execStmt(stmt Statement, verb, shape string) (*Result, error) {
 	m := e.cfg.Metrics
+	q := e.cfg.Query
+	var ctr *execCounters
+	var t0 int64
+	if q != nil && shape != "" {
+		ctr = &execCounters{shape: shape}
+		t0 = time.Now().UnixNano()
+	}
 	m.Statement(verb)
 	sp := e.cfg.Tracer.Start(trace.LayerSQL, verb)
 	start := m.Start()
 	unlock := e.lockFor(verb)
-	res, err := e.dispatch(stmt)
+	res, err := e.dispatch(stmt, ctr)
 	unlock()
 	m.Done(start)
 	sp.Fail(err)
+	spanID := sp.ID() // must precede End: span handles are pooled
 	sp.End()
+	if ctr != nil {
+		q.Observe(stats.QueryExec{
+			Shape:        shape,
+			Verb:         verb,
+			Plan:         ctr.plan,
+			DurNs:        time.Now().UnixNano() - t0,
+			RowsScanned:  ctr.rowsScanned,
+			RowsReturned: rowsOut(res),
+			PagesVisited: ctr.pagesVisited,
+			TraceRoot:    spanID,
+			Err:          err,
+		})
+	}
 	return res, err
 }
 
@@ -227,21 +355,24 @@ func (e *Engine) lockFor(verb string) func() {
 	return e.latch.Unlock
 }
 
-// dispatch executes a statement with the latch already held.
-func (e *Engine) dispatch(stmt Statement) (*Result, error) {
+// dispatch executes a statement with the latch already held. ctr
+// collects execution counters for QueryStats; nil disables counting.
+func (e *Engine) dispatch(stmt Statement, ctr *execCounters) (*Result, error) {
 	switch s := stmt.(type) {
 	case CreateTable:
 		return e.execCreate(s)
 	case DropTable:
 		return e.execDrop(s)
 	case Insert:
-		return e.execInsert(s)
+		return e.execInsert(s, ctr)
 	case Select:
-		return e.execSelect(s)
+		return e.execSelect(s, ctr)
 	case Update:
-		return e.execUpdate(s)
+		return e.execUpdate(s, ctr)
 	case Delete:
-		return e.execDelete(s)
+		return e.execDelete(s, ctr)
+	case Explain:
+		return e.execExplain(s, ctr)
 	}
 	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
 }
@@ -320,6 +451,7 @@ func (e *Engine) openTable(name string) (*table, error) {
 	}
 	t.store = access.New(idx, e.cfg.Ops)
 	t.store.SetTracer(e.cfg.Tracer)
+	e.armVisitCounter(t, idx)
 	e.tmu.Lock()
 	if prior, ok := e.tables[name]; ok {
 		t = prior // another reader faulted it in first
@@ -328,6 +460,27 @@ func (e *Engine) openTable(name string) (*table, error) {
 	}
 	e.tmu.Unlock()
 	return t, nil
+}
+
+// armVisitCounter wires t.visits to the index's page-visit counter.
+// Only QueryStats products pay for counting, and only indexes that
+// materialize pages implement the counter (the B+-tree does, the List
+// does not — discovery is by interface assertion, the Go analog of an
+// optional feature refinement).
+func (e *Engine) armVisitCounter(t *table, idx index.Index) {
+	if e.cfg.Query == nil {
+		return
+	}
+	en, ok := idx.(interface{ EnableVisitCounter() })
+	if !ok {
+		return
+	}
+	pv, ok := idx.(interface{ PageVisits() int64 })
+	if !ok {
+		return
+	}
+	en.EnableVisitCounter()
+	t.visits = pv.PageVisits
 }
 
 // Tables lists the table names in the catalog.
@@ -367,6 +520,7 @@ func (e *Engine) execCreate(s CreateTable) (*Result, error) {
 	t := &table{name: s.Table, schema: s.Columns, pk: pk, idxMeta: meta, nextRow: 1}
 	t.store = access.New(idx, e.cfg.Ops)
 	t.store.SetTracer(e.cfg.Tracer)
+	e.armVisitCounter(t, idx)
 	if err := e.saveTableMeta(t); err != nil {
 		return nil, err
 	}
@@ -455,11 +609,12 @@ func (e *Engine) insertRow(t *table, row []types.Value) error {
 	return nil
 }
 
-func (e *Engine) execInsert(s Insert) (*Result, error) {
+func (e *Engine) execInsert(s Insert, ctr *execCounters) (*Result, error) {
 	t, err := e.openTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	defer ctr.trackPages(t)()
 	cols, colIdx, err := resolveInsert(t, s)
 	if err != nil {
 		return nil, err
@@ -563,10 +718,12 @@ func bytesCompare(a, b []byte) int {
 // generic rows after the scan. Compiled plans know the needed column
 // set at compile time and pass it here so unreferenced string columns
 // are never copied out of the page.
-func scanWhere(t *table, lo, hi []byte, mask []bool, pred func(row []types.Value) bool,
+func scanWhere(t *table, lo, hi []byte, mask []bool, ctr *execCounters,
+	pred func(row []types.Value) bool,
 	visit func(key []byte, row []types.Value) bool) error {
 	var rowErr error
 	err := t.store.Scan(lo, hi, func(k, v []byte) bool {
+		ctr.scanned()
 		row, derr := types.DecodeRowMask(v, mask)
 		if derr != nil {
 			rowErr = derr
@@ -575,6 +732,7 @@ func scanWhere(t *table, lo, hi []byte, mask []bool, pred func(row []types.Value
 		if pred != nil && !pred(row) {
 			return true
 		}
+		ctr.matched()
 		return visit(k, row)
 	})
 	if err == nil {
@@ -586,7 +744,7 @@ func scanWhere(t *table, lo, hi []byte, mask []bool, pred func(row []types.Value
 // scanMatching collects matching rows with copies of their keys, for
 // the mutating statements that must finish the scan before touching the
 // tree. SELECTs stream through scanWhere instead.
-func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows [][]types.Value, plan string, err error) {
+func (e *Engine) scanMatching(t *table, where []Condition, ctr *execCounters) (keys [][]byte, rows [][]types.Value, plan string, err error) {
 	for _, c := range where {
 		if columnIndex(t.schema, c.Column) < 0 {
 			return nil, nil, "", fmt.Errorf("%w: %s", ErrNoColumn, c.Column)
@@ -594,23 +752,27 @@ func (e *Engine) scanMatching(t *table, where []Condition) (keys [][]byte, rows 
 	}
 	lo, hi, plan := e.planScan(t, where)
 	e.cfg.Metrics.Plan(plan)
-	err = scanWhere(t, lo, hi, nil,
+	ctr.setPlan(plan)
+	t0 := ctr.now()
+	err = scanWhere(t, lo, hi, nil, ctr,
 		func(row []types.Value) bool { return matches(where, t.schema, row) },
 		func(k []byte, row []types.Value) bool {
 			keys = append(keys, append([]byte(nil), k...))
 			rows = append(rows, row)
 			return true
 		})
+	ctr.addScan(t0)
 	return keys, rows, plan, err
 }
 
-func (e *Engine) execSelect(s Select) (*Result, error) {
+func (e *Engine) execSelect(s Select, ctr *execCounters) (*Result, error) {
 	t, err := e.openTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	defer ctr.trackPages(t)()
 	if len(s.Aggregates) > 0 {
-		return e.execAggregates(t, s)
+		return e.execAggregates(t, s, ctr)
 	}
 	outCols, proj, err := resolveProjection(t, s.Columns)
 	if err != nil {
@@ -623,18 +785,21 @@ func (e *Engine) execSelect(s Select) (*Result, error) {
 	}
 	lo, hi, plan := e.planScan(t, s.Where)
 	e.cfg.Metrics.Plan(plan)
+	ctr.setPlan(plan)
 	pred := func(row []types.Value) bool { return matches(s.Where, t.schema, row) }
 	if s.OrderBy == "" {
 		// Stream: project each matching row as it arrives and stop the
 		// scan as soon as LIMIT is satisfied.
 		var out [][]types.Value
-		err := scanWhere(t, lo, hi, nil, pred, func(_ []byte, row []types.Value) bool {
+		t0 := ctr.now()
+		err := scanWhere(t, lo, hi, nil, ctr, pred, func(_ []byte, row []types.Value) bool {
 			if s.Limit >= 0 && len(out) >= s.Limit {
 				return false
 			}
 			out = append(out, projectRow(row, proj))
 			return true
 		})
+		ctr.addScan(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -646,14 +811,18 @@ func (e *Engine) execSelect(s Select) (*Result, error) {
 	}
 	// ORDER BY materializes only the matching rows, then sorts.
 	var rows [][]types.Value
-	err = scanWhere(t, lo, hi, nil, pred, func(_ []byte, row []types.Value) bool {
+	t0 := ctr.now()
+	err = scanWhere(t, lo, hi, nil, ctr, pred, func(_ []byte, row []types.Value) bool {
 		rows = append(rows, row)
 		return true
 	})
+	ctr.addScan(t0)
 	if err != nil {
 		return nil, err
 	}
+	t1 := ctr.now()
 	sortRows(rows, oi, s.Desc)
+	ctr.addSort(t1)
 	if s.Limit >= 0 && len(rows) > s.Limit {
 		rows = rows[:s.Limit]
 	}
@@ -711,7 +880,7 @@ var ErrEmptyAggregate = errors.New("sql: aggregate over zero rows")
 // by one column. COUNT of zero rows is 0; the other aggregates need at
 // least one row per group (groups are never empty by construction, so
 // this only bites the ungrouped zero-row case).
-func (e *Engine) execAggregates(t *table, s Select) (*Result, error) {
+func (e *Engine) execAggregates(t *table, s Select, ctr *execCounters) (*Result, error) {
 	for _, a := range s.Aggregates {
 		if a.Column == "*" {
 			continue
@@ -735,7 +904,7 @@ func (e *Engine) execAggregates(t *table, s Select) (*Result, error) {
 	if s.OrderBy != "" && s.OrderBy != s.GroupBy {
 		return nil, errors.New("sql: aggregates can only be ordered by the grouping column")
 	}
-	_, rows, plan, err := e.scanMatching(t, s.Where)
+	_, rows, plan, err := e.scanMatching(t, s.Where, ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -865,11 +1034,12 @@ func (e *Engine) applyUpdate(t *table, key []byte, row []types.Value, setIdx map
 	return t.store.Update(key, types.EncodeRow(newRow))
 }
 
-func (e *Engine) execUpdate(s Update) (*Result, error) {
+func (e *Engine) execUpdate(s Update, ctr *execCounters) (*Result, error) {
 	t, err := e.openTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	defer ctr.trackPages(t)()
 	setIdx := map[int]types.Value{}
 	for col, o := range s.Set {
 		i := columnIndex(t.schema, col)
@@ -882,7 +1052,7 @@ func (e *Engine) execUpdate(s Update) (*Result, error) {
 		}
 		setIdx[i] = cv
 	}
-	keys, rows, _, err := e.scanMatching(t, s.Where)
+	keys, rows, _, err := e.scanMatching(t, s.Where, ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -896,12 +1066,13 @@ func (e *Engine) execUpdate(s Update) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-func (e *Engine) execDelete(s Delete) (*Result, error) {
+func (e *Engine) execDelete(s Delete, ctr *execCounters) (*Result, error) {
 	t, err := e.openTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
-	keys, _, _, err := e.scanMatching(t, s.Where)
+	defer ctr.trackPages(t)()
+	keys, _, _, err := e.scanMatching(t, s.Where, ctr)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,443 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"famedb/internal/access"
+	"famedb/internal/index"
+	"famedb/internal/osal"
+	"famedb/internal/stats"
+	"famedb/internal/storage"
+	"famedb/internal/types"
+)
+
+// newObservedEngine builds an engine with the QueryStats feature (and
+// a metrics registry, so the per-shape cache attribution can be
+// reconciled against the global counters). compiled additionally
+// composes CompiledQueries.
+func newObservedEngine(t *testing.T, compiled bool, qcfg stats.QueryStatsConfig) (*Engine, *stats.Registry) {
+	t.Helper()
+	f, err := osal.NewMemFS().Create("sql.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.New()
+	reg.SetQueryStats(stats.NewQueryStats(qcfg))
+	e, _, err := Create(Config{
+		Pager:     pf,
+		Factory:   BTreeFactory(index.AllBTreeOps()),
+		Ops:       access.AllOps(),
+		Optimizer: true,
+		Compiled:  compiled,
+		Metrics:   reg.SQL(),
+		Query:     reg.Query(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, reg
+}
+
+// planLines flattens an EXPLAIN result into its text lines.
+func planLines(t *testing.T, r *Result) []string {
+	t.Helper()
+	if len(r.Columns) != 1 || r.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	var lines []string
+	for _, row := range r.Rows {
+		lines = append(lines, row[0].Str)
+	}
+	return lines
+}
+
+// wantLine asserts some plan line contains every fragment.
+func wantLine(t *testing.T, lines []string, frags ...string) string {
+	t.Helper()
+outer:
+	for _, ln := range lines {
+		for _, f := range frags {
+			if !strings.Contains(ln, f) {
+				continue outer
+			}
+		}
+		return ln
+	}
+	t.Fatalf("no plan line with %q in:\n%s", frags, strings.Join(lines, "\n"))
+	return ""
+}
+
+func TestExplainNeedsQueryStats(t *testing.T) {
+	e := newEngine(t, true) // SQLEngine without QueryStats
+	seedUsers(t, e)
+	if _, err := e.Exec("EXPLAIN SELECT * FROM users"); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("EXPLAIN without feature = %v, want ErrNotComposed", err)
+	}
+	ec, _ := newCompiledEngine(t, 0) // CompiledQueries without QueryStats
+	seedUsers(t, ec)
+	if _, err := ec.Prepare("EXPLAIN SELECT * FROM users"); !errors.Is(err, access.ErrNotComposed) {
+		t.Fatalf("Prepare EXPLAIN without feature = %v, want ErrNotComposed", err)
+	}
+}
+
+func TestExplainRejectsNestedAndUnknown(t *testing.T) {
+	e, _ := newObservedEngine(t, false, stats.QueryStatsConfig{})
+	seedUsers(t, e)
+	if _, err := e.Exec("EXPLAIN EXPLAIN SELECT * FROM users"); err == nil ||
+		!strings.Contains(err.Error(), "cannot EXPLAIN an EXPLAIN") {
+		t.Fatalf("nested EXPLAIN = %v", err)
+	}
+	if _, err := e.Exec("EXPLAIN SELECT * FROM nosuch"); err == nil {
+		t.Fatal("EXPLAIN over a missing table should fail")
+	}
+	// Analyzing a failing statement propagates the execution error.
+	if _, err := e.Exec("EXPLAIN ANALYZE INSERT INTO users VALUES (1, 'dup', 1)"); err == nil {
+		t.Fatal("EXPLAIN ANALYZE of a duplicate insert should fail")
+	}
+}
+
+// TestExplainDescribesSelect checks the static plan tree: access path,
+// predicate residue, projection/decode mask, and provenance.
+func TestExplainDescribesSelect(t *testing.T) {
+	e, reg := newObservedEngine(t, false, stats.QueryStatsConfig{})
+	seedUsers(t, e)
+
+	r := mustExec(t, e, "EXPLAIN SELECT name FROM users WHERE id >= 2 AND id < 4")
+	lines := planLines(t, r)
+	if lines[0] != "explain select on users" {
+		t.Fatalf("head = %q", lines[0])
+	}
+	wantLine(t, lines, "access: index-scan on users via primary key id")
+	wantLine(t, lines, "predicate: fused conjunction, 2 term(s)")
+	wantLine(t, lines, "project: name (1 of 3 columns)", "decode mask: 2 of 3")
+	wantLine(t, lines, "source: interpreted; epoch", "plan-cache: not composed")
+	if r.Plan != "index-scan" {
+		t.Fatalf("Plan = %q", r.Plan)
+	}
+
+	// Plain EXPLAIN does not execute: nothing profiled for the inner
+	// shape, but the EXPLAIN statement itself is.
+	snap := reg.Snapshot()
+	for _, sh := range snap.Queries.Shapes {
+		if sh.Shape == "SELECT name FROM users WHERE id >= ? AND id < ?" {
+			t.Fatalf("inner shape profiled by plain EXPLAIN: %+v", sh)
+		}
+	}
+	found := false
+	for _, sh := range snap.Queries.Shapes {
+		if strings.HasPrefix(sh.Shape, "EXPLAIN SELECT") && sh.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EXPLAIN statement not profiled: %+v", snap.Queries.Shapes)
+	}
+
+	// A full scan renders the index name instead of a key bound.
+	lines = planLines(t, mustExec(t, e, "EXPLAIN SELECT * FROM users WHERE age = 25"))
+	wantLine(t, lines, "access: full-scan on users (")
+	wantLine(t, lines, "predicate: fused conjunction, 1 term(s)")
+}
+
+// TestExplainAnalyzeCountersTruthful executes through EXPLAIN ANALYZE
+// and checks the reported counters against externally-known ground
+// truth: the seeded table has 4 rows, 2 of them with age 25.
+func TestExplainAnalyzeCountersTruthful(t *testing.T) {
+	e, _ := newObservedEngine(t, false, stats.QueryStatsConfig{})
+	seedUsers(t, e)
+
+	lines := planLines(t, mustExec(t, e, "EXPLAIN ANALYZE SELECT name FROM users WHERE age = 25"))
+	ln := wantLine(t, lines, "executed:")
+	if !strings.Contains(ln, "scanned=4 matched=2 returned=2") {
+		t.Fatalf("executed line = %q", ln)
+	}
+
+	// DML under ANALYZE really executes and reports the affected count.
+	lines = planLines(t, mustExec(t, e, "EXPLAIN ANALYZE INSERT INTO users VALUES (9, 'eve', 41)"))
+	wantLine(t, lines, "executed:", "returned=1")
+	r := mustExec(t, e, "SELECT * FROM users")
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows after analyzed insert = %d, want 5", len(r.Rows))
+	}
+	lines = planLines(t, mustExec(t, e, "EXPLAIN ANALYZE DELETE FROM users WHERE id = 9"))
+	wantLine(t, lines, "executed:", "returned=1")
+}
+
+// TestExplainPrepared drives EXPLAIN through the prepared-statement
+// surface: the inner statement's placeholders bind per execution and
+// the provenance cites the compiled driver.
+func TestExplainPrepared(t *testing.T) {
+	e, _ := newObservedEngine(t, true, stats.QueryStatsConfig{})
+	seedUsers(t, e)
+
+	stmt, err := e.Prepare("EXPLAIN ANALYZE SELECT name FROM users WHERE age = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	r, err := stmt.Exec(types.Int(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := planLines(t, r)
+	wantLine(t, lines, "source: prepared; epoch")
+	wantLine(t, lines, "executed:", "scanned=4 matched=2 returned=2")
+	// Rebinding changes the executed counters, not the plan shape.
+	r, err = stmt.Exec(types.Int(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine(t, planLines(t, r), "executed:", "scanned=4 matched=1 returned=1")
+
+	// Unknown tables fail at Prepare, like preparing the inner
+	// statement itself.
+	if _, err := e.Prepare("EXPLAIN SELECT * FROM nosuch"); err == nil {
+		t.Fatal("Prepare EXPLAIN over a missing table should fail")
+	}
+
+	// The fast-path note appears for single pk-equality on the
+	// compiled engine.
+	lines = planLines(t, mustExec(t, e, "EXPLAIN SELECT name FROM users WHERE id = 1"))
+	wantLine(t, lines, "compiled driver: point-lookup fast path")
+}
+
+// TestExplainCacheProvenance checks EXPLAIN reads the plan cache
+// without touching it: the inner shape flips to "cached" only once a
+// real execution populated it.
+func TestExplainCacheProvenance(t *testing.T) {
+	e, _ := newObservedEngine(t, true, stats.QueryStatsConfig{})
+	seedUsers(t, e)
+
+	const q = "EXPLAIN SELECT name FROM users WHERE id = 3"
+	wantLine(t, planLines(t, mustExec(t, e, q)), "plan-cache: shape not cached")
+	mustExec(t, e, "SELECT name FROM users WHERE id = 3")
+	wantLine(t, planLines(t, mustExec(t, e, q)), "plan-cache: shape cached")
+	// DDL bumps the epoch; the cached plan survives (lazy recompile),
+	// and the provenance shows the new epoch.
+	mustExec(t, e, "CREATE TABLE other (id INT PRIMARY KEY)")
+	wantLine(t, planLines(t, mustExec(t, e, q)), "epoch 2")
+}
+
+// queryShape fetches one shape's profile from a registry snapshot.
+func queryShape(t *testing.T, reg *stats.Registry, shape string) stats.QueryShapeSnapshot {
+	t.Helper()
+	snap := reg.Snapshot()
+	if snap.Queries == nil {
+		t.Fatal("no query snapshot")
+	}
+	for _, sh := range snap.Queries.Shapes {
+		if sh.Shape == shape {
+			return sh
+		}
+	}
+	t.Fatalf("shape %q not profiled; have %+v", shape, snap.Queries.Shapes)
+	return stats.QueryShapeSnapshot{}
+}
+
+// TestProfileTruthfulnessAcrossDrivers runs the same statements in
+// lockstep through the interpreted engine and through the compiled
+// engine's plan-cached and prepared paths, and checks every driver's
+// per-shape profile reports identical scanned/returned counts — equal
+// to test-side ground truth — and that pages visited matches the
+// B+-tree's own independent visit counter.
+func TestProfileTruthfulnessAcrossDrivers(t *testing.T) {
+	ei, regI := newObservedEngine(t, false, stats.QueryStatsConfig{})
+	ec, regC := newObservedEngine(t, true, stats.QueryStatsConfig{})
+	seedUsers(t, ei)
+	seedUsers(t, ec)
+
+	const n = 8
+	const shape = "SELECT name FROM users WHERE age > ?"
+	// Ground truth from the seeded table: ages 30, 25, 35, 25 — two
+	// rows pass age > 26, four rows are scanned per full scan.
+	stmt, err := ec.Prepare(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < n; i++ {
+		ri := mustExec(t, ei, "SELECT name FROM users WHERE age > 26")
+		rc := mustExec(t, ec, "SELECT name FROM users WHERE age > 26")
+		rp, err := stmt.Exec(types.Int(26))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []*Result{ri, rc, rp} {
+			if len(r.Rows) != 2 {
+				t.Fatalf("iteration %d: rows = %d, want 2", i, len(r.Rows))
+			}
+		}
+	}
+
+	// The prepared and plan-cached drivers share the normalized shape on
+	// the compiled engine; the interpreted engine profiled it alone.
+	pi := queryShape(t, regI, shape)
+	pc := queryShape(t, regC, shape)
+	if pi.Count != n || pc.Count != 2*n {
+		t.Fatalf("counts = %d interpreted, %d compiled; want %d, %d", pi.Count, pc.Count, n, 2*n)
+	}
+	if pi.RowsScanned != 4*n || pi.RowsReturned != 2*n {
+		t.Fatalf("interpreted scanned/returned = %d/%d, want %d/%d",
+			pi.RowsScanned, pi.RowsReturned, 4*n, 2*n)
+	}
+	if pc.RowsScanned != 2*4*n || pc.RowsReturned != 2*2*n {
+		t.Fatalf("compiled scanned/returned = %d/%d, want %d/%d",
+			pc.RowsScanned, pc.RowsReturned, 2*4*n, 2*2*n)
+	}
+
+	// Pages: the engine's per-statement attribution must add up to the
+	// B+-tree's own visit counter, read independently of the profile.
+	tbl, err := ec.openTable("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.visits()
+	for i := 0; i < n; i++ {
+		mustExec(t, ec, "SELECT name FROM users WHERE age > 26")
+	}
+	delta := tbl.visits() - before
+	after := queryShape(t, regC, shape)
+	if got := after.PagesVisited - pc.PagesVisited; got != delta {
+		t.Fatalf("profiled pages = %d, tree counted %d", got, delta)
+	}
+	if delta <= 0 {
+		t.Fatalf("tree visit counter did not move (delta %d)", delta)
+	}
+}
+
+// TestPerShapeCacheCountersReconcile drives hits, misses and evictions
+// through a tiny plan cache and checks the per-shape attribution sums
+// exactly to the global Statistics counters.
+func TestPerShapeCacheCountersReconcile(t *testing.T) {
+	e, reg := newObservedEngine(t, true, stats.QueryStatsConfig{})
+	e.cache = newPlanCache(2) // tiny: force evictions
+	seedUsers(t, e)
+
+	queries := []string{
+		"SELECT name FROM users WHERE id = %d",
+		"SELECT age FROM users WHERE id = %d",
+		"SELECT * FROM users WHERE id = %d",
+		"SELECT name FROM users WHERE age > %d",
+	}
+	for round := 0; round < 5; round++ {
+		for qi, q := range queries {
+			mustExec(t, e, fmt.Sprintf(q, (round+qi)%4+1))
+		}
+	}
+
+	snap := reg.Snapshot()
+	var hits, misses, evicts int64
+	for _, sh := range snap.Queries.Shapes {
+		hits += sh.PlanHits
+		misses += sh.PlanMisses
+		evicts += sh.PlanEvicts
+	}
+	if hits != snap.SQL.PlanHits || misses != snap.SQL.PlanMisses || evicts != snap.SQL.PlanEvictions {
+		t.Fatalf("per-shape %d/%d/%d != global %d/%d/%d",
+			hits, misses, evicts, snap.SQL.PlanHits, snap.SQL.PlanMisses, snap.SQL.PlanEvictions)
+	}
+	if misses == 0 || evicts == 0 {
+		t.Fatalf("workload produced no cache churn (miss %d evict %d)", misses, evicts)
+	}
+}
+
+// TestQueryStatsRaceStress runs 16 executing goroutines against a
+// scraper reading snapshots and a drainer consuming the slow ring.
+// Meaningful under -race; the final reconciliation still runs without.
+func TestQueryStatsRaceStress(t *testing.T) {
+	e, reg := newObservedEngine(t, true, stats.QueryStatsConfig{
+		MaxShapes:     8,
+		SlowThreshold: time.Nanosecond, // every statement is "slow"
+		SlowCap:       16,
+	})
+	seedUsers(t, e)
+
+	const workers, per = 16, 50
+	// The seeding statements are profiled too; count from here.
+	var baseline int64
+	for _, sh := range reg.Snapshot().Queries.Shapes {
+		baseline += sh.Count
+	}
+	stop := make(chan struct{})
+	var scrape sync.WaitGroup
+	scrape.Add(2)
+	go func() { // scraper: concurrent snapshot reads
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := reg.Snapshot()
+				_ = snap.Queries
+			}
+		}
+	}()
+	var drainedTotal int64
+	go func() { // drainer: consumes the slow ring while writers push
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				slow, _ := reg.Query().DrainSlowQueries()
+				drainedTotal += int64(len(slow))
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = e.Exec(fmt.Sprintf("SELECT name FROM users WHERE id = %d", i%4+1))
+				case 1:
+					_, err = e.Exec("SELECT * FROM users WHERE age > 20")
+				default:
+					_, err = e.Exec(fmt.Sprintf("EXPLAIN ANALYZE SELECT * FROM users WHERE id = %d", i%4+1))
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: total executions across shapes equal the work done.
+	snap := reg.Snapshot()
+	var count int64
+	for _, sh := range snap.Queries.Shapes {
+		count += sh.Count
+	}
+	if want := baseline + int64(workers*per); count != want {
+		t.Fatalf("profiled %d executions, want %d", count, want)
+	}
+	slow, dropped := reg.Query().SlowQueries()
+	if drainedTotal == 0 && len(slow) == 0 && dropped == 0 {
+		t.Fatal("slow ring saw no traffic despite 1ns threshold")
+	}
+}

@@ -12,6 +12,7 @@
 //	       [ORDER BY col [ASC|DESC]] [LIMIT n]
 //	UPDATE t SET col = lit [, col = lit]... [WHERE pred]
 //	DELETE FROM t [WHERE pred]
+//	EXPLAIN [ANALYZE] stmt
 //
 //	pred := col op lit [AND col op lit]...   op ∈ {=, !=, <, <=, >, >=}
 //	aggs := COUNT(*|col) | MIN(col) | MAX(col) | SUM(col) | AVG(col), ...
@@ -19,6 +20,10 @@
 // Every literal position (and LIMIT) also accepts a `?` placeholder,
 // bound positionally at execution time — the CompiledQueries feature's
 // prepared-statement surface (Engine.Prepare / Stmt.Exec).
+//
+// EXPLAIN renders the statement's plan without running it; EXPLAIN
+// ANALYZE also executes it and appends the observed counters. Both
+// need the QueryStats feature (see explain.go).
 package sql
 
 import (
@@ -53,6 +58,7 @@ var keywords = map[string]bool{
 	"INT": true, "INTEGER": true, "FLOAT": true, "REAL": true, "DOUBLE": true,
 	"TEXT": true, "STRING": true, "VARCHAR": true, "BLOB": true,
 	"BOOL": true, "BOOLEAN": true, "NOT": true, "NULL": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex splits input into tokens.

@@ -95,9 +95,29 @@ func (p *parser) parseStmt() (Statement, error) {
 		return p.parseUpdate()
 	case "DELETE":
 		return p.parseDelete()
+	case "EXPLAIN":
+		return p.parseExplain()
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %s", t.text)
 	}
+}
+
+func (p *parser) parseExplain() (Statement, error) {
+	p.next() // EXPLAIN
+	ex := Explain{}
+	if p.peek().kind == tokKeyword && p.peek().text == "ANALYZE" {
+		p.next()
+		ex.Analyze = true
+	}
+	inner, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := inner.(Explain); nested {
+		return nil, fmt.Errorf("sql: cannot EXPLAIN an EXPLAIN")
+	}
+	ex.Stmt = inner
+	return ex, nil
 }
 
 func (p *parser) parseCreate() (Statement, error) {

@@ -110,6 +110,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Trace.DroppedSpans = subCounter(s.Trace.DroppedSpans, prev.Trace.DroppedSpans)
 	d.Trace.SlowEvicted = subCounter(s.Trace.SlowEvicted, prev.Trace.SlowEvicted)
 
+	// Queries (feature QueryStats): per-shape counters difference by
+	// shape text; nil when the feature is not composed.
+	d.Queries = s.Queries.Sub(prev.Queries)
+
 	d.Fault.Transients = subCounter(s.Fault.Transients, prev.Fault.Transients)
 	d.Fault.Retries = subCounter(s.Fault.Retries, prev.Fault.Retries)
 	d.Fault.ChecksumFailures = subCounter(s.Fault.ChecksumFailures, prev.Fault.ChecksumFailures)

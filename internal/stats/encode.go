@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
+
+// fmtTotalNs renders a nanosecond total compactly for Format.
+func fmtTotalNs(ns int64) string { return time.Duration(ns).String() }
 
 // Snapshot is a point-in-time copy of every metric of a Registry: plain
 // values, safe to retain, serialize, and compare after the product is
@@ -20,6 +24,9 @@ type Snapshot struct {
 	Trace  TraceSnapshot  `json:"trace"`
 	Fault  FaultSnapshot  `json:"fault"`
 	MVCC   MVCCSnapshot   `json:"mvcc"`
+	// Queries is the QueryStats feature's per-shape profile section;
+	// nil when that feature is not composed.
+	Queries *QuerySnapshot `json:"queries,omitempty"`
 }
 
 // BufferSnapshot copies the buffer-manager counters.
@@ -209,6 +216,8 @@ func (r *Registry) Snapshot() Snapshot {
 	s.MVCC.VersionsLive = load(&r.mvcc.versionsLive)
 	s.MVCC.SnapshotsOpen = load(&r.mvcc.snapshotsOpen)
 	s.MVCC.SnapshotAge = load(&r.mvcc.snapshotAge)
+
+	s.Queries = r.query.snapshot()
 	return s
 }
 
@@ -328,8 +337,43 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		gauge("famedb_mvcc_snapshot_age", "Versions the oldest pinned snapshot lags the current root.", s.MVCC.SnapshotAge)
 	}
 
+	// QueryStats feature: per-shape statement profiles. One labeled
+	// series per shape would repeat the HELP/TYPE header, so the shape
+	// loop emits headers once and label lines per shape.
+	if s.Queries != nil {
+		shapeSeries := func(name, help string, value func(QueryShapeSnapshot) int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, sh := range s.Queries.Shapes {
+				fmt.Fprintf(&b, "%s{shape=\"%s\"} %d\n", name, promLabel(sh.Shape), value(sh))
+			}
+		}
+		shapeSeries("famedb_query_execs_total", "Statement executions by normalized shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.Count })
+		shapeSeries("famedb_query_errors_total", "Failed executions by shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.Errors })
+		shapeSeries("famedb_query_time_ns_total", "Total execution time by shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.TotalNs })
+		shapeSeries("famedb_query_rows_scanned_total", "Rows scanned by shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.RowsScanned })
+		shapeSeries("famedb_query_rows_returned_total", "Rows returned by shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.RowsReturned })
+		shapeSeries("famedb_query_plan_cache_hits_total", "Plan-cache hits by shape.",
+			func(sh QueryShapeSnapshot) int64 { return sh.PlanHits })
+		gauge("famedb_query_shapes", "Distinct statement shapes profiled.", int64(len(s.Queries.Shapes)))
+		counter("famedb_query_slow_dropped_total", "Slow-query ring entries overwritten before reading.", int64(s.Queries.SlowDropped), "")
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// promLabel escapes a string for use as a Prometheus label value
+// (backslash, double quote and newline per the exposition format; %q
+// would escape non-ASCII too, which the format does not want).
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
 // Format pretty-prints the snapshot for humans (the REPL's .stats).
@@ -441,6 +485,21 @@ func (s Snapshot) Format() string {
 		row("versions live", s.MVCC.VersionsLive)
 		row("snapshots open", s.MVCC.SnapshotsOpen)
 		row("snapshot age", s.MVCC.SnapshotAge)
+	}
+	if s.Queries != nil && len(s.Queries.Shapes) > 0 {
+		fmt.Fprintf(&b, "queries (%d shapes, slowest first)\n", len(s.Queries.Shapes))
+		for i, sh := range s.Queries.Shapes {
+			if i == 8 {
+				fmt.Fprintf(&b, "  ... %d more shapes\n", len(s.Queries.Shapes)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %dx %-10s %8s total  p99 %.0fns  %s\n",
+				sh.Count, sh.Verb, fmtTotalNs(sh.TotalNs), round1(sh.Latency.P99()), sh.Shape)
+		}
+		if len(s.Queries.Slow) > 0 || s.Queries.SlowDropped > 0 {
+			fmt.Fprintf(&b, "  %-24s %12d   (%d overwritten)\n", "slow queries retained",
+				int64(len(s.Queries.Slow)), int64(s.Queries.SlowDropped))
+		}
 	}
 	if b.Len() == 0 {
 		return "(no recorded activity)\n"

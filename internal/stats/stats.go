@@ -32,6 +32,9 @@ type Registry struct {
 	trace  Trace
 	fault  Fault
 	mvcc   MVCC
+	// query is the QueryStats feature's per-shape profile registry;
+	// nil unless that feature is composed on top of Statistics.
+	query *QueryStats
 }
 
 // New creates a registry with all histograms initialized.
@@ -119,6 +122,25 @@ func (r *Registry) MVCC() *MVCC {
 		return nil
 	}
 	return &r.mvcc
+}
+
+// Query returns the QueryStats feature's per-shape profile registry,
+// or nil when that feature (or the whole Statistics registry) is not
+// composed — the same nil-discipline as the per-layer metric structs.
+func (r *Registry) Query() *QueryStats {
+	if r == nil {
+		return nil
+	}
+	return r.query
+}
+
+// SetQueryStats attaches the QueryStats feature's registry; the
+// composer calls it only when that feature is selected. No-op on a
+// nil registry.
+func (r *Registry) SetQueryStats(q *QueryStats) {
+	if r != nil {
+		r.query = q
+	}
 }
 
 // --- MVCC version table ---

@@ -95,6 +95,17 @@ type Span struct {
 	kidsDrop int
 }
 
+// ID returns the span's identifier (0 on nil), the key that links
+// external records — e.g. the QueryStats feature's slow-query ring —
+// to this span's tree in the ring and slow-op log. Read it before
+// End: ended handles return to the pool.
+func (sp *Span) ID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.rec.ID
+}
+
 // slowTreeCap bounds how many descendant spans a root retains for the
 // slow-op log; further descendants are counted, not kept.
 const slowTreeCap = 64
