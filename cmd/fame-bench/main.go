@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,CP] [-ops N]
+//	fame-bench [-run E1,...,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,B10,CP] [-ops N]
 //	           [-out BENCH_N.json] [-stats]
 //
 // B1 runs the Statistics-feature benchmark: instrumented product runs
@@ -37,7 +37,13 @@
 // observation at 1/4/16 goroutines, quantifying the profile
 // registry's overhead and closing the loop both ways (the deriver
 // selects QueryStats under an observability objective and prices it
-// out under a tight ROM budget). CP runs the crash-point recovery
+// out under a tight ROM budget). B10 runs the Replication benchmark —
+// pipelined put throughput over loopback TCP against the Server
+// product with 0/1/2 live replicas, without the Replication feature,
+// and with one dead replica (proving replica failure never blocks
+// commits), plus both replica crash-point sweeps (every shipped-frame
+// boundary and every torn device write), closing the feedback loop by
+// pricing Replication's latency and ROM closure. CP runs the crash-point recovery
 // harness: the
 // same workload crashed at every write-class op index under both the
 // clean-cut and torn-write models, reopened, and scrubbed.
@@ -62,7 +68,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,CP", "comma-separated experiment ids")
+	run := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,B1,B2,B3,B4,B5,B6,B7,B8,B9,B10,CP", "comma-separated experiment ids")
 	ops := flag.Int("ops", 200000, "operations per measured engine run")
 	outPattern := flag.String("out", "BENCH_N.json", "file pattern for the B benchmarks' machine-readable reports; a literal N becomes the benchmark number, empty suppresses them")
 	jsonPath := flag.String("json", "", "deprecated: file for B1's report (overrides -out for B1)")
@@ -245,6 +251,17 @@ func main() {
 		}
 		fmt.Println(bench.FormatB9(r))
 		writeReport("B9", outPath("B9"), r.WriteJSON)
+	}
+	if want["B10"] {
+		r, err := bench.B10(*ops/8, 23)
+		if err != nil {
+			fail("B10", err)
+		}
+		fmt.Println(bench.FormatB10(r))
+		if !r.Ok() {
+			fail("B10", fmt.Errorf("replica convergence or crash-point invariants violated"))
+		}
+		writeReport("B10", outPath("B10"), r.WriteJSON)
 	}
 	if want["CP"] {
 		for _, torn := range []bool{false, true} {

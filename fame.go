@@ -34,6 +34,7 @@ import (
 	"famedb/internal/monitor"
 	"famedb/internal/nfp"
 	"famedb/internal/osal"
+	"famedb/internal/server"
 	"famedb/internal/solver"
 	"famedb/internal/sql"
 	"famedb/internal/stats"
@@ -90,6 +91,16 @@ type (
 	QueryShapeSnapshot = stats.QueryShapeSnapshot
 	// SlowQuery is one slow-query ring entry (see DB.SlowQueries).
 	SlowQuery = stats.SlowQuery
+	// Server is the Server feature's running TCP front end (see
+	// DB.Serve): pipelined client sessions executed as transactions
+	// plus WAL-shipping replication sessions.
+	Server = server.Server
+	// Replica is a running replica client (see DB.ReplicateFrom): it
+	// streams shipped WAL frames from a primary, reconnecting with
+	// capped backoff and healing divergence with snapshot resyncs.
+	Replica = server.Replica
+	// Client speaks the Server feature's wire protocol (see DialServer).
+	Client = server.Client
 )
 
 // The measurable non-functional properties of the feedback approach.
@@ -484,6 +495,27 @@ func (db *DB) MonitorEvents() ([]MonitorEvent, uint64, error) { return db.inst.M
 // returned server to stop serving. Products derived without Monitor
 // return ErrNotComposed.
 func (db *DB) ServeMonitor(addr string) (*MonitorServer, error) { return db.inst.ServeMonitor(addr) }
+
+// Serve binds addr (e.g. "127.0.0.1:7070", or ":0" for an ephemeral
+// port) and runs the Server feature's TCP front end. Client sessions
+// pipeline Put/Get/Remove/Update/Batch commands, each executed as a
+// transaction on the primary; with the Replication feature also
+// composed, replica connections stream shipped WAL frames (with
+// prefix-CRC handshakes, incremental catch-up, and snapshot resync).
+// The listener is owned by the DB: Close shuts it down. Products
+// derived without Server return ErrNotComposed.
+func (db *DB) Serve(addr string) (*Server, error) { return db.inst.Serve(addr) }
+
+// ReplicateFrom turns this product into a read replica of the primary
+// serving at addr: shipped WAL frames apply through the same redo
+// machinery recovery uses, the connection retries with capped
+// exponential backoff, and divergence heals with a full snapshot
+// resync. Stop the returned Replica to detach. Products derived
+// without Replication return ErrNotComposed.
+func (db *DB) ReplicateFrom(addr string) (*Replica, error) { return db.inst.ReplicateFrom(addr) }
+
+// DialServer connects a protocol Client to a running Server.
+func DialServer(addr string) (*Client, error) { return server.DialClient(addr) }
 
 // ROM returns the product's code footprint in bytes (the paper's
 // binary-size NFP).

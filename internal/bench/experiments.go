@@ -447,7 +447,14 @@ func E6(opsPerMeasurement int) (*E6Result, error) {
 	// estimator.
 	store := nfp.NewStore(m)
 	products := core.FAMEProducts()
-	for _, features := range sampleProducts(m, 12, 99) {
+	// Sample enough random products to keep the additive fit
+	// determined as the model grows: one per concrete feature, at
+	// least a dozen.
+	samples := len(m.ConcreteFeatures())
+	if samples < 12 {
+		samples = 12
+	}
+	for _, features := range sampleProducts(m, samples, 99) {
 		products = append(products, core.NamedProduct{Name: "sample", Features: features})
 	}
 	for _, p := range products {

@@ -1,0 +1,781 @@
+package bench
+
+// Benchmark B10: the Replication + Server features' cost and the
+// replica crash-point harness.
+//
+// Throughput side: the same pipelined put workload — cfg.Clients wire
+// clients, each keeping a window of requests in flight over loopback
+// TCP — runs against five primaries: the Server product without the
+// Replication feature at all, the replicated product with 0, 1 and 2
+// live replicas streaming its WAL, and the replicated product with one
+// DEAD replica (a subscribed feed nobody consumes — the exact
+// primary-side shape of a replica that froze mid-stream). The dead
+// point is the robustness claim in numbers: the shipper drops frames
+// and marks the feed broken instead of blocking, so throughput stays
+// within noise of the no-replica baseline while the drop counter shows
+// the failure was real. Live replicas are checked for byte-exact
+// convergence (prefix CRC equality) and index equality after the run.
+//
+// The measurements close the paper's feedback loop like B1-B9: the
+// with/without-Replication products' commit latency feeds the NFP
+// store, the fitted table prices the feature, and the footprint side
+// sizes a ROM budget under which requiring Replication is infeasible.
+//
+// Crash side: ReplicaCrashPoints kills a replica at EVERY shipped-frame
+// boundary (power-cut model: unsynced state reverts) and, in torn mode,
+// at every device write op with a torn tail (most-persisted model).
+// After each kill the replica is recomposed over the crashed
+// filesystem, ordinary redo recovery runs, and the invariants are
+// checked: the recovered log is a byte-exact prefix of the primary's
+// (CRC over [0,end)), an incremental catch-up from that offset
+// converges to the primary's full log, the replicated index equals the
+// primary's pair for pair, and the page/journal scrub comes back clean.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"famedb/internal/composer"
+	"famedb/internal/core"
+	"famedb/internal/footprint"
+	"famedb/internal/nfp"
+	"famedb/internal/osal"
+	"famedb/internal/repl"
+	"famedb/internal/server"
+	"famedb/internal/solver"
+)
+
+// B10Config fixes the scenario.
+type B10Config struct {
+	Ops        int   // puts per measured point, split across clients
+	Clients    int   // concurrent wire clients
+	Window     int   // pipelined requests in flight per client
+	ValueBytes int   // payload per put
+	Seed       int64 // drives the crash harness sweeps
+	// CrashCommits is the committed-transaction count for the crash
+	// harness workload (boundary sweep width follows from it).
+	CrashCommits int
+}
+
+func defaultB10Config(ops int, seed int64) B10Config {
+	if ops < 4096 {
+		ops = 4096
+	}
+	return B10Config{
+		Ops: ops, Clients: 16, Window: 32, ValueBytes: 64,
+		Seed: seed, CrashCommits: 16,
+	}
+}
+
+// b10Features is the measured product: the concurrent group-commit
+// stack behind the TCP front end, with or without WAL shipping.
+func b10Features(replicated bool) []string {
+	fs := []string{
+		"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+		"Put", "Get", "Update", "Remove",
+		"Transaction", "GroupCommit", "Locking", "Recovery",
+		"Statistics", "Server",
+	}
+	if replicated {
+		fs = append(fs, "Replication")
+	}
+	return fs
+}
+
+// B10Point is one measured primary configuration.
+type B10Point struct {
+	Scenario    string  `json:"scenario"` // "no-repl", "0", "1", "2", "1-dead"
+	Replicated  bool    `json:"replicated"`
+	Replicas    int     `json:"replicas"`
+	Dead        int     `json:"dead_replicas"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	CommitP50Ns float64 `json:"commit_p50_ns"`
+	CommitP99Ns float64 `json:"commit_p99_ns"`
+	// Shipping counters from the Statistics registry; zero for no-repl.
+	ShippedChunks int64 `json:"shipped_chunks"`
+	ShippedBytes  int64 `json:"shipped_bytes"`
+	Drops         int64 `json:"drops"`
+	MaxLagBytes   int64 `json:"max_lag_bytes"`
+	// Converged reports every live replica caught up to the primary's
+	// exact log (prefix CRC equality) with an identical index.
+	Converged bool `json:"converged"`
+	// DeadDropped is the dead feed's drop count — proof the failure
+	// happened and was absorbed rather than blocking commits.
+	DeadDropped int64 `json:"dead_dropped,omitempty"`
+}
+
+// B10Feedback prices Replication via the measured NFP loop and the
+// footprint table, B6-style.
+type B10Feedback struct {
+	Property         string   `json:"property"`
+	MeasuredProducts int      `json:"measured_products"`
+	Required         []string `json:"required"`
+	DerivedFeatures  []string `json:"derived_features"`
+	// SelectedReplication reports whether the latency-minimizing greedy
+	// deriver kept Replication.
+	SelectedReplication bool `json:"selected_replication"`
+	// ReplicationLatencyWeightNs is the fitted per-feature contribution
+	// of Replication to commit p50 latency.
+	ReplicationLatencyWeightNs float64 `json:"replication_latency_weight_ns"`
+	// ROM side: the base product, the delta for carrying Replication
+	// (with its implied Transaction+Recovery closure), and the budget
+	// under which requiring it fails.
+	BaseROM                   int  `json:"base_rom_bytes"`
+	ReplicationROMDelta       int  `json:"replication_rom_delta_bytes"`
+	TightROMBudget            int  `json:"tight_rom_budget_bytes"`
+	InfeasibleWithReplication bool `json:"infeasible_with_replication"`
+}
+
+// B10Result is the machine-readable report (BENCH_10.json).
+type B10Result struct {
+	Ops        int        `json:"ops_per_point"`
+	Clients    int        `json:"clients"`
+	Window     int        `json:"window"`
+	ValueBytes int        `json:"value_bytes"`
+	Seed       int64      `json:"seed"`
+	Points     []B10Point `json:"points"`
+	// DeadVsZeroPct is the acceptance number: throughput loss of the
+	// one-dead-replica primary relative to the replicated-but-idle
+	// baseline, percent (positive = slower with the dead replica).
+	DeadVsZeroPct float64     `json:"dead_vs_zero_pct"`
+	Feedback      B10Feedback `json:"feedback"`
+	// Crash holds the replica crash-point sweeps (boundary and torn).
+	Crash []*ReplicaCrashReport `json:"crash"`
+}
+
+// b10Scenario describes one measured primary configuration.
+type b10Scenario struct {
+	name     string
+	repl     bool
+	replicas int
+	dead     int
+}
+
+var b10Scenarios = []b10Scenario{
+	{"no-repl", false, 0, 0},
+	{"0", true, 0, 0},
+	{"1", true, 1, 0},
+	{"2", true, 2, 0},
+	{"1-dead", true, 0, 1},
+}
+
+// b10Run measures one scenario: compose the primary, serve it, attach
+// the replicas (live ones stream, a dead one subscribes and never
+// consumes), then hammer it with pipelined puts and check convergence.
+func b10Run(cfg B10Config, sc b10Scenario) (B10Point, error) {
+	pt := B10Point{
+		Scenario: sc.name, Replicated: sc.repl,
+		Replicas: sc.replicas, Dead: sc.dead, Ops: cfg.Ops,
+	}
+	primary, err := composer.ComposeProduct(composer.Options{}, b10Features(sc.repl)...)
+	if err != nil {
+		return pt, err
+	}
+	defer primary.Close()
+	srv, err := primary.Serve("127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+
+	type liveReplica struct {
+		inst *composer.Instance
+		rep  *server.Replica
+	}
+	var live []liveReplica
+	defer func() {
+		for _, r := range live {
+			r.rep.Stop()
+			r.inst.Close()
+		}
+	}()
+	for i := 0; i < sc.replicas; i++ {
+		inst, err := composer.ComposeProduct(composer.Options{}, b10Features(true)...)
+		if err != nil {
+			return pt, err
+		}
+		rep, err := inst.ReplicateFrom(srv.Addr())
+		if err != nil {
+			inst.Close()
+			return pt, err
+		}
+		live = append(live, liveReplica{inst, rep})
+	}
+	// A dead replica, seen from the primary: a feed that was subscribed
+	// (the session handshake succeeded) and is never drained again. The
+	// shipper must drop and mark it broken, never block a commit.
+	var deadFeed *repl.Feed
+	if sc.dead > 0 {
+		deadFeed = primary.Shipper().Subscribe()
+		defer primary.Shipper().Unsubscribe(deadFeed)
+	}
+
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	errs := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		n := cfg.Ops / cfg.Clients
+		if c < cfg.Ops%cfg.Clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			cl, err := server.DialClient(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			sent := 0
+			for done := 0; done < n; {
+				for sent-done < cfg.Window && sent < n {
+					if err := cl.QueuePut(
+						fmt.Appendf(nil, "c%02d-%07d", c, sent), value); err != nil {
+						errs <- err
+						return
+					}
+					sent++
+				}
+				if err := cl.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for done < sent {
+					if err := cl.AwaitOK(); err != nil {
+						errs <- err
+						return
+					}
+					done++
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return pt, err
+	}
+	pt.Seconds = elapsed.Seconds()
+	pt.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+
+	// Convergence: every live replica catches up to the primary's exact
+	// log bytes and holds an identical index.
+	pt.Converged = true
+	end := primary.Txn.WALEnd()
+	for _, r := range live {
+		if !r.rep.WaitFor(end, 30*time.Second) {
+			return pt, fmt.Errorf("replica stuck at %d of %d", r.rep.Offset(), end)
+		}
+		ap, err := r.inst.ShipApplier()
+		if err != nil {
+			return pt, err
+		}
+		rEnd, rCRC, err := ap.PrefixCRC()
+		if err != nil {
+			return pt, err
+		}
+		pCRC, err := primary.Txn.WALPrefixCRC(rEnd)
+		if err != nil || rEnd != end || rCRC != pCRC {
+			pt.Converged = false
+		}
+		if err := repl.VerifyIndexes(primary.Store.Index(), r.inst.Store.Index()); err != nil {
+			pt.Converged = false
+		}
+	}
+	if deadFeed != nil {
+		pt.DeadDropped = deadFeed.Dropped()
+		if !deadFeed.Broken() || pt.DeadDropped == 0 {
+			return pt, fmt.Errorf("dead feed not broken (dropped %d): the workload was too small to overflow it", pt.DeadDropped)
+		}
+	}
+
+	snap, err := primary.Stats()
+	if err != nil {
+		return pt, err
+	}
+	pt.CommitP50Ns = snap.Txn.CommitLatency.P50()
+	pt.CommitP99Ns = snap.Txn.CommitLatency.P99()
+	pt.ShippedChunks = snap.Repl.ShippedChunks
+	pt.ShippedBytes = snap.Repl.ShippedBytes
+	pt.Drops = snap.Repl.Drops
+	pt.MaxLagBytes = snap.Repl.MaxLagBytes
+	return pt, nil
+}
+
+// B10 runs the replication benchmark: throughput across the five
+// primary configurations, the NFP/ROM feedback loop for the
+// Replication feature, and both replica crash-point sweeps.
+func B10(n int, seed int64) (*B10Result, error) {
+	cfg := defaultB10Config(n, seed)
+	res := &B10Result{
+		Ops: cfg.Ops, Clients: cfg.Clients, Window: cfg.Window,
+		ValueBytes: cfg.ValueBytes, Seed: cfg.Seed,
+	}
+
+	m := core.FAMEModel()
+	store := nfp.NewStore(m)
+	var zero, dead float64
+	for _, sc := range b10Scenarios {
+		pt, err := b10Run(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("B10 %s: %w", sc.name, err)
+		}
+		res.Points = append(res.Points, pt)
+		switch sc.name {
+		case "0":
+			zero = pt.OpsPerSec
+		case "1-dead":
+			dead = pt.OpsPerSec
+		}
+		// Feed the loop from the configurations whose feature sets
+		// differ only in Replication: the plain Server product and the
+		// replicated product actually streaming to a replica.
+		if sc.name == "no-repl" || sc.name == "1" {
+			err := nfp.RecordMeasurement(store, b10Features(sc.repl), map[nfp.Property]float64{
+				nfp.Throughput: pt.OpsPerSec,
+				nfp.LatencyP50: pt.CommitP50Ns,
+				nfp.LatencyP99: pt.CommitP99Ns,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if zero > 0 {
+		res.DeadVsZeroPct = (zero - dead) / zero * 100
+	}
+
+	// Latency side: the fitted table decides whether the measured
+	// shipping cost justifies carrying Replication.
+	tab, err := store.SignedTable(nfp.LatencyP50)
+	if err != nil {
+		return nil, err
+	}
+	required := []string{"Linux", "BPlusTree", "Put", "Get"}
+	derived, err := solver.Greedy(solver.Request{Model: m, Table: tab, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	lw, _ := store.FeatureWeight(nfp.LatencyP50, "Replication")
+
+	// ROM side: Replication's real price includes its implied closure
+	// (Transaction, Recovery), so size the budget between the minimal
+	// base product and the minimal replicated one.
+	rom, err := footprint.Load("FAME-DBMS")
+	if err != nil {
+		return nil, err
+	}
+	base, err := solver.BranchAndBound(solver.Request{Model: m, Table: rom, Required: required})
+	if err != nil {
+		return nil, err
+	}
+	withRepl, err := solver.BranchAndBound(solver.Request{
+		Model: m, Table: rom,
+		Required: append(append([]string{}, required...), "Replication"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	delta := withRepl.ROM - base.ROM
+	budget := base.ROM + delta/2
+	_, infErr := solver.BranchAndBound(solver.Request{
+		Model: m, Table: rom,
+		Required: append(append([]string{}, required...), "Replication"),
+		MaxROM:   budget,
+	})
+	if infErr != nil && !errors.Is(infErr, solver.ErrInfeasible) {
+		return nil, infErr
+	}
+	res.Feedback = B10Feedback{
+		Property:                   string(nfp.LatencyP50),
+		MeasuredProducts:           len(store.Measurements()),
+		Required:                   required,
+		DerivedFeatures:            derived.Config.SelectedNames(),
+		SelectedReplication:        derived.Config.Has("Replication"),
+		ReplicationLatencyWeightNs: lw,
+		BaseROM:                    base.ROM,
+		ReplicationROMDelta:        delta,
+		TightROMBudget:             budget,
+		InfeasibleWithReplication:  errors.Is(infErr, solver.ErrInfeasible),
+	}
+
+	for _, torn := range []bool{false, true} {
+		r, err := ReplicaCrashPoints(ReplicaCrashConfig{
+			Commits: cfg.CrashCommits, Torn: torn, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Crash = append(res.Crash, r)
+	}
+	return res, nil
+}
+
+// Ok reports whether every replica crash point recovered and every
+// live replica converged.
+func (r *B10Result) Ok() bool {
+	for _, p := range r.Points {
+		if !p.Converged {
+			return false
+		}
+	}
+	for _, c := range r.Crash {
+		if !c.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatB10 renders the B10 result as text.
+func FormatB10(r *B10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B10 — Replication: pipelined puts over TCP, %d clients, window %d\n",
+		r.Clients, r.Window)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tops/s\tcommit p50 ns\tshipped chunks\tdrops\tmax lag B\tconverged")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%d\t%d\t%d\t%v\n",
+			p.Scenario, p.OpsPerSec, p.CommitP50Ns, p.ShippedChunks, p.Drops,
+			p.MaxLagBytes, p.Converged)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "one dead replica costs %+.1f%% vs the idle replicated baseline\n",
+		r.DeadVsZeroPct)
+	fmt.Fprintf(&b, "feedback: min %s via greedy over %d measurements, required %v:\n  %v\n",
+		r.Feedback.Property, r.Feedback.MeasuredProducts, r.Feedback.Required,
+		r.Feedback.DerivedFeatures)
+	fmt.Fprintf(&b, "  Replication selected: %v (latency weight %+.0f ns)\n",
+		r.Feedback.SelectedReplication, r.Feedback.ReplicationLatencyWeightNs)
+	fmt.Fprintf(&b, "  ROM: base %d B, Replication closure +%d B; requiring it under a %d B budget infeasible: %v\n",
+		r.Feedback.BaseROM, r.Feedback.ReplicationROMDelta, r.Feedback.TightROMBudget,
+		r.Feedback.InfeasibleWithReplication)
+	for _, c := range r.Crash {
+		b.WriteString(FormatReplicaCrashPoints(c))
+	}
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable benchmark report (BENCH_10.json).
+func (r *B10Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ---------------------------------------------------------------------
+// Replica crash-point harness.
+
+// ReplicaCrashConfig fixes the crash sweep scenario.
+type ReplicaCrashConfig struct {
+	// Commits is the number of committed transactions the primary ships
+	// (each becomes at least one frame boundary).
+	Commits int
+	// Torn selects the torn-write sweep over every device write op
+	// instead of the power-cut sweep over every frame boundary.
+	Torn bool
+	// Seed drives the torn-prefix lengths for exact replay.
+	Seed int64
+}
+
+// ReplicaCrashReport is the sweep outcome.
+type ReplicaCrashReport struct {
+	Mode    string `json:"mode"` // "boundary" or "torn"
+	Commits int    `json:"commits"`
+	// Chunks is the number of shipped frames the primary produced.
+	Chunks int `json:"chunks"`
+	// Points is the number of crash points swept.
+	Points int `json:"points"`
+	// Recovered counts points where every invariant held after the
+	// kill: byte-exact prefix, clean catch-up, equal indexes, clean
+	// scrub.
+	Recovered int `json:"recovered"`
+	// Injected counts torn points whose tear actually fired.
+	Injected int `json:"injected"`
+	// Failures lists invariant violations, one line per failed point.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Ok reports whether every crash point recovered.
+func (r *ReplicaCrashReport) Ok() bool { return len(r.Failures) == 0 }
+
+// rcpFeatures is the harnessed node: transactional with Recovery (the
+// redo path the applier shares) and Checksums (so torn pages surface as
+// typed corruption). Replication itself is not composed — the harness
+// drives the ship applier directly, standing in for the network layer.
+var rcpFeatures = []string{
+	"Linux", "BPlusTree", "BufferManager", "LRU", "DynamicAlloc",
+	"Put", "Get", "Remove", "Transaction", "Recovery", "Checksums",
+}
+
+func rcpCompose(fs osal.FS) (*composer.Instance, error) {
+	return composer.ComposeProduct(composer.Options{
+		FS: fs,
+		// A tiny cache forces evictions, so replica index pages land on
+		// the device inside the crash windows, not only at close.
+		CachePages: 4,
+	}, rcpFeatures...)
+}
+
+// rcpChunk is one shipped frame: the raw bytes of one durable primary
+// append at its log offset.
+type rcpChunk struct {
+	base int64
+	buf  []byte
+}
+
+// rcpPrimary builds the shipping primary: a workload of puts and
+// removes, every durable append captured as a chunk.
+func rcpPrimary(commits int) (*composer.Instance, []rcpChunk, error) {
+	inst, err := rcpCompose(osal.NewMemFS())
+	if err != nil {
+		return nil, nil, err
+	}
+	var chunks []rcpChunk
+	inst.Txn.SetOnShip(func(base int64, buf []byte) {
+		chunks = append(chunks, rcpChunk{base, append([]byte(nil), buf...)})
+	})
+	for i := 0; i < commits; i++ {
+		tx := inst.Txn.Begin()
+		key := fmt.Appendf(nil, "k%04d", i)
+		if err := tx.Put(key, fmt.Appendf(nil, "value-of-k%04d", i)); err != nil {
+			inst.Close()
+			return nil, nil, err
+		}
+		// Every fourth transaction also retracts an earlier key, so the
+		// replayed stream exercises the remove path.
+		if i%4 == 3 {
+			if err := tx.Remove(fmt.Appendf(nil, "k%04d", i-2)); err != nil {
+				inst.Close()
+				return nil, nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			inst.Close()
+			return nil, nil, err
+		}
+	}
+	return inst, chunks, nil
+}
+
+// rcpCheck verifies a recovered replica against the primary: byte-exact
+// prefix at its recovered end, catch-up convergence to the full log,
+// index equality, and a clean scrub. Returns a failure description or "".
+func rcpCheck(primary *composer.Instance, fs osal.FS) string {
+	inst, err := rcpCompose(fs)
+	if err != nil {
+		return fmt.Sprintf("recompose: %v", err)
+	}
+	defer inst.Close()
+	ap := inst.Txn.ShipApplier()
+	if ap.NeedsResync() {
+		return "recovered replica demands a snapshot resync (marker left behind)"
+	}
+	end, crc, err := ap.PrefixCRC()
+	if err != nil {
+		return fmt.Sprintf("replica prefix crc: %v", err)
+	}
+	walEnd := primary.Txn.WALEnd()
+	if end > walEnd {
+		return fmt.Sprintf("replica log end %d past primary end %d", end, walEnd)
+	}
+	pcrc, err := primary.Txn.WALPrefixCRC(end)
+	if err != nil {
+		return fmt.Sprintf("primary prefix crc at %d: %v", end, err)
+	}
+	if crc != pcrc {
+		return fmt.Sprintf("recovered log is not a byte-exact primary prefix at %d", end)
+	}
+	// Incremental catch-up from exactly where recovery left the log —
+	// the reconnect handshake's happy path.
+	if end < walEnd {
+		buf, err := primary.Txn.ReadWALRange(end, walEnd)
+		if err != nil {
+			return fmt.Sprintf("catch-up read [%d,%d): %v", end, walEnd, err)
+		}
+		if err := ap.Apply(end, buf); err != nil {
+			return fmt.Sprintf("catch-up apply at %d: %v", end, err)
+		}
+	}
+	end2, crc2, err := ap.PrefixCRC()
+	if err != nil {
+		return fmt.Sprintf("caught-up prefix crc: %v", err)
+	}
+	fullCRC, err := primary.Txn.WALPrefixCRC(walEnd)
+	if err != nil {
+		return fmt.Sprintf("primary full crc: %v", err)
+	}
+	if end2 != walEnd || crc2 != fullCRC {
+		return fmt.Sprintf("catch-up did not converge: end %d of %d", end2, walEnd)
+	}
+	if err := repl.VerifyIndexes(primary.Store.Index(), inst.Store.Index()); err != nil {
+		return fmt.Sprintf("replicated index verify: %v", err)
+	}
+	rep, err := inst.Verify()
+	if err != nil {
+		return fmt.Sprintf("scrub: %v", err)
+	}
+	if !rep.Ok() {
+		return fmt.Sprintf("scrub found damage: %s", rep)
+	}
+	return ""
+}
+
+// ReplicaCrashPoints sweeps replica kills across the shipped stream.
+//
+// Boundary mode composes a replica over a crash-consistent filesystem,
+// applies the first i chunks, then pulls the power (everything unsynced
+// reverts — the applier's own WAL syncs are all that survive) for every
+// i in [0, chunks]. Torn mode instead schedules a torn write at every
+// device write op the full apply performs, so the kill lands INSIDE an
+// apply and recovery must truncate the torn tail back to a frame
+// boundary.
+func ReplicaCrashPoints(cfg ReplicaCrashConfig) (*ReplicaCrashReport, error) {
+	if cfg.Commits < 8 {
+		cfg.Commits = 8
+	}
+	rep := &ReplicaCrashReport{Mode: "boundary", Commits: cfg.Commits}
+	if cfg.Torn {
+		rep.Mode = "torn"
+	}
+	primary, chunks, err := rcpPrimary(cfg.Commits)
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	rep.Chunks = len(chunks)
+	if len(chunks) < cfg.Commits {
+		return nil, fmt.Errorf("replica crashpoints: only %d chunks shipped for %d commits", len(chunks), cfg.Commits)
+	}
+
+	if !cfg.Torn {
+		for i := 0; i <= len(chunks); i++ {
+			rep.Points++
+			crash := osal.NewCrashFS(osal.NewMemFS())
+			inst, err := rcpCompose(crash)
+			if err != nil {
+				return nil, err
+			}
+			ap := inst.Txn.ShipApplier()
+			applyErr := ""
+			for _, c := range chunks[:i] {
+				if err := ap.Apply(c.base, c.buf); err != nil {
+					applyErr = fmt.Sprintf("apply at %d: %v", c.base, err)
+					break
+				}
+			}
+			// Power loss: unsynced state reverts, the instance is
+			// abandoned, never Closed.
+			if err := crash.Crash(); err != nil {
+				return nil, err
+			}
+			if applyErr == "" {
+				applyErr = rcpCheck(primary, crash)
+			}
+			if applyErr != "" {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("boundary@%d: %s", i, applyErr))
+				continue
+			}
+			rep.Recovered++
+		}
+		return rep, nil
+	}
+
+	// Probe run: count the device write ops one full clean apply
+	// performs — the torn sweep's width.
+	probeFS := osal.NewFaultFS(osal.NewMemFS())
+	inst, err := rcpCompose(probeFS)
+	if err != nil {
+		return nil, err
+	}
+	probeSched := osal.NewSchedule(cfg.Seed)
+	probeFS.SetSchedule(probeSched)
+	ap := inst.Txn.ShipApplier()
+	for _, c := range chunks {
+		if err := ap.Apply(c.base, c.buf); err != nil {
+			inst.Close()
+			return nil, fmt.Errorf("probe apply at %d: %w", c.base, err)
+		}
+	}
+	writeOps := probeSched.Counts()[osal.OpWrite]
+	if err := inst.Close(); err != nil {
+		return nil, err
+	}
+	if writeOps < 8 {
+		return nil, fmt.Errorf("replica crashpoints: full apply performs only %d write ops; sweep pointless", writeOps)
+	}
+
+	for t := int64(1); t <= writeOps; t++ {
+		rep.Points++
+		fs := osal.NewFaultFS(osal.NewMemFS())
+		inst, err := rcpCompose(fs)
+		if err != nil {
+			return nil, err
+		}
+		// Write op t tears; every later write fails until "the power
+		// returns" (schedule removed after the crash).
+		sched := osal.NewSchedule(cfg.Seed + t)
+		sched.Add(osal.Rule{Class: osal.OpWrite, At: t, Kind: osal.FaultTorn})
+		sched.Add(osal.Rule{Class: osal.OpWrite, At: t + 1, Kind: osal.FaultError, Heal: 1 << 30})
+		fs.SetSchedule(sched)
+		ap := inst.Txn.ShipApplier()
+		for _, c := range chunks {
+			if err := ap.Apply(c.base, c.buf); err != nil {
+				break
+			}
+			if len(sched.Injections()) > 0 {
+				break
+			}
+		}
+		if len(sched.Injections()) > 0 {
+			rep.Injected++
+		}
+		fs.SetSchedule(nil)
+		// Crash: abandon the instance, never Close.
+		if fail := rcpCheck(primary, fs); fail != "" {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("torn@%d: %s", t, fail))
+			continue
+		}
+		rep.Recovered++
+	}
+	return rep, nil
+}
+
+// FormatReplicaCrashPoints renders the sweep report as text.
+func FormatReplicaCrashPoints(r *ReplicaCrashReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replica crash-point harness (%s): %d commits shipped as %d frames, %d kill points\n",
+		r.Mode, r.Commits, r.Chunks, r.Points)
+	fmt.Fprintf(&b, "  recovered byte-exact and caught up: %d/%d", r.Recovered, r.Points)
+	if r.Mode == "torn" {
+		fmt.Fprintf(&b, " (tears fired: %d)", r.Injected)
+	}
+	fmt.Fprintln(&b)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAIL %s\n", f)
+	}
+	if r.Ok() {
+		fmt.Fprintln(&b, "  every kill recovered to a byte-exact prefix and converged")
+	}
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable sweep report.
+func (r *ReplicaCrashReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

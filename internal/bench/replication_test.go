@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The replica crash harness is the tentpole invariant: every kill
+// point must recover to a byte-exact primary prefix and catch up.
+
+func TestReplicaCrashPointsBoundary(t *testing.T) {
+	r, err := ReplicaCrashPoints(ReplicaCrashConfig{Commits: 8, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Points != r.Chunks+1 {
+		t.Errorf("swept %d points for %d chunks, want every boundary", r.Points, r.Chunks)
+	}
+	if !r.Ok() {
+		t.Fatalf("crash points failed:\n%s", FormatReplicaCrashPoints(r))
+	}
+	if r.Recovered != r.Points {
+		t.Errorf("recovered %d of %d", r.Recovered, r.Points)
+	}
+	out := FormatReplicaCrashPoints(r)
+	if !strings.Contains(out, "byte-exact") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestReplicaCrashPointsTorn(t *testing.T) {
+	r, err := ReplicaCrashPoints(ReplicaCrashConfig{Commits: 8, Torn: true, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok() {
+		t.Fatalf("torn crash points failed:\n%s", FormatReplicaCrashPoints(r))
+	}
+	if r.Injected == 0 {
+		t.Error("no tear ever fired; the sweep tested nothing")
+	}
+}
+
+// TestB10Shape runs the full benchmark at a tiny op count and asserts
+// the result's structure: all five scenarios, live replicas converged,
+// the dead feed broken without stalling the workload, and the feedback
+// loop pricing Replication's ROM closure.
+func TestB10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network benchmark")
+	}
+	r, err := B10(4096, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(b10Scenarios) {
+		t.Fatalf("points = %d, want %d", len(r.Points), len(b10Scenarios))
+	}
+	byName := map[string]B10Point{}
+	for _, p := range r.Points {
+		byName[p.Scenario] = p
+		if !p.Converged {
+			t.Errorf("scenario %s did not converge", p.Scenario)
+		}
+	}
+	if byName["2"].ShippedChunks == 0 {
+		t.Error("no chunks shipped with two replicas")
+	}
+	if byName["1-dead"].DeadDropped == 0 {
+		t.Error("dead replica dropped nothing")
+	}
+	if byName["no-repl"].ShippedChunks != 0 {
+		t.Error("unreplicated product shipped chunks")
+	}
+	if !r.Feedback.InfeasibleWithReplication {
+		t.Error("tight ROM budget did not exclude Replication")
+	}
+	if r.Feedback.ReplicationROMDelta <= 0 {
+		t.Error("Replication ROM closure priced at zero")
+	}
+	if len(r.Crash) != 2 || !r.Ok() {
+		t.Fatalf("crash sweeps: %+v", r.Crash)
+	}
+	out := FormatB10(r)
+	for _, want := range []string{"B10", "1-dead", "crash-point harness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,8 @@ package buffer
 // executes `go test -race ./internal/buffer/...`.
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -344,6 +346,99 @@ func TestConcurrentEvictionStress(t *testing.T) {
 			}
 			if err := m.Close(); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// brickPager fails every write once bricked — the device a degraded
+// engine sees after its retry budget runs out.
+type brickPager struct {
+	storage.Pager
+	bricked atomic.Bool
+	werr    error
+}
+
+func (b *brickPager) WritePage(id storage.PageID, buf []byte) error {
+	if b.bricked.Load() {
+		return b.werr
+	}
+	return b.Pager.WritePage(id, buf)
+}
+
+// TestReadSurvivesDirtyVictimWriteBackFailure pins the degraded-mode
+// read contract at the pool layer: a read that draws a dirty victim
+// while the device rejects writes must read through, not inherit the
+// victim's write-back failure. The victim stays resident and dirty, so
+// its unsynced image is not lost.
+func TestReadSurvivesDirtyVictimWriteBackFailure(t *testing.T) {
+	werr := errors.New("device bricked")
+	for _, sharded := range []bool{false, true} {
+		name := "Manager"
+		if sharded {
+			name = "ShardedManager"
+		}
+		t.Run(name, func(t *testing.T) {
+			pf := newBase(t, 128)
+			a, _ := pf.Alloc()
+			b, _ := pf.Alloc()
+			want := make([]byte, 128)
+			for i := range want {
+				want[i] = byte('b')
+			}
+			if err := pf.WritePage(b, want); err != nil {
+				t.Fatal(err)
+			}
+			brick := &brickPager{Pager: pf, werr: werr}
+			var m Cache
+			var err error
+			if sharded {
+				// One shard of one frame: page b's fault must evict a.
+				m, err = NewShardedManager(brick, 1, 1,
+					func() Policy { return NewLRU() },
+					func(int) (Allocator, error) { return NewDynamicAllocator(128), nil })
+			} else {
+				m, err = NewManager(brick, 1, NewLRU(), NewDynamicAllocator(128))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirty := make([]byte, 128)
+			for i := range dirty {
+				dirty[i] = byte('a')
+			}
+			if err := m.WritePage(a, dirty); err != nil {
+				t.Fatal(err)
+			}
+			brick.bricked.Store(true)
+
+			got := make([]byte, 128)
+			if err := m.ReadPage(b, got); err != nil {
+				t.Fatalf("read with dirty victim on bricked device = %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("read-through returned wrong image")
+			}
+			// The dirty victim survived: heal the device, sync, and its
+			// image must reach the base.
+			brick.bricked.Store(false)
+			if err := m.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			onDisk := make([]byte, 128)
+			if err := pf.ReadPage(a, onDisk); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(onDisk, dirty) {
+				t.Fatalf("dirty victim's image lost across failed eviction")
+			}
+			// A write access still inherits the failure.
+			if err := m.WritePage(a, dirty); err != nil {
+				t.Fatal(err)
+			}
+			brick.bricked.Store(true)
+			if err := m.WritePage(b, want); !errors.Is(err, werr) {
+				t.Fatalf("write with dirty victim on bricked device = %v, want brick error", err)
 			}
 		})
 	}

@@ -237,12 +237,20 @@ func (s *shard) fault(base storage.Pager, m *stats.Buffer, id storage.PageID, bu
 		close(victimCh)
 		if werr != nil {
 			// The victim's frame is intact: put it back and abandon the
-			// fault, like the sequential path, where a failed write-back
-			// leaves the victim resident and fails the access.
+			// fault. A write access inherits the write-back failure —
+			// but a read must not: degraded read-only mode promises
+			// reads keep serving, and a reader that happens to draw a
+			// dirty victim while the device rejects writes would
+			// otherwise fail on someone else's write error. Read
+			// through without caching instead; the victim stays
+			// resident and dirty.
 			s.frames[victimID] = victim
 			s.policy.Admitted(victimID)
 			s.loaded++
 			s.abandonFault(id, f)
+			if !write {
+				return false, base.ReadPage(id, buf)
+			}
 			return false, werr
 		}
 		s.evictions.Add(1)

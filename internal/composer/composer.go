@@ -20,6 +20,8 @@ import (
 	"famedb/internal/index"
 	"famedb/internal/monitor"
 	"famedb/internal/osal"
+	"famedb/internal/repl"
+	"famedb/internal/server"
 	"famedb/internal/sql"
 	"famedb/internal/stats"
 	"famedb/internal/storage"
@@ -121,6 +123,14 @@ type Instance struct {
 	// versions is the MVCC feature's table of committed copy-on-write
 	// roots; nil unless the feature is selected.
 	versions *btree.VersionTable
+	// shipper is the Replication feature's WAL fan-out: every durable
+	// append is offered to subscribed feeds (network replication
+	// sessions, in-process replicas); nil unless the feature is
+	// selected.
+	shipper *repl.Shipper
+	// servers tracks Server-feature listeners started via Serve so
+	// Close tears them down before the layers they execute against.
+	servers []*server.Server
 }
 
 // mvccSource adapts the version table to the transaction manager's
@@ -529,6 +539,15 @@ func Compose(cfg *core.Configuration, opts Options) (*Instance, error) {
 		}
 	}
 
+	// Replication feature: fan every durable WAL append out to
+	// subscriber feeds. The hook runs on the commit path but never
+	// blocks it — a slow or dead subscriber gets its feed broken and
+	// must snapshot-resync. The model guarantees Transaction here.
+	if cfg.Has("Replication") {
+		inst.shipper = repl.NewShipper(repl.DefaultFeedDepth, inst.stats.Repl())
+		inst.Txn.SetOnShip(inst.shipper.OnShip)
+	}
+
 	// Monitor feature: the live-observation subsystem over everything
 	// composed above. Its source closures read the Statistics registry
 	// (model constraint: Monitor => Statistics), the health latch, the
@@ -881,6 +900,56 @@ func (i *Instance) ServeMonitor(addr string) (*monitor.Server, error) {
 	return i.mon.Serve(addr)
 }
 
+// Shipper returns the Replication feature's WAL fan-out, or nil when
+// the feature is not composed. In-process replicas subscribe to it
+// directly; network replication sessions subscribe through Serve.
+func (i *Instance) Shipper() *repl.Shipper { return i.shipper }
+
+// ShipApplier returns a replica-side chunk applier over this instance's
+// own WAL and store, or access.ErrNotComposed when the product was
+// derived without the Replication feature. An instance acting as a
+// replica applies shipped frames (and snapshot resyncs) through it.
+func (i *Instance) ShipApplier() (*txn.ShipApplier, error) {
+	if i.shipper == nil {
+		return nil, fmt.Errorf("ShipApplier: %w", access.ErrNotComposed)
+	}
+	return i.Txn.ShipApplier(), nil
+}
+
+// Serve binds addr and runs the Server feature's TCP front end: client
+// sessions execute pipelined commands as transactions; replication
+// sessions (when Replication is also composed) stream shipped WAL
+// frames. Fails with access.ErrNotComposed when the product was derived
+// without the Server feature. The listener is owned by the instance:
+// Close shuts it down.
+func (i *Instance) Serve(addr string) (*server.Server, error) {
+	if !i.Configuration.Has("Server") {
+		return nil, fmt.Errorf("Serve: %w", access.ErrNotComposed)
+	}
+	srv, err := server.Serve(addr, server.Config{
+		Mgr:     i.Txn,
+		Shipper: i.shipper,
+		Metrics: i.stats.Repl(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	i.servers = append(i.servers, srv)
+	return srv, nil
+}
+
+// ReplicateFrom starts a replica client that streams this instance from
+// the primary at addr (reconnecting with capped backoff and resyncing
+// via snapshot when diverged). Fails with access.ErrNotComposed when
+// the product was derived without the Replication feature.
+func (i *Instance) ReplicateFrom(addr string) (*server.Replica, error) {
+	applier, err := i.ShipApplier()
+	if err != nil {
+		return nil, fmt.Errorf("ReplicateFrom: %w", access.ErrNotComposed)
+	}
+	return server.StartReplica(server.ReplicaConfig{Addr: addr, Applier: applier})
+}
+
 // StatsRegistry returns the live Statistics registry, or nil when the
 // feature is not composed. Benchmark harnesses use it to read
 // histograms without going through snapshots.
@@ -999,6 +1068,15 @@ func (i *Instance) Close() error {
 	if i.mon != nil {
 		// Stop the sampler before tearing down the layers it reads.
 		i.mon.Stop()
+	}
+	// Server sessions execute against the transaction manager: sever
+	// them first. Then close the shipper so replication feeds drain.
+	for _, s := range i.servers {
+		s.Close()
+	}
+	i.servers = nil
+	if i.shipper != nil {
+		i.shipper.Close()
 	}
 	if i.Txn != nil {
 		if err := i.Txn.Close(); err != nil {

@@ -104,7 +104,18 @@ func FAMEModel() *Model {
 	// its own — hence the Statistics requirement below.
 	mon := root.AddChild("Monitor", Optional)
 	mon.Description = "live monitoring: windowed sampler, health watchdog, and HTTP telemetry endpoint"
+	// Replication ships every durable WAL append to attached replicas
+	// (in-process feeds or network sessions) and heals diverged or
+	// lagging replicas with prefix-CRC handshakes, incremental catch-up,
+	// and full snapshot resync.
+	rp := root.AddChild("Replication", Optional)
+	rp.Description = "WAL shipping to read replicas with catch-up and snapshot resync"
 	api := root.AddAbstract("API", Mandatory)
+	// Server is the network front end: a TCP listener whose client
+	// sessions pipeline commands into transactions and whose replication
+	// sessions stream shipped WAL frames.
+	sv := api.AddChild("Server", Optional)
+	sv.Description = "TCP server: pipelined client protocol and WAL-shipping replication sessions"
 	sql := api.AddChild("SQLEngine", Optional)
 	sql.Description = "declarative query interface"
 	// CompiledQueries trades ROM for statement latency: prepared
@@ -174,6 +185,23 @@ func FAMEModel() *Model {
 	// (and it has no SQL engine to observe; stated explicitly like
 	// CompiledQueries above).
 	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("QueryStats"))))
+	// The server executes every wire command as a transaction — the
+	// direct store path would bypass the WAL and the lock table — and
+	// serves concurrent connections, so it needs the Locking feature
+	// too. It writes over the wire, so Put must be composed.
+	m.AddConstraint(Implies(Ref("Server"), And(Ref("Transaction"), Ref("Locking"), Ref("Put"))))
+	// Shipping replays the redo log: there must be one (Transaction)
+	// and the replica applies chunks through the same redo machinery
+	// recovery uses, so Recovery must be composed as well.
+	m.AddConstraint(Implies(Ref("Replication"), And(Ref("Transaction"), Ref("Recovery"))))
+	// Snapshot resync wipes and rebuilds the replica's index, which on a
+	// B+-tree needs the delete increment.
+	m.AddConstraint(Implies(And(Ref("Replication"), Ref("BPlusTree")), Ref("BTreeRemove")))
+	// A TCP listener with goroutine-per-connection sessions, and a WAL
+	// shipping pipeline with per-replica feeds, are both far outside a
+	// deeply embedded NutOS node's threading model and RAM budget.
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Server"))))
+	m.AddConstraint(Implies(Ref("NutOS"), Not(Ref("Replication"))))
 
 	if err := m.Finalize(); err != nil {
 		panic("core: FAME model is inconsistent: " + err.Error())
@@ -227,6 +255,7 @@ func FAMEProducts() []NamedProduct {
 				"BufferManager", "LFU", "DynamicAlloc", "ShardedBuffer",
 				"Put", "Get", "Remove", "Update",
 				"Transaction", "GroupCommit", "Recovery", "Locking", "MVCC",
+				"Replication", "Server",
 				"Optimizer", "SQLEngine", "CompiledQueries", "QueryStats",
 				"Statistics", "Tracing", "Monitor",
 			},

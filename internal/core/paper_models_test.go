@@ -167,6 +167,53 @@ func TestFAMEModelDomainConstraints(t *testing.T) {
 	if err := c.Select("NutOS"); err == nil {
 		t.Error("CompiledQueries+NutOS should be contradictory")
 	}
+
+	// The server routes every command through a transaction and serves
+	// concurrent connections: Transaction, Locking, and Put are forced.
+	c = m.NewConfiguration()
+	if err := c.Select("Server"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Transaction") || !c.Has("Locking") || !c.Has("Put") {
+		t.Errorf("Server should force Transaction, Locking, Put: %s", c)
+	}
+
+	// Replication ships and replays the redo log: Transaction and
+	// Recovery are forced; with a B+-tree, snapshot resync needs the
+	// delete increment.
+	c = m.NewConfiguration()
+	if err := c.Select("Replication"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("Transaction") || !c.Has("Recovery") {
+		t.Errorf("Replication should force Transaction and Recovery: %s", c)
+	}
+	c = m.NewConfiguration()
+	if err := c.SelectAll("Replication", "BPlusTree"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("BTreeRemove") {
+		t.Error("Replication+BPlusTree should force BTreeRemove")
+	}
+
+	// Neither the TCP listener nor the shipping pipeline fits a NutOS
+	// node — propagation and direct contradiction both.
+	for _, f := range []string{"Server", "Replication"} {
+		c = m.NewConfiguration()
+		if err := c.Select("NutOS"); err != nil {
+			t.Fatal(err)
+		}
+		if c.State(f) != Deselected {
+			t.Errorf("NutOS should force %s off", f)
+		}
+		c = m.NewConfiguration()
+		if err := c.Select(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Select("NutOS"); err == nil {
+			t.Errorf("%s+NutOS should be contradictory", f)
+		}
+	}
 }
 
 func TestFAMEProductsAreValid(t *testing.T) {

@@ -273,6 +273,29 @@ func FAMESources() map[string][]SourceSpec {
 			file("internal/monitor/watchdog.go"),
 			file("internal/monitor/http.go"),
 		},
+
+		// The Replication feature: the WAL ship layer (range reads,
+		// prefix CRC handshakes, the chunk applier and snapshot
+		// install), the in-process replicator, and the frame fan-out.
+		// Only Replication maps these files (CI guards that), so a
+		// product derived without it ships nothing and carries no
+		// applier.
+		"Replication": {
+			file("internal/txn/ship.go"),
+			file("internal/repl/repl.go"),
+			file("internal/repl/frames.go"),
+		},
+
+		// The Server feature: the wire protocol, the TCP listener with
+		// its client and replication sessions, the client library, and
+		// the replica client. Only Server maps this package (CI guards
+		// that), so a product derived without it opens no sockets.
+		"Server": {
+			file("internal/server/proto.go"),
+			file("internal/server/server.go"),
+			file("internal/server/client.go"),
+			file("internal/server/replica.go"),
+		},
 	}
 }
 

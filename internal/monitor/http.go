@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -166,15 +167,37 @@ type Server struct {
 // Serve binds addr (e.g. "127.0.0.1:0") and serves the telemetry
 // handler on it until Close. The listener is bound synchronously so
 // Addr is valid on return; request serving happens on a background
-// goroutine.
+// goroutine. The server carries a ReadHeaderTimeout so a slow-loris
+// scraper cannot hold a connection open forever, and is tracked by the
+// monitor: Stop shuts it down gracefully.
 func (m *Monitor) Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: m.Handler()}
+	srv := &http.Server{
+		Handler:           m.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	s := &Server{ln: ln, srv: srv}
+	m.mu.Lock()
+	m.servers = append(m.servers, s)
+	m.mu.Unlock()
 	go srv.Serve(ln)
-	return &Server{ln: ln, srv: srv}, nil
+	return s, nil
+}
+
+// closeServers gracefully shuts down every telemetry listener the
+// monitor started; called from Stop (and so from DB.Close).
+func (m *Monitor) closeServers() {
+	m.mu.Lock()
+	servers := m.servers
+	m.servers = nil
+	m.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
 }
 
 // Addr returns the bound listen address (with the real port when addr
@@ -184,5 +207,13 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the http base URL of the endpoint.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener and in-flight request serving.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close drains in-flight requests (bounded by a short deadline) and
+// stops the listener; stragglers past the deadline are cut off.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -136,6 +136,12 @@ type Window struct {
 	WALGrowthBytes int64 `json:"wal_growth_bytes"`
 	// TraceDropsPerSec is the span ring's windowed overwrite rate.
 	TraceDropsPerSec float64 `json:"trace_drops_per_sec"`
+
+	// Replication gauges at the newest tick (zero without the Server /
+	// Replication features): connected replicas and the worst
+	// per-replica lag behind the primary WAL, in bytes.
+	ReplicasConnected int64 `json:"replicas_connected"`
+	ReplicaLagBytes   int64 `json:"replica_lag_bytes"`
 }
 
 // Monitor is the live-observation subsystem of one composed product.
@@ -155,6 +161,9 @@ type Monitor struct {
 
 	watchdog *watchdog
 	events   *eventLog
+	// servers are the telemetry listeners Serve started; Stop shuts
+	// them down gracefully.
+	servers []*Server
 
 	runOnce sync.Once
 	stop    chan struct{}
@@ -208,8 +217,9 @@ func (m *Monitor) Start() {
 	})
 }
 
-// Stop ends the sampler goroutine and waits for it to exit. Safe to
-// call multiple times and without Start.
+// Stop ends the sampler goroutine, waits for it to exit, and shuts
+// down any telemetry listeners gracefully. Safe to call multiple times
+// and without Start.
 func (m *Monitor) Stop() {
 	select {
 	case <-m.stop:
@@ -218,6 +228,7 @@ func (m *Monitor) Stop() {
 	}
 	m.runOnce.Do(func() { close(m.done) }) // never started: mark done
 	<-m.done
+	m.closeServers()
 }
 
 // Tick takes one sample now: snapshot, delta, ring insertion, then a
@@ -346,6 +357,8 @@ func (m *Monitor) windowLocked() Window {
 
 	w.WALGrowthBytes = newest.LogSize - walBase
 	w.TraceDropsPerSec = float64(d.Trace.DroppedSpans) / secs
+	w.ReplicasConnected = newest.Cum.Repl.Connected
+	w.ReplicaLagBytes = newest.Cum.Repl.MaxLagBytes
 	return w
 }
 

@@ -1,0 +1,70 @@
+package monitor
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"famedb/internal/stats"
+)
+
+func TestWatchdogReplicaRules(t *testing.T) {
+	r := stats.New()
+	m := New(Config{
+		Interval: time.Hour,
+		Rules:    Thresholds{ReplicaLagBytes: 1024, ReplicaMinConnected: 2},
+	}, testSource(r, nil))
+
+	// Healthy: 2 replicas connected, no lag.
+	r.Repl().Gauges(2, 0)
+	m.Tick()
+	if got := m.Active(); len(got) != 0 {
+		t.Fatalf("healthy replicas fired %v", got)
+	}
+	// One replica lost, the other far behind.
+	r.Repl().Gauges(1, 4096)
+	m.Tick()
+	active := m.Active()
+	names := map[string]bool{}
+	for _, a := range active {
+		names[a.Rule] = true
+	}
+	if !names["replica-lag"] || !names["replica-lost"] {
+		t.Fatalf("active = %v, want replica-lag and replica-lost", active)
+	}
+	// Recovery clears both.
+	r.Repl().Gauges(2, 10)
+	m.Tick()
+	if got := m.Active(); len(got) != 0 {
+		t.Fatalf("recovered replicas still firing %v", got)
+	}
+	w := m.Window()
+	if w.ReplicasConnected != 2 || w.ReplicaLagBytes != 10 {
+		t.Fatalf("window gauges = %d connected, %d lag", w.ReplicasConnected, w.ReplicaLagBytes)
+	}
+}
+
+func TestServeReadHeaderTimeoutAndGracefulStop(t *testing.T) {
+	r := stats.New()
+	m := New(Config{Interval: time.Hour}, testSource(r, nil))
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("telemetry server has no ReadHeaderTimeout (slow-loris hole)")
+	}
+	// A connection that never sends a request must not survive Stop:
+	// the monitor owns its servers and shuts them down.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	m.Stop()
+	// After Stop the listener is gone: new dials fail.
+	if c, err := net.Dial("tcp", srv.Addr()); err == nil {
+		c.Close()
+		t.Fatal("telemetry listener still accepting after Stop")
+	}
+}

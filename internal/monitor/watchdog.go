@@ -27,6 +27,13 @@ type Thresholds struct {
 	// this many unread spans per second — the ring is undersized for
 	// the workload.
 	TraceDropsPerSec float64
+	// ReplicaLagBytes alerts when the worst-lagging replica is more
+	// than this many WAL bytes behind the primary — the replica is not
+	// keeping up with the commit stream.
+	ReplicaLagBytes int64
+	// ReplicaMinConnected alerts when fewer than this many replicas are
+	// connected — a replica was lost (or never arrived).
+	ReplicaMinConnected int64
 }
 
 // Rule is one watchdog predicate, evaluated against every fresh
@@ -131,6 +138,30 @@ func newWatchdog(t Thresholds, extra []Rule) *watchdog {
 				}
 				return true, fmt.Sprintf("trace ring dropping %.1f spans/s (limit %.1f)",
 					w.TraceDropsPerSec, t.TraceDropsPerSec)
+			},
+		})
+	}
+	if t.ReplicaLagBytes > 0 {
+		rules = append(rules, Rule{
+			Name: "replica-lag",
+			Check: func(w Window) (bool, string) {
+				if w.ReplicaLagBytes <= t.ReplicaLagBytes {
+					return false, ""
+				}
+				return true, fmt.Sprintf("worst replica lags %d WAL bytes (limit %d)",
+					w.ReplicaLagBytes, t.ReplicaLagBytes)
+			},
+		})
+	}
+	if t.ReplicaMinConnected > 0 {
+		rules = append(rules, Rule{
+			Name: "replica-lost",
+			Check: func(w Window) (bool, string) {
+				if w.ReplicasConnected >= t.ReplicaMinConnected {
+					return false, ""
+				}
+				return true, fmt.Sprintf("%d replicas connected, want >= %d",
+					w.ReplicasConnected, t.ReplicaMinConnected)
 			},
 		})
 	}

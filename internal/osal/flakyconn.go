@@ -1,0 +1,236 @@
+package osal
+
+// FlakyConn: the network sibling of FaultFS. Where the storage fault
+// devices model a dying flash chip, FlakyConn models the wire between a
+// primary and its replicas — connections that drop mid-stream, freeze
+// into a partition, deliver late, or truncate a frame halfway and then
+// die. Every decision derives from the seeded plan, never from time or
+// scheduling, so a replication test that failed replays exactly.
+//
+// The wrapper counts reads and writes per connection (1-based, like
+// Schedule's per-class op indexes) and fires the first matching rule:
+//
+//	NetDrop      the operation fails with ErrConnDropped and the
+//	             underlying connection closes — a peer reset.
+//	NetTruncate  a Write delivers only a seeded prefix of the buffer,
+//	             then the connection closes — the classic
+//	             truncate-mid-frame kill that leaves the receiver with
+//	             half a length-prefixed frame.
+//	NetPartition the operation (and the next Heal-1 of its class)
+//	             fails with a timeout error without closing the
+//	             connection — a silent partition the dialer's backoff
+//	             has to ride out.
+//	NetDelay     the operation succeeds after a short seeded delay —
+//	             a congested or distant link.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnDropped is the injected error of NetDrop and NetTruncate
+// rules.
+var ErrConnDropped = errors.New("osal: connection dropped (injected)")
+
+// NetFaultKind is what a network rule does when it fires.
+type NetFaultKind int
+
+const (
+	// NetDrop closes the connection with ErrConnDropped.
+	NetDrop NetFaultKind = iota
+	// NetTruncate writes a seeded prefix of the buffer, then closes.
+	NetTruncate
+	// NetPartition fails the op with a timeout error; Heal bounds how
+	// many consecutive ops of the class stay partitioned.
+	NetPartition
+	// NetDelay sleeps a seeded duration (≤ MaxDelay) before the op.
+	NetDelay
+)
+
+// String returns the fault-kind name.
+func (k NetFaultKind) String() string {
+	switch k {
+	case NetDrop:
+		return "drop"
+	case NetTruncate:
+		return "truncate"
+	case NetPartition:
+		return "partition"
+	case NetDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("netfault(%d)", int(k))
+	}
+}
+
+// NetOpClass classifies connection operations for fault planning.
+type NetOpClass int
+
+// The op classes a network plan can target.
+const (
+	NetRead NetOpClass = iota
+	NetWrite
+)
+
+// NetRule is one planned network fault: the At-th operation of Class on
+// this connection (1-based) suffers Kind.
+type NetRule struct {
+	Class NetOpClass
+	// At is the 1-based index among operations of Class.
+	At   int64
+	Kind NetFaultKind
+	// Heal bounds a NetPartition: the timeout repeats for Heal
+	// consecutive operations of the class, then the link heals. Zero
+	// partitions a single operation.
+	Heal int64
+}
+
+// netTimeoutError satisfies net.Error with Timeout() true, so callers
+// treat a partition like any deadline expiry.
+type netTimeoutError struct{}
+
+func (netTimeoutError) Error() string   { return "osal: partitioned (injected timeout)" }
+func (netTimeoutError) Timeout() bool   { return true }
+func (netTimeoutError) Temporary() bool { return true }
+
+// ErrPartitioned is the injected timeout of NetPartition rules.
+var ErrPartitioned net.Error = netTimeoutError{}
+
+// FlakyConn wraps a net.Conn with a deterministic seeded fault plan.
+// It is safe for one concurrent reader plus one concurrent writer (the
+// usual net.Conn contract).
+type FlakyConn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []NetRule
+	counts [2]int64 // per-class op counters
+	// healAt[class] > 0 partitions ops of the class until the counter
+	// passes it.
+	healAt [2]int64
+	closed bool
+	// injected records every fired rule for test assertions.
+	injected []NetRule
+	// MaxDelay bounds NetDelay sleeps (default 2ms — enough to reorder
+	// goroutines, short enough for tests).
+	MaxDelay time.Duration
+}
+
+// NewFlakyConn wraps conn with the seeded plan. Rules fire on their
+// 1-based per-class op index; a connection with no matching rules
+// behaves exactly like conn.
+func NewFlakyConn(conn net.Conn, seed int64, rules ...NetRule) *FlakyConn {
+	return &FlakyConn{
+		Conn:     conn,
+		rng:      rand.New(rand.NewSource(seed)),
+		rules:    rules,
+		MaxDelay: 2 * time.Millisecond,
+	}
+}
+
+// Injected returns the rules that have fired so far, in firing order.
+func (c *FlakyConn) Injected() []NetRule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]NetRule(nil), c.injected...)
+}
+
+// decide advances the class counter and returns the firing rule, the
+// seeded truncation prefix (NetTruncate) and delay (NetDelay).
+func (c *FlakyConn) decide(class NetOpClass, bufLen int) (rule *NetRule, prefix int, delay time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, 0, ErrConnDropped
+	}
+	c.counts[class]++
+	at := c.counts[class]
+	if h := c.healAt[class]; h > 0 {
+		if at <= h {
+			return nil, 0, 0, ErrPartitioned
+		}
+		c.healAt[class] = 0
+	}
+	for i := range c.rules {
+		r := &c.rules[i]
+		if r.Class != class || r.At != at {
+			continue
+		}
+		c.injected = append(c.injected, *r)
+		switch r.Kind {
+		case NetDrop:
+			c.closed = true
+			return r, 0, 0, ErrConnDropped
+		case NetTruncate:
+			c.closed = true
+			if bufLen > 1 {
+				prefix = 1 + c.rng.Intn(bufLen-1)
+			}
+			return r, prefix, 0, nil
+		case NetPartition:
+			heal := r.Heal
+			if heal < 1 {
+				heal = 1
+			}
+			c.healAt[class] = at + heal - 1
+			return r, 0, 0, ErrPartitioned
+		case NetDelay:
+			d := c.MaxDelay
+			if d > 0 {
+				d = time.Duration(c.rng.Int63n(int64(d))) + 1
+			}
+			return r, 0, d, nil
+		}
+	}
+	return nil, 0, 0, nil
+}
+
+// Read implements net.Conn with the fault plan applied.
+func (c *FlakyConn) Read(b []byte) (int, error) {
+	rule, _, delay, err := c.decide(NetRead, len(b))
+	if err != nil {
+		if errors.Is(err, ErrConnDropped) {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	if rule != nil && rule.Kind == NetDelay {
+		time.Sleep(delay)
+	}
+	return c.Conn.Read(b)
+}
+
+// Write implements net.Conn with the fault plan applied.
+func (c *FlakyConn) Write(b []byte) (int, error) {
+	rule, prefix, delay, err := c.decide(NetWrite, len(b))
+	if err != nil {
+		if errors.Is(err, ErrConnDropped) {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	if rule != nil {
+		switch rule.Kind {
+		case NetTruncate:
+			n, _ := c.Conn.Write(b[:prefix])
+			c.Conn.Close()
+			return n, ErrConnDropped
+		case NetDelay:
+			time.Sleep(delay)
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// Close closes the underlying connection.
+func (c *FlakyConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

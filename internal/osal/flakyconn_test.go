@@ -1,0 +1,121 @@
+package osal
+
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+// pipeConns returns the two ends of an in-memory full-duplex pipe.
+func pipeConns() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestFlakyConnDropOnNthWrite(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFlakyConn(a, 1, NetRule{Class: NetWrite, At: 2, Kind: NetDrop})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 16)
+		b.Read(buf)
+	}()
+	if _, err := fc.Write([]byte("frame-one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	<-done
+	if _, err := fc.Write([]byte("frame-two")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("write 2: want ErrConnDropped, got %v", err)
+	}
+	// Dropped connections stay dead.
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("write 3: want ErrConnDropped, got %v", err)
+	}
+	if got := fc.Injected(); len(got) != 1 || got[0].Kind != NetDrop {
+		t.Fatalf("injected = %+v", got)
+	}
+}
+
+func TestFlakyConnTruncateWritesPrefixThenCloses(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFlakyConn(a, 7, NetRule{Class: NetWrite, At: 1, Kind: NetTruncate})
+
+	frame := []byte("0123456789abcdef")
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, len(frame))
+		n, _ := b.Read(buf)
+		got <- n
+	}()
+	n, err := fc.Write(frame)
+	if !errors.Is(err, ErrConnDropped) {
+		t.Fatalf("want ErrConnDropped, got %v", err)
+	}
+	if n <= 0 || n >= len(frame) {
+		t.Fatalf("truncate wrote %d of %d bytes; want a strict prefix", n, len(frame))
+	}
+	if delivered := <-got; delivered != n {
+		t.Fatalf("receiver saw %d bytes, sender reported %d", delivered, n)
+	}
+}
+
+func TestFlakyConnPartitionHeals(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFlakyConn(a, 3, NetRule{Class: NetWrite, At: 1, Kind: NetPartition, Heal: 2})
+
+	for i := 0; i < 2; i++ {
+		_, err := fc.Write([]byte("x"))
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("op %d: want timeout net.Error, got %v", i+1, err)
+		}
+	}
+	// Healed: the third write goes through.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4)
+		b.Read(buf)
+	}()
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	<-done
+}
+
+func TestFlakyConnDeterministicReplay(t *testing.T) {
+	run := func() (int, error) {
+		a, b := pipeConns()
+		defer a.Close()
+		defer b.Close()
+		fc := NewFlakyConn(a, 42, NetRule{Class: NetWrite, At: 1, Kind: NetTruncate})
+		go func() {
+			buf := make([]byte, 64)
+			b.Read(buf)
+		}()
+		return fc.Write(make([]byte, 64))
+	}
+	n1, err1 := run()
+	n2, err2 := run()
+	if n1 != n2 || !errors.Is(err1, ErrConnDropped) || !errors.Is(err2, ErrConnDropped) {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", n1, err1, n2, err2)
+	}
+}
+
+func TestFlakyConnCleanPassThrough(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	fc := NewFlakyConn(a, 1)
+	go func() {
+		fc.Write([]byte("hello"))
+	}()
+	buf := make([]byte, 5)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,169 @@
+// WAL-frame shipping: the fan-out between the transaction manager's
+// ship hook and the network sessions feeding replicas.
+//
+// One Shipper hangs off the primary's WAL (txn.Manager.SetOnShip →
+// Shipper.OnShip). Each connected replica session subscribes a bounded
+// Feed; frames carry a monotonic sequence number and the WAL base
+// offset their bytes landed at, so both ends can detect loss: a
+// sequence gap or non-chaining base means the replica must fall back to
+// a full snapshot resync. A WAL rewind on the primary (checkpoint reset
+// or failed-batch truncate) breaks the base chain; the shipper detects
+// it and breaks every feed, forcing subscribers to resync rather than
+// stream bytes that no longer extend what the replica holds.
+//
+// A Feed never blocks the commit path: when a slow subscriber fills its
+// buffer, the feed is broken (frames dropped, counter bumped) instead
+// of the primary waiting. Replica failure never blocks commits.
+
+package repl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"famedb/internal/stats"
+)
+
+// DefaultFeedDepth is a Feed's buffered frame count.
+const DefaultFeedDepth = 256
+
+// Frame is one shipped WAL chunk: the raw bytes of one durable append.
+type Frame struct {
+	// Seq is the shipper's monotonic frame number; a subscriber seeing
+	// a gap lost frames and must resync.
+	Seq uint64
+	// Base is the primary WAL offset the bytes landed at; consecutive
+	// frames chain (next.Base = prev.Base + len(prev.Bytes)) until the
+	// log rewinds.
+	Base int64
+	// Bytes is the frame run, owned by the receiver.
+	Bytes []byte
+}
+
+// Feed is one subscriber's bounded frame queue.
+type Feed struct {
+	c       chan Frame
+	broken  atomic.Bool
+	dropped atomic.Int64
+	closed  bool // guarded by the owning Shipper's mu
+}
+
+// C returns the frame channel. It is closed on Unsubscribe and on
+// Shipper.Close.
+func (f *Feed) C() <-chan Frame { return f.c }
+
+// Broken reports whether the feed lost frames (overflow) or saw the
+// primary WAL rewind; either way the subscriber must snapshot-resync.
+func (f *Feed) Broken() bool { return f.broken.Load() }
+
+// Dropped returns how many frames overflow discarded.
+func (f *Feed) Dropped() int64 { return f.dropped.Load() }
+
+// Shipper fans WAL chunks out to subscribed feeds. OnShip is wired to
+// txn.Manager.SetOnShip and runs on the commit path, so it never
+// blocks: it copies the chunk once and does non-blocking sends.
+type Shipper struct {
+	mu      sync.Mutex
+	subs    map[*Feed]struct{}
+	seq     uint64
+	lastEnd int64 // -1 until the first chunk
+	depth   int
+	metrics *stats.Repl
+}
+
+// NewShipper returns a shipper whose feeds buffer depth frames each
+// (DefaultFeedDepth if depth <= 0). metrics may be nil.
+func NewShipper(depth int, metrics *stats.Repl) *Shipper {
+	if depth <= 0 {
+		depth = DefaultFeedDepth
+	}
+	return &Shipper{subs: map[*Feed]struct{}{}, lastEnd: -1, depth: depth, metrics: metrics}
+}
+
+// Subscribe registers a new feed that will receive every chunk shipped
+// from now on.
+func (s *Shipper) Subscribe() *Feed {
+	f := &Feed{c: make(chan Frame, s.depth)}
+	s.mu.Lock()
+	s.subs[f] = struct{}{}
+	s.mu.Unlock()
+	return f
+}
+
+// Unsubscribe removes the feed and closes its channel.
+func (s *Shipper) Unsubscribe(f *Feed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[f]; ok {
+		delete(s.subs, f)
+		f.closed = true
+		close(f.c)
+	}
+}
+
+// Close closes every subscribed feed.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for f := range s.subs {
+		f.closed = true
+		close(f.c)
+	}
+	s.subs = map[*Feed]struct{}{}
+}
+
+// OnShip ingests one durable WAL chunk. Pass this method to
+// txn.Manager.SetOnShip; buf is copied before the hook returns.
+func (s *Shipper) OnShip(base int64, buf []byte) {
+	cp := append([]byte(nil), buf...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastEnd >= 0 && base != s.lastEnd {
+		// The WAL rewound under us (checkpoint reset or failed-batch
+		// truncate): streamed bytes no longer chain. Break every feed;
+		// each subscriber heals with a snapshot resync.
+		for f := range s.subs {
+			if f.broken.CompareAndSwap(false, true) {
+				s.metrics.StaleMark()
+			}
+		}
+	}
+	s.lastEnd = base + int64(len(cp))
+	s.seq++
+	fr := Frame{Seq: s.seq, Base: base, Bytes: cp}
+	s.metrics.Shipped(len(cp))
+	for f := range s.subs {
+		if f.broken.Load() {
+			continue
+		}
+		select {
+		case f.c <- fr:
+		default:
+			// Full: the subscriber is too slow. Drop and break rather
+			// than stall the commit path.
+			f.dropped.Add(1)
+			f.broken.Store(true)
+			s.metrics.Dropped(1)
+			s.metrics.StaleMark()
+		}
+	}
+}
+
+// Repair re-arms a broken feed after its subscriber completed a
+// snapshot resync: the stale buffered frames are discarded and the feed
+// streams again from the next shipped chunk.
+func (s *Shipper) Repair(f *Feed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for {
+		select {
+		case <-f.c:
+		default:
+			f.broken.Store(false)
+			return
+		}
+	}
+}

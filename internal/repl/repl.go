@@ -10,11 +10,22 @@ package repl
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 
 	"famedb/internal/index"
+	"famedb/internal/stats"
 )
+
+// DefaultMaxPending bounds an offline replica's buffered operations.
+// Past it, the buffer is dropped and the replica marked stale — an
+// offline replica must not grow the primary's memory without limit.
+const DefaultMaxPending = 4096
+
+// ErrStale is returned when a buffered replica overflowed its bound:
+// its pending ops were dropped, so only a full Resync can catch it up.
+var ErrStale = errors.New("repl: replica is stale (pending overflow); resync required")
 
 // Op is one shipped operation.
 type Op struct {
@@ -27,6 +38,7 @@ type Op struct {
 type Replica struct {
 	idx     index.Index
 	online  bool
+	stale   bool
 	pending []Op
 	// Applied counts operations applied to this replica.
 	Applied int64
@@ -35,17 +47,34 @@ type Replica struct {
 // Pending returns the number of buffered (not yet applied) operations.
 func (r *Replica) Pending() int { return len(r.pending) }
 
+// Stale reports whether the replica overflowed its pending bound and
+// lost operations; CatchUp refuses it until Resync.
+func (r *Replica) Stale() bool { return r.stale }
+
 // Replicator ships committed operations to attached replicas. It is
 // safe for concurrent use.
 type Replicator struct {
 	mu       sync.Mutex
 	replicas []*Replica
+	// MaxPending bounds each offline replica's buffer; overflow drops
+	// the buffer and marks the replica stale. Set before shipping.
+	MaxPending int
+	// metrics mirrors drops and stale marks into the Statistics
+	// feature's registry; nil is a no-op.
+	metrics *stats.Repl
 	// Shipped counts operations shipped (to any number of replicas).
 	Shipped int64
 }
 
-// New returns an empty replicator.
-func New() *Replicator { return &Replicator{} }
+// New returns an empty replicator with the default pending bound.
+func New() *Replicator { return &Replicator{MaxPending: DefaultMaxPending} }
+
+// SetMetrics mirrors replication counters into reg (nil detaches).
+func (r *Replicator) SetMetrics(reg *stats.Repl) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = reg
+}
 
 // Attach registers an index as an online replica.
 func (r *Replicator) Attach(idx index.Index) *Replica {
@@ -86,6 +115,22 @@ func (r *Replicator) Ship(remove bool, key, value []byte) error {
 	r.Shipped++
 	for _, rep := range r.replicas {
 		if !rep.online {
+			if rep.stale {
+				continue // already lost ops; buffering more is pointless
+			}
+			limit := r.MaxPending
+			if limit <= 0 {
+				limit = DefaultMaxPending
+			}
+			if len(rep.pending) >= limit {
+				// Overflow: drop the whole buffer — a partial buffer
+				// can never be applied consistently anyway.
+				r.metrics.Dropped(len(rep.pending) + 1)
+				r.metrics.StaleMark()
+				rep.pending = nil
+				rep.stale = true
+				continue
+			}
 			rep.pending = append(rep.pending, op)
 			continue
 		}
@@ -111,9 +156,14 @@ func applyOp(rep *Replica, op Op) error {
 }
 
 // CatchUp applies a replica's buffered operations and marks it online.
+// A stale replica lost ops to the pending bound and returns ErrStale:
+// only Resync can repair it.
 func (r *Replicator) CatchUp(rep *Replica) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if rep.stale {
+		return ErrStale
+	}
 	for _, op := range rep.pending {
 		if err := applyOp(rep, op); err != nil {
 			return err
@@ -124,40 +174,98 @@ func (r *Replicator) CatchUp(rep *Replica) error {
 	return nil
 }
 
+// Resync rebuilds a replica as an exact copy of primary — deleting
+// extra keys, overwriting the rest — then clears its stale flag and
+// marks it online. It is the repair path after a pending overflow.
+func (r *Replicator) Resync(rep *Replica, primary index.Index) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := CopyIndex(rep.idx, primary); err != nil {
+		return err
+	}
+	rep.pending = nil
+	rep.stale = false
+	rep.online = true
+	r.metrics.SnapshotResync()
+	return nil
+}
+
 // Verify checks that every online replica holds exactly the primary's
-// contents. Offline replicas are skipped (they are expected to lag).
+// contents. Offline and stale replicas are skipped (they are expected
+// to lag).
 func (r *Replicator) Verify(primary index.Index) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// Materialize the primary once.
-	type kv struct{ k, v []byte }
-	var prim []kv
+	for i, rep := range r.replicas {
+		if !rep.online || rep.stale {
+			continue
+		}
+		if err := VerifyIndexes(primary, rep.idx); err != nil {
+			return fmt.Errorf("repl: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// VerifyIndexes checks that replica holds exactly primary's contents:
+// same entry count, byte-equal value under every primary key.
+func VerifyIndexes(primary, replica index.Index) error {
+	var count uint64
+	var mismatch error
 	if err := primary.Scan(nil, nil, func(k, v []byte) bool {
-		prim = append(prim, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+		count++
+		rv, found, err := replica.Get(k)
+		if err != nil {
+			mismatch = err
+			return false
+		}
+		if !found || !bytes.Equal(rv, v) {
+			mismatch = fmt.Errorf("diverges at key %q", k)
+			return false
+		}
 		return true
 	}); err != nil {
 		return err
 	}
-	for i, rep := range r.replicas {
-		if !rep.online {
-			continue
+	if mismatch != nil {
+		return mismatch
+	}
+	n, err := replica.Len()
+	if err != nil {
+		return err
+	}
+	if n != count {
+		return fmt.Errorf("replica has %d entries, primary %d", n, count)
+	}
+	return nil
+}
+
+// CopyIndex makes dst an exact copy of src: extra dst keys are deleted,
+// the rest inserted or overwritten.
+func CopyIndex(dst, src index.Index) error {
+	var extras [][]byte
+	if err := dst.Scan(nil, nil, func(k, _ []byte) bool {
+		if _, found, err := src.Get(k); err != nil || !found {
+			extras = append(extras, append([]byte(nil), k...))
 		}
-		n, err := rep.idx.Len()
-		if err != nil {
-			return err
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range extras {
+		if _, err := dst.Delete(k); err != nil {
+			return fmt.Errorf("repl: resync delete: %w", err)
 		}
-		if int(n) != len(prim) {
-			return fmt.Errorf("repl: replica %d has %d entries, primary %d", i, n, len(prim))
-		}
-		for _, e := range prim {
-			v, found, err := rep.idx.Get(e.k)
-			if err != nil {
-				return err
-			}
-			if !found || !bytes.Equal(v, e.v) {
-				return fmt.Errorf("repl: replica %d diverges at key %q", i, e.k)
-			}
-		}
+	}
+	var insErr error
+	if err := src.Scan(nil, nil, func(k, v []byte) bool {
+		insErr = dst.Insert(k, v)
+		return insErr == nil
+	}); err != nil {
+		return err
+	}
+	if insErr != nil {
+		return fmt.Errorf("repl: resync insert: %w", insErr)
 	}
 	return nil
 }

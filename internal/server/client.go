@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"famedb/internal/txn"
+)
+
+// ErrNotFound aliases the transactional not-found sentinel, so callers
+// use one errors.Is check whether they hit the store directly or over
+// the wire.
+var ErrNotFound = txn.ErrNotFound
+
+// RemoteError is a respErr from the server: the command failed on the
+// primary (constraint violation, storage error, malformed frame).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: remote error: " + e.Msg }
+
+// Client speaks the client side of the protocol. The synchronous
+// methods (Put, Get, ...) are one round trip each; the Queue*/Flush/
+// AwaitOK methods pipeline: queue up to the server's admission bound,
+// flush once, then collect the in-order responses. A Client is not
+// safe for concurrent use — one goroutine per connection, like the
+// server's one session per connection.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	// Timeout bounds each blocking read and queued write; zero means
+	// no deadline.
+	Timeout time.Duration
+}
+
+// DialClient connects a Client over TCP.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests wrap a FlakyConn).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) deadlines() {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+}
+
+// queue stages one frame without flushing.
+func (c *Client) queue(typ byte, payload []byte) error {
+	c.deadlines()
+	return writeFrame(c.bw, typ, payload)
+}
+
+// Flush pushes every queued frame to the server.
+func (c *Client) Flush() error {
+	c.deadlines()
+	return c.bw.Flush()
+}
+
+// recv reads one response frame.
+func (c *Client) recv() (byte, []byte, error) {
+	c.deadlines()
+	return readFrame(c.br)
+}
+
+// AwaitOK consumes one pipelined response and maps it exactly like the
+// synchronous methods: nil for respOK, ErrNotFound, or a RemoteError.
+func (c *Client) AwaitOK() error {
+	typ, payload, err := c.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case respOK, respValue:
+		return nil
+	case respNotFound:
+		return ErrNotFound
+	case respErr:
+		return &RemoteError{Msg: string(payload)}
+	default:
+		return fmt.Errorf("%w: unexpected response %d", ErrProto, typ)
+	}
+}
+
+// QueuePut pipelines a put without waiting for its response.
+func (c *Client) QueuePut(key, value []byte) error {
+	return c.queue(cmdPut, encodeKV(key, value))
+}
+
+// QueueGet pipelines a get; pair with AwaitValue.
+func (c *Client) QueueGet(key []byte) error {
+	return c.queue(cmdGet, appendBytes(nil, key))
+}
+
+// QueueBatch pipelines a multi-op transaction.
+func (c *Client) QueueBatch(ops []Op) error {
+	return c.queue(cmdBatch, encodeBatch(ops))
+}
+
+// AwaitValue consumes one pipelined get response.
+func (c *Client) AwaitValue() ([]byte, error) {
+	typ, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case respValue:
+		return payload, nil
+	case respNotFound:
+		return nil, ErrNotFound
+	case respErr:
+		return nil, &RemoteError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("%w: unexpected response %d", ErrProto, typ)
+	}
+}
+
+func (c *Client) roundTrip(typ byte, payload []byte) error {
+	if err := c.queue(typ, payload); err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.AwaitOK()
+}
+
+// Ping round-trips an empty command.
+func (c *Client) Ping() error { return c.roundTrip(cmdPing, nil) }
+
+// Put stores key=value in one transaction on the primary.
+func (c *Client) Put(key, value []byte) error {
+	return c.roundTrip(cmdPut, encodeKV(key, value))
+}
+
+// Update overwrites an existing key; ErrNotFound if absent.
+func (c *Client) Update(key, value []byte) error {
+	return c.roundTrip(cmdUpdate, encodeKV(key, value))
+}
+
+// Remove deletes a key; ErrNotFound if absent.
+func (c *Client) Remove(key []byte) error {
+	return c.roundTrip(cmdRemove, appendBytes(nil, key))
+}
+
+// Batch runs ops as one transaction: all or nothing.
+func (c *Client) Batch(ops []Op) error {
+	return c.roundTrip(cmdBatch, encodeBatch(ops))
+}
+
+// Get fetches a key's value; ErrNotFound if absent.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	if err := c.queue(cmdGet, appendBytes(nil, key)); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.AwaitValue()
+}

@@ -1,0 +1,496 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"famedb/internal/repl"
+	"famedb/internal/stats"
+	"famedb/internal/txn"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInflight  = 64
+	DefaultReadTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// Config wires a Server to a composed product.
+type Config struct {
+	// Mgr executes every client command as a transaction, so writes go
+	// through the WAL (and group commit, when composed). The Store fast
+	// path is deliberately not exposed over the wire: it bypasses both
+	// the log and the lock table.
+	Mgr *txn.Manager
+	// Shipper fans shipped WAL frames out to replication sessions. Nil
+	// disables replication sessions (Server without Replication).
+	Shipper *repl.Shipper
+	// Metrics is the stats Repl section; nil-safe.
+	Metrics *stats.Repl
+	// MaxInflight bounds how many pipelined requests one connection may
+	// stage ahead of execution. The reader stops pulling frames once
+	// the bound is hit, so backpressure reaches the client through TCP.
+	MaxInflight int
+	// ReadTimeout bounds the wait for each inbound frame once a session
+	// is active; an idle or wedged peer is cut off. Zero means
+	// DefaultReadTimeout; negative disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write.
+	WriteTimeout time.Duration
+}
+
+func (c Config) inflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return DefaultMaxInflight
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout == 0 {
+		return DefaultReadTimeout
+	}
+	if c.ReadTimeout < 0 {
+		return 0
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return DefaultWriteTimeout
+	}
+	if c.WriteTimeout < 0 {
+		return 0
+	}
+	return c.WriteTimeout
+}
+
+// Server accepts client and replication sessions on one listener. The
+// first frame of a connection picks the session kind: a command starts
+// a client session, a replHello starts a replication session.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	acked   map[*replSession]int64
+	closed  bool
+	accepts int64
+
+	wg sync.WaitGroup
+}
+
+// Serve binds addr and starts accepting. The listener is bound
+// synchronously, so Addr is valid on return.
+func Serve(addr string, cfg Config) (*Server, error) {
+	if cfg.Mgr == nil {
+		return nil, errors.New("server: Config.Mgr is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		acked: make(map[*replSession]int64),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, severs every session, and waits for the
+// session goroutines to drain. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.accepts++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn reads the first frame and dispatches on its type.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	if d := s.cfg.readTimeout(); d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	if typ == replHello {
+		s.serveRepl(conn, payload)
+		return
+	}
+	s.serveClient(conn, typ, payload)
+}
+
+// request is one staged client frame.
+type request struct {
+	typ     byte
+	payload []byte
+}
+
+// serveClient runs a client session: a reader goroutine stages frames
+// into a bounded queue (the admission bound) while the session
+// goroutine executes them in order and writes in-order responses, so a
+// client may pipeline up to MaxInflight requests ahead.
+func (s *Server) serveClient(conn net.Conn, typ byte, payload []byte) {
+	queue := make(chan request, s.cfg.inflight())
+	queue <- request{typ, payload}
+	go func() {
+		defer close(queue)
+		for {
+			if d := s.cfg.readTimeout(); d > 0 {
+				conn.SetReadDeadline(time.Now().Add(d))
+			}
+			typ, payload, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			queue <- request{typ, payload}
+		}
+	}()
+	for req := range queue {
+		rtyp, rpayload := s.execute(req.typ, req.payload)
+		if d := s.cfg.writeTimeout(); d > 0 {
+			conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := writeFrame(conn, rtyp, rpayload); err != nil {
+			break
+		}
+	}
+	// Sever the transport, then drain the queue: the reader may be
+	// blocked on a full queue send, and draining unblocks it so its next
+	// read fails and it closes the channel.
+	conn.Close()
+	for range queue {
+	}
+}
+
+// execute runs one client command as a transaction and returns the
+// response frame. Protocol-level garbage gets a respErr; the connection
+// survives unless the transport itself failed.
+func (s *Server) execute(typ byte, payload []byte) (byte, []byte) {
+	switch typ {
+	case cmdPing:
+		return respOK, nil
+
+	case cmdGet:
+		key, rest, err := takeBytes(payload)
+		if err != nil || len(rest) != 0 {
+			return respErr, []byte("malformed get")
+		}
+		tx := s.cfg.Mgr.Begin()
+		val, err := tx.Get(key)
+		tx.Abort()
+		if errors.Is(err, txn.ErrNotFound) {
+			return respNotFound, nil
+		}
+		if err != nil {
+			return respErr, []byte(err.Error())
+		}
+		return respValue, val
+
+	case cmdPut, cmdUpdate:
+		key, val, err := decodeKV(payload)
+		if err != nil {
+			return respErr, []byte("malformed put")
+		}
+		tx := s.cfg.Mgr.Begin()
+		if typ == cmdPut {
+			err = tx.Put(key, val)
+		} else {
+			err = tx.Update(key, val)
+		}
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if errors.Is(err, txn.ErrNotFound) {
+			return respNotFound, nil
+		}
+		if err != nil {
+			return respErr, []byte(err.Error())
+		}
+		return respOK, nil
+
+	case cmdRemove:
+		key, rest, err := takeBytes(payload)
+		if err != nil || len(rest) != 0 {
+			return respErr, []byte("malformed remove")
+		}
+		tx := s.cfg.Mgr.Begin()
+		err = tx.Remove(key)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if errors.Is(err, txn.ErrNotFound) {
+			return respNotFound, nil
+		}
+		if err != nil {
+			return respErr, []byte(err.Error())
+		}
+		return respOK, nil
+
+	case cmdBatch:
+		ops, err := decodeBatch(payload)
+		if err != nil {
+			return respErr, []byte("malformed batch")
+		}
+		tx := s.cfg.Mgr.Begin()
+		for _, op := range ops {
+			if op.Remove {
+				err = tx.Remove(op.Key)
+			} else {
+				err = tx.Put(op.Key, op.Value)
+			}
+			if err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err != nil {
+			return respErr, []byte(err.Error())
+		}
+		return respOK, nil
+
+	default:
+		return respErr, []byte(fmt.Sprintf("unknown command %d", typ))
+	}
+}
+
+// replSession is one connected replica, tracked for the lag gauges.
+// The id keeps the struct non-zero-sized so each session allocates a
+// distinct map key.
+type replSession struct{ id int64 }
+
+// updateGauges recomputes the replica-health gauges from the per-
+// session ack table. Called on connect, disconnect, and every ack.
+func (s *Server) updateGauges() {
+	end := s.cfg.Mgr.WALEnd()
+	s.mu.Lock()
+	connected := int64(len(s.acked))
+	var maxLag int64
+	for _, off := range s.acked {
+		if lag := end - off; lag > maxLag {
+			maxLag = lag
+		}
+	}
+	s.mu.Unlock()
+	s.cfg.Metrics.Gauges(connected, maxLag)
+}
+
+// serveRepl runs a replication session. Ordering matters and mirrors
+// the in-process ship layer's contract: subscribe the feed FIRST, then
+// capture the catch-up range (or snapshot), then stream — frames that
+// arrive in the feed while the catch-up is in flight overlap the range
+// and are deduplicated byte-exactly by the replica's applier.
+func (s *Server) serveRepl(conn net.Conn, payload []byte) {
+	if s.cfg.Shipper == nil {
+		writeFrame(conn, respErr, []byte("replication not composed"))
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return
+	}
+
+	s.mu.Lock()
+	sess := &replSession{id: s.accepts}
+	s.acked[sess] = h.Offset
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.acked, sess)
+		s.mu.Unlock()
+		s.updateGauges()
+	}()
+	s.updateGauges()
+
+	feed := s.cfg.Shipper.Subscribe()
+	defer s.cfg.Shipper.Unsubscribe(feed)
+
+	// Decide catch-up vs snapshot. A fingerprint match on the replica's
+	// offset means its WAL is a byte-exact prefix of ours: ship the
+	// missing range. Anything else — offset past our end (we rewound),
+	// CRC mismatch (divergence), or an explicit forceSnap after an
+	// interrupted install — gets a full snapshot.
+	var seq uint64
+	snapshot := h.ForceSnap
+	if !snapshot {
+		crc, err := s.cfg.Mgr.WALPrefixCRC(h.Offset)
+		snapshot = err != nil || crc != h.CRC
+	}
+	if snapshot {
+		snap, err := s.cfg.Mgr.ShipSnapshot()
+		if err != nil {
+			return
+		}
+		if err := s.writeRepl(conn, replSnapBegin, nil); err != nil {
+			return
+		}
+		for i := range snap.Keys {
+			if err := s.writeRepl(conn, replSnapKV, encodeKV(snap.Keys[i], snap.Vals[i])); err != nil {
+				return
+			}
+		}
+		if err := s.writeRepl(conn, replSnapEnd, snap.WALImage); err != nil {
+			return
+		}
+		s.cfg.Metrics.SnapshotResync()
+	} else if end := s.cfg.Mgr.WALEnd(); end > h.Offset {
+		chunk, err := s.cfg.Mgr.ReadWALRange(h.Offset, end)
+		if err != nil {
+			return
+		}
+		seq++
+		msg := encodeFrameMsg(frameMsg{Seq: seq, Base: h.Offset, Bytes: chunk})
+		if err := s.writeRepl(conn, replFrames, msg); err != nil {
+			return
+		}
+		s.cfg.Metrics.CatchUp()
+	}
+
+	// Ack reader: consumes replAck frames until the peer goes away,
+	// updating the lag table. Its exit tears the connection down, which
+	// in turn unblocks the streaming loop's writes.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		for {
+			if d := s.cfg.readTimeout(); d > 0 {
+				conn.SetReadDeadline(time.Now().Add(d))
+			}
+			typ, p, err := readFrame(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			if typ != replAck {
+				conn.Close()
+				return
+			}
+			off, _, err := takeUvarint(p)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			s.mu.Lock()
+			s.acked[sess] = int64(off)
+			s.mu.Unlock()
+			s.cfg.Metrics.Ack()
+			s.updateGauges()
+		}
+	}()
+
+	// Stream live frames. Frames already covered by the catch-up or
+	// snapshot are forwarded anyway: the applier's
+	// overlap verification drops exact duplicates and applies partial
+	// suffixes. Sequence numbers are renumbered per session so the
+	// replica's gap detector sees a contiguous stream regardless of how
+	// many sessions the shipper has served. The ticker catches a feed
+	// broken while idle (rewind or overflow delivers no further frames,
+	// so a blocked receive would never notice on its own).
+	brokenPoll := time.NewTicker(250 * time.Millisecond)
+	defer brokenPoll.Stop()
+	for {
+		select {
+		case <-brokenPoll.C:
+			if feed.Broken() {
+				conn.Close()
+				<-ackDone
+				return
+			}
+		case f, ok := <-feed.C():
+			if !ok {
+				// Shipper closed, or the WAL rewound and broke the feed:
+				// end the session; the reconnect handshake sorts it out.
+				conn.Close()
+				<-ackDone
+				return
+			}
+			seq++
+			msg := encodeFrameMsg(frameMsg{Seq: seq, Base: f.Base, Bytes: f.Bytes})
+			if err := s.writeRepl(conn, replFrames, msg); err != nil {
+				conn.Close()
+				<-ackDone
+				return
+			}
+			if feed.Broken() {
+				conn.Close()
+				<-ackDone
+				return
+			}
+		case <-ackDone:
+			return
+		}
+	}
+}
+
+func (s *Server) writeRepl(conn net.Conn, typ byte, payload []byte) error {
+	if d := s.cfg.writeTimeout(); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeFrame(conn, typ, payload)
+}

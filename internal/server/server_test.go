@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"famedb/internal/access"
+	"famedb/internal/index"
+	"famedb/internal/osal"
+	"famedb/internal/repl"
+	"famedb/internal/stats"
+	"famedb/internal/storage"
+	"famedb/internal/txn"
+)
+
+// node is one in-process database: store, index, and transaction
+// manager over a MemFS — the same stack the composer builds for a
+// Replication product.
+type node struct {
+	fs  osal.FS
+	idx index.Index
+	mgr *txn.Manager
+}
+
+func newNode(t *testing.T) *node {
+	t.Helper()
+	fs := osal.NewMemFS()
+	f, err := fs.Create("p.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := storage.CreatePageFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := index.CreateBTree(pf, index.AllBTreeOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := access.New(idx, access.AllOps())
+	mgr, err := txn.Open(fs, "wal.log", store, txn.Options{
+		Protocol: txn.Force{},
+		Locking:  true,
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	return &node{fs: fs, idx: idx, mgr: mgr}
+}
+
+// primaryNode wires a node to a Shipper and serves it.
+func primaryNode(t *testing.T, reg *stats.Registry) (*node, *Server, *repl.Shipper) {
+	t.Helper()
+	n := newNode(t)
+	shipper := repl.NewShipper(repl.DefaultFeedDepth, reg.Repl())
+	n.mgr.SetOnShip(shipper.OnShip)
+	srv, err := Serve("127.0.0.1:0", Config{
+		Mgr:     n.mgr,
+		Shipper: shipper,
+		Metrics: reg.Repl(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		shipper.Close()
+	})
+	return n, srv, shipper
+}
+
+// assertPrefix asserts the replica WAL is a byte-exact prefix of the
+// primary's (via the same CRC fingerprint the handshake uses) and the
+// two indexes hold identical data.
+func assertReplicated(t *testing.T, primary, replica *node) {
+	t.Helper()
+	end, crc, err := replica.mgr.ShipApplier().PrefixCRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != primary.mgr.WALEnd() {
+		t.Fatalf("replica wal end %d, primary %d", end, primary.mgr.WALEnd())
+	}
+	pcrc, err := primary.mgr.WALPrefixCRC(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc != pcrc {
+		t.Fatalf("replica wal prefix crc %08x, primary %08x", crc, pcrc)
+	}
+	if err := repl.VerifyIndexes(primary.idx, replica.idx); err != nil {
+		t.Fatalf("index verify: %v", err)
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Remove: true, Key: []byte("b")},
+		{Key: []byte(""), Value: bytes.Repeat([]byte("x"), 300)},
+	}
+	got, err := decodeBatch(encodeBatch(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i].Remove != ops[i].Remove ||
+			!bytes.Equal(got[i].Key, ops[i].Key) ||
+			!bytes.Equal(got[i].Value, ops[i].Value) {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, got[i], ops[i])
+		}
+	}
+	h := hello{Offset: 12345, CRC: 0xdeadbeef, ForceSnap: true}
+	hd, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd != h {
+		t.Fatalf("hello %+v round-tripped to %+v", h, hd)
+	}
+	f := frameMsg{Seq: 7, Base: 99, Bytes: []byte("chunk")}
+	fd, err := decodeFrameMsg(encodeFrameMsg(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Seq != f.Seq || fd.Base != f.Base || !bytes.Equal(fd.Bytes, f.Bytes) {
+		t.Fatalf("frame %+v round-tripped to %+v", f, fd)
+	}
+	// Malformed inputs must error, not panic.
+	for _, bad := range [][]byte{nil, {0xff}, {3, 1}} {
+		if _, err := decodeBatch(bad); err == nil {
+			t.Fatalf("decodeBatch(%v) accepted garbage", bad)
+		}
+		if _, err := decodeHello(bad); err == nil {
+			t.Fatalf("decodeHello(%v) accepted garbage", bad)
+		}
+	}
+}
+
+func TestClientServerBasic(t *testing.T) {
+	n := newNode(t)
+	srv, err := Serve("127.0.0.1:0", Config{Mgr: n.mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 5 * time.Second
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get([]byte("k1"))
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get k1 = %q, %v", got, err)
+	}
+	if _, err := c.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := c.Update([]byte("nope"), []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update missing = %v, want ErrNotFound", err)
+	}
+	if err := c.Update([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove missing = %v, want ErrNotFound", err)
+	}
+	if err := c.Batch([]Op{
+		{Key: []byte("b1"), Value: []byte("1")},
+		{Key: []byte("b2"), Value: []byte("2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A batch that fails midway aborts wholesale: b3 must not appear.
+	err = c.Batch([]Op{
+		{Key: []byte("b3"), Value: []byte("3")},
+		{Remove: true, Key: []byte("missing")},
+	})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("failing batch = %v, want RemoteError", err)
+	}
+	if _, err := c.Get([]byte("b3")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("aborted batch leaked b3")
+	}
+	if err := c.Remove([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("Remove did not remove k1")
+	}
+}
+
+func TestClientPipelining(t *testing.T) {
+	n := newNode(t)
+	srv, err := Serve("127.0.0.1:0", Config{Mgr: n.mgr, MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 10 * time.Second
+
+	// Queue far more than MaxInflight: the admission bound must
+	// backpressure, not drop or deadlock.
+	const N = 200
+	for i := 0; i < N; i++ {
+		if err := c.QueuePut(fmt.Appendf(nil, "key-%03d", i), fmt.Appendf(nil, "val-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < N; i++ {
+		if err := c.AwaitOK(); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < N; i++ {
+		if err := c.QueueGet(fmt.Appendf(nil, "key-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < N; i++ {
+		v, err := c.AwaitValue()
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("val-%03d", i); string(v) != want {
+			t.Fatalf("get %d = %q, want %q (responses out of order?)", i, v, want)
+		}
+	}
+}
+
+func TestServerReadDeadlineReapsIdleClient(t *testing.T) {
+	n := newNode(t)
+	srv, err := Serve("127.0.0.1:0", Config{Mgr: n.mgr, ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing. The server must cut us off, observable as EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("idle connection survived the read deadline")
+	}
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	reg := stats.New()
+	primary, srv, _ := primaryNode(t, reg)
+
+	// Seed some state before any replica exists: the first handshake
+	// catches up from offset 0 (empty-log CRC matches — it is a valid
+	// prefix).
+	for i := 0; i < 10; i++ {
+		tx := primary.mgr.Begin()
+		tx.Put(fmt.Appendf(nil, "seed-%02d", i), []byte("s"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r1n, r2n := newNode(t), newNode(t)
+	r1, err := StartReplica(ReplicaConfig{Addr: srv.Addr(), Applier: r1n.mgr.ShipApplier(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Stop()
+	r2, err := StartReplica(ReplicaConfig{Addr: srv.Addr(), Applier: r2n.mgr.ShipApplier(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live commits while both replicas stream.
+	for i := 0; i < 40; i++ {
+		tx := primary.mgr.Begin()
+		tx.Put(fmt.Appendf(nil, "live-%02d", i), fmt.Appendf(nil, "v%02d", i))
+		if i%5 == 0 {
+			tx.Remove(fmt.Appendf(nil, "seed-%02d", i/5))
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := primary.mgr.WALEnd()
+	if !r1.WaitFor(target, 5*time.Second) {
+		t.Fatalf("replica 1 stuck at %d, want %d", r1.Offset(), target)
+	}
+	if !r2.WaitFor(target, 5*time.Second) {
+		t.Fatalf("replica 2 stuck at %d, want %d", r2.Offset(), target)
+	}
+	assertReplicated(t, primary, r1n)
+	assertReplicated(t, primary, r2n)
+
+	snap := reg.Snapshot()
+	if snap.Repl.Connected != 2 {
+		t.Fatalf("connected gauge = %d, want 2", snap.Repl.Connected)
+	}
+	if snap.Repl.ShippedChunks == 0 {
+		t.Fatalf("repl counters flat: %+v", snap.Repl)
+	}
+	// WaitFor returns once the replica has applied and *sent* its ack;
+	// the primary may not have read it yet, so poll the counter.
+	ackDeadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Repl.Acks == 0 {
+		if time.Now().After(ackDeadline) {
+			t.Fatalf("repl ack counter flat: %+v", reg.Snapshot().Repl)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Losing a replica updates the gauge without disturbing the other.
+	r2.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Repl.Connected != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("connected gauge stuck at %d after replica stop", reg.Snapshot().Repl.Connected)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tx := primary.mgr.Begin()
+	tx.Put([]byte("after-loss"), []byte("ok"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit with one dead replica: %v", err)
+	}
+	if !r1.WaitFor(primary.mgr.WALEnd(), 5*time.Second) {
+		t.Fatal("surviving replica stopped streaming")
+	}
+	assertReplicated(t, primary, r1n)
+}
+
+func TestReplicaSnapshotResyncOnDivergence(t *testing.T) {
+	reg := stats.New()
+	primary, srv, _ := primaryNode(t, reg)
+
+	for i := 0; i < 20; i++ {
+		tx := primary.mgr.Begin()
+		tx.Put(fmt.Appendf(nil, "p-%02d", i), []byte("v"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The replica node carries unrelated local history: its WAL is not a
+	// prefix of the primary's, so the handshake CRC mismatches and the
+	// primary must ship a full snapshot (wiping the junk key).
+	rn := newNode(t)
+	tx := rn.mgr.Begin()
+	tx.Put([]byte("junk"), []byte("divergent"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := StartReplica(ReplicaConfig{Addr: srv.Addr(), Applier: rn.mgr.ShipApplier(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	if !r.WaitFor(primary.mgr.WALEnd(), 5*time.Second) {
+		t.Fatalf("replica stuck at %d", r.Offset())
+	}
+	assertReplicated(t, primary, rn)
+	if _, ok, _ := rn.idx.Get([]byte("junk")); ok {
+		t.Fatal("snapshot resync left divergent key behind")
+	}
+	if reg.Snapshot().Repl.Snapshots == 0 {
+		t.Fatal("no snapshot resync recorded")
+	}
+
+	// And the resynced replica streams live traffic afterwards.
+	tx = primary.mgr.Begin()
+	tx.Put([]byte("post-snap"), []byte("v"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFor(primary.mgr.WALEnd(), 5*time.Second) {
+		t.Fatal("replica not streaming after snapshot resync")
+	}
+	assertReplicated(t, primary, rn)
+}
+
+// TestReplicaSeqGapForcesSnapshot drives the replica client against a
+// fake primary that skips a sequence number; the reconnect handshake
+// must carry ForceSnap per the robustness contract.
+func TestReplicaSeqGapForcesSnapshot(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	forceSnap := make(chan bool, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			typ, payload, err := readFrame(conn)
+			if err != nil || typ != replHello {
+				conn.Close()
+				continue
+			}
+			h, err := decodeHello(payload)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			forceSnap <- h.ForceSnap
+			if i == 0 {
+				// Ship seq 1 then 3: a gap. The chunk bytes are empty,
+				// so the gap check is all that fires. Then drain acks
+				// until the replica hangs up — closing early could fail
+				// the replica's ack before it even reads the gap frame.
+				writeFrame(conn, replFrames, encodeFrameMsg(frameMsg{Seq: 1, Base: 8, Bytes: nil}))
+				writeFrame(conn, replFrames, encodeFrameMsg(frameMsg{Seq: 3, Base: 8, Bytes: nil}))
+				for {
+					if _, _, err := readFrame(conn); err != nil {
+						break
+					}
+				}
+			}
+			conn.Close()
+		}
+	}()
+
+	rn := newNode(t)
+	r, err := StartReplica(ReplicaConfig{Addr: ln.Addr().String(), Applier: rn.mgr.ShipApplier(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	if got := <-forceSnap; got {
+		t.Fatal("first handshake already forced a snapshot")
+	}
+	select {
+	case got := <-forceSnap:
+		if !got {
+			t.Fatal("post-gap handshake did not force a snapshot")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never reconnected after sequence gap")
+	}
+}
+
+func TestServerWithoutShipperRefusesRepl(t *testing.T) {
+	n := newNode(t)
+	srv, err := Serve("127.0.0.1:0", Config{Mgr: n.mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, replHello, encodeHello(hello{})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != respErr {
+		t.Fatalf("response %d %q, want respErr", typ, payload)
+	}
+}

@@ -37,6 +37,11 @@ type Shell struct {
 	// stmts holds the console's named prepared statements (feature
 	// CompiledQueries): .prepare compiles once, .exec binds and runs.
 	stmts map[string]*fame.Stmt
+	// server and replica are the console's network roles (features
+	// Server, Replication): .repl serve exposes this product on the wire
+	// protocol, .repl from streams another primary's WAL into it.
+	server  *fame.Server
+	replica *fame.Replica
 }
 
 // New creates a shell over an open product, writing output to out.
@@ -76,6 +81,7 @@ func init() {
 		{".exec", "<name> [arg...]", "run a prepared statement with bound args", (*Shell).cmdExec},
 		{".explain", "[analyze] <sql>", "show a statement's plan tree (feature QueryStats)", (*Shell).cmdExplain},
 		{".queries", "[top <n>|slow]", "per-shape statement profiles and the slow-query log (feature QueryStats)", (*Shell).cmdQueries},
+		{".repl", "serve <addr>|from <addr>|status|stop", "network serving and WAL-shipping replication (features Server, Replication)", (*Shell).cmdRepl},
 		{".flush", "", "force all state durable (drains pending group commits)", (*Shell).cmdFlush},
 		{".verify", "", "scrub pages and journal (features Checksums, Transaction)", (*Shell).cmdVerify},
 		{".help", "", "this text", (*Shell).cmdHelp},
@@ -663,6 +669,87 @@ func (s *Shell) cmdMonitor(fields []string) bool {
 		len(events)+int(dropped), alerts, dropped)
 	if n := len(events); n > 0 {
 		fmt.Fprintln(s.out, "last:   ", events[n-1])
+	}
+	return false
+}
+
+// cmdRepl drives the product's network roles. ".repl serve <addr>"
+// starts the wire-protocol server (feature Server), ".repl from
+// <addr>" streams the primary at addr into this product (feature
+// Replication), ".repl status" shows both roles plus the shipping
+// counters, ".repl stop" detaches the replica stream.
+func (s *Shell) cmdRepl(fields []string) bool {
+	sub := "status"
+	if len(fields) > 1 {
+		sub = fields[1]
+	}
+	switch sub {
+	case "serve":
+		if len(fields) < 3 {
+			fmt.Fprintln(s.out, "usage: .repl serve <addr>")
+			return false
+		}
+		if s.server != nil {
+			fmt.Fprintf(s.out, "already serving on %s\n", s.server.Addr())
+			return false
+		}
+		srv, err := s.db.Serve(fields[2])
+		if err != nil {
+			s.featureErr("Server", ".repl serve", err)
+			return false
+		}
+		s.server = srv
+		fmt.Fprintf(s.out, "serving on %s\n", srv.Addr())
+	case "from":
+		if len(fields) < 3 {
+			fmt.Fprintln(s.out, "usage: .repl from <addr>")
+			return false
+		}
+		if s.replica != nil {
+			fmt.Fprintln(s.out, "already replicating (.repl stop first)")
+			return false
+		}
+		rep, err := s.db.ReplicateFrom(fields[2])
+		if err != nil {
+			s.featureErr("Replication", ".repl from", err)
+			return false
+		}
+		s.replica = rep
+		fmt.Fprintf(s.out, "replicating from %s\n", fields[2])
+	case "stop":
+		if s.replica == nil {
+			fmt.Fprintln(s.out, "not replicating")
+			return false
+		}
+		s.replica.Stop()
+		fmt.Fprintf(s.out, "replication stopped at offset %d\n", s.replica.Offset())
+		s.replica = nil
+	case "status":
+		if s.server != nil {
+			fmt.Fprintf(s.out, "serving   %s\n", s.server.Addr())
+		} else {
+			fmt.Fprintln(s.out, "serving   no (.repl serve <addr>)")
+		}
+		if s.replica != nil {
+			fmt.Fprintf(s.out, "replica   applied through offset %d\n", s.replica.Offset())
+		} else {
+			fmt.Fprintln(s.out, "replica   no (.repl from <addr>)")
+		}
+		snap, err := s.db.Stats()
+		if err != nil {
+			// Shipping counters need the Statistics feature; the roles
+			// above still work without it.
+			return false
+		}
+		r := snap.Repl
+		fmt.Fprintf(s.out, "shipped   %d chunks / %d bytes  acks %d\n",
+			r.ShippedChunks, r.ShippedBytes, r.Acks)
+		fmt.Fprintf(s.out, "resync    catch-ups %d  snapshots %d  drops %d  stale marks %d\n",
+			r.CatchUps, r.Snapshots, r.Drops, r.StaleMarks)
+		fmt.Fprintf(s.out, "replicas  %d connected, max lag %d bytes\n",
+			r.Connected, r.MaxLagBytes)
+	default:
+		fmt.Fprintln(s.out, "usage: .repl serve <addr>|from <addr>|status|stop")
 	}
 	return false
 }

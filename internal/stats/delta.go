@@ -120,5 +120,14 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Fault.ScrubbedPages = subCounter(s.Fault.ScrubbedPages, prev.Fault.ScrubbedPages)
 	// Degraded/DegradedReason are the latch's current state.
 
+	d.Repl.ShippedChunks = subCounter(s.Repl.ShippedChunks, prev.Repl.ShippedChunks)
+	d.Repl.ShippedBytes = subCounter(s.Repl.ShippedBytes, prev.Repl.ShippedBytes)
+	d.Repl.Acks = subCounter(s.Repl.Acks, prev.Repl.Acks)
+	d.Repl.CatchUps = subCounter(s.Repl.CatchUps, prev.Repl.CatchUps)
+	d.Repl.Snapshots = subCounter(s.Repl.Snapshots, prev.Repl.Snapshots)
+	d.Repl.Drops = subCounter(s.Repl.Drops, prev.Repl.Drops)
+	d.Repl.StaleMarks = subCounter(s.Repl.StaleMarks, prev.Repl.StaleMarks)
+	// Connected/MaxLagBytes are gauges: keep s's values.
+
 	return d
 }

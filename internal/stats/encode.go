@@ -24,6 +24,7 @@ type Snapshot struct {
 	Trace  TraceSnapshot  `json:"trace"`
 	Fault  FaultSnapshot  `json:"fault"`
 	MVCC   MVCCSnapshot   `json:"mvcc"`
+	Repl   ReplSnapshot   `json:"repl"`
 	// Queries is the QueryStats feature's per-shape profile section;
 	// nil when that feature is not composed.
 	Queries *QuerySnapshot `json:"queries,omitempty"`
@@ -137,6 +138,22 @@ type MVCCSnapshot struct {
 	SnapshotAge   int64 `json:"snapshot_age"`
 }
 
+// ReplSnapshot copies the Replication shipping metrics; all zero unless
+// the Replication feature is composed.
+type ReplSnapshot struct {
+	ShippedChunks int64 `json:"shipped_chunks"`
+	ShippedBytes  int64 `json:"shipped_bytes"`
+	Acks          int64 `json:"acks"`
+	CatchUps      int64 `json:"catchups"`
+	Snapshots     int64 `json:"snapshot_resyncs"`
+	Drops         int64 `json:"drops"`
+	StaleMarks    int64 `json:"stale_marks"`
+	// Connected and MaxLagBytes are the replica-health gauges the
+	// Monitor watchdog alerts on.
+	Connected   int64 `json:"replicas_connected"`
+	MaxLagBytes int64 `json:"replica_max_lag_bytes"`
+}
+
 // Snapshot copies every metric. Safe on a nil registry (zero snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -216,6 +233,16 @@ func (r *Registry) Snapshot() Snapshot {
 	s.MVCC.VersionsLive = load(&r.mvcc.versionsLive)
 	s.MVCC.SnapshotsOpen = load(&r.mvcc.snapshotsOpen)
 	s.MVCC.SnapshotAge = load(&r.mvcc.snapshotAge)
+
+	s.Repl.ShippedChunks = load(&r.repl.shippedChunks)
+	s.Repl.ShippedBytes = load(&r.repl.shippedBytes)
+	s.Repl.Acks = load(&r.repl.acks)
+	s.Repl.CatchUps = load(&r.repl.catchups)
+	s.Repl.Snapshots = load(&r.repl.snapshots)
+	s.Repl.Drops = load(&r.repl.drops)
+	s.Repl.StaleMarks = load(&r.repl.staleMarks)
+	s.Repl.Connected = load(&r.repl.connected)
+	s.Repl.MaxLagBytes = load(&r.repl.maxLagBytes)
 
 	s.Queries = r.query.snapshot()
 	return s
@@ -335,6 +362,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		gauge("famedb_mvcc_versions_live", "Versions retained for pinned readers.", s.MVCC.VersionsLive)
 		gauge("famedb_mvcc_snapshots_open", "Snapshots currently pinned.", s.MVCC.SnapshotsOpen)
 		gauge("famedb_mvcc_snapshot_age", "Versions the oldest pinned snapshot lags the current root.", s.MVCC.SnapshotAge)
+	}
+
+	if s.Repl.ShippedChunks > 0 || s.Repl.Connected > 0 || s.Repl.Snapshots > 0 {
+		counter("famedb_repl_shipped_chunks_total", "WAL chunks shipped to replica feeds.", s.Repl.ShippedChunks, "")
+		counter("famedb_repl_shipped_bytes_total", "WAL bytes shipped to replica feeds.", s.Repl.ShippedBytes, "")
+		counter("famedb_repl_acks_total", "Replica acknowledgements received.", s.Repl.Acks, "")
+		counter("famedb_repl_catchups_total", "Incremental catch-ups served from the WAL.", s.Repl.CatchUps, "")
+		counter("famedb_repl_snapshot_resyncs_total", "Full snapshot resyncs served.", s.Repl.Snapshots, "")
+		counter("famedb_repl_drops_total", "Ops or chunks dropped on bounded replica feeds.", s.Repl.Drops, "")
+		counter("famedb_repl_stale_marks_total", "Replicas marked stale by feed overflow.", s.Repl.StaleMarks, "")
+		gauge("famedb_repl_replicas_connected", "Replicas currently connected.", s.Repl.Connected)
+		gauge("famedb_repl_max_lag_bytes", "Worst per-replica lag in WAL bytes.", s.Repl.MaxLagBytes)
 	}
 
 	// QueryStats feature: per-shape statement profiles. One labeled
@@ -485,6 +524,18 @@ func (s Snapshot) Format() string {
 		row("versions live", s.MVCC.VersionsLive)
 		row("snapshots open", s.MVCC.SnapshotsOpen)
 		row("snapshot age", s.MVCC.SnapshotAge)
+	}
+	if s.Repl.ShippedChunks+s.Repl.Snapshots+s.Repl.Drops > 0 || s.Repl.Connected > 0 {
+		b.WriteString("repl\n")
+		row("shipped chunks", s.Repl.ShippedChunks)
+		row("shipped bytes", s.Repl.ShippedBytes)
+		row("acks", s.Repl.Acks)
+		row("catch-ups", s.Repl.CatchUps)
+		row("snapshot resyncs", s.Repl.Snapshots)
+		row("drops", s.Repl.Drops)
+		row("stale marks", s.Repl.StaleMarks)
+		row("replicas connected", s.Repl.Connected)
+		row("max lag bytes", s.Repl.MaxLagBytes)
 	}
 	if s.Queries != nil && len(s.Queries.Shapes) > 0 {
 		fmt.Fprintf(&b, "queries (%d shapes, slowest first)\n", len(s.Queries.Shapes))

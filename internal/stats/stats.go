@@ -32,6 +32,7 @@ type Registry struct {
 	trace  Trace
 	fault  Fault
 	mvcc   MVCC
+	repl   Repl
 	// query is the QueryStats feature's per-shape profile registry;
 	// nil unless that feature is composed on top of Statistics.
 	query *QueryStats
@@ -124,6 +125,14 @@ func (r *Registry) MVCC() *MVCC {
 	return &r.mvcc
 }
 
+// Repl returns the Replication metrics (nil on a nil registry).
+func (r *Registry) Repl() *Repl {
+	if r == nil {
+		return nil
+	}
+	return &r.repl
+}
+
 // Query returns the QueryStats feature's per-shape profile registry,
 // or nil when that feature (or the whole Statistics registry) is not
 // composed — the same nil-discipline as the per-layer metric structs.
@@ -181,6 +190,78 @@ func (m *MVCC) Gauges(live, open, age int64) {
 	atomic.StoreInt64(&m.versionsLive, live)
 	atomic.StoreInt64(&m.snapshotsOpen, open)
 	atomic.StoreInt64(&m.snapshotAge, age)
+}
+
+// --- Replication ---
+
+// Repl counts the Replication feature's shipping activity on the
+// primary: chunks and bytes shipped, replica acknowledgements, resync
+// events, and the two health gauges the Monitor watchdog watches —
+// connected replicas and the worst per-replica lag in WAL bytes.
+type Repl struct {
+	shippedChunks int64
+	shippedBytes  int64
+	acks          int64
+	catchups      int64
+	snapshots     int64
+	drops         int64
+	staleMarks    int64
+	connected     int64 // gauge
+	maxLagBytes   int64 // gauge
+}
+
+// Shipped records one chunk of n bytes handed to replica feeds.
+func (p *Repl) Shipped(n int) {
+	if p != nil {
+		atomic.AddInt64(&p.shippedChunks, 1)
+		atomic.AddInt64(&p.shippedBytes, int64(n))
+	}
+}
+
+// Ack records one replica acknowledgement.
+func (p *Repl) Ack() {
+	if p != nil {
+		atomic.AddInt64(&p.acks, 1)
+	}
+}
+
+// CatchUp records one incremental catch-up served from the WAL.
+func (p *Repl) CatchUp() {
+	if p != nil {
+		atomic.AddInt64(&p.catchups, 1)
+	}
+}
+
+// SnapshotResync records one full snapshot resync.
+func (p *Repl) SnapshotResync() {
+	if p != nil {
+		atomic.AddInt64(&p.snapshots, 1)
+	}
+}
+
+// Dropped records ops or chunks dropped on a replica's bounded feed.
+func (p *Repl) Dropped(n int) {
+	if p != nil {
+		atomic.AddInt64(&p.drops, int64(n))
+	}
+}
+
+// StaleMark records one replica marked stale (overflowed feed — it must
+// fully resync before it can stream again).
+func (p *Repl) StaleMark() {
+	if p != nil {
+		atomic.AddInt64(&p.staleMarks, 1)
+	}
+}
+
+// Gauges replaces the replica-health gauges: replicas currently
+// connected and the worst per-replica lag in WAL bytes.
+func (p *Repl) Gauges(connected, maxLagBytes int64) {
+	if p == nil {
+		return
+	}
+	atomic.StoreInt64(&p.connected, connected)
+	atomic.StoreInt64(&p.maxLagBytes, maxLagBytes)
 }
 
 // --- Fault survival ---

@@ -1,0 +1,286 @@
+package txn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// shipPair builds a primary manager whose durable batches feed directly
+// into a fresh replica manager's applier.
+type shipPair struct {
+	primary *env
+	replica *env
+	pm, rm  *Manager
+	applier *ShipApplier
+	chunks  []shipChunk
+}
+
+type shipChunk struct {
+	base int64
+	buf  []byte
+}
+
+func newShipPair(t *testing.T) *shipPair {
+	t.Helper()
+	p := &shipPair{primary: newEnv(t), replica: newEnv(t)}
+	p.pm = p.primary.openMgr(t, Options{Locking: true, Recovery: true})
+	p.rm = p.replica.openMgr(t, Options{Locking: true, Recovery: true})
+	p.applier = p.rm.ShipApplier()
+	p.pm.SetOnShip(func(base int64, buf []byte) {
+		p.chunks = append(p.chunks, shipChunk{base, append([]byte(nil), buf...)})
+	})
+	return p
+}
+
+func (p *shipPair) commit(t *testing.T, k, v string) {
+	t.Helper()
+	tx := p.pm.Begin()
+	if err := tx.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (p *shipPair) applyAll(t *testing.T) {
+	t.Helper()
+	for _, c := range p.chunks {
+		if err := p.applier.Apply(c.base, c.buf); err != nil {
+			t.Fatalf("apply base %d: %v", c.base, err)
+		}
+	}
+	p.chunks = nil
+}
+
+// assertPrefix checks the replica WAL is a byte-exact prefix of the
+// primary's and the stores agree on every replica key.
+func (p *shipPair) assertPrefix(t *testing.T) {
+	t.Helper()
+	re := p.rm.WALEnd()
+	pe := p.pm.WALEnd()
+	if re > pe {
+		t.Fatalf("replica wal end %d past primary %d", re, pe)
+	}
+	rb := make([]byte, re)
+	pb := make([]byte, re)
+	if _, err := p.rm.wal.f.ReadAt(rb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.pm.wal.f.ReadAt(pb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb, pb) {
+		t.Fatalf("replica wal is not a byte-exact prefix of primary")
+	}
+}
+
+func TestShipChunksReplicate(t *testing.T) {
+	p := newShipPair(t)
+	for i := 0; i < 10; i++ {
+		p.commit(t, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	p.applyAll(t)
+	p.assertPrefix(t)
+	if p.rm.WALEnd() != p.pm.WALEnd() {
+		t.Fatalf("replica end %d != primary end %d", p.rm.WALEnd(), p.pm.WALEnd())
+	}
+	for i := 0; i < 10; i++ {
+		v, err := p.replica.store.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("replica k%03d = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestShipDuplicateAndGap(t *testing.T) {
+	p := newShipPair(t)
+	p.commit(t, "a", "1")
+	p.commit(t, "b", "2")
+	p.commit(t, "c", "3")
+	chunks := p.chunks
+	p.chunks = nil
+	// Gap: applying chunk 2 before chunk 0 must be rejected.
+	if err := p.applier.Apply(chunks[2].base, chunks[2].buf); !errors.Is(err, ErrShipGap) {
+		t.Fatalf("gap apply: want ErrShipGap, got %v", err)
+	}
+	// In order works, and re-applying a chunk is a verified no-op.
+	for _, c := range chunks {
+		if err := p.applier.Apply(c.base, c.buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.applier.Apply(chunks[1].base, chunks[1].buf); err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+	p.assertPrefix(t)
+}
+
+func TestShipDivergedChunkRejected(t *testing.T) {
+	p := newShipPair(t)
+	p.commit(t, "a", "1")
+	c := p.chunks[0]
+	bad := append([]byte(nil), c.buf...)
+	bad[len(bad)-1] ^= 0xff
+	if err := p.applier.Apply(c.base, bad); !errors.Is(err, ErrShipDiverged) {
+		t.Fatalf("corrupt chunk: want ErrShipDiverged, got %v", err)
+	}
+	// A truncated-mid-frame chunk is rejected before touching the log.
+	if err := p.applier.Apply(c.base, c.buf[:len(c.buf)/2]); !errors.Is(err, ErrShipDiverged) {
+		t.Fatalf("truncated chunk: want ErrShipDiverged, got %v", err)
+	}
+	if p.rm.WALEnd() != int64(len(walMagic)) {
+		t.Fatalf("rejected chunks advanced the log to %d", p.rm.WALEnd())
+	}
+	// The intact chunk still applies.
+	if err := p.applier.Apply(c.base, c.buf); err != nil {
+		t.Fatal(err)
+	}
+	p.assertPrefix(t)
+}
+
+func TestShipPrefixCRCHandshake(t *testing.T) {
+	p := newShipPair(t)
+	p.commit(t, "a", "1")
+	p.commit(t, "b", "2")
+	p.applyAll(t)
+	off, crc, err := p.applier.PrefixCRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.pm.WALPrefixCRC(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc != want {
+		t.Fatalf("handshake crc mismatch: replica %08x primary %08x", crc, want)
+	}
+	// More primary traffic, then incremental catch-up via range read.
+	p.commit(t, "c", "3")
+	p.commit(t, "d", "4")
+	tail, err := p.pm.ReadWALRange(off, p.pm.WALEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.applier.Apply(off, tail); err != nil {
+		t.Fatal(err)
+	}
+	p.assertPrefix(t)
+	if v, err := p.replica.store.Get([]byte("d")); err != nil || string(v) != "4" {
+		t.Fatalf("after catch-up d = %q, %v", v, err)
+	}
+}
+
+func TestShipSnapshotInstall(t *testing.T) {
+	p := newShipPair(t)
+	for i := 0; i < 8; i++ {
+		p.commit(t, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	// Replica holds unrelated junk that must be wiped.
+	jtx := p.rm.Begin()
+	jtx.Put([]byte("junk"), []byte("old"))
+	if err := jtx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.pm.ShipSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.applier.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if p.applier.NeedsResync() {
+		t.Fatal("marker survived a completed install")
+	}
+	p.assertPrefix(t)
+	if p.rm.WALEnd() != p.pm.WALEnd() {
+		t.Fatalf("replica end %d != primary end %d", p.rm.WALEnd(), p.pm.WALEnd())
+	}
+	if _, err := p.replica.store.Get([]byte("junk")); err == nil {
+		t.Fatal("stale replica key survived the snapshot install")
+	}
+	for i := 0; i < 8; i++ {
+		v, err := p.replica.store.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("replica k%d = %q, %v", i, v, err)
+		}
+	}
+	// Post-snapshot live chunks keep applying.
+	p.chunks = nil
+	p.commit(t, "after", "snap")
+	p.applyAll(t)
+	if v, err := p.replica.store.Get([]byte("after")); err != nil || string(v) != "snap" {
+		t.Fatalf("post-snapshot chunk: %q, %v", v, err)
+	}
+}
+
+func TestShipCheckpointRewindHealsViaSnapshot(t *testing.T) {
+	p := newShipPair(t)
+	p.commit(t, "a", "1")
+	p.commit(t, "b", "2")
+	p.applyAll(t)
+	// Primary checkpoints: its log resets, the replica's handshake CRC
+	// no longer matches any primary prefix at that offset.
+	if err := p.pm.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p.chunks = nil
+	p.commit(t, "c", "3")
+	// The post-reset chunk does not chain onto the replica's end.
+	off, crc, err := p.applier.PrefixCRC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off <= p.pm.WALEnd() {
+		if want, err := p.pm.WALPrefixCRC(off); err == nil && want == crc {
+			t.Fatal("handshake should have detected divergence")
+		}
+	}
+	snap, err := p.pm.ShipSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.applier.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.assertPrefix(t)
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		v, err := p.replica.store.Get([]byte(kv[0]))
+		if err != nil || string(v) != kv[1] {
+			t.Fatalf("after resync %s = %q, %v", kv[0], v, err)
+		}
+	}
+}
+
+// TestShipApplierResumesMidBatch covers the torn-tail resume path: a
+// replica whose log ends inside a batch (the put frame landed, the
+// commit frame did not — what openWAL's torn-tail truncation produces)
+// restarts with a FRESH applier, and the commit arrives in the next
+// chunk. The new applier must have seeded the dangling records as
+// pending, or the commit would apply an empty transaction.
+func TestShipApplierResumesMidBatch(t *testing.T) {
+	p := newShipPair(t)
+	p.commit(t, "survivor", "v1")
+	c := p.chunks[0]
+	// Split the batch at its first frame boundary: [len][crc][payload].
+	flen := int64(8 + binary.LittleEndian.Uint32(c.buf[0:4]))
+	if flen >= int64(len(c.buf)) {
+		t.Fatalf("batch %d bytes holds a single frame; cannot split", len(c.buf))
+	}
+	if err := p.applier.Apply(c.base, c.buf[:flen]); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: the dangling put is durable, its commit is not.
+	fresh := p.rm.ShipApplier()
+	if err := fresh.Apply(c.base+flen, c.buf[flen:]); err != nil {
+		t.Fatal(err)
+	}
+	p.assertPrefix(t)
+	v, err := p.replica.store.Get([]byte("survivor"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("mid-batch resume lost the write: %q, %v", v, err)
+	}
+}

@@ -150,6 +150,10 @@ type Manager struct {
 	store *access.Store
 	wal   *WAL
 	opts  Options
+	// fs and logName let the Replication feature keep its durable
+	// resync marker (see ship.go) next to the log.
+	fs      osal.FS
+	logName string
 
 	// mu serializes commits and guards the store during apply. It is a
 	// no-op when the Locking feature is deselected.
@@ -194,7 +198,7 @@ func Open(fs osal.FS, logName string, store *access.Store, opts Options) (*Manag
 	if err != nil {
 		return nil, err
 	}
-	m := &Manager{store: store, wal: w, opts: opts}
+	m := &Manager{store: store, wal: w, opts: opts, fs: fs, logName: logName}
 	w.metrics = opts.Metrics
 	w.tracer = opts.Tracer
 	w.retry = opts.Retry

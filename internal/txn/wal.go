@@ -68,6 +68,14 @@ type WAL struct {
 	retry  storage.RetryPolicy
 	health *storage.Health
 	fault  *stats.Fault
+	// onShip, when set, observes every successful append for the
+	// Replication feature: base is the log offset the bytes landed at.
+	// Appends are serial (see mu), so calls arrive in base order, and
+	// bases chain contiguously until the log rewinds (truncateTo after a
+	// failed batch, or reset after a checkpoint) — consumers detect a
+	// rewind as a base that does not extend their last-seen end. The
+	// buffer is only valid during the call; copy it to retain it.
+	onShip func(base int64, buf []byte)
 }
 
 // logRecord is the in-memory form of a WAL record.
@@ -182,9 +190,13 @@ func (w *WAL) appendEncoded(buf []byte, records, commits int) error {
 	w.mu.Lock()
 	w.end = end + int64(len(buf))
 	w.commitsSince += commits
+	ship := w.onShip
 	w.mu.Unlock()
 	for i := 0; i < records; i++ {
 		w.metrics.WalAppend()
+	}
+	if ship != nil {
+		ship(end, buf)
 	}
 	return nil
 }
